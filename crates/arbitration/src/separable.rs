@@ -1,0 +1,229 @@
+//! A two-stage separable allocator (paper Figures 7–8).
+//!
+//! Matches requests from `n_in` inputs for `n_out` resources such that
+//! each input receives at most one resource and each resource is granted
+//! to at most one input per allocation:
+//!
+//! * **Stage 1** — a per-input arbiter selects one of the input's
+//!   requested resources (round-robin over resources, modeling the
+//!   `v:1` candidate-selection arbiters of Figure 8).
+//! * **Stage 2** — a per-resource matrix arbiter picks one surviving
+//!   input (the `p·v:1` arbiters of Figure 8).
+//!
+//! Priorities are updated only for grants that stand, so losing a cycle
+//! does not cost an input its priority. Separable allocation trades a
+//! little matching efficiency for single-cycle implementability — exactly
+//! the trade the paper's §3.2 describes.
+
+use crate::matrix::MatrixArbiter;
+use crate::round_robin::RoundRobinArbiter;
+use std::fmt;
+
+/// A granted `(input, resource)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Grant {
+    /// The winning input.
+    pub input: usize,
+    /// The resource it was granted.
+    pub resource: usize,
+}
+
+/// A separable `n_in × n_out` allocator with persistent arbiter state.
+#[derive(Debug, Clone)]
+pub struct SeparableAllocator {
+    n_in: usize,
+    n_out: usize,
+    stage1: Vec<RoundRobinArbiter>,
+    stage2: Vec<MatrixArbiter>,
+    // Scratch buffers, retained to avoid per-cycle allocation.
+    chosen: Vec<Option<usize>>,
+    contenders: Vec<bool>,
+}
+
+impl SeparableAllocator {
+    /// Creates an allocator for `n_in` inputs and `n_out` resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(n_in: usize, n_out: usize) -> Self {
+        assert!(n_in > 0 && n_out > 0, "allocator dimensions must be positive");
+        SeparableAllocator {
+            n_in,
+            n_out,
+            stage1: (0..n_in).map(|_| RoundRobinArbiter::new(n_out)).collect(),
+            stage2: (0..n_out).map(|_| MatrixArbiter::new(n_in)).collect(),
+            chosen: vec![None; n_in],
+            contenders: vec![false; n_in],
+        }
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.n_in
+    }
+
+    /// Number of resources.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.n_out
+    }
+
+    /// Performs one allocation. `requests` lists `(input, resource)`
+    /// pairs; duplicates are harmless. Returns the grants, at most one per
+    /// input and one per resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn allocate(&mut self, requests: &[(usize, usize)]) -> Vec<Grant> {
+        // Build per-input request masks over resources.
+        let mut masks: Vec<Option<Vec<bool>>> = vec![None; self.n_in];
+        for &(i, r) in requests {
+            assert!(i < self.n_in, "input {i} out of range {}", self.n_in);
+            assert!(r < self.n_out, "resource {r} out of range {}", self.n_out);
+            masks[i].get_or_insert_with(|| vec![false; self.n_out])[r] = true;
+        }
+
+        // Stage 1: each input picks one candidate resource (peek only;
+        // commit on final grant).
+        for (i, mask) in masks.iter().enumerate() {
+            self.chosen[i] = mask
+                .as_ref()
+                .and_then(|m| self.stage1[i].peek(m));
+        }
+
+        // Stage 2: each resource arbitrates among the inputs that chose it.
+        let mut grants = Vec::new();
+        for r in 0..self.n_out {
+            self.contenders.iter_mut().for_each(|c| *c = false);
+            let mut any = false;
+            for i in 0..self.n_in {
+                if self.chosen[i] == Some(r) {
+                    self.contenders[i] = true;
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            if let Some(winner) = self.stage2[r].peek(&self.contenders) {
+                self.stage2[r].demote(winner);
+                self.stage1[winner].advance_past(r);
+                grants.push(Grant {
+                    input: winner,
+                    resource: r,
+                });
+            }
+        }
+        grants
+    }
+}
+
+impl fmt::Display for SeparableAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SeparableAllocator({}x{})", self.n_in, self.n_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_valid(grants: &[Grant], requests: &[(usize, usize)]) {
+        let req: HashSet<(usize, usize)> = requests.iter().copied().collect();
+        let mut ins = HashSet::new();
+        let mut outs = HashSet::new();
+        for g in grants {
+            assert!(req.contains(&(g.input, g.resource)), "grant not requested");
+            assert!(ins.insert(g.input), "input granted twice");
+            assert!(outs.insert(g.resource), "resource granted twice");
+        }
+    }
+
+    #[test]
+    fn disjoint_requests_all_granted() {
+        let mut alloc = SeparableAllocator::new(4, 4);
+        let reqs = [(0, 1), (1, 0), (2, 3), (3, 2)];
+        let grants = alloc.allocate(&reqs);
+        assert_eq!(grants.len(), 4);
+        assert_valid(&grants, &reqs);
+    }
+
+    #[test]
+    fn conflicting_requests_grant_exactly_one() {
+        let mut alloc = SeparableAllocator::new(3, 3);
+        let reqs = [(0, 0), (1, 0), (2, 0)];
+        let grants = alloc.allocate(&reqs);
+        assert_eq!(grants.len(), 1);
+        assert_valid(&grants, &reqs);
+    }
+
+    #[test]
+    fn conflict_rotates_over_time() {
+        let mut alloc = SeparableAllocator::new(2, 1);
+        let reqs = [(0, 0), (1, 0)];
+        let first = alloc.allocate(&reqs)[0].input;
+        let second = alloc.allocate(&reqs)[0].input;
+        assert_ne!(first, second, "matrix arbiter must rotate the grant");
+    }
+
+    #[test]
+    fn input_with_choices_takes_whatever_is_free() {
+        let mut alloc = SeparableAllocator::new(2, 2);
+        // Input 0 wants only resource 0; input 1 would take either.
+        let reqs = [(0, 0), (1, 0), (1, 1)];
+        let grants = alloc.allocate(&reqs);
+        assert_valid(&grants, &reqs);
+        // Separable allocation may not find the perfect matching every
+        // cycle, but across two cycles both inputs must have been served.
+        let grants2 = alloc.allocate(&reqs);
+        assert_valid(&grants2, &reqs);
+        let served: HashSet<usize> = grants
+            .iter()
+            .chain(grants2.iter())
+            .map(|g| g.input)
+            .collect();
+        assert_eq!(served.len(), 2, "both inputs served within two cycles");
+    }
+
+    #[test]
+    fn empty_requests_empty_grants() {
+        let mut alloc = SeparableAllocator::new(3, 3);
+        assert!(alloc.allocate(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_requests_are_idempotent() {
+        let mut alloc = SeparableAllocator::new(2, 2);
+        let grants = alloc.allocate(&[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0], Grant { input: 0, resource: 1 });
+    }
+
+    #[test]
+    fn losing_does_not_lose_priority() {
+        // Input 1 keeps losing resource 0 to input 0? No: matrix demotes
+        // winners, so input 1 wins the second round.
+        let mut alloc = SeparableAllocator::new(2, 1);
+        assert_eq!(alloc.allocate(&[(0, 0), (1, 0)])[0].input, 0);
+        assert_eq!(alloc.allocate(&[(0, 0), (1, 0)])[0].input, 1);
+        assert_eq!(alloc.allocate(&[(0, 0), (1, 0)])[0].input, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_request_rejected() {
+        let mut alloc = SeparableAllocator::new(2, 2);
+        let _ = alloc.allocate(&[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = SeparableAllocator::new(0, 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the arbitration substrates.
+
+use arbitration::{MatrixArbiter, RoundRobinArbiter, SeparableAllocator};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// The matrix arbiter grants exactly one requestor whenever at least
+    /// one requests, and never grants a non-requestor.
+    #[test]
+    fn matrix_grants_one_of_the_requestors(
+        n in 1usize..12,
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 0..12), 1..50),
+    ) {
+        let mut arb = MatrixArbiter::new(n);
+        for round in rounds {
+            let mut reqs = round;
+            reqs.resize(n, false);
+            let winner = arb.arbitrate(&reqs);
+            match winner {
+                Some(w) => prop_assert!(reqs[w], "granted a non-requestor"),
+                None => prop_assert!(reqs.iter().all(|&r| !r)),
+            }
+            prop_assert!(arb.is_total_order());
+        }
+    }
+
+    /// Strong fairness: under arbitrary competing load, a persistent
+    /// requestor waits at most n−1 grants.
+    #[test]
+    fn matrix_strong_fairness(
+        n in 2usize..10,
+        target in 0usize..10,
+        noise in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 10), 0..40),
+    ) {
+        let target = target % n;
+        let mut arb = MatrixArbiter::new(n);
+        let mut waited = 0usize;
+        for round in noise {
+            let mut reqs: Vec<bool> = round.into_iter().take(n).collect();
+            reqs.resize(n, false);
+            reqs[target] = true; // persistent
+            let w = arb.arbitrate(&reqs).unwrap();
+            if w == target {
+                waited = 0;
+            } else {
+                waited += 1;
+                prop_assert!(waited <= n - 1, "starved beyond the fairness bound");
+            }
+        }
+    }
+
+    /// Round-robin arbiter never grants a non-requestor and always grants
+    /// when somebody requests.
+    #[test]
+    fn round_robin_grants_requestors_only(
+        n in 1usize..12,
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 0..12), 1..50),
+    ) {
+        let mut arb = RoundRobinArbiter::new(n);
+        for round in rounds {
+            let mut reqs = round;
+            reqs.resize(n, false);
+            match arb.arbitrate(&reqs) {
+                Some(w) => prop_assert!(reqs[w]),
+                None => prop_assert!(reqs.iter().all(|&r| !r)),
+            }
+        }
+    }
+
+    /// Separable allocator: grants are a subset of requests with no input
+    /// or resource granted twice, across many consecutive cycles.
+    #[test]
+    fn separable_allocation_is_a_matching(
+        n_in in 1usize..8,
+        n_out in 1usize..8,
+        cycles in proptest::collection::vec(
+            proptest::collection::vec((0usize..8, 0usize..8), 0..20), 1..20),
+    ) {
+        let mut alloc = SeparableAllocator::new(n_in, n_out);
+        for cycle in cycles {
+            let reqs: Vec<(usize, usize)> = cycle
+                .into_iter()
+                .map(|(i, r)| (i % n_in, r % n_out))
+                .collect();
+            let grants = alloc.allocate(&reqs);
+            let req_set: HashSet<(usize, usize)> = reqs.iter().copied().collect();
+            let mut ins = HashSet::new();
+            let mut outs = HashSet::new();
+            for g in &grants {
+                prop_assert!(req_set.contains(&(g.input, g.resource)));
+                prop_assert!(ins.insert(g.input));
+                prop_assert!(outs.insert(g.resource));
+            }
+        }
+    }
+
+    /// Separable allocator is work-conserving at the single-resource
+    /// granularity: if exactly one resource is requested, it is granted.
+    #[test]
+    fn separable_grants_contested_resource(
+        n_in in 1usize..8,
+        requestors in proptest::collection::hash_set(0usize..8, 1..8),
+    ) {
+        let mut alloc = SeparableAllocator::new(n_in, 3);
+        let reqs: Vec<(usize, usize)> = requestors
+            .into_iter()
+            .map(|i| (i % n_in, 1))
+            .collect();
+        let grants = alloc.allocate(&reqs);
+        prop_assert_eq!(grants.len(), 1);
+        prop_assert_eq!(grants[0].resource, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion benches over the delay model: regenerating Table 1 and
+//! Figures 11/12 (these are closed-form, so the benches double as a
+//! regression guard on their cost), plus the logical-effort machinery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use delay_model::{canonical, FlowControl, RouterParams, RoutingFunction};
+use logical_effort::MatrixArbiterCircuit;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/generate", |b| {
+        b.iter(|| black_box(peh_dally::figures::table1()))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11/nonspeculative", |b| {
+        b.iter(|| black_box(peh_dally::figures::fig11_nonspeculative()))
+    });
+    c.bench_function("fig11/speculative", |b| {
+        b.iter(|| black_box(peh_dally::figures::fig11_speculative()))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12/grid", |b| {
+        b.iter(|| black_box(peh_dally::figures::fig12()))
+    });
+}
+
+fn bench_pipeline_packing(c: &mut Criterion) {
+    let params = RouterParams::with_channels(7, 16);
+    c.bench_function("pipeline/pack_spec_router", |b| {
+        b.iter(|| {
+            black_box(canonical::pipeline(
+                FlowControl::SpeculativeVirtualChannel(RoutingFunction::Rv),
+                &params,
+            ))
+        })
+    });
+}
+
+fn bench_logical_effort(c: &mut Criterion) {
+    c.bench_function("logical_effort/arbiter_paths", |b| {
+        b.iter_batched(
+            || MatrixArbiterCircuit::new(32),
+            |arb| black_box((arb.latency(), arb.overhead())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = model;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1, bench_fig11, bench_fig12, bench_pipeline_packing, bench_logical_effort
+);
+criterion_main!(model);

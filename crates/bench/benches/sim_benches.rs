@@ -1,0 +1,118 @@
+//! Criterion benches over the simulator: one per simulated figure
+//! (Figures 13, 14, 15, 17, 18) at a reduced point count so `cargo bench`
+//! finishes in minutes, plus router- and network-level microbenches and
+//! the ablation studies called out in DESIGN.md (speculation on/off,
+//! credit-path latency, buffer depth).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_network::{Network, NetworkConfig, RouterKind};
+use router_core::{Flit, PacketId, Router, RouterConfig};
+use std::hint::black_box;
+
+/// One fixed-load network run, small enough for a bench iteration.
+fn run_point(kind: RouterKind, load: f64, single_cycle: bool, credit_prop: u64) -> f64 {
+    let cfg = NetworkConfig::mesh(8, kind)
+        .with_injection(load)
+        .with_warmup(300)
+        .with_sample(400)
+        .with_max_cycles(60_000)
+        .with_single_cycle(single_cycle)
+        .with_credit_prop_delay(credit_prop);
+    Network::new(cfg).run().avg_latency.unwrap_or(f64::INFINITY)
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    for (name, kind) in [
+        ("WH8", RouterKind::Wormhole { buffers: 8 }),
+        ("VC2x4", RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 }),
+        ("specVC2x4", RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_point(kind, 0.3, false, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig14_fig15(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_15");
+    for (name, kind) in [
+        ("WH16", RouterKind::Wormhole { buffers: 16 }),
+        ("VC2x8", RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 8 }),
+        ("specVC2x8", RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 8 }),
+        ("VC4x4", RouterKind::VirtualChannel { vcs: 4, buffers_per_vc: 4 }),
+        ("specVC4x4", RouterKind::SpeculativeVc { vcs: 4, buffers_per_vc: 4 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_point(kind, 0.3, false, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17");
+    let vc = RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 };
+    g.bench_function("VC_pipelined", |b| {
+        b.iter(|| black_box(run_point(vc, 0.3, false, 1)))
+    });
+    g.bench_function("VC_single_cycle", |b| {
+        b.iter(|| black_box(run_point(vc, 0.3, true, 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig18_credit_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_credit_path");
+    let spec = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    for prop in [1u64, 2, 4] {
+        g.bench_function(format!("credit_prop_{prop}"), |b| {
+            b.iter(|| black_box(run_point(spec, 0.3, false, prop)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_buffer_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffers");
+    for bufs in [2usize, 4, 8] {
+        let kind = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: bufs };
+        g.bench_function(format!("specVC_2x{bufs}"), |b| {
+            b.iter(|| black_box(run_point(kind, 0.3, false, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_router(c: &mut Criterion) {
+    // Microbench: one router streaming a packet end to end.
+    c.bench_function("router/speculative_packet", |b| {
+        b.iter(|| {
+            let mut r = Router::new(RouterConfig::speculative(5, 2, 4));
+            for port in 0..5 {
+                r.set_output_credits(port, 8);
+            }
+            let flits = Flit::packet(PacketId::new(1), 9, 0, 0, 5);
+            let mut now = 0u64;
+            let mut remaining: std::collections::VecDeque<_> = flits.into();
+            let mut departed = 0;
+            while departed < 5 && now < 64 {
+                if let Some(f) = remaining.pop_front() {
+                    r.accept_flit(0, f, now);
+                }
+                departed += r.tick(now, &|_: &Flit| 2).departures.len();
+                now += 1;
+            }
+            black_box(departed)
+        })
+    });
+}
+
+criterion_group!(
+    name = sim;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig13, bench_fig14_fig15, bench_fig17, bench_fig18_credit_ablation,
+              bench_buffer_ablation, bench_single_router
+);
+criterion_main!(sim);

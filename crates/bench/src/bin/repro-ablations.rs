@@ -1,0 +1,48 @@
+//! Ablation studies over the design choices (speculation, buffer depth,
+//! VC count, credit-path latency, speculation accuracy).
+//! Usage: repro-ablations [quick|medium|paper]
+use peh_dally::ablations;
+
+fn main() {
+    let opts = match repro_bench::parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let scale = opts.scale;
+    print!(
+        "{}",
+        ablations::render("== Speculation on/off ==", &ablations::speculation(scale))
+    );
+    println!();
+    print!(
+        "{}",
+        ablations::render(
+            "== Buffer depth (specVC, 2 VCs) ==",
+            &ablations::buffer_depth(scale)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablations::render(
+            "== VC count at 16 flits/port (specVC) ==",
+            &ablations::vc_count(scale)
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        ablations::render(
+            "== Credit propagation latency (specVC 2x4) ==",
+            &ablations::credit_path(scale)
+        )
+    );
+    println!();
+    println!("== Speculation accuracy vs load (specVC 2x4) ==");
+    for (load, acc) in ablations::speculation_accuracy(scale, &[0.1, 0.3, 0.5]) {
+        println!("  load {load:.1}: {:.0}% of speculative grants used", acc * 100.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12: combined VA+SA stage delay of a speculative
+//! router for the three routing-function ranges.
+use peh_dally::{figures, report};
+fn main() {
+    print!("{}", report::fig12_text(&figures::fig12()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 (see `peh_dally::figures::fig13`).
+//! Usage: repro-fig13 [quick|medium|paper] [--csv]
+fn main() {
+    repro_bench::figure_main(peh_dally::figures::fig13);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 14 (see `peh_dally::figures::fig14`).
+//! Usage: repro-fig14 [quick|medium|paper] [--csv]
+fn main() {
+    repro_bench::figure_main(peh_dally::figures::fig14);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 15 (see `peh_dally::figures::fig15`).
+//! Usage: repro-fig15 [quick|medium|paper] [--csv]
+fn main() {
+    repro_bench::figure_main(peh_dally::figures::fig15);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 17 (see `peh_dally::figures::fig17`).
+//! Usage: repro-fig17 [quick|medium|paper] [--csv]
+fn main() {
+    repro_bench::figure_main(peh_dally::figures::fig17);
+}

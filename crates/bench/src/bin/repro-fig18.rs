@@ -1,0 +1,5 @@
+//! Regenerates Figure 18 (see `peh_dally::figures::fig18`).
+//! Usage: repro-fig18 [quick|medium|paper] [--csv]
+fn main() {
+    repro_bench::figure_main(peh_dally::figures::fig18);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: parametric delay equations evaluated at the
+//! paper's reference point, alongside the paper's columns.
+fn main() {
+    print!("{}", peh_dally::figures::table1_text());
+}

@@ -1,0 +1,93 @@
+//! Shared plumbing for the reproduction harness binaries.
+//!
+//! Every `repro-*` binary regenerates one table or figure of Peh & Dally,
+//! HPCA 2001, printing the same rows/series the paper reports. Simulated
+//! figures accept a scale argument:
+//!
+//! ```text
+//! repro-fig13 [quick|medium|paper] [--csv]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use peh_dally::SimScale;
+
+/// Options parsed from a harness binary's command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessOptions {
+    /// Simulation scale.
+    pub scale: SimScale,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+/// Parses harness options from `args` (excluding the program name).
+///
+/// Unknown arguments are rejected with an explanatory `Err` so binaries
+/// can print usage.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessOptions, String> {
+    let mut opts = HarnessOptions {
+        scale: SimScale::quick(),
+        csv: false,
+    };
+    for arg in args {
+        match arg.as_str() {
+            "quick" => opts.scale = SimScale::quick(),
+            "medium" => opts.scale = SimScale::medium(),
+            "paper" => opts.scale = SimScale::paper(),
+            "--csv" => opts.csv = true,
+            other => {
+                return Err(format!(
+                    "unknown argument '{other}'; usage: [quick|medium|paper] [--csv]"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs a simulated-figure binary: parse args, build the figure, print.
+pub fn figure_main(build: impl Fn(SimScale) -> peh_dally::figures::Figure) {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => {
+            let fig = build(opts.scale);
+            if opts.csv {
+                print!("{}", peh_dally::report::figure_csv(&fig));
+            } else {
+                print!("{}", peh_dally::report::figure_table(&fig));
+                println!();
+                print!("{}", peh_dally::report::figure_chart(&fig, 60, 18));
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quick_table() {
+        let opts = parse_args(Vec::new()).unwrap();
+        assert_eq!(opts.scale, SimScale::quick());
+        assert!(!opts.csv);
+    }
+
+    #[test]
+    fn paper_and_csv_parse() {
+        let opts =
+            parse_args(["paper".to_string(), "--csv".to_string()]).unwrap();
+        assert_eq!(opts.scale, SimScale::paper());
+        assert!(opts.csv);
+    }
+
+    #[test]
+    fn unknown_arg_is_rejected() {
+        assert!(parse_args(["--frobnicate".to_string()]).is_err());
+    }
+}

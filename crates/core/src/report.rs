@@ -1,0 +1,276 @@
+//! Text rendering of figures: aligned tables and CSV.
+
+use crate::figures::{Fig12Row, Figure, PipelineBar, Series};
+use std::fmt::Write as _;
+
+/// Renders a simulated figure as an aligned text table: one row per
+/// offered load, one column per series.
+#[must_use]
+pub fn figure_table(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — latency (cycles) vs offered load", fig.name);
+    let _ = write!(out, "{:>8}", "load");
+    for s in &fig.series {
+        let _ = write!(out, " {:>28}", s.label);
+    }
+    let _ = writeln!(out);
+
+    // Collect the union of offered loads.
+    let mut loads: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.offered))
+        .collect();
+    loads.sort_by(f64::total_cmp);
+    loads.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    for load in loads {
+        let _ = write!(out, "{load:>8.2}");
+        for s in &fig.series {
+            let cell = s
+                .points
+                .iter()
+                .find(|p| (p.offered - load).abs() < 1e-9)
+                .map_or_else(String::new, |p| match (p.latency, p.saturated) {
+                    (Some(l), false) => format!("{l:.1}"),
+                    (Some(l), true) => format!("{l:.1} (sat)"),
+                    (None, _) => "saturated".into(),
+                });
+            let _ = write!(out, " {cell:>28}");
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out);
+    for s in &fig.series {
+        let _ = writeln!(
+            out,
+            "  {:<30} zero-load {:>6} cycles, saturation {:>5.0}% capacity",
+            s.label,
+            s.zero_load().map_or_else(|| "-".into(), |l| format!("{l:.1}")),
+            s.saturation() * 100.0
+        );
+    }
+    out
+}
+
+/// Renders a simulated figure as CSV
+/// (`series,offered,latency,accepted,saturated`).
+#[must_use]
+pub fn figure_csv(fig: &Figure) -> String {
+    let mut out = String::from("series,offered,latency_cycles,accepted,saturated\n");
+    for s in &fig.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{:.3},{},{:.4},{}",
+                s.label,
+                p.offered,
+                p.latency.map_or_else(String::new, |l| format!("{l:.2}")),
+                p.accepted,
+                p.saturated
+            );
+        }
+    }
+    out
+}
+
+/// Renders a simulated figure as an ASCII chart in the style of the
+/// paper's latency–throughput plots: offered load on the x-axis, average
+/// latency on the y-axis, one glyph per series. Saturated points are
+/// clamped to the top row.
+#[must_use]
+pub fn figure_chart(fig: &Figure, width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.max(20);
+    let height = height.max(8);
+
+    // Y-scale: 4x the smallest zero-load latency covers the interesting
+    // region; everything above is clamped.
+    let zero_load = fig
+        .series
+        .iter()
+        .filter_map(Series::zero_load)
+        .fold(f64::INFINITY, f64::min);
+    if !zero_load.is_finite() {
+        return format!("{}: no completed points\n", fig.name);
+    }
+    let y_max = zero_load * 4.0;
+    let x_max = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.offered))
+        .fold(0.1f64, f64::max);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for p in &s.points {
+            let x = ((p.offered / x_max) * (width - 1) as f64).round() as usize;
+            let lat = p.latency.unwrap_or(f64::INFINITY);
+            let clamped = if p.saturated { y_max } else { lat.min(y_max) };
+            let y = ((clamped / y_max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = format!("{} — latency vs offered load\n", fig.name);
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>6.0} |")
+        } else if i == height - 1 {
+            format!("{:>6.0} |", 0.0)
+        } else {
+            "       |".to_string()
+        };
+        let _ = writeln!(out, "{label}{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "        +{}",
+        "-".repeat(width)
+    );
+    let _ = writeln!(out, "         0.0{:>width$.2}", x_max, width = width - 3);
+    for (si, s) in fig.series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.label);
+    }
+    out
+}
+
+/// Renders Figure 11 pipeline bars as text.
+#[must_use]
+pub fn pipeline_bars_text(title: &str, bars: &[PipelineBar]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} — per-node latency (pipeline stages)");
+    for bar in bars {
+        let stages: Vec<String> = bar
+            .stages
+            .iter()
+            .map(|stage| {
+                stage
+                    .iter()
+                    .map(|(k, f)| format!("{k}:{:.0}%", f * 100.0))
+                    .collect::<Vec<_>>()
+                    .join("+")
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:>12} | {} stages | {}",
+            bar.label,
+            bar.depth,
+            stages.join(" | ")
+        );
+    }
+    out
+}
+
+/// Renders Figure 12 rows as text.
+#[must_use]
+pub fn fig12_text(rows: &[Fig12Row]) -> String {
+    let mut out = String::from(
+        "Figure 12 — combined VA+SA stage delay (τ4) of a speculative router\n",
+    );
+    let _ = writeln!(out, "{:>12} {:>8} {:>8} {:>8}", "config", "R:v", "R:p", "R:pv");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>8.1} {:>8.1} {:>8.1}",
+            r.label, r.delay_tau4[0], r.delay_tau4[1], r.delay_tau4[2]
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{self, Series};
+    use noc_network::sweep::LoadPoint;
+
+    fn tiny_figure() -> Figure {
+        Figure {
+            name: "Figure T".into(),
+            series: vec![Series {
+                label: "WH (8 bufs)".into(),
+                points: vec![
+                    LoadPoint { offered: 0.1, latency: Some(29.0), accepted: 0.1, saturated: false },
+                    LoadPoint { offered: 0.5, latency: None, accepted: 0.4, saturated: true },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn table_mentions_series_and_loads() {
+        let text = figure_table(&tiny_figure());
+        assert!(text.contains("WH (8 bufs)"));
+        assert!(text.contains("0.10"));
+        assert!(text.contains("29.0"));
+        assert!(text.contains("saturated"));
+        assert!(text.contains("zero-load"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = figure_csv(&tiny_figure());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("series,"));
+        assert!(lines[1].contains("WH (8 bufs),0.100,29.00"));
+    }
+
+    #[test]
+    fn chart_plots_every_series() {
+        let fig = Figure {
+            name: "Figure C".into(),
+            series: vec![
+                Series {
+                    label: "A".into(),
+                    points: vec![
+                        LoadPoint { offered: 0.1, latency: Some(30.0), accepted: 0.1, saturated: false },
+                        LoadPoint { offered: 0.5, latency: Some(60.0), accepted: 0.5, saturated: false },
+                    ],
+                },
+                Series {
+                    label: "B".into(),
+                    points: vec![LoadPoint {
+                        offered: 0.3,
+                        latency: None,
+                        accepted: 0.2,
+                        saturated: true,
+                    }],
+                },
+            ],
+        };
+        let chart = figure_chart(&fig, 40, 12);
+        assert!(chart.contains('*'), "series A glyph");
+        assert!(chart.contains('o'), "series B glyph");
+        assert!(chart.contains("A"));
+        assert!(chart.contains("latency vs offered load"));
+        // 12 grid rows + axis + labels.
+        assert!(chart.lines().count() >= 15);
+    }
+
+    #[test]
+    fn chart_handles_empty_figure() {
+        let fig = Figure { name: "E".into(), series: vec![] };
+        assert!(figure_chart(&fig, 40, 10).contains("no completed points"));
+    }
+
+    #[test]
+    fn pipeline_text_shows_depths() {
+        let text = pipeline_bars_text("Figure 11(a)", &figures::fig11_nonspeculative());
+        assert!(text.contains("wormhole"));
+        assert!(text.contains("3 stages"));
+        assert!(text.contains("32vcs,7pcs"));
+    }
+
+    #[test]
+    fn fig12_text_has_all_columns() {
+        let text = fig12_text(&figures::fig12());
+        assert!(text.contains("R:pv"));
+        assert!(text.contains("2vcs,5pcs"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulation scales: quick smoke runs vs the paper's full protocol.
+
+use noc_network::NetworkConfig;
+
+/// How much simulation to spend on each latency–throughput point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimScale {
+    /// Warm-up cycles before measurement.
+    pub warmup_cycles: u64,
+    /// Tagged packets in the measurement sample.
+    pub sample_packets: u64,
+    /// Hard cycle limit per point.
+    pub max_cycles: u64,
+    /// Load-sweep step (fraction of capacity).
+    pub load_step: f64,
+    /// Largest offered load to try.
+    pub max_load: f64,
+}
+
+impl SimScale {
+    /// A fast scale for tests and demos (seconds per figure).
+    #[must_use]
+    pub fn quick() -> Self {
+        SimScale {
+            warmup_cycles: 1_500,
+            sample_packets: 2_000,
+            max_cycles: 150_000,
+            load_step: 0.1,
+            max_load: 0.9,
+        }
+    }
+
+    /// An intermediate scale for the benchmark harness.
+    #[must_use]
+    pub fn medium() -> Self {
+        SimScale {
+            warmup_cycles: 3_000,
+            sample_packets: 6_000,
+            max_cycles: 400_000,
+            load_step: 0.05,
+            max_load: 0.95,
+        }
+    }
+
+    /// The paper's protocol: 10,000 warm-up cycles and 100,000 tagged
+    /// packets per point (minutes per figure).
+    #[must_use]
+    pub fn paper() -> Self {
+        SimScale {
+            warmup_cycles: 10_000,
+            sample_packets: 100_000,
+            max_cycles: 5_000_000,
+            load_step: 0.05,
+            max_load: 1.0,
+        }
+    }
+
+    /// Applies this scale to a network configuration.
+    #[must_use]
+    pub fn apply(&self, cfg: NetworkConfig) -> NetworkConfig {
+        cfg.with_warmup(self.warmup_cycles)
+            .with_sample(self.sample_packets)
+            .with_max_cycles(self.max_cycles)
+    }
+
+    /// The offered loads this scale sweeps.
+    #[must_use]
+    pub fn loads(&self) -> Vec<f64> {
+        let mut loads = Vec::new();
+        let mut l = self.load_step;
+        while l <= self.max_load + 1e-9 {
+            loads.push((l * 100.0).round() / 100.0);
+            l += self.load_step;
+        }
+        loads
+    }
+}
+
+impl Default for SimScale {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_network::RouterKind;
+
+    #[test]
+    fn paper_scale_matches_protocol() {
+        let s = SimScale::paper();
+        assert_eq!(s.warmup_cycles, 10_000);
+        assert_eq!(s.sample_packets, 100_000);
+    }
+
+    #[test]
+    fn loads_cover_the_range() {
+        let loads = SimScale::quick().loads();
+        assert_eq!(loads.first(), Some(&0.1));
+        assert_eq!(loads.last(), Some(&0.9));
+        assert_eq!(loads.len(), 9);
+    }
+
+    #[test]
+    fn apply_transfers_fields() {
+        let cfg = SimScale::quick().apply(NetworkConfig::mesh(
+            4,
+            RouterKind::Wormhole { buffers: 8 },
+        ));
+        assert_eq!(cfg.warmup_cycles, 1_500);
+        assert_eq!(cfg.sample_packets, 2_000);
+    }
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        let (q, p) = (SimScale::quick(), SimScale::paper());
+        assert!(q.sample_packets < p.sample_packets);
+        assert!(q.warmup_cycles < p.warmup_cycles);
+    }
+}

@@ -1,0 +1,85 @@
+//! Chien-style monolithic router model (paper §2, related work).
+//!
+//! Chien's model [Chien 1993/1998] assumes a single-cycle router whose
+//! clock period is the whole critical path, and a crossbar with a port per
+//! *virtual* channel (`p·v` ports). The paper's §2 criticizes both
+//! assumptions; this module implements a faithful simplification so the
+//! contrast can be quantified (the per-hop latency of a Chien router grows
+//! much faster with `v` than the Peh–Dally shared-crossbar design).
+
+use crate::equations;
+use crate::params::RouterParams;
+use crate::routing::RoutingFunction;
+use logical_effort::Tau;
+
+/// Critical-path delay of a Chien-style virtual-channel router: address
+/// decode + routing, crossbar arbitration over `p·v` ports, traversal of a
+/// `p·v`-port crossbar, and virtual-channel controller allocation — all in
+/// one clock, with no crossbar port sharing.
+///
+/// Returned in τ. The absolute constants reuse our reconstructed atomic
+/// equations with the crossbar and arbiter widened to `p·v` ports, which
+/// preserves Chien's scaling behaviour (the point of the comparison)
+/// without re-deriving his 0.8 µm gate library.
+#[must_use]
+pub fn chien_critical_path(params: &RouterParams) -> Tau {
+    // Widen the router so every VC gets its own crossbar port.
+    let widened = RouterParams {
+        p: params.p * params.v,
+        v: 1,
+        w: params.w,
+        clk: params.clk,
+    };
+    let decode_routing = params.clk; // same black-box assumption
+    let arb = equations::switch_arbiter(&widened);
+    let xb = equations::crossbar(&widened);
+    // VC controller allocation at the output, ~ a v:1 arbitration.
+    let vc = equations::vc_allocator(RoutingFunction::Rv, params);
+    decode_routing + arb.total() + xb.total() + vc.total()
+}
+
+/// Per-hop latency ratio of a Chien-style router to a Peh–Dally pipelined
+/// speculative router clocked at `params.clk` (both expressed in τ): the
+/// quantity that motivates the paper's model.
+#[must_use]
+pub fn chien_vs_pipelined_ratio(params: &RouterParams) -> f64 {
+    let chien = chien_critical_path(params);
+    let spec = crate::canonical::pipeline(
+        crate::FlowControl::SpeculativeVirtualChannel(RoutingFunction::Rv),
+        params,
+    );
+    let pipelined = params.clk * f64::from(spec.depth());
+    chien.value() / pipelined.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chien_path_grows_superlinearly_with_vcs() {
+        let base = chien_critical_path(&RouterParams::with_channels(5, 1));
+        let v4 = chien_critical_path(&RouterParams::with_channels(5, 4));
+        let v16 = chien_critical_path(&RouterParams::with_channels(5, 16));
+        assert!(v4 > base);
+        assert!(v16 > v4);
+        // Growth from v=4 to v=16 must exceed growth from v=1 to v=4
+        // in absolute terms (crossbar/arbiter widen with p·v).
+        assert!(v16.value() - v4.value() > (v4.value() - base.value()) * 0.9);
+    }
+
+    #[test]
+    fn shared_crossbar_scales_better_than_chien() {
+        // Peh–Dally spec router pipeline depth stays at 3 for v ≤ 16 while
+        // Chien's single-cycle critical path keeps growing.
+        let small = chien_vs_pipelined_ratio(&RouterParams::with_channels(5, 2));
+        let large = chien_vs_pipelined_ratio(&RouterParams::with_channels(5, 16));
+        assert!(large > small, "Chien penalty must grow with v");
+    }
+
+    #[test]
+    fn chien_exceeds_one_pipelined_cycle() {
+        let params = RouterParams::paper_default();
+        assert!(chien_critical_path(&params) > params.clk);
+    }
+}

@@ -1,0 +1,110 @@
+//! Duato–López-style fixed three-stage pipeline model (paper §2).
+//!
+//! Duato extended Chien's model with a *fixed* three-stage pipeline:
+//! a routing stage (address decode + routing + arbitration), a switching
+//! stage (crossbar traversal), and a channel stage (VC allocation +
+//! inter-node delay). The paper's critique: the pipeline is the same for
+//! every flow control and every configuration, so the clock must stretch
+//! to the slowest stage instead of the stage count adapting to a fixed
+//! clock.
+
+use crate::equations;
+use crate::params::RouterParams;
+use crate::routing::RoutingFunction;
+use logical_effort::Tau;
+
+/// The per-stage delays of a Duato-style fixed 3-stage pipeline, in τ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DuatoPipeline {
+    /// Routing stage: decode + routing + switch arbitration.
+    pub routing: Tau,
+    /// Switching stage: crossbar traversal.
+    pub switching: Tau,
+    /// Channel stage: VC allocation + inter-node propagation.
+    pub channel: Tau,
+}
+
+impl DuatoPipeline {
+    /// The stage delays for a VC router of the given parameters, reusing
+    /// our reconstructed atomic-module equations.
+    #[must_use]
+    pub fn of(params: &RouterParams) -> Self {
+        let routing = params.clk + equations::switch_allocator(params).total();
+        let switching = equations::crossbar(params).total();
+        // Inter-node propagation ~ one clock of wire at the paper's scale.
+        let channel =
+            equations::vc_allocator(RoutingFunction::Rv, params).total() + params.clk;
+        DuatoPipeline {
+            routing,
+            switching,
+            channel,
+        }
+    }
+
+    /// The clock this fixed pipeline forces: its slowest stage.
+    #[must_use]
+    pub fn forced_clock(&self) -> Tau {
+        self.routing.max(self.switching).max(self.channel)
+    }
+
+    /// Per-hop latency under the fixed pipeline: three cycles of the
+    /// forced clock.
+    #[must_use]
+    pub fn per_hop_latency(&self) -> Tau {
+        self.forced_clock() * 3.0
+    }
+}
+
+/// Ratio of Duato-model per-hop latency to the Peh–Dally speculative
+/// pipeline's (depth × target clock): how much the fixed pipeline costs
+/// when a stage outgrows the system clock.
+#[must_use]
+pub fn duato_vs_pipelined_ratio(params: &RouterParams) -> f64 {
+    let duato = DuatoPipeline::of(params).per_hop_latency();
+    let spec = crate::canonical::pipeline(
+        crate::FlowControl::SpeculativeVirtualChannel(RoutingFunction::Rv),
+        params,
+    );
+    let ours = params.clk * f64::from(spec.depth());
+    duato.value() / ours.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_clock_is_slowest_stage() {
+        let p = DuatoPipeline::of(&RouterParams::paper_default());
+        assert!(p.forced_clock() >= p.routing);
+        assert!(p.forced_clock() >= p.switching);
+        assert!(p.forced_clock() >= p.channel);
+        assert_eq!(p.per_hop_latency(), p.forced_clock() * 3.0);
+    }
+
+    #[test]
+    fn fixed_pipeline_clock_stretches_with_vcs() {
+        let small = DuatoPipeline::of(&RouterParams::with_channels(5, 2));
+        let big = DuatoPipeline::of(&RouterParams::with_channels(5, 16));
+        assert!(
+            big.forced_clock() > small.forced_clock(),
+            "more VCs must stretch the fixed pipeline's clock"
+        );
+    }
+
+    #[test]
+    fn adaptive_depth_beats_fixed_pipeline_at_scale() {
+        // At the paper's parameters, the variable-depth model works at the
+        // 20 τ4 system clock while the fixed pipeline's slowest stage
+        // exceeds it.
+        let params = RouterParams::paper_default();
+        let ratio = duato_vs_pipelined_ratio(&params);
+        assert!(
+            ratio > 1.0,
+            "fixed 3-stage pipeline should cost more than 3 cycles of the \
+             target clock (got ratio {ratio:.2})"
+        );
+        let big = RouterParams::with_channels(7, 16);
+        assert!(duato_vs_pipelined_ratio(&big) > ratio);
+    }
+}

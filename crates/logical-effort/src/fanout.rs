@@ -1,0 +1,115 @@
+//! Fanout (broadcast) buffer trees.
+//!
+//! Several terms of the paper's parametric equations are fanout trees: a
+//! request line fanning out to `n` grant circuits, a status latch fanning
+//! out to `n` request gates, a grant signal updating `n` matrix priority
+//! cells. With fanout-of-4 buffering, an `n`-way broadcast costs
+//! `log4(n)` stages of τ4 each — this is where the ubiquitous `log4`
+//! coefficients in Table 1 come from.
+
+use crate::gate::Gate;
+use crate::path::{Path, Stage};
+use crate::tau::Tau;
+
+/// An inverter tree broadcasting one signal to `n` identical loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FanoutTree {
+    loads: u32,
+}
+
+impl FanoutTree {
+    /// A tree driving `n` loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "a fanout tree must drive at least one load");
+        FanoutTree { loads: n }
+    }
+
+    /// Number of loads driven.
+    #[must_use]
+    pub fn loads(&self) -> u32 {
+        self.loads
+    }
+
+    /// Continuous-model delay: `5·log4(n)` τ (effort 4 + parasitic 1 per
+    /// stage, `log4(n)` stages), i.e. `log4(n)` τ4. This is the form the
+    /// paper's closed-form equations use.
+    #[must_use]
+    pub fn delay(&self) -> Tau {
+        Tau::new(5.0 * crate::log4(f64::from(self.loads).max(1.0)))
+    }
+
+    /// Discrete realization: a chain of `ceil(log4 n)` FO4 inverter stages
+    /// (minimum one stage), as an explicit [`Path`].
+    #[must_use]
+    pub fn as_path(&self) -> Path {
+        let stages = if self.loads <= 1 {
+            1
+        } else {
+            (crate::log4(f64::from(self.loads))).ceil() as usize
+        };
+        (0..stages)
+            .map(|_| Stage::new(Gate::Inverter, 4.0))
+            .collect()
+    }
+
+    /// Delay of the discrete realization, in τ.
+    #[must_use]
+    pub fn discrete_delay(&self) -> Tau {
+        self.as_path().delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_loads_is_one_tau4() {
+        let t = FanoutTree::new(4);
+        assert_eq!(t.delay(), Tau::new(5.0));
+        assert_eq!(t.discrete_delay(), Tau::new(5.0));
+    }
+
+    #[test]
+    fn sixteen_loads_is_two_tau4() {
+        let t = FanoutTree::new(16);
+        assert_eq!(t.delay(), Tau::new(10.0));
+        assert_eq!(t.discrete_delay(), Tau::new(10.0));
+    }
+
+    #[test]
+    fn single_load_continuous_is_free_discrete_is_one_stage() {
+        let t = FanoutTree::new(1);
+        assert_eq!(t.delay(), Tau::zero());
+        assert_eq!(t.as_path().stages().len(), 1);
+    }
+
+    #[test]
+    fn discrete_ceils_up_for_non_power_of_four() {
+        // 5 loads needs 2 stages (ceil(log4 5) = 2).
+        let t = FanoutTree::new(5);
+        assert_eq!(t.as_path().stages().len(), 2);
+        assert!(t.discrete_delay() >= t.delay());
+    }
+
+    #[test]
+    fn continuous_delay_is_monotonic() {
+        let mut prev = Tau::zero();
+        for n in 1..100 {
+            let d = FanoutTree::new(n).delay();
+            assert!(d >= prev, "fanout delay must not decrease with loads");
+            prev = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one load")]
+    fn zero_loads_rejected() {
+        let _ = FanoutTree::new(0);
+    }
+}

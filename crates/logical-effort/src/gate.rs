@@ -1,0 +1,192 @@
+//! The gate library: logical effort and parasitic delay per gate type.
+//!
+//! Values follow Sutherland–Sproull–Harris ("Logical Effort: Designing Fast
+//! CMOS Circuits", Morgan Kaufmann 1999) with the usual γ = 2 (PMOS/NMOS
+//! width ratio) convention, the same convention the paper's derivations use:
+//!
+//! | gate         | logical effort g | parasitic p |
+//! |--------------|------------------|-------------|
+//! | inverter     | 1                | 1           |
+//! | n-NAND       | (n+2)/3          | n           |
+//! | n-NOR        | (2n+1)/3         | n           |
+//! | AOI (a,b)    | per-branch       | a+b         |
+//! | latch (pass) | 2                | 2           |
+
+use std::fmt;
+
+/// A logic gate with a known logical effort and parasitic delay.
+///
+/// The paper's arbiter derivation (EQ 4) uses inverters, 2/3-input NANDs and
+/// NORs, AOI (AND-OR-INVERT) gates and transparent latches for the priority
+/// matrix flip-flops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// A static CMOS inverter: g = 1, p = 1 (both by definition).
+    Inverter,
+    /// An n-input NAND gate.
+    Nand(u32),
+    /// An n-input NOR gate.
+    Nor(u32),
+    /// An AND-OR-INVERT gate with `and_inputs` per AND branch and
+    /// `or_branches` OR branches; effort modeled on the worst (OR) input.
+    Aoi {
+        /// Inputs per AND term.
+        and_inputs: u32,
+        /// Number of AND terms ORed together.
+        or_branches: u32,
+    },
+    /// A transparent latch / flip-flop data input (pass-gate style),
+    /// used for the priority-matrix and port-status state bits.
+    Latch,
+    /// A 2:1 CMOS multiplexer leg (per-input effort 2, parasitic 2·legs
+    /// is approximated by the crossbar equation directly; this variant is
+    /// provided for building explicit mux trees).
+    Mux2,
+}
+
+impl Gate {
+    /// Logical effort `g`: ratio of the gate's delay to an inverter with
+    /// identical input capacitance.
+    ///
+    /// ```
+    /// use logical_effort::Gate;
+    /// assert_eq!(Gate::Inverter.logical_effort(), 1.0);
+    /// assert_eq!(Gate::Nand(2).logical_effort(), 4.0 / 3.0);
+    /// assert_eq!(Gate::Nor(2).logical_effort(), 5.0 / 3.0);
+    /// ```
+    #[must_use]
+    pub fn logical_effort(self) -> f64 {
+        match self {
+            Gate::Inverter => 1.0,
+            Gate::Nand(n) => (f64::from(n) + 2.0) / 3.0,
+            Gate::Nor(n) => (2.0 * f64::from(n) + 1.0) / 3.0,
+            Gate::Aoi {
+                and_inputs,
+                or_branches,
+            } => {
+                // Worst-case series stack: OR branches stack PMOS, AND
+                // inputs stack NMOS; effort of the critical input is the
+                // NAND-like pull-down combined with NOR-like pull-up.
+                let n = f64::from(and_inputs);
+                let m = f64::from(or_branches);
+                ((n + 2.0) / 3.0).max((2.0 * m + 1.0) / 3.0)
+            }
+            Gate::Latch => 2.0,
+            Gate::Mux2 => 2.0,
+        }
+    }
+
+    /// Parasitic delay `p`, relative to the inverter's parasitic delay.
+    ///
+    /// ```
+    /// use logical_effort::Gate;
+    /// assert_eq!(Gate::Inverter.parasitic(), 1.0);
+    /// assert_eq!(Gate::Nand(3).parasitic(), 3.0);
+    /// ```
+    #[must_use]
+    pub fn parasitic(self) -> f64 {
+        match self {
+            Gate::Inverter => 1.0,
+            Gate::Nand(n) | Gate::Nor(n) => f64::from(n),
+            Gate::Aoi {
+                and_inputs,
+                or_branches,
+            } => f64::from(and_inputs + or_branches),
+            Gate::Latch => 2.0,
+            Gate::Mux2 => 4.0,
+        }
+    }
+
+    /// Number of logic inputs of the gate (for validation/diagnostics).
+    #[must_use]
+    pub fn inputs(self) -> u32 {
+        match self {
+            Gate::Inverter | Gate::Latch => 1,
+            Gate::Nand(n) | Gate::Nor(n) => n,
+            Gate::Aoi {
+                and_inputs,
+                or_branches,
+            } => and_inputs * or_branches,
+            Gate::Mux2 => 2,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Inverter => write!(f, "inv"),
+            Gate::Nand(n) => write!(f, "nand{n}"),
+            Gate::Nor(n) => write!(f, "nor{n}"),
+            Gate::Aoi {
+                and_inputs,
+                or_branches,
+            } => write!(f, "aoi{and_inputs}x{or_branches}"),
+            Gate::Latch => write!(f, "latch"),
+            Gate::Mux2 => write!(f, "mux2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_is_unit() {
+        assert_eq!(Gate::Inverter.logical_effort(), 1.0);
+        assert_eq!(Gate::Inverter.parasitic(), 1.0);
+        assert_eq!(Gate::Inverter.inputs(), 1);
+    }
+
+    #[test]
+    fn nand_effort_grows_linearly() {
+        assert_eq!(Gate::Nand(2).logical_effort(), 4.0 / 3.0);
+        assert_eq!(Gate::Nand(3).logical_effort(), 5.0 / 3.0);
+        assert_eq!(Gate::Nand(4).logical_effort(), 2.0);
+    }
+
+    #[test]
+    fn nor_effort_exceeds_nand_effort() {
+        for n in 2..8 {
+            assert!(Gate::Nor(n).logical_effort() > Gate::Nand(n).logical_effort());
+        }
+    }
+
+    #[test]
+    fn parasitics_match_input_counts() {
+        assert_eq!(Gate::Nand(2).parasitic(), 2.0);
+        assert_eq!(Gate::Nor(4).parasitic(), 4.0);
+        assert_eq!(
+            Gate::Aoi {
+                and_inputs: 2,
+                or_branches: 2
+            }
+            .parasitic(),
+            4.0
+        );
+    }
+
+    #[test]
+    fn aoi_effort_is_worst_branch() {
+        let g = Gate::Aoi {
+            and_inputs: 2,
+            or_branches: 2,
+        };
+        // max(nand2-like 4/3, nor2-like 5/3) = 5/3
+        assert!((g.logical_effort() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Gate::Nand(2).to_string(), "nand2");
+        assert_eq!(
+            Gate::Aoi {
+                and_inputs: 2,
+                or_branches: 3
+            }
+            .to_string(),
+            "aoi2x3"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Technology-independent circuit delay estimation via the *method of
+//! logical effort* (Sproull & Sutherland; Sutherland, Sproull & Harris).
+//!
+//! This crate is the lowest substrate of the Peh–Dally HPCA 2001 router
+//! delay model reproduction. The paper expresses every atomic-module delay
+//! in τ, the delay of an inverter driving an identical inverter, and uses
+//! τ4 = 5τ (an inverter driving four copies of itself) as the "typical
+//! gate delay" unit; the canonical clock cycle is 20 τ4.
+//!
+//! The method models the delay of a path of logic gates as
+//!
+//! ```text
+//! T = T_eff + T_par = Σ gᵢ·hᵢ + Σ pᵢ        (EQ 2 of the paper)
+//! ```
+//!
+//! where per stage `gᵢ` is the *logical effort* (delay of the gate's logic
+//! function relative to an inverter of identical input capacitance), `hᵢ`
+//! the *electrical effort* (fanout: output/input capacitance), and `pᵢ` the
+//! *parasitic delay* (intrinsic, relative to an inverter's parasitic).
+//!
+//! # Example
+//!
+//! Reproduce the paper's worked example (Figure 6): an inverter driving
+//! four other inverters has delay τ4 = 5τ.
+//!
+//! ```
+//! use logical_effort::{Gate, Path, Stage, Tau};
+//!
+//! let path = Path::new(vec![Stage::new(Gate::Inverter, 4.0)]);
+//! assert_eq!(path.delay(), Tau::new(5.0));
+//! assert_eq!(logical_effort::TAU4, Tau::new(5.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod fanout;
+pub mod gate;
+pub mod path;
+pub mod sizing;
+pub mod tau;
+
+pub use arbiter::MatrixArbiterCircuit;
+pub use fanout::FanoutTree;
+pub use gate::Gate;
+pub use path::{Path, Stage};
+pub use sizing::{PathTopology, SizedPath};
+pub use tau::{Tau, Tau4, CLOCK_TAU4, TAU4};
+
+/// Base-4 logarithm, the staple of the paper's parametric equations
+/// (stage counts of fanout-of-4 buffer trees and arbiter trees).
+///
+/// # Panics
+///
+/// Panics if `x` is not strictly positive (a gate tree over zero inputs is
+/// meaningless in the model).
+///
+/// ```
+/// assert!((logical_effort::log4(4.0) - 1.0).abs() < 1e-12);
+/// assert!((logical_effort::log4(16.0) - 2.0).abs() < 1e-12);
+/// ```
+pub fn log4(x: f64) -> f64 {
+    assert!(x > 0.0, "log4 requires a strictly positive argument, got {x}");
+    x.log2() / 2.0
+}
+
+/// Base-8 logarithm, used in the crossbar traversal delay equation.
+///
+/// # Panics
+///
+/// Panics if `x` is not strictly positive.
+pub fn log8(x: f64) -> f64 {
+    assert!(x > 0.0, "log8 requires a strictly positive argument, got {x}");
+    x.log2() / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log4_known_values() {
+        assert!((log4(1.0) - 0.0).abs() < 1e-12);
+        assert!((log4(2.0) - 0.5).abs() < 1e-12);
+        assert!((log4(64.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log8_known_values() {
+        assert!((log8(8.0) - 1.0).abs() < 1e-12);
+        assert!((log8(64.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn log4_rejects_zero() {
+        let _ = log4(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn log8_rejects_negative() {
+        let _ = log8(-1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Paths of gate stages and their delay (EQ 2 of the paper).
+
+use crate::gate::Gate;
+use crate::tau::Tau;
+use std::fmt;
+
+/// One stage of a path: a gate plus its electrical effort (fanout).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    gate: Gate,
+    electrical_effort: f64,
+}
+
+impl Stage {
+    /// Creates a stage of `gate` driving `electrical_effort` times its own
+    /// input capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `electrical_effort` is not finite and positive.
+    #[must_use]
+    pub fn new(gate: Gate, electrical_effort: f64) -> Self {
+        assert!(
+            electrical_effort.is_finite() && electrical_effort > 0.0,
+            "electrical effort must be finite and positive, got {electrical_effort}"
+        );
+        Stage {
+            gate,
+            electrical_effort,
+        }
+    }
+
+    /// The gate of this stage.
+    #[must_use]
+    pub fn gate(&self) -> Gate {
+        self.gate
+    }
+
+    /// The electrical effort (fanout) of this stage.
+    #[must_use]
+    pub fn electrical_effort(&self) -> f64 {
+        self.electrical_effort
+    }
+
+    /// Effort delay `g·h` of this stage, in τ.
+    #[must_use]
+    pub fn effort_delay(&self) -> Tau {
+        Tau::new(self.gate.logical_effort() * self.electrical_effort)
+    }
+
+    /// Parasitic delay `p` of this stage, in τ.
+    #[must_use]
+    pub fn parasitic_delay(&self) -> Tau {
+        Tau::new(self.gate.parasitic())
+    }
+
+    /// Total stage delay `g·h + p`, in τ.
+    #[must_use]
+    pub fn delay(&self) -> Tau {
+        self.effort_delay() + self.parasitic_delay()
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(h={:.2})", self.gate, self.electrical_effort)
+    }
+}
+
+/// A chain of stages forming a critical path.
+///
+/// ```
+/// use logical_effort::{Gate, Path, Stage, Tau};
+///
+/// // The paper's τ4 example: one inverter with fanout 4 → 4 + 1 = 5τ.
+/// let p = Path::new(vec![Stage::new(Gate::Inverter, 4.0)]);
+/// assert_eq!(p.delay(), Tau::new(5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Path {
+    stages: Vec<Stage>,
+}
+
+impl Path {
+    /// Creates a path from an ordered list of stages.
+    #[must_use]
+    pub fn new(stages: Vec<Stage>) -> Self {
+        Path { stages }
+    }
+
+    /// An empty path (zero delay), useful as a fold seed.
+    #[must_use]
+    pub fn empty() -> Self {
+        Path { stages: Vec::new() }
+    }
+
+    /// Appends a stage, returning `self` for chaining.
+    #[must_use]
+    pub fn then(mut self, stage: Stage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The stages of the path, in order.
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Total effort delay Σ gᵢ·hᵢ, in τ.
+    #[must_use]
+    pub fn effort_delay(&self) -> Tau {
+        self.stages.iter().map(Stage::effort_delay).sum()
+    }
+
+    /// Total parasitic delay Σ pᵢ, in τ.
+    #[must_use]
+    pub fn parasitic_delay(&self) -> Tau {
+        self.stages.iter().map(Stage::parasitic_delay).sum()
+    }
+
+    /// Total path delay T = T_eff + T_par (EQ 2), in τ.
+    #[must_use]
+    pub fn delay(&self) -> Tau {
+        self.effort_delay() + self.parasitic_delay()
+    }
+
+    /// Path logical effort G = Π gᵢ.
+    #[must_use]
+    pub fn path_logical_effort(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.gate.logical_effort())
+            .product()
+    }
+
+    /// Path electrical effort H = Π hᵢ.
+    #[must_use]
+    pub fn path_electrical_effort(&self) -> f64 {
+        self.stages.iter().map(|s| s.electrical_effort).product()
+    }
+
+    /// Path effort F = G·H.
+    #[must_use]
+    pub fn path_effort(&self) -> f64 {
+        self.path_logical_effort() * self.path_electrical_effort()
+    }
+
+    /// Minimum achievable delay for this path's total effort `F` if its
+    /// stage count were re-optimized: `N̂·F^(1/N̂) + P` with the optimal
+    /// stage count `N̂ = round(log4 F)` (ρ = 4 best-stage-effort rule),
+    /// keeping the existing parasitics.
+    ///
+    /// Returns the (optimal stage count, minimal delay) pair.
+    #[must_use]
+    pub fn optimized(&self) -> (u32, Tau) {
+        let f = self.path_effort();
+        if f <= 1.0 {
+            return (self.stages.len() as u32, self.delay());
+        }
+        let n_hat = crate::log4(f).round().max(1.0);
+        let eff = n_hat * f.powf(1.0 / n_hat);
+        (n_hat as u32, Tau::new(eff) + self.parasitic_delay())
+    }
+}
+
+impl FromIterator<Stage> for Path {
+    fn from_iter<I: IntoIterator<Item = Stage>>(iter: I) -> Self {
+        Path {
+            stages: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Stage> for Path {
+    fn extend<I: IntoIterator<Item = Stage>>(&mut self, iter: I) {
+        self.stages.extend(iter);
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.stages.is_empty() {
+            return write!(f, "(empty path)");
+        }
+        let parts: Vec<String> = self.stages.iter().map(Stage::to_string).collect();
+        write!(f, "{} = {}", parts.join(" -> "), self.delay())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_inverter_fo4_is_tau4() {
+        let p = Path::new(vec![Stage::new(Gate::Inverter, 4.0)]);
+        assert_eq!(p.delay(), Tau::new(5.0));
+        assert_eq!(p.effort_delay(), Tau::new(4.0));
+        assert_eq!(p.parasitic_delay(), Tau::new(1.0));
+    }
+
+    #[test]
+    fn delays_accumulate_along_path() {
+        let p = Path::empty()
+            .then(Stage::new(Gate::Nand(2), 3.0))
+            .then(Stage::new(Gate::Inverter, 2.0));
+        // nand2: 4/3·3 + 2 = 6; inv: 2 + 1 = 3 → 9τ
+        assert_eq!(p.delay(), Tau::new(9.0));
+    }
+
+    #[test]
+    fn path_efforts_multiply() {
+        let p = Path::new(vec![
+            Stage::new(Gate::Nand(2), 3.0),
+            Stage::new(Gate::Inverter, 2.0),
+        ]);
+        assert!((p.path_logical_effort() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((p.path_electrical_effort() - 6.0).abs() < 1e-12);
+        assert!((p.path_effort() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimization_never_worse_for_balanced_chain() {
+        // A deliberately badly-staged path: one inverter driving 64 loads.
+        let bad = Path::new(vec![Stage::new(Gate::Inverter, 64.0)]);
+        let (n, opt) = bad.optimized();
+        assert_eq!(n, 3); // log4 64 = 3 stages is optimal
+        assert!(opt < bad.delay());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let p: Path = (0..3).map(|_| Stage::new(Gate::Inverter, 4.0)).collect();
+        assert_eq!(p.stages().len(), 3);
+        assert_eq!(p.delay(), Tau::new(15.0));
+    }
+
+    #[test]
+    fn display_mentions_every_stage() {
+        let p = Path::new(vec![
+            Stage::new(Gate::Nand(2), 3.0),
+            Stage::new(Gate::Inverter, 2.0),
+        ]);
+        let s = p.to_string();
+        assert!(s.contains("nand2"));
+        assert!(s.contains("inv"));
+    }
+
+    #[test]
+    #[should_panic(expected = "electrical effort")]
+    fn zero_fanout_rejected() {
+        let _ = Stage::new(Gate::Inverter, 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Gate sizing by the method of logical effort: given a logic topology
+//! (gate types and branching) and the overall electrical effort, compute
+//! the delay-optimal stage efforts and the minimum achievable delay.
+//!
+//! This is the "back of the envelope" the paper's gate-level designs were
+//! sized with: equalize stage effort at `f̂ = F^(1/N)`, add parasitics,
+//! and choose `N` so `f̂ ≈ 4` (ρ = 4 rule, whence the `log4` terms of
+//! every Table 1 equation).
+
+use crate::gate::Gate;
+use crate::tau::Tau;
+
+/// A combinational path topology: ordered gates with per-stage branching
+/// (how many copies of the next stage each output drives beyond the path
+/// itself).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTopology {
+    gates: Vec<Gate>,
+    branching: Vec<f64>,
+    electrical_effort: f64,
+}
+
+/// The result of sizing a path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizedPath {
+    /// Optimal per-stage effort `f̂ = F^(1/N)`.
+    pub stage_effort: f64,
+    /// Per-stage electrical efforts `hᵢ = f̂ / gᵢ`.
+    pub stage_electrical: Vec<f64>,
+    /// Minimum path delay `N·f̂ + P`, in τ.
+    pub delay: Tau,
+}
+
+impl PathTopology {
+    /// A path of `gates` with unit branching and overall electrical
+    /// effort `h` (output capacitance / input capacitance).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty gate list or non-positive effort.
+    #[must_use]
+    pub fn new(gates: Vec<Gate>, electrical_effort: f64) -> Self {
+        assert!(!gates.is_empty(), "a path needs at least one gate");
+        assert!(
+            electrical_effort > 0.0 && electrical_effort.is_finite(),
+            "electrical effort must be positive"
+        );
+        let n = gates.len();
+        PathTopology {
+            gates,
+            branching: vec![1.0; n],
+            electrical_effort,
+        }
+    }
+
+    /// Sets the branching factor of stage `i` (≥ 1: side loads driven in
+    /// addition to the path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `b < 1`.
+    #[must_use]
+    pub fn with_branching(mut self, i: usize, b: f64) -> Self {
+        assert!(i < self.gates.len(), "stage {i} out of range");
+        assert!(b >= 1.0, "branching must be at least 1");
+        self.branching[i] = b;
+        self
+    }
+
+    /// Path logical effort `G = Π gᵢ`.
+    #[must_use]
+    pub fn logical_effort(&self) -> f64 {
+        self.gates.iter().map(|g| g.logical_effort()).product()
+    }
+
+    /// Path branching effort `B = Π bᵢ`.
+    #[must_use]
+    pub fn branching_effort(&self) -> f64 {
+        self.branching.iter().product()
+    }
+
+    /// Path effort `F = G·B·H`.
+    #[must_use]
+    pub fn path_effort(&self) -> f64 {
+        self.logical_effort() * self.branching_effort() * self.electrical_effort
+    }
+
+    /// Total parasitic delay `P = Σ pᵢ`, in τ.
+    #[must_use]
+    pub fn parasitic(&self) -> Tau {
+        Tau::new(self.gates.iter().map(|g| g.parasitic()).sum())
+    }
+
+    /// Sizes the path as given (N fixed to the gate count): stage effort
+    /// `f̂ = F^(1/N)`, delay `N·f̂ + P`.
+    #[must_use]
+    pub fn size(&self) -> SizedPath {
+        let n = self.gates.len() as f64;
+        let f_hat = self.path_effort().powf(1.0 / n);
+        let stage_electrical = self
+            .gates
+            .iter()
+            .zip(&self.branching)
+            .map(|(g, b)| f_hat / (g.logical_effort() * b))
+            .collect();
+        SizedPath {
+            stage_effort: f_hat,
+            stage_electrical,
+            delay: Tau::new(n * f_hat) + self.parasitic(),
+        }
+    }
+
+    /// The delay-optimal number of stages for this path effort under the
+    /// ρ = 4 best-stage-effort rule: `N̂ = max(1, round(log4 F))`.
+    #[must_use]
+    pub fn best_stage_count(&self) -> u32 {
+        let f = self.path_effort();
+        if f <= 1.0 {
+            return 1;
+        }
+        crate::log4(f).round().max(1.0) as u32
+    }
+
+    /// Delay if the path were re-staged to `N̂` stages by inserting or
+    /// removing inverters (their parasitics included), in τ.
+    #[must_use]
+    pub fn restaged_delay(&self) -> Tau {
+        let n_hat = f64::from(self.best_stage_count());
+        let f = self.path_effort();
+        let parasitic_gates = self.parasitic();
+        let n_given = self.gates.len() as f64;
+        let extra_inverters = (n_hat - n_given).max(0.0);
+        Tau::new(n_hat * f.powf(1.0 / n_hat)) + parasitic_gates + Tau::new(extra_inverters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_inverter_fanout_four() {
+        // The τ4 reference: F = 4, one stage, delay 4 + 1 = 5τ.
+        let p = PathTopology::new(vec![Gate::Inverter], 4.0);
+        let sized = p.size();
+        assert!((sized.stage_effort - 4.0).abs() < 1e-12);
+        assert_eq!(sized.delay, Tau::new(5.0));
+    }
+
+    #[test]
+    fn equal_stage_efforts_minimize() {
+        // Two inverters with F = 16: f̂ = 4 each, delay 8 + 2 = 10τ —
+        // strictly better than any unequal split, e.g. (2, 8) = 12τ.
+        let p = PathTopology::new(vec![Gate::Inverter, Gate::Inverter], 16.0);
+        let sized = p.size();
+        assert!((sized.stage_effort - 4.0).abs() < 1e-12);
+        assert_eq!(sized.delay, Tau::new(10.0));
+        let unequal = 2.0 + 8.0 + 2.0;
+        assert!(sized.delay.value() < unequal);
+    }
+
+    #[test]
+    fn branching_multiplies_effort() {
+        let no_branch = PathTopology::new(vec![Gate::Nand(2); 2], 4.0);
+        let branched = PathTopology::new(vec![Gate::Nand(2); 2], 4.0).with_branching(0, 3.0);
+        assert!((branched.path_effort() - 3.0 * no_branch.path_effort()).abs() < 1e-9);
+        assert!(branched.size().delay > no_branch.size().delay);
+    }
+
+    #[test]
+    fn stage_electrical_reflects_gate_effort() {
+        let p = PathTopology::new(vec![Gate::Nand(2), Gate::Inverter], 9.0);
+        let sized = p.size();
+        // hᵢ = f̂ / gᵢ: the NAND (g = 4/3) gets a smaller electrical
+        // effort than the inverter.
+        assert!(sized.stage_electrical[0] < sized.stage_electrical[1]);
+        // And the product of per-stage efforts recovers F.
+        let f: f64 = sized
+            .stage_electrical
+            .iter()
+            .zip([Gate::Nand(2), Gate::Inverter])
+            .zip(p.branching_effort_iter())
+            .map(|((h, g), b)| h * g.logical_effort() * b)
+            .product();
+        assert!((f - p.path_effort()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_stage_count_follows_log4() {
+        assert_eq!(PathTopology::new(vec![Gate::Inverter], 4.0).best_stage_count(), 1);
+        assert_eq!(PathTopology::new(vec![Gate::Inverter], 64.0).best_stage_count(), 3);
+        assert_eq!(PathTopology::new(vec![Gate::Inverter], 0.5).best_stage_count(), 1);
+    }
+
+    #[test]
+    fn restaging_helps_understaged_paths() {
+        // One inverter driving 256 loads: restaging to 4 stages wins big.
+        let p = PathTopology::new(vec![Gate::Inverter], 256.0);
+        assert!(p.restaged_delay() < p.size().delay);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gate")]
+    fn empty_path_rejected() {
+        let _ = PathTopology::new(vec![], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "branching")]
+    fn sub_unit_branching_rejected() {
+        let _ = PathTopology::new(vec![Gate::Inverter], 4.0).with_branching(0, 0.5);
+    }
+}
+
+impl PathTopology {
+    /// Iterator over per-stage branching (testing convenience).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn branching_effort_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.branching.iter().copied()
+    }
+}

@@ -1,0 +1,350 @@
+//! Network simulation configuration.
+
+use crate::topology::Mesh;
+use crate::traffic::TrafficPattern;
+use router_core::{RouterConfig, Timing};
+use std::fmt;
+
+/// Which router microarchitecture populates the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Wormhole with `buffers` flits of input buffering per port.
+    Wormhole {
+        /// Flit buffers per input port.
+        buffers: usize,
+    },
+    /// Virtual cut-through (related-work baseline): packets advance only
+    /// into buffers with room for the whole packet.
+    VirtualCutThrough {
+        /// Flit buffers per input port (should be ≥ the packet length).
+        buffers: usize,
+    },
+    /// Non-speculative virtual-channel router.
+    VirtualChannel {
+        /// Virtual channels per port.
+        vcs: usize,
+        /// Flit buffers per VC.
+        buffers_per_vc: usize,
+    },
+    /// Speculative virtual-channel router.
+    SpeculativeVc {
+        /// Virtual channels per port.
+        vcs: usize,
+        /// Flit buffers per VC.
+        buffers_per_vc: usize,
+    },
+}
+
+impl RouterKind {
+    /// The router-core configuration for a router with `ports` ports.
+    #[must_use]
+    pub fn router_config(&self, ports: usize) -> RouterConfig {
+        match *self {
+            RouterKind::Wormhole { buffers } => RouterConfig::wormhole(ports, buffers),
+            RouterKind::VirtualCutThrough { buffers } => {
+                RouterConfig::virtual_cut_through(ports, buffers)
+            }
+            RouterKind::VirtualChannel {
+                vcs,
+                buffers_per_vc,
+            } => RouterConfig::virtual_channel(ports, vcs, buffers_per_vc),
+            RouterKind::SpeculativeVc {
+                vcs,
+                buffers_per_vc,
+            } => RouterConfig::speculative(ports, vcs, buffers_per_vc),
+        }
+    }
+
+    /// Flit buffers per input VC.
+    #[must_use]
+    pub fn buffers_per_vc(&self) -> usize {
+        match *self {
+            RouterKind::Wormhole { buffers } | RouterKind::VirtualCutThrough { buffers } => {
+                buffers
+            }
+            RouterKind::VirtualChannel { buffers_per_vc, .. }
+            | RouterKind::SpeculativeVc { buffers_per_vc, .. } => buffers_per_vc,
+        }
+    }
+
+    /// Virtual channels per port.
+    #[must_use]
+    pub fn vcs(&self) -> usize {
+        match *self {
+            RouterKind::Wormhole { .. } | RouterKind::VirtualCutThrough { .. } => 1,
+            RouterKind::VirtualChannel { vcs, .. } | RouterKind::SpeculativeVc { vcs, .. } => vcs,
+        }
+    }
+
+    /// Figure-legend label, e.g. `VC (2vcsX4bufs)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            RouterKind::Wormhole { buffers } => format!("WH ({buffers} bufs)"),
+            RouterKind::VirtualCutThrough { buffers } => format!("VCT ({buffers} bufs)"),
+            RouterKind::VirtualChannel {
+                vcs,
+                buffers_per_vc,
+            } => format!("VC ({vcs}vcsX{buffers_per_vc}bufs)"),
+            RouterKind::SpeculativeVc {
+                vcs,
+                buffers_per_vc,
+            } => format!("specVC ({vcs}vcsX{buffers_per_vc}bufs)"),
+        }
+    }
+}
+
+impl fmt::Display for RouterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Which routing algorithm the network uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingAlgo {
+    /// Dimension-ordered routing (the paper's choice; deadlock-free on a
+    /// mesh, and on a torus when combined with dateline VC classes).
+    #[default]
+    DimensionOrdered,
+    /// West-first turn-model minimal adaptive routing (extension;
+    /// 2-D mesh only).
+    WestFirstAdaptive,
+}
+
+/// Full configuration of a network experiment.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Topology.
+    pub mesh: Mesh,
+    /// Routing algorithm.
+    pub routing: RoutingAlgo,
+    /// Router microarchitecture.
+    pub router: RouterKind,
+    /// Use single-cycle ("unit latency") routers instead of the pipelined
+    /// model (the §5.2 baseline).
+    pub single_cycle: bool,
+    /// Flit propagation delay across a channel, in cycles (paper: 1).
+    pub link_delay: u64,
+    /// Credit propagation delay, in cycles (paper: 1; Figure 18 uses 4).
+    pub credit_prop_delay: u64,
+    /// Credit pipeline (processing) delay at the receiving router, in
+    /// cycles (paper: 1).
+    pub credit_proc_delay: u64,
+    /// Flits per packet (paper: 5).
+    pub packet_len: u32,
+    /// Offered load as a fraction of network capacity, `> 0`.
+    pub injection_fraction: f64,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Warm-up cycles before measurement (paper: 10,000).
+    pub warmup_cycles: u64,
+    /// Number of tagged packets in the measurement sample
+    /// (paper: 100,000).
+    pub sample_packets: u64,
+    /// Hard cycle limit; hitting it marks the run saturated.
+    pub max_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// A k×k mesh with the paper's defaults (scaled-down sample sizes; use
+    /// [`NetworkConfig::paper_scale`] for the full protocol).
+    #[must_use]
+    pub fn mesh(k: usize, router: RouterKind) -> Self {
+        NetworkConfig {
+            mesh: Mesh::new(k, 2),
+            routing: RoutingAlgo::DimensionOrdered,
+            router,
+            single_cycle: false,
+            link_delay: 1,
+            credit_prop_delay: 1,
+            credit_proc_delay: 1,
+            packet_len: 5,
+            injection_fraction: 0.1,
+            pattern: TrafficPattern::Uniform,
+            warmup_cycles: 1_000,
+            sample_packets: 2_000,
+            max_cycles: 200_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The paper's full measurement protocol: 8×8 mesh, 10,000 warm-up
+    /// cycles, 100,000 tagged packets.
+    #[must_use]
+    pub fn paper_scale(router: RouterKind) -> Self {
+        let mut cfg = Self::mesh(8, router);
+        cfg.warmup_cycles = 10_000;
+        cfg.sample_packets = 100_000;
+        cfg.max_cycles = 2_000_000;
+        cfg
+    }
+
+    /// Sets the offered load (fraction of capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction`.
+    #[must_use]
+    pub fn with_injection(mut self, fraction: f64) -> Self {
+        assert!(fraction > 0.0, "injection fraction must be positive");
+        self.injection_fraction = fraction;
+        self
+    }
+
+    /// Sets the warm-up length in cycles.
+    #[must_use]
+    pub fn with_warmup(mut self, cycles: u64) -> Self {
+        self.warmup_cycles = cycles;
+        self
+    }
+
+    /// Sets the tagged-sample size in packets.
+    #[must_use]
+    pub fn with_sample(mut self, packets: u64) -> Self {
+        self.sample_packets = packets;
+        self
+    }
+
+    /// Sets the hard cycle limit.
+    #[must_use]
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the credit propagation delay (Figure 18 sensitivity study).
+    #[must_use]
+    pub fn with_credit_prop_delay(mut self, cycles: u64) -> Self {
+        self.credit_prop_delay = cycles;
+        self
+    }
+
+    /// Switches to single-cycle ("unit latency") routers.
+    #[must_use]
+    pub fn with_single_cycle(mut self, on: bool) -> Self {
+        self.single_cycle = on;
+        self
+    }
+
+    /// Sets the traffic pattern.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Converts the topology to a torus (wraparound links). Requires a
+    /// VC or speculative-VC router with at least two VCs per port —
+    /// dimension-ordered routing on a torus is made deadlock-free by the
+    /// dateline VC classes (see `routing::dateline_vc_mask`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for wormhole routers or fewer than 2 VCs.
+    #[must_use]
+    pub fn into_torus(mut self) -> Self {
+        assert!(
+            self.router.vcs() >= 2,
+            "a torus needs >= 2 VCs per port for the dateline classes \
+             (wormhole routers are not deadlock-free on a torus)"
+        );
+        self.mesh = self.mesh.into_torus();
+        self
+    }
+
+    /// Sets the routing algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if west-first adaptive routing is requested on a torus or a
+    /// non-2-D mesh (the turn model is defined for 2-D meshes).
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingAlgo) -> Self {
+        if routing == RoutingAlgo::WestFirstAdaptive {
+            assert!(
+                !self.mesh.is_torus() && self.mesh.dims() == 2,
+                "west-first adaptive routing is defined for 2-D meshes"
+            );
+        }
+        self.routing = routing;
+        self
+    }
+
+    /// The router-core configuration for this network.
+    #[must_use]
+    pub fn router_config(&self) -> RouterConfig {
+        let mut cfg = self.router.router_config(self.mesh.ports());
+        if self.single_cycle {
+            cfg.timing = Timing::single_cycle();
+        }
+        cfg
+    }
+
+    /// Packet injection rate per node, in packets/cycle.
+    #[must_use]
+    pub fn packets_per_node_cycle(&self) -> f64 {
+        self.injection_fraction * self.mesh.capacity_flits_per_node() / f64::from(self.packet_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_protocol() {
+        let cfg = NetworkConfig::paper_scale(RouterKind::Wormhole { buffers: 8 });
+        assert_eq!(cfg.mesh.nodes(), 64);
+        assert_eq!(cfg.warmup_cycles, 10_000);
+        assert_eq!(cfg.sample_packets, 100_000);
+        assert_eq!(cfg.packet_len, 5);
+        assert_eq!(cfg.link_delay, 1);
+    }
+
+    #[test]
+    fn injection_rate_is_capacity_scaled() {
+        let cfg = NetworkConfig::mesh(8, RouterKind::Wormhole { buffers: 8 }).with_injection(0.4);
+        // 0.4 × 0.5 flits / 5 flits-per-packet = 0.04 packets/node/cycle.
+        assert!((cfg.packets_per_node_cycle() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn router_config_respects_single_cycle() {
+        let cfg = NetworkConfig::mesh(4, RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 })
+            .with_single_cycle(true);
+        assert_eq!(cfg.router_config().timing, Timing::single_cycle());
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(RouterKind::Wormhole { buffers: 8 }.label(), "WH (8 bufs)");
+        assert_eq!(
+            RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 }.label(),
+            "specVC (2vcsX4bufs)"
+        );
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let k = RouterKind::VirtualChannel { vcs: 4, buffers_per_vc: 4 };
+        assert_eq!(k.vcs(), 4);
+        assert_eq!(k.buffers_per_vc(), 4);
+        assert_eq!(RouterKind::Wormhole { buffers: 16 }.vcs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_injection_rejected() {
+        let _ = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 }).with_injection(0.0);
+    }
+}

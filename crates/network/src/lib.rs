@@ -1,0 +1,49 @@
+//! k-ary n-mesh interconnection-network simulator for the Peh–Dally
+//! HPCA 2001 reproduction.
+//!
+//! Wires `router-core` routers into a mesh (or torus) with 1-cycle links
+//! and a configurable-latency credit return path, drives them with
+//! constant-rate traffic sources, and measures latency–throughput curves
+//! using the paper's protocol: a warm-up phase, then a tagged sample of
+//! packets whose average latency — from creation at the source (including
+//! source queueing) to ejection of the tail at the destination — is
+//! reported.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_network::{NetworkConfig, Network, RouterKind};
+//!
+//! // A small 4x4 mesh of speculative VC routers at 20% capacity.
+//! let cfg = NetworkConfig::mesh(4, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
+//!     .with_injection(0.2)
+//!     .with_warmup(200)
+//!     .with_sample(200)
+//!     .with_max_cycles(20_000);
+//! let result = Network::new(cfg).run();
+//! assert!(!result.saturated);
+//! assert!(result.avg_latency.unwrap() > 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel_load;
+pub mod config;
+pub mod histogram;
+pub mod routing;
+pub mod sim;
+pub mod source;
+pub mod stats;
+pub mod sweep;
+pub mod topology;
+pub mod traffic;
+
+pub use config::{NetworkConfig, RouterKind};
+pub use sim::{Network, RunResult};
+pub use channel_load::ChannelLoad;
+pub use histogram::Histogram;
+pub use stats::LatencyStats;
+pub use sweep::{sweep, sweep_parallel, LoadPoint, SweepOptions};
+pub use topology::{Mesh, LOCAL_PORT};
+pub use traffic::TrafficPattern;

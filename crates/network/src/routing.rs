@@ -1,0 +1,284 @@
+//! Routing functions.
+//!
+//! The paper uses dimension-ordered routing (DOR) — "the most general
+//! possible for deterministic routing" (`Rp→`) — which is deadlock-free
+//! on a mesh. A west-first turn-model adaptive router is provided as an
+//! extension (the paper's future-work direction).
+
+use crate::topology::Mesh;
+
+/// Dimension-ordered routing: correct dimension 0 first, then 1, …; the
+/// local port at the destination.
+///
+/// # Panics
+///
+/// Panics in debug builds if `src == dest` routing is queried after
+/// arrival (callers route only buffered flits, whose dest ≠ current node
+/// or which eject locally — both handled).
+#[must_use]
+pub fn dimension_ordered(mesh: &Mesh, current: usize, dest: usize) -> usize {
+    for dim in 0..mesh.dims() {
+        let c = mesh.coord(current, dim);
+        let d = mesh.coord(dest, dim);
+        if c == d {
+            continue;
+        }
+        let positive = if mesh.is_torus() {
+            // Shortest way around the ring.
+            let fwd = (d + mesh.radix() - c) % mesh.radix();
+            fwd <= mesh.radix() - fwd
+        } else {
+            d > c
+        };
+        return mesh.port(dim, positive);
+    }
+    mesh.local_port()
+}
+
+/// The dateline VC mask making dimension-ordered routing deadlock-free on
+/// a torus (extension; the paper's future-work "other topologies").
+///
+/// Each ring's virtual channels are split into two classes: packets use
+/// class 0 while their remaining path in the ring still crosses the
+/// wraparound link (the *dateline* between coordinates `k−1` and `0`) and
+/// class 1 afterwards. Class-0 VCs are the lower half `[0, v/2)`, class-1
+/// the upper half `[v/2, v)`. Returns an all-ones mask on a mesh or for
+/// the local port.
+///
+/// # Panics
+///
+/// Panics if `vcs < 2` on a torus (the dateline scheme needs two classes)
+/// or if `out_port` has no neighbor.
+#[must_use]
+pub fn dateline_vc_mask(
+    mesh: &Mesh,
+    current: usize,
+    out_port: usize,
+    dest: usize,
+    vcs: usize,
+) -> u64 {
+    let all = if vcs >= 64 { u64::MAX } else { (1u64 << vcs) - 1 };
+    if !mesh.is_torus() || out_port == mesh.local_port() {
+        return all;
+    }
+    assert!(vcs >= 2, "the dateline scheme needs at least 2 VCs per port");
+    let dim = out_port / 2;
+    let positive = out_port % 2 == 0;
+    let next = mesh
+        .neighbor(current, out_port)
+        .expect("torus ports always have neighbors");
+    let c_next = mesh.coord(next, dim);
+    let dc = mesh.coord(dest, dim);
+    // Does the remaining path in this ring, from the next node on, still
+    // cross the wrap link?
+    let still_crossing = if positive { dc < c_next } else { dc > c_next };
+    let lower = vcs / 2; // class-0 VCs
+    let low_mask = (1u64 << lower) - 1;
+    if still_crossing {
+        low_mask
+    } else {
+        all & !low_mask
+    }
+}
+
+/// Dimension-ordered routing with adaptive selection among west-first
+/// candidates (extension): deadlock-free minimal adaptivity on a 2-D
+/// mesh, with the candidate chosen by `selector` (e.g. a packet-id hash),
+/// spreading traffic across the permitted quadrant paths.
+#[must_use]
+pub fn west_first_route(mesh: &Mesh, current: usize, dest: usize, selector: u64) -> usize {
+    let candidates = west_first_candidates(mesh, current, dest);
+    candidates[(selector as usize) % candidates.len()]
+}
+
+/// West-first turn-model adaptive routing (extension): route all westward
+/// (−X) hops first; afterwards any productive direction is permitted —
+/// the returned candidate list is non-empty and deadlock-free on a mesh.
+#[must_use]
+pub fn west_first_candidates(mesh: &Mesh, current: usize, dest: usize) -> Vec<usize> {
+    assert_eq!(mesh.dims(), 2, "west-first is defined for 2-D meshes");
+    assert!(!mesh.is_torus(), "west-first is defined for meshes");
+    let (cx, cy) = (mesh.coord(current, 0), mesh.coord(current, 1));
+    let (dx, dy) = (mesh.coord(dest, 0), mesh.coord(dest, 1));
+    if dx < cx {
+        // Must go west first; no other turn allowed yet.
+        return vec![mesh.port(0, false)];
+    }
+    let mut out = Vec::new();
+    if dx > cx {
+        out.push(mesh.port(0, true));
+    }
+    if dy > cy {
+        out.push(mesh.port(1, true));
+    } else if dy < cy {
+        out.push(mesh.port(1, false));
+    }
+    if out.is_empty() {
+        out.push(mesh.local_port());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dor_corrects_x_before_y() {
+        let m = Mesh::new(8, 2);
+        let src = m.node_at(&[1, 1]);
+        let dest = m.node_at(&[4, 5]);
+        assert_eq!(dimension_ordered(&m, src, dest), m.port(0, true));
+        let aligned_x = m.node_at(&[4, 1]);
+        assert_eq!(dimension_ordered(&m, aligned_x, dest), m.port(1, true));
+    }
+
+    #[test]
+    fn dor_ejects_at_destination() {
+        let m = Mesh::new(8, 2);
+        assert_eq!(dimension_ordered(&m, 9, 9), m.local_port());
+    }
+
+    #[test]
+    fn dor_paths_terminate_and_are_minimal() {
+        let m = Mesh::new(5, 2);
+        for src in 0..m.nodes() {
+            for dest in 0..m.nodes() {
+                let mut cur = src;
+                let mut hops = 0;
+                loop {
+                    let port = dimension_ordered(&m, cur, dest);
+                    if port == m.local_port() {
+                        break;
+                    }
+                    cur = m.neighbor(cur, port).expect("DOR never exits the mesh");
+                    hops += 1;
+                    assert!(hops <= m.distance(src, dest), "non-minimal path");
+                }
+                assert_eq!(cur, dest);
+                assert_eq!(hops, m.distance(src, dest));
+            }
+        }
+    }
+
+    #[test]
+    fn dor_on_torus_takes_shortcuts() {
+        let t = Mesh::new(8, 2).into_torus();
+        let src = t.node_at(&[0, 0]);
+        let dest = t.node_at(&[6, 0]);
+        // 6 forward vs 2 backward: backward wins.
+        assert_eq!(dimension_ordered(&t, src, dest), t.port(0, false));
+    }
+
+    #[test]
+    fn west_first_restricts_when_west_needed() {
+        let m = Mesh::new(8, 2);
+        let src = m.node_at(&[5, 2]);
+        let dest = m.node_at(&[2, 6]);
+        assert_eq!(west_first_candidates(&m, src, dest), vec![m.port(0, false)]);
+    }
+
+    #[test]
+    fn west_first_offers_adaptivity_going_east() {
+        let m = Mesh::new(8, 2);
+        let src = m.node_at(&[1, 1]);
+        let dest = m.node_at(&[4, 5]);
+        let cands = west_first_candidates(&m, src, dest);
+        assert_eq!(cands.len(), 2, "east and north both productive");
+    }
+
+    #[test]
+    fn dateline_mask_is_all_ones_on_mesh() {
+        let m = Mesh::new(4, 2);
+        assert_eq!(dateline_vc_mask(&m, 0, 0, 5, 2), 0b11);
+        assert_eq!(dateline_vc_mask(&m, 0, m.local_port(), 0, 4), 0b1111);
+    }
+
+    #[test]
+    fn dateline_mask_splits_classes_on_torus() {
+        let t = Mesh::new(8, 2).into_torus();
+        // From (6,0) to (1,0): minimal goes +X and crosses the dateline.
+        let src = t.node_at(&[6, 0]);
+        let dest = t.node_at(&[1, 0]);
+        let port = dimension_ordered(&t, src, dest);
+        assert_eq!(port, t.port(0, true));
+        // From node 6, next is 7: remaining path still crosses → class 0.
+        assert_eq!(dateline_vc_mask(&t, src, port, dest, 2), 0b01);
+        // From node 7, next is 0 (the wrap link): crossed → class 1.
+        let at7 = t.node_at(&[7, 0]);
+        assert_eq!(dateline_vc_mask(&t, at7, port, dest, 2), 0b10);
+        // From node 0, next is 1: class 1 stays.
+        let at0 = t.node_at(&[0, 0]);
+        assert_eq!(dateline_vc_mask(&t, at0, port, dest, 2), 0b10);
+    }
+
+    #[test]
+    fn dateline_mask_class1_for_non_crossing_paths() {
+        let t = Mesh::new(8, 2).into_torus();
+        let src = t.node_at(&[1, 0]);
+        let dest = t.node_at(&[3, 0]);
+        let port = dimension_ordered(&t, src, dest);
+        assert_eq!(dateline_vc_mask(&t, src, port, dest, 4), 0b1100);
+    }
+
+    #[test]
+    fn dateline_walk_switches_class_exactly_once() {
+        let t = Mesh::new(8, 2).into_torus();
+        for (sx, dx) in [(5usize, 2usize), (2, 6), (7, 0), (0, 7)] {
+            let dest = t.node_at(&[dx, 3]);
+            let mut cur = t.node_at(&[sx, 3]);
+            let mut classes = Vec::new();
+            loop {
+                let port = dimension_ordered(&t, cur, dest);
+                if port == t.local_port() {
+                    break;
+                }
+                let mask = dateline_vc_mask(&t, cur, port, dest, 2);
+                classes.push(mask);
+                cur = t.neighbor(cur, port).unwrap();
+            }
+            // Classes must be a (possibly empty) run of 0b01 followed by a
+            // run of 0b10 — never back to class 0.
+            let first_one = classes.iter().position(|&m| m == 0b10);
+            if let Some(i) = first_one {
+                assert!(classes[i..].iter().all(|&m| m == 0b10), "{classes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_route_returns_a_candidate() {
+        let m = Mesh::new(8, 2);
+        let src = m.node_at(&[1, 1]);
+        let dest = m.node_at(&[4, 5]);
+        let cands = west_first_candidates(&m, src, dest);
+        for sel in 0..5u64 {
+            assert!(cands.contains(&west_first_route(&m, src, dest, sel)));
+        }
+        // Different selectors actually spread over both candidates.
+        let picks: std::collections::HashSet<usize> =
+            (0..4u64).map(|s| west_first_route(&m, src, dest, s)).collect();
+        assert_eq!(picks.len(), 2);
+    }
+
+    #[test]
+    fn west_first_candidates_are_minimal() {
+        let m = Mesh::new(6, 2);
+        for src in 0..m.nodes() {
+            for dest in 0..m.nodes() {
+                for port in west_first_candidates(&m, src, dest) {
+                    if port == m.local_port() {
+                        assert_eq!(src, dest);
+                        continue;
+                    }
+                    let next = m.neighbor(src, port).expect("stays in mesh");
+                    assert_eq!(
+                        m.distance(next, dest) + 1,
+                        m.distance(src, dest),
+                        "candidate must be productive"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The network simulator: routers wired by delay pipes, driven by
+//! constant-rate sources, measured with the paper's warm-up + tagged
+//! sample protocol.
+
+use crate::channel_load::ChannelLoad;
+use crate::config::{NetworkConfig, RoutingAlgo};
+use crate::histogram::Histogram;
+use crate::routing::{dateline_vc_mask, dimension_ordered, west_first_route};
+use crate::source::Source;
+use crate::stats::LatencyStats;
+use crate::topology::Mesh;
+use router_core::{DelayPipe, Flit, PacketId, Router, RoutingOracle};
+use std::collections::{HashMap, HashSet};
+
+/// The routing function of one node: algorithm selection plus, on a
+/// torus, the dateline VC-class restriction.
+struct NodeOracle<'a> {
+    mesh: &'a Mesh,
+    node: usize,
+    algo: RoutingAlgo,
+    vcs: usize,
+}
+
+impl RoutingOracle for NodeOracle<'_> {
+    fn output_port(&self, flit: &Flit) -> usize {
+        match self.algo {
+            RoutingAlgo::DimensionOrdered => dimension_ordered(self.mesh, self.node, flit.dest),
+            RoutingAlgo::WestFirstAdaptive => {
+                west_first_route(self.mesh, self.node, flit.dest, flit.packet.value())
+            }
+        }
+    }
+
+    fn vc_mask(&self, flit: &Flit, out_port: usize) -> u64 {
+        dateline_vc_mask(self.mesh, self.node, out_port, flit.dest, self.vcs)
+    }
+}
+
+/// The result of one simulation run at a fixed offered load.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Offered load, as the configured fraction of capacity.
+    pub offered: f64,
+    /// Mean latency of the tagged packets (creation → tail ejection), or
+    /// `None` if no tagged packet completed.
+    pub avg_latency: Option<f64>,
+    /// Full latency statistics of the tagged sample.
+    pub stats: LatencyStats,
+    /// True if the run hit the cycle limit before the tagged sample
+    /// drained — the network is saturated at this load.
+    pub saturated: bool,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Accepted throughput during measurement, as a fraction of capacity.
+    pub accepted: f64,
+    /// Total flits ejected over the whole run.
+    pub flits_ejected: u64,
+    /// Latency distribution of the tagged sample (10-cycle buckets).
+    pub histogram: Histogram,
+    /// Router event counters summed over all nodes.
+    pub router_stats: router_core::RouterStats,
+}
+
+/// A mesh of routers under simulation.
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetworkConfig,
+    routers: Vec<Router>,
+    sources: Vec<Source>,
+    /// `flit_in[node][port]`: channel delivering flits into that input.
+    flit_in: Vec<Vec<DelayPipe<Flit>>>,
+    /// `credit_back[node][port]`: carries freed-buffer credits of that
+    /// input port back to its upstream (router or source).
+    credit_back: Vec<Vec<DelayPipe<usize>>>,
+    now: u64,
+    // Measurement state.
+    tagged: HashSet<PacketId>,
+    tagged_created: u64,
+    tagged_done: u64,
+    latency: LatencyStats,
+    histogram: Histogram,
+    channel_load: ChannelLoad,
+    inflight: HashMap<PacketId, u32>,
+    flits_ejected: u64,
+    measured_flits: u64,
+    measure_start: Option<u64>,
+}
+
+impl Network {
+    /// Builds and wires the network described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a torus with wormhole routers or fewer than 2 VCs
+    /// (dimension-ordered routing would deadlock), and on west-first
+    /// routing outside a 2-D mesh.
+    #[must_use]
+    pub fn new(cfg: NetworkConfig) -> Self {
+        if cfg.mesh.is_torus() {
+            assert!(
+                cfg.router.vcs() >= 2,
+                "a torus needs >= 2 VCs per port for dateline deadlock avoidance"
+            );
+        }
+        if cfg.routing == RoutingAlgo::WestFirstAdaptive {
+            assert!(
+                !cfg.mesh.is_torus() && cfg.mesh.dims() == 2,
+                "west-first adaptive routing is defined for 2-D meshes"
+            );
+        }
+        let mesh = &cfg.mesh;
+        let nodes = mesh.nodes();
+        let ports = mesh.ports();
+        let local = mesh.local_port();
+        let rcfg = cfg.router_config();
+        let buffers = rcfg.buffers_per_vc as u64;
+
+        let mut routers: Vec<Router> = (0..nodes).map(|_| Router::new(rcfg)).collect();
+        for (node, router) in routers.iter_mut().enumerate() {
+            for port in 0..ports {
+                if port == local {
+                    router.mark_sink(port);
+                } else if mesh.neighbor(node, port).is_some() {
+                    router.set_output_credits(port, buffers);
+                } else {
+                    router.set_output_credits(port, 0); // mesh edge
+                }
+            }
+        }
+
+        let rate = cfg.packets_per_node_cycle();
+        let sources = (0..nodes)
+            .map(|node| {
+                Source::new(node, rate, cfg.packet_len, rcfg.vcs, buffers, cfg.seed)
+            })
+            .collect();
+
+        let cfg2 = cfg.mesh.clone();
+        let credit_latency = cfg.credit_prop_delay + cfg.credit_proc_delay - 1;
+        let flit_in = (0..nodes)
+            .map(|_| (0..ports).map(|_| DelayPipe::new(cfg.link_delay)).collect())
+            .collect();
+        let credit_back = (0..nodes)
+            .map(|_| (0..ports).map(|_| DelayPipe::new(credit_latency)).collect())
+            .collect();
+
+        Network {
+            cfg,
+            routers,
+            sources,
+            flit_in,
+            credit_back,
+            now: 0,
+            tagged: HashSet::new(),
+            tagged_created: 0,
+            tagged_done: 0,
+            latency: LatencyStats::new(),
+            histogram: Histogram::new(10, 500),
+            channel_load: ChannelLoad::new(&cfg2),
+            inflight: HashMap::new(),
+            flits_ejected: 0,
+            measured_flits: 0,
+            measure_start: None,
+        }
+    }
+
+    /// The configuration being simulated.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Per-channel flit counts observed so far.
+    #[must_use]
+    pub fn channel_load(&self) -> &ChannelLoad {
+        &self.channel_load
+    }
+
+    /// Total source backlog in packets (diagnostic; grows without bound
+    /// past saturation).
+    #[must_use]
+    pub fn total_backlog(&self) -> usize {
+        self.sources.iter().map(Source::backlog).sum()
+    }
+
+    /// Advances the network one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        let mesh = self.cfg.mesh.clone();
+        let local = mesh.local_port();
+        let nodes = mesh.nodes();
+
+        // 1. Deliver flits into input buffers.
+        for node in 0..nodes {
+            for port in 0..mesh.ports() {
+                while let Some(flit) = self.flit_in[node][port].pop_ready(now) {
+                    self.routers[node].accept_flit(port, flit, now);
+                }
+            }
+        }
+
+        // 2. Deliver credits to the upstream of each input port.
+        for node in 0..nodes {
+            for port in 0..mesh.ports() {
+                while let Some(vc) = self.credit_back[node][port].pop_ready(now) {
+                    if port == local {
+                        self.sources[node].credit(vc);
+                    } else {
+                        let upstream = mesh
+                            .neighbor(node, port)
+                            .expect("credit on an unwired port");
+                        self.routers[upstream].accept_credit(mesh.opposite(port), vc, now);
+                    }
+                }
+            }
+        }
+
+        // 3. Sources generate and inject.
+        let measuring = now >= self.cfg.warmup_cycles;
+        for node in 0..nodes {
+            let step = self.sources[node].step(now, &mesh, &self.cfg.pattern);
+            if measuring {
+                for id in step.created {
+                    if self.tagged_created < self.cfg.sample_packets {
+                        self.tagged.insert(id);
+                        self.tagged_created += 1;
+                        if self.measure_start.is_none() {
+                            self.measure_start = Some(now);
+                        }
+                    }
+                }
+            }
+            if let Some(flit) = step.injected {
+                self.flit_in[node][local].push(now, flit);
+            }
+        }
+
+        // 4. Routers advance; forward their departures and credits.
+        for node in 0..nodes {
+            let oracle = NodeOracle {
+                mesh: &mesh,
+                node,
+                algo: self.cfg.routing,
+                vcs: self.cfg.router.vcs(),
+            };
+            let out = self.routers[node].tick(now, &oracle);
+            for dep in out.departures {
+                self.channel_load.record(node, dep.out_port);
+                if dep.out_port == local {
+                    self.eject(node, dep.flit);
+                } else {
+                    let next = mesh
+                        .neighbor(node, dep.out_port)
+                        .expect("departure off the mesh edge");
+                    self.flit_in[next][mesh.opposite(dep.out_port)].push(now, dep.flit);
+                }
+            }
+            for c in out.credits {
+                self.credit_back[node][c.in_port].push(now, c.vc);
+            }
+        }
+
+        self.channel_load.tick();
+        self.now += 1;
+    }
+
+    /// Consumes an ejected flit at its destination ("immediate ejection").
+    fn eject(&mut self, node: usize, flit: Flit) {
+        assert_eq!(flit.dest, node, "flit ejected at the wrong node");
+        self.flits_ejected += 1;
+        if self.measure_start.is_some() {
+            self.measured_flits += 1;
+        }
+        let count = self.inflight.entry(flit.packet).or_insert(0);
+        *count += 1;
+        if flit.kind.is_tail() {
+            let received = *count;
+            self.inflight.remove(&flit.packet);
+            assert_eq!(
+                received, self.cfg.packet_len,
+                "tail ejected before the whole packet arrived"
+            );
+            if self.tagged.remove(&flit.packet) {
+                self.tagged_done += 1;
+                self.latency.record(self.now - flit.created);
+                self.histogram.record(self.now - flit.created);
+            }
+        }
+    }
+
+    /// Whether the tagged sample has been fully created and received.
+    #[must_use]
+    pub fn sample_complete(&self) -> bool {
+        self.tagged_created >= self.cfg.sample_packets && self.tagged_done >= self.tagged_created
+    }
+
+    /// Runs the full protocol: warm-up, tagged sample, drain; returns the
+    /// measurements. Hitting `max_cycles` first marks the run saturated.
+    pub fn run(mut self) -> RunResult {
+        while self.now < self.cfg.max_cycles && !self.sample_complete() {
+            self.step();
+        }
+        let saturated = !self.sample_complete();
+        let span = self
+            .measure_start
+            .map_or(1, |s| self.now.saturating_sub(s).max(1));
+        let per_node_cycle =
+            self.measured_flits as f64 / (span as f64 * self.cfg.mesh.nodes() as f64);
+        let mut router_stats = router_core::RouterStats::default();
+        for r in &self.routers {
+            let s = r.stats();
+            router_stats.flits_switched += s.flits_switched;
+            router_stats.va_grants += s.va_grants;
+            router_stats.sa_grants += s.sa_grants;
+            router_stats.spec_requests += s.spec_requests;
+            router_stats.spec_hits += s.spec_hits;
+            router_stats.spec_wasted += s.spec_wasted;
+            router_stats.credits_sent += s.credits_sent;
+        }
+        RunResult {
+            offered: self.cfg.injection_fraction,
+            avg_latency: self.latency.mean(),
+            stats: self.latency.clone(),
+            saturated,
+            cycles: self.now,
+            accepted: per_node_cycle / self.cfg.mesh.capacity_flits_per_node(),
+            flits_ejected: self.flits_ejected,
+            histogram: self.histogram.clone(),
+            router_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RouterKind;
+
+    fn quick(cfg: NetworkConfig) -> RunResult {
+        Network::new(cfg).run()
+    }
+
+    fn low_load(kind: RouterKind) -> NetworkConfig {
+        NetworkConfig::mesh(8, kind)
+            .with_injection(0.05)
+            .with_warmup(300)
+            .with_sample(300)
+            .with_max_cycles(30_000)
+    }
+
+    #[test]
+    fn wormhole_zero_load_latency_close_to_paper() {
+        let r = quick(low_load(RouterKind::Wormhole { buffers: 8 }));
+        assert!(!r.saturated);
+        let lat = r.avg_latency.expect("sample completed");
+        // Paper: 29 cycles at zero load on the 8×8 mesh.
+        assert!((26.0..33.0).contains(&lat), "WH zero-load latency {lat}");
+    }
+
+    #[test]
+    fn vc_zero_load_latency_close_to_paper() {
+        let r = quick(low_load(RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 }));
+        let lat = r.avg_latency.expect("sample completed");
+        // Paper: 36 cycles (one extra stage per hop). Our credit-loop
+        // accounting charges the uncovered 4-buffer credit loop ~2 cycles
+        // more at the source than the paper's (see EXPERIMENTS.md).
+        assert!((33.0..41.0).contains(&lat), "VC zero-load latency {lat}");
+    }
+
+    #[test]
+    fn spec_zero_load_matches_wormhole() {
+        let wh = quick(low_load(RouterKind::Wormhole { buffers: 8 }));
+        let spec = quick(low_load(RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 }));
+        let (a, b) = (wh.avg_latency.unwrap(), spec.avg_latency.unwrap());
+        // Paper: 29 vs 30 — the speculative router pays ~1 cycle because 4
+        // buffers/VC do not quite cover the credit loop (footnote 15); our
+        // credit accounting charges ~2. Same pipeline depth otherwise.
+        assert!(b >= a - 0.5, "specVC cannot beat WH: {a} vs {b}");
+        assert!(b - a < 4.0, "specVC must stay close to WH: {a} vs {b}");
+    }
+
+    #[test]
+    fn single_cycle_zero_load_close_to_paper() {
+        let cfg = low_load(RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 })
+            .with_single_cycle(true);
+        let lat = quick(cfg).avg_latency.expect("completes");
+        // Paper: 16 cycles for the unit-latency model.
+        assert!((13.0..19.0).contains(&lat), "unit-latency model {lat}");
+    }
+
+    #[test]
+    fn all_flits_accounted_for() {
+        let cfg = NetworkConfig::mesh(4, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
+            .with_injection(0.3)
+            .with_warmup(100)
+            .with_sample(200)
+            .with_max_cycles(20_000);
+        let r = quick(cfg);
+        assert!(!r.saturated);
+        // Untagged packets may still be mid-flight when the run stops, but
+        // at least the tagged sample's flits were all delivered.
+        assert!(r.flits_ejected >= 200 * 5);
+    }
+
+    #[test]
+    fn overdriven_network_saturates() {
+        let cfg = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 4 })
+            .with_injection(2.0) // 200% of capacity
+            .with_warmup(100)
+            .with_sample(2_000)
+            .with_max_cycles(4_000);
+        let r = quick(cfg);
+        assert!(r.accepted < 1.2, "cannot accept far beyond capacity");
+        let p: crate::sweep::LoadPoint = r.into();
+        assert!(p.saturated, "accepted must fall short of 2x capacity");
+    }
+
+    #[test]
+    fn accepted_tracks_offered_below_saturation() {
+        let cfg = NetworkConfig::mesh(4, RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 })
+            .with_injection(0.2)
+            .with_warmup(200)
+            .with_sample(400)
+            .with_max_cycles(40_000);
+        let r = quick(cfg);
+        assert!(!r.saturated);
+        assert!(
+            (r.accepted - 0.2).abs() < 0.08,
+            "accepted {:.3} vs offered 0.2",
+            r.accepted
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            NetworkConfig::mesh(4, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
+                .with_injection(0.25)
+                .with_warmup(100)
+                .with_sample(150)
+                .with_max_cycles(20_000)
+                .with_seed(99)
+        };
+        let a = quick(mk());
+        let b = quick(mk());
+        assert_eq!(a.avg_latency, b.avg_latency);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.flits_ejected, b.flits_ejected);
+    }
+}

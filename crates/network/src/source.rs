@@ -1,0 +1,282 @@
+//! Constant-rate traffic sources with a credit-aware network interface.
+//!
+//! A source generates fixed-length packets at a constant rate (fractional
+//! rates accumulate), queues them, and injects flits over the local
+//! channel into its router — one flit per cycle, subject to credit flow
+//! control, interleaving up to `v` packets across the injection port's
+//! virtual channels exactly as a network interface would. Packet latency
+//! is measured from *creation* (entering the source queue), so source
+//! queueing time counts, per the paper.
+
+use arbitration::RoundRobinArbiter;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use router_core::{Flit, PacketId};
+use std::collections::VecDeque;
+
+use crate::topology::Mesh;
+use crate::traffic::TrafficPattern;
+
+/// What a source did in one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct SourceStep {
+    /// Flit injected into the local channel this cycle, if any.
+    pub injected: Option<Flit>,
+    /// Packets created (entered the source queue) this cycle.
+    pub created: Vec<PacketId>,
+}
+
+/// A constant-rate source attached to one node.
+#[derive(Debug, Clone)]
+pub struct Source {
+    node: usize,
+    rate: f64,
+    packet_len: u32,
+    accum: f64,
+    next_seq: u64,
+    rng: SmallRng,
+    /// Whole packets waiting for an injection VC.
+    queue: VecDeque<Vec<Flit>>,
+    /// Remaining flits of the packet occupying each injection VC.
+    slots: Vec<VecDeque<Flit>>,
+    /// Credits into the router's local input port, per VC.
+    credits: Vec<u64>,
+    vc_pick: RoundRobinArbiter,
+    /// Total packets created (for diagnostics).
+    pub packets_created: u64,
+    /// Total flits injected (for diagnostics).
+    pub flits_injected: u64,
+}
+
+impl Source {
+    /// Creates a source for `node` generating `rate` packets/cycle of
+    /// `packet_len` flits, with `vcs` injection VCs of `credits_per_vc`
+    /// buffers downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or negative rate or zero-length packets.
+    #[must_use]
+    pub fn new(
+        node: usize,
+        rate: f64,
+        packet_len: u32,
+        vcs: usize,
+        credits_per_vc: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "bad injection rate {rate}");
+        assert!(packet_len >= 1, "packets need at least one flit");
+        assert!(vcs >= 1, "need at least one injection VC");
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Random initial phase: without it every source fires its k-th
+        // packet in the same cycle, turning "constant rate" into
+        // network-wide synchronized bursts.
+        let accum = rand::Rng::gen_range(&mut rng, 0.0..1.0);
+        Source {
+            node,
+            rate,
+            packet_len,
+            accum,
+            next_seq: 0,
+            rng,
+            queue: VecDeque::new(),
+            slots: (0..vcs).map(|_| VecDeque::new()).collect(),
+            credits: vec![credits_per_vc; vcs],
+            vc_pick: RoundRobinArbiter::new(vcs),
+            packets_created: 0,
+            flits_injected: 0,
+        }
+    }
+
+    /// The node this source feeds.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Packets queued or mid-injection (backlog; grows without bound past
+    /// saturation).
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.queue.len() + self.slots.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Returns one credit for injection VC `vc`.
+    pub fn credit(&mut self, vc: usize) {
+        self.credits[vc] += 1;
+    }
+
+    /// Advances the source one cycle: possibly creates packets, claims
+    /// free injection VCs, and injects at most one flit.
+    pub fn step(&mut self, now: u64, mesh: &Mesh, pattern: &TrafficPattern) -> SourceStep {
+        let mut out = SourceStep::default();
+
+        // Constant-rate generation with fractional accumulation.
+        self.accum += self.rate;
+        while self.accum >= 1.0 {
+            self.accum -= 1.0;
+            let dest = pattern.destination(mesh, self.node, &mut self.rng);
+            if dest == self.node {
+                continue; // permutation fixed point: nothing to send
+            }
+            let id = PacketId::new(((self.node as u64) << 40) | self.next_seq);
+            self.next_seq += 1;
+            self.packets_created += 1;
+            self.queue
+                .push_back(Flit::packet(id, dest, 0, now, self.packet_len));
+            out.created.push(id);
+        }
+
+        // Claim free VCs for waiting packets.
+        for vc in 0..self.slots.len() {
+            if self.slots[vc].is_empty() {
+                if let Some(packet) = self.queue.pop_front() {
+                    self.slots[vc].extend(packet.into_iter().map(|mut f| {
+                        f.vc = vc;
+                        f
+                    }));
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Inject one flit from a VC with work and credit.
+        let ready: Vec<bool> = self
+            .slots
+            .iter()
+            .zip(&self.credits)
+            .map(|(s, &c)| !s.is_empty() && c > 0)
+            .collect();
+        if let Some(vc) = self.vc_pick.arbitrate(&ready) {
+            let flit = self.slots[vc].pop_front().expect("ready slot is nonempty");
+            self.credits[vc] -= 1;
+            self.flits_injected += 1;
+            out.injected = Some(flit);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use router_core::FlitKind;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 2)
+    }
+
+    #[test]
+    fn zero_rate_generates_nothing() {
+        let mut s = Source::new(0, 0.0, 5, 1, 4, 1);
+        for now in 0..100 {
+            let step = s.step(now, &mesh(), &TrafficPattern::Uniform);
+            assert!(step.injected.is_none());
+            assert!(step.created.is_empty());
+        }
+    }
+
+    #[test]
+    fn rate_one_quarter_creates_every_fourth_cycle() {
+        let mut s = Source::new(0, 0.25, 5, 1, 100, 1);
+        let created: usize = (0..400)
+            .map(|now| s.step(now, &mesh(), &TrafficPattern::Uniform).created.len())
+            .sum();
+        assert_eq!(created, 100);
+    }
+
+    #[test]
+    fn injects_one_flit_per_cycle_when_backlogged() {
+        let mut s = Source::new(0, 1.0, 5, 1, 1000, 1);
+        let mut injected = 0;
+        for now in 0..50 {
+            if s.step(now, &mesh(), &TrafficPattern::Uniform).injected.is_some() {
+                injected += 1;
+            }
+        }
+        assert_eq!(injected, 50, "link is the bottleneck: exactly 1/cycle");
+    }
+
+    #[test]
+    fn credits_gate_injection() {
+        let mut s = Source::new(0, 1.0, 5, 1, 2, 1);
+        let mut injected = 0;
+        for now in 0..20 {
+            if s.step(now, &mesh(), &TrafficPattern::Uniform).injected.is_some() {
+                injected += 1;
+            }
+        }
+        assert_eq!(injected, 2, "only two credits available");
+        s.credit(0);
+        assert!(s
+            .step(100, &mesh(), &TrafficPattern::Uniform)
+            .injected
+            .is_some());
+    }
+
+    #[test]
+    fn packets_do_not_interleave_within_a_vc() {
+        let mut s = Source::new(0, 0.5, 3, 1, 1000, 1);
+        let mut flits = Vec::new();
+        for now in 0..120 {
+            if let Some(f) = s.step(now, &mesh(), &TrafficPattern::Uniform).injected {
+                flits.push(f);
+            }
+        }
+        // Within VC 0, flits must be strictly sequential per packet.
+        let mut current: Option<PacketId> = None;
+        for f in flits {
+            match f.kind {
+                FlitKind::Head | FlitKind::HeadTail => {
+                    assert!(current.is_none(), "head while packet open");
+                    if f.kind == FlitKind::Head {
+                        current = Some(f.packet);
+                    }
+                }
+                FlitKind::Body => assert_eq!(current, Some(f.packet)),
+                FlitKind::Tail => {
+                    assert_eq!(current, Some(f.packet));
+                    current = None;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_vcs_interleave_two_packets() {
+        let mut s = Source::new(0, 1.0, 5, 2, 1000, 1);
+        let mut vcs_seen = std::collections::HashSet::new();
+        for now in 0..10 {
+            if let Some(f) = s.step(now, &mesh(), &TrafficPattern::Uniform).injected {
+                vcs_seen.insert(f.vc);
+            }
+        }
+        assert_eq!(vcs_seen.len(), 2, "both injection VCs active");
+    }
+
+    #[test]
+    fn created_flits_carry_creation_time() {
+        let mut s = Source::new(0, 1.0, 2, 1, 100, 1);
+        let step = s.step(42, &mesh(), &TrafficPattern::Uniform);
+        assert_eq!(step.created.len(), 1);
+        let f = step.injected.expect("injects immediately");
+        assert_eq!(f.created, 42);
+    }
+
+    #[test]
+    fn packet_ids_are_unique_across_sources() {
+        let mut a = Source::new(1, 1.0, 1, 1, 100, 7);
+        let mut b = Source::new(2, 1.0, 1, 1, 100, 7);
+        let mut ids = std::collections::HashSet::new();
+        for now in 0..50 {
+            for s in [&mut a, &mut b] {
+                for id in s.step(now, &mesh(), &TrafficPattern::Uniform).created {
+                    assert!(ids.insert(id), "duplicate packet id {id}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Latency statistics accumulation.
+
+use std::fmt;
+
+/// Streaming latency statistics (count / mean / min / max / variance via
+/// Welford's algorithm).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample, in cycles.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        let x = latency as f64;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
+        self.max = Some(self.max.map_or(latency, |m| m.max(latency)));
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sample standard deviation, or `None` with fewer than two samples.
+    #[must_use]
+    pub fn std_dev(&self) -> Option<f64> {
+        (self.count > 1).then(|| (self.m2 / (self.count - 1) as f64).sqrt())
+    }
+
+    /// Smallest sample.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.1} min={} max={}",
+                self.count,
+                mean,
+                self.min.unwrap_or(0),
+                self.max.unwrap_or(0)
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_no_mean() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn mean_min_max_of_known_samples() {
+        let mut s = LatencyStats::new();
+        for x in [10u64, 20, 30] {
+            s.record(x);
+        }
+        assert_eq!(s.mean(), Some(20.0));
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+        assert!((s.std_dev().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        let mut all = LatencyStats::new();
+        for (i, x) in [5u64, 9, 13, 21, 2, 8].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*x);
+            } else {
+                b.record(*x);
+            }
+            all.record(*x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-9);
+        assert!((a.std_dev().unwrap() - all.std_dev().unwrap()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyStats::new();
+        a.record(7);
+        let before = a.clone();
+        a.merge(&LatencyStats::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn display_shows_sample_count() {
+        let mut s = LatencyStats::new();
+        s.record(42);
+        assert!(s.to_string().contains("n=1"));
+    }
+}

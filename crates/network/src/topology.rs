@@ -1,0 +1,313 @@
+//! k-ary n-mesh (and torus) topology.
+//!
+//! Port convention for an n-dimensional mesh: dimension `d` uses ports
+//! `2d` (positive direction) and `2d + 1` (negative direction); the last
+//! port, `2n`, is the local injection/ejection port. A 2-D mesh router
+//! therefore has `p = 5` ports — the paper's standard configuration.
+
+use std::fmt;
+
+/// The local (injection/ejection) port index of a 2-D mesh router.
+pub const LOCAL_PORT: usize = 4;
+
+/// A k-ary n-mesh (optionally a torus with wraparound links).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mesh {
+    radix: usize,
+    dims: usize,
+    wraparound: bool,
+}
+
+impl Mesh {
+    /// A k-ary n-mesh with `radix` nodes per dimension and `dims`
+    /// dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix < 2` or `dims == 0`.
+    #[must_use]
+    pub fn new(radix: usize, dims: usize) -> Self {
+        assert!(radix >= 2, "radix must be at least 2, got {radix}");
+        assert!(dims >= 1, "need at least one dimension");
+        Mesh {
+            radix,
+            dims,
+            wraparound: false,
+        }
+    }
+
+    /// The paper's 8×8 (8-ary 2-) mesh.
+    #[must_use]
+    pub fn paper_8x8() -> Self {
+        Mesh::new(8, 2)
+    }
+
+    /// Converts the mesh into a torus (wraparound links in every
+    /// dimension).
+    #[must_use]
+    pub fn into_torus(mut self) -> Self {
+        self.wraparound = true;
+        self
+    }
+
+    /// Whether wraparound links exist.
+    #[must_use]
+    pub fn is_torus(&self) -> bool {
+        self.wraparound
+    }
+
+    /// Nodes per dimension.
+    #[must_use]
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total node count, `kⁿ`.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.radix.pow(self.dims as u32)
+    }
+
+    /// Router ports, `2n + 1` (including the local port).
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        2 * self.dims + 1
+    }
+
+    /// The local injection/ejection port index, `2n`.
+    #[must_use]
+    pub fn local_port(&self) -> usize {
+        2 * self.dims
+    }
+
+    /// The coordinate of `node` in dimension `dim`.
+    #[must_use]
+    pub fn coord(&self, node: usize, dim: usize) -> usize {
+        debug_assert!(node < self.nodes());
+        (node / self.radix.pow(dim as u32)) % self.radix
+    }
+
+    /// All coordinates of `node`.
+    #[must_use]
+    pub fn coords(&self, node: usize) -> Vec<usize> {
+        (0..self.dims).map(|d| self.coord(node, d)).collect()
+    }
+
+    /// The node at the given coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate count or any coordinate is out of range.
+    #[must_use]
+    pub fn node_at(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims, "coordinate count mismatch");
+        coords.iter().rev().fold(0, |acc, &c| {
+            assert!(c < self.radix, "coordinate {c} out of radix {}", self.radix);
+            acc * self.radix + c
+        })
+    }
+
+    /// The output port moving from `node` one step in `dim`, positive or
+    /// negative direction.
+    #[must_use]
+    pub fn port(&self, dim: usize, positive: bool) -> usize {
+        debug_assert!(dim < self.dims);
+        2 * dim + usize::from(!positive)
+    }
+
+    /// The port on the receiving router that a flit sent out of `port`
+    /// arrives at (the paired direction of the same dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics for the local port.
+    #[must_use]
+    pub fn opposite(&self, port: usize) -> usize {
+        assert!(port < self.local_port(), "local port has no opposite");
+        port ^ 1
+    }
+
+    /// The neighbor of `node` through `port`, or `None` at a mesh edge or
+    /// for the local port.
+    #[must_use]
+    pub fn neighbor(&self, node: usize, port: usize) -> Option<usize> {
+        if port >= self.local_port() {
+            return None;
+        }
+        let dim = port / 2;
+        let positive = port % 2 == 0;
+        let c = self.coord(node, dim);
+        let stride = self.radix.pow(dim as u32);
+        if positive {
+            if c + 1 < self.radix {
+                Some(node + stride)
+            } else if self.wraparound {
+                Some(node - c * stride)
+            } else {
+                None
+            }
+        } else if c > 0 {
+            Some(node - stride)
+        } else if self.wraparound {
+            Some(node + (self.radix - 1) * stride)
+        } else {
+            None
+        }
+    }
+
+    /// Minimal hop distance between two nodes.
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        (0..self.dims)
+            .map(|d| {
+                let (ca, cb) = (self.coord(a, d), self.coord(b, d));
+                let direct = ca.abs_diff(cb);
+                if self.wraparound {
+                    direct.min(self.radix - direct)
+                } else {
+                    direct
+                }
+            })
+            .sum()
+    }
+
+    /// Average minimal distance over all ordered src ≠ dest pairs.
+    #[must_use]
+    pub fn average_distance(&self) -> f64 {
+        let n = self.nodes();
+        let total: usize = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| self.distance(a, b))
+            .sum();
+        total as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Network capacity for uniform random traffic with dimension-ordered
+    /// routing, in flits/node/cycle: the injection rate that saturates the
+    /// center bisection channels, `4/k` for a k-ary n-mesh (`8/k` for the
+    /// torus with its doubled bisection).
+    #[must_use]
+    pub fn capacity_flits_per_node(&self) -> f64 {
+        if self.wraparound {
+            8.0 / self.radix as f64
+        } else {
+            4.0 / self.radix as f64
+        }
+    }
+}
+
+impl fmt::Display for Mesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-ary {}-{}",
+            self.radix,
+            self.dims,
+            if self.wraparound { "torus" } else { "mesh" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mesh_shape() {
+        let m = Mesh::paper_8x8();
+        assert_eq!(m.nodes(), 64);
+        assert_eq!(m.ports(), 5);
+        assert_eq!(m.local_port(), LOCAL_PORT);
+        assert!((m.capacity_flits_per_node() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = Mesh::new(8, 2);
+        for node in 0..m.nodes() {
+            assert_eq!(m.node_at(&m.coords(node)), node);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let m = Mesh::new(4, 2);
+        for node in 0..m.nodes() {
+            for port in 0..m.local_port() {
+                if let Some(n) = m.neighbor(node, port) {
+                    assert_eq!(
+                        m.neighbor(n, m.opposite(port)),
+                        Some(node),
+                        "asymmetric link {node} -> {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_edges_have_no_neighbors() {
+        let m = Mesh::new(4, 2);
+        // Node 0 is at (0, 0): no -X, no -Y neighbor.
+        assert_eq!(m.neighbor(0, m.port(0, false)), None);
+        assert_eq!(m.neighbor(0, m.port(1, false)), None);
+        assert!(m.neighbor(0, m.port(0, true)).is_some());
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let t = Mesh::new(4, 2).into_torus();
+        // Node 3 is at (3, 0): +X wraps to (0, 0) = node 0.
+        assert_eq!(t.neighbor(3, t.port(0, true)), Some(0));
+        assert_eq!(t.neighbor(0, t.port(0, false)), Some(3));
+    }
+
+    #[test]
+    fn distances_match_manhattan() {
+        let m = Mesh::new(8, 2);
+        let a = m.node_at(&[1, 2]);
+        let b = m.node_at(&[4, 7]);
+        assert_eq!(m.distance(a, b), 3 + 5);
+        let t = Mesh::new(8, 2).into_torus();
+        assert_eq!(t.distance(a, b), 3 + 3, "torus shortcut in Y");
+    }
+
+    #[test]
+    fn average_distance_of_8x8_mesh() {
+        // E[|Δ|] per dim for k=8 excluding self-pairs gives ≈ 5.33 total.
+        let d = Mesh::paper_8x8().average_distance();
+        assert!((d - 5.333).abs() < 0.01, "got {d}");
+    }
+
+    #[test]
+    fn three_dimensional_mesh() {
+        let m = Mesh::new(3, 3);
+        assert_eq!(m.nodes(), 27);
+        assert_eq!(m.ports(), 7);
+        let center = m.node_at(&[1, 1, 1]);
+        for port in 0..m.local_port() {
+            assert!(m.neighbor(center, port).is_some());
+        }
+    }
+
+    #[test]
+    fn opposite_pairs() {
+        let m = Mesh::new(4, 2);
+        assert_eq!(m.opposite(0), 1);
+        assert_eq!(m.opposite(1), 0);
+        assert_eq!(m.opposite(2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "radix")]
+    fn tiny_radix_rejected() {
+        let _ = Mesh::new(1, 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Empirical validation of the capacity normalization: under uniform
+//! random traffic with DOR on a k-ary 2-mesh, the center bisection
+//! channels are the hottest and carry ≈ k/4 times the per-node injection
+//! rate — the basis of `capacity = 4/k` flits/node/cycle.
+
+use noc_network::{Network, NetworkConfig, RouterKind, TrafficPattern};
+
+fn loaded_network(injection: f64) -> Network {
+    let cfg = NetworkConfig::mesh(8, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
+        .with_injection(injection)
+        .with_warmup(0)
+        .with_sample(u64::MAX) // never "complete": we just observe
+        .with_max_cycles(u64::MAX);
+    Network::new(cfg)
+}
+
+#[test]
+fn center_channels_are_hottest_under_uniform_dor() {
+    let mut net = loaded_network(0.4);
+    for _ in 0..20_000 {
+        net.step();
+    }
+    let mesh = net.config().mesh.clone();
+    let load = net.channel_load();
+    let (node, port, hot) = load.hottest(&mesh).expect("traffic flowed");
+    // The hottest channel must be an X-dimension channel crossing the
+    // vertical bisection (x = 3 -> 4 or x = 4 -> 3): DOR routes X first,
+    // so X channels at the center carry the most.
+    let x = mesh.coord(node, 0);
+    assert!(
+        port / 2 == 0 && (x == 3 || x == 4),
+        "hottest channel at x={x}, port={port} (load {hot:.3}) — expected \
+         a center X channel"
+    );
+    // Theory: channel load = injection_flits x k/4 = 0.4·0.5·2 = 0.4
+    // flits/cycle. Allow generous tolerance for edge effects/warmup.
+    assert!(
+        (0.28..0.5).contains(&hot),
+        "center channel load {hot:.3} vs theoretical 0.4"
+    );
+}
+
+#[test]
+fn channel_load_scales_linearly_below_saturation() {
+    let measure = |inj: f64| {
+        let mut net = loaded_network(inj);
+        for _ in 0..10_000 {
+            net.step();
+        }
+        let mesh = net.config().mesh.clone();
+        net.channel_load().hottest(&mesh).unwrap().2
+    };
+    let low = measure(0.1);
+    let high = measure(0.3);
+    let ratio = high / low;
+    assert!(
+        (2.3..3.7).contains(&ratio),
+        "tripling injection should ~triple the hottest channel: {low:.3} -> {high:.3}"
+    );
+}
+
+#[test]
+fn nearest_neighbor_loads_only_x_channels() {
+    let cfg = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 })
+        .with_pattern(TrafficPattern::NearestNeighbor)
+        .with_injection(0.2)
+        .with_warmup(0)
+        .with_sample(u64::MAX)
+        .with_max_cycles(u64::MAX);
+    let mut net = Network::new(cfg);
+    for _ in 0..5_000 {
+        net.step();
+    }
+    let mesh = net.config().mesh.clone();
+    let load = net.channel_load();
+    for node in 0..mesh.nodes() {
+        // Y-dimension channels (ports 2 and 3) never carry NN traffic.
+        assert_eq!(load.count(node, 2), 0, "node {node} +Y");
+        assert_eq!(load.count(node, 3), 0, "node {node} -Y");
+    }
+    let (_, port, _) = load.hottest(&mesh).unwrap();
+    assert!(port < 2, "hottest must be an X channel");
+}

@@ -1,0 +1,225 @@
+//! Flits — the flow-control digits packets are divided into.
+
+use std::fmt;
+
+/// A unique packet identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet id.
+    #[must_use]
+    pub const fn new(id: u64) -> Self {
+        PacketId(id)
+    }
+
+    /// The raw id.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// Flit type, decoded by the input controller on arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// Head flit: carries the destination, triggers routing and
+    /// VC/switch allocation.
+    Head,
+    /// Body flit: inherits the resources reserved by its head.
+    Body,
+    /// Tail flit: inherits resources and releases them on departure.
+    Tail,
+    /// A single-flit packet: head and tail at once.
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit opens a packet (carries routing information).
+    #[must_use]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit closes a packet (releases resources).
+    #[must_use]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// A flit in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// The packet this flit belongs to.
+    pub packet: PacketId,
+    /// Flit type.
+    pub kind: FlitKind,
+    /// Destination node id (decoded from the head; carried on every flit
+    /// for simulator convenience — real body flits inherit it from state).
+    pub dest: usize,
+    /// Virtual-channel id field; rewritten at each hop to the output VC.
+    pub vc: usize,
+    /// Cycle the packet was created at the source (for latency stats).
+    pub created: u64,
+    /// Cycle this flit was delivered into the current input buffer
+    /// (maintained by the router; used for pipeline eligibility).
+    pub arrival: u64,
+    /// Position of the flit within its packet, 0 for the head.
+    pub seq: u32,
+    /// Total packet length in flits (carried in the head's size field;
+    /// replicated on every flit for simulator convenience). Needed by
+    /// virtual cut-through admission. Low-level constructors default it
+    /// to `seq + 1`; [`Flit::packet`] sets it correctly.
+    pub len: u32,
+}
+
+impl Flit {
+    /// Creates a head flit (packet length defaults to 1; use
+    /// [`Flit::packet`] or set `len` for multi-flit packets).
+    #[must_use]
+    pub fn head(packet: PacketId, dest: usize, vc: usize, created: u64) -> Self {
+        Flit {
+            packet,
+            kind: FlitKind::Head,
+            dest,
+            vc,
+            created,
+            arrival: 0,
+            seq: 0,
+            len: 1,
+        }
+    }
+
+    /// Creates a body flit.
+    #[must_use]
+    pub fn body(packet: PacketId, dest: usize, vc: usize, created: u64, seq: u32) -> Self {
+        Flit {
+            packet,
+            kind: FlitKind::Body,
+            dest,
+            vc,
+            created,
+            arrival: 0,
+            seq,
+            len: seq + 1,
+        }
+    }
+
+    /// Creates a tail flit.
+    #[must_use]
+    pub fn tail(packet: PacketId, dest: usize, vc: usize, created: u64, seq: u32) -> Self {
+        Flit {
+            packet,
+            kind: FlitKind::Tail,
+            dest,
+            vc,
+            created,
+            arrival: 0,
+            seq,
+            len: seq + 1,
+        }
+    }
+
+    /// Builds the flit sequence of an entire packet of `len ≥ 1` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn packet(packet: PacketId, dest: usize, vc: usize, created: u64, len: u32) -> Vec<Flit> {
+        assert!(len >= 1, "a packet needs at least one flit");
+        if len == 1 {
+            return vec![Flit {
+                packet,
+                kind: FlitKind::HeadTail,
+                dest,
+                vc,
+                created,
+                arrival: 0,
+                seq: 0,
+                len: 1,
+            }];
+        }
+        (0..len)
+            .map(|seq| Flit {
+                packet,
+                kind: if seq == 0 {
+                    FlitKind::Head
+                } else if seq == len - 1 {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                },
+                dest,
+                vc,
+                created,
+                arrival: 0,
+                seq,
+                len,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{:?} seq={} dest={} vc={}]",
+            self.packet, self.kind, self.seq, self.dest, self.vc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_and_tail_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(!FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(FlitKind::HeadTail.is_head() && FlitKind::HeadTail.is_tail());
+        assert!(!FlitKind::Body.is_head() && !FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn five_flit_packet_structure() {
+        let flits = Flit::packet(PacketId::new(1), 9, 0, 100, 5);
+        assert_eq!(flits.len(), 5);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert!(flits[1..4].iter().all(|f| f.kind == FlitKind::Body));
+        assert_eq!(flits[4].kind, FlitKind::Tail);
+        assert!(flits.iter().enumerate().all(|(i, f)| f.seq == i as u32));
+        assert!(flits.iter().all(|f| f.dest == 9 && f.created == 100));
+    }
+
+    #[test]
+    fn single_flit_packet_is_headtail() {
+        let flits = Flit::packet(PacketId::new(2), 3, 1, 0, 1);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_packet_rejected() {
+        let _ = Flit::packet(PacketId::new(3), 0, 0, 0, 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = Flit::head(PacketId::new(42), 7, 1, 5);
+        let s = f.to_string();
+        assert!(s.contains("pkt#42"));
+        assert!(s.contains("dest=7"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Fixed-latency delay pipes modeling channels and credit wires.
+//!
+//! A [`DelayPipe`] delivers each item exactly `latency + 1` cycles after
+//! the cycle it was pushed in: an item sent during the switch-traversal
+//! phase of cycle `t` spends `latency` cycles on the wire (cycles `t+1 ..=
+//! t+latency`) and is delivered at the start of cycle `t + 1 + latency`.
+//! With the paper's 1-cycle propagation delay, a flit switched at `t`
+//! arrives downstream at `t + 2`.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A FIFO conveyor with fixed latency.
+#[derive(Debug, Clone)]
+pub struct DelayPipe<T> {
+    latency: u64,
+    queue: VecDeque<(u64, T)>, // (deliver_at, item)
+    last_push: Option<u64>,
+}
+
+impl<T> DelayPipe<T> {
+    /// Creates a pipe with the given propagation latency in cycles
+    /// (0 means delivery at the start of the next cycle).
+    #[must_use]
+    pub fn new(latency: u64) -> Self {
+        DelayPipe {
+            latency,
+            queue: VecDeque::new(),
+            last_push: None,
+        }
+    }
+
+    /// The propagation latency, in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Pushes an item during cycle `now`; it will be delivered at
+    /// `now + 1 + latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pushes are not in non-decreasing cycle order (the pipe is
+    /// a synchronous wire, not a scheduler).
+    pub fn push(&mut self, now: u64, item: T) {
+        if let Some(last) = self.last_push {
+            assert!(now >= last, "pushes must be in cycle order: {now} < {last}");
+        }
+        self.last_push = Some(now);
+        self.queue.push_back((now + 1 + self.latency, item));
+    }
+
+    /// Pops the next item if it has arrived by cycle `now`.
+    pub fn pop_ready(&mut self, now: u64) -> Option<T> {
+        if self.queue.front().is_some_and(|(at, _)| *at <= now) {
+            self.queue.pop_front().map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// Drains every item that has arrived by cycle `now`, in FIFO order.
+    pub fn drain_ready(&mut self, now: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = self.pop_ready(now) {
+            out.push(item);
+        }
+        out
+    }
+
+    /// Number of items in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<T> fmt::Display for DelayPipe<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DelayPipe(latency={}, in_flight={})",
+            self.latency,
+            self.queue.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cycle_link_delivers_two_cycles_later() {
+        let mut pipe = DelayPipe::new(1);
+        pipe.push(10, "flit");
+        assert_eq!(pipe.pop_ready(10), None);
+        assert_eq!(pipe.pop_ready(11), None);
+        assert_eq!(pipe.pop_ready(12), Some("flit"));
+        assert!(pipe.is_empty());
+    }
+
+    #[test]
+    fn zero_latency_delivers_next_cycle() {
+        let mut pipe = DelayPipe::new(0);
+        pipe.push(5, 1u32);
+        assert_eq!(pipe.pop_ready(5), None);
+        assert_eq!(pipe.pop_ready(6), Some(1));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut pipe = DelayPipe::new(2);
+        for (t, x) in [(0u64, 'a'), (1, 'b'), (2, 'c')] {
+            pipe.push(t, x);
+        }
+        assert_eq!(pipe.drain_ready(3), vec!['a']);
+        assert_eq!(pipe.drain_ready(5), vec!['b', 'c']);
+    }
+
+    #[test]
+    fn late_pop_still_delivers_everything() {
+        let mut pipe = DelayPipe::new(1);
+        pipe.push(0, 1);
+        pipe.push(1, 2);
+        assert_eq!(pipe.drain_ready(100), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle order")]
+    fn out_of_order_push_rejected() {
+        let mut pipe = DelayPipe::new(1);
+        pipe.push(5, ());
+        pipe.push(4, ());
+    }
+}

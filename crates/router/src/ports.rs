@@ -1,0 +1,288 @@
+//! Per-port input and output state: virtual-channel queues, channel state
+//! machines, output-VC ownership, and credit counters.
+
+use crate::flit::{Flit, PacketId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The state machine of one input virtual channel (`invc_state` /
+/// `inpc_state` in the paper's Figures 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcState {
+    /// No packet in progress.
+    Idle,
+    /// Route computed; bidding for resources from `request_at`:
+    /// an output VC (VC router), output VC and switch in parallel
+    /// (speculative router), or the output port itself (wormhole).
+    Allocating {
+        /// Output port chosen by the routing function.
+        out_port: usize,
+        /// First cycle the channel may present requests.
+        request_at: u64,
+        /// Output VCs the routing function permits (bit `i` = VC `i`),
+        /// e.g. a dateline VC class on a torus.
+        vc_mask: u64,
+    },
+    /// Resources held; flits of `packet` flow through the switch.
+    Active {
+        /// Output port of the current packet.
+        out_port: usize,
+        /// Output VC held (0 for wormhole).
+        out_vc: usize,
+        /// First cycle the head may bid for the switch (VC router), or
+        /// first cycle flits may flow (wormhole `flow_start`).
+        sa_request_at: u64,
+        /// Packet that owns this channel, for integrity checking.
+        packet: PacketId,
+    },
+}
+
+/// One input virtual channel: a flit queue plus its state machine.
+#[derive(Debug, Clone)]
+pub struct InputVc {
+    /// Buffered flits, in arrival order.
+    pub queue: VecDeque<Flit>,
+    /// Channel state.
+    pub state: VcState,
+    capacity: usize,
+}
+
+impl InputVc {
+    /// Creates an empty channel with the given buffer capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        InputVc {
+            queue: VecDeque::with_capacity(capacity),
+            state: VcState::Idle,
+            capacity,
+        }
+    }
+
+    /// Buffer capacity in flits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a delivered flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer would overflow — upstream credit accounting
+    /// must make this impossible.
+    pub fn enqueue(&mut self, flit: Flit) {
+        assert!(
+            self.queue.len() < self.capacity,
+            "input VC buffer overflow: credits out of sync ({} flits, cap {})",
+            self.queue.len(),
+            self.capacity
+        );
+        self.queue.push_back(flit);
+    }
+
+    /// The flit at the head of the queue, if any.
+    #[must_use]
+    pub fn front(&self) -> Option<&Flit> {
+        self.queue.front()
+    }
+
+    /// Number of buffered flits.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl fmt::Display for InputVc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "InputVc({}/{} flits, {:?})",
+            self.queue.len(),
+            self.capacity,
+            self.state
+        )
+    }
+}
+
+/// Output-side state of one port: downstream credit counters, output-VC
+/// ownership (`outvc_state` in the paper), and the wormhole hold.
+#[derive(Debug, Clone)]
+pub struct OutputPort {
+    credits: Vec<u64>,
+    credit_cap: Vec<u64>,
+    /// Which (input port, input VC) owns each output VC, if any.
+    pub owner: Vec<Option<(usize, usize)>>,
+    /// Which input port holds this output (wormhole only).
+    pub holder: Option<usize>,
+    sink: bool,
+}
+
+impl OutputPort {
+    /// Creates an output port with `vcs` downstream VCs, zero credits
+    /// until [`OutputPort::set_credits`] is called.
+    #[must_use]
+    pub fn new(vcs: usize) -> Self {
+        OutputPort {
+            credits: vec![0; vcs],
+            credit_cap: vec![0; vcs],
+            owner: vec![None; vcs],
+            holder: None,
+            sink: false,
+        }
+    }
+
+    /// Initializes every downstream VC with `per_vc` credits (the depth of
+    /// the next router's input buffers).
+    pub fn set_credits(&mut self, per_vc: u64) {
+        self.credits.iter_mut().for_each(|c| *c = per_vc);
+        self.credit_cap.iter_mut().for_each(|c| *c = per_vc);
+    }
+
+    /// Marks this port as an ejection (sink) port with unbounded
+    /// downstream buffering ("immediate ejection" in the paper).
+    pub fn mark_sink(&mut self) {
+        self.sink = true;
+    }
+
+    /// Whether this is an ejection port.
+    #[must_use]
+    pub fn is_sink(&self) -> bool {
+        self.sink
+    }
+
+    /// Whether a flit may be sent on downstream VC `vc`.
+    #[must_use]
+    pub fn has_credit(&self, vc: usize) -> bool {
+        self.sink || self.credits[vc] > 0
+    }
+
+    /// Current credit count for downstream VC `vc` (meaningless for
+    /// sinks).
+    #[must_use]
+    pub fn credit_count(&self, vc: usize) -> u64 {
+        self.credits[vc]
+    }
+
+    /// Consumes one credit at switch-allocation/traversal time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no credit is available (the allocator must check first).
+    pub fn consume_credit(&mut self, vc: usize) {
+        if self.sink {
+            return;
+        }
+        assert!(self.credits[vc] > 0, "consuming credit below zero on vc {vc}");
+        self.credits[vc] -= 1;
+    }
+
+    /// Returns one credit (a downstream buffer was freed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter would exceed the downstream buffer depth —
+    /// that means a duplicated credit.
+    pub fn return_credit(&mut self, vc: usize) {
+        assert!(
+            self.credits[vc] < self.credit_cap[vc],
+            "credit overflow on vc {vc}: duplicate credit"
+        );
+        self.credits[vc] += 1;
+    }
+
+    /// Index of a free (unowned) output VC, preferring lower indices from
+    /// `from` round-robin-style, or `None` if all are owned.
+    #[must_use]
+    pub fn free_vcs(&self) -> Vec<usize> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.is_none().then_some(i))
+            .collect()
+    }
+}
+
+impl fmt::Display for OutputPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OutputPort(credits={:?}, sink={}, holder={:?})",
+            self.credits, self.sink, self.holder
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{Flit, PacketId};
+
+    #[test]
+    fn input_vc_enqueues_up_to_capacity() {
+        let mut vc = InputVc::new(2);
+        vc.enqueue(Flit::head(PacketId::new(1), 0, 0, 0));
+        vc.enqueue(Flit::body(PacketId::new(1), 0, 0, 0, 1));
+        assert_eq!(vc.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn input_vc_overflow_panics() {
+        let mut vc = InputVc::new(1);
+        vc.enqueue(Flit::head(PacketId::new(1), 0, 0, 0));
+        vc.enqueue(Flit::body(PacketId::new(1), 0, 0, 0, 1));
+    }
+
+    #[test]
+    fn credits_consume_and_return() {
+        let mut out = OutputPort::new(2);
+        out.set_credits(3);
+        assert!(out.has_credit(0));
+        out.consume_credit(0);
+        out.consume_credit(0);
+        out.consume_credit(0);
+        assert!(!out.has_credit(0));
+        assert!(out.has_credit(1));
+        out.return_credit(0);
+        assert!(out.has_credit(0));
+        assert_eq!(out.credit_count(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate credit")]
+    fn credit_overflow_panics() {
+        let mut out = OutputPort::new(1);
+        out.set_credits(2);
+        out.return_credit(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below zero")]
+    fn credit_underflow_panics() {
+        let mut out = OutputPort::new(1);
+        out.set_credits(0);
+        out.consume_credit(0);
+    }
+
+    #[test]
+    fn sinks_have_infinite_credit() {
+        let mut out = OutputPort::new(1);
+        out.mark_sink();
+        assert!(out.has_credit(0));
+        for _ in 0..100 {
+            out.consume_credit(0);
+        }
+        assert!(out.has_credit(0));
+    }
+
+    #[test]
+    fn free_vcs_tracks_ownership() {
+        let mut out = OutputPort::new(3);
+        assert_eq!(out.free_vcs(), vec![0, 1, 2]);
+        out.owner[1] = Some((0, 0));
+        assert_eq!(out.free_vcs(), vec![0, 2]);
+        out.owner[1] = None;
+        assert_eq!(out.free_vcs(), vec![0, 1, 2]);
+    }
+}

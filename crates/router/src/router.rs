@@ -1,0 +1,990 @@
+//! The cycle-accurate router engine.
+//!
+//! One [`Router::tick`] advances the router a clock cycle through the
+//! hardware phases, in this order:
+//!
+//! 1. **ST** — switch traversal of flits granted in earlier cycles
+//!    (wormhole flits *flow* through their held output);
+//! 2. **RC** — route computation for head flits that reached the front of
+//!    an idle channel;
+//! 3. **VA** — virtual-channel allocation (separable allocator);
+//! 4. **SA** — switch allocation: non-speculative first, then (for the
+//!    speculative router) the parallel speculative plane, with
+//!    non-speculative grants strictly prioritized.
+//!
+//! Running ST first models the stage registers: a grant issued in cycle
+//! `t` with `st_delay = 1` performs its traversal in the ST phase of
+//! `t + 1`, while single-cycle ("unit latency") routers execute grants
+//! inline in the same cycle.
+
+use crate::config::{FlowControlKind, RouterConfig};
+use crate::flit::Flit;
+use crate::ports::{InputVc, OutputPort, VcState};
+use crate::stats::RouterStats;
+use crate::trace::{PipelineEvent, Trace, TraceEntry};
+use arbitration::{MatrixArbiter, SeparableAllocator};
+
+/// The routing function a router consults during route computation.
+///
+/// Implemented for any `Fn(&Flit) -> usize` closure (returning the output
+/// port, with all output VCs permitted). Implement the trait directly to
+/// also restrict which output VCs a packet may be allocated — e.g. the
+/// dateline VC classes that make dimension-ordered routing deadlock-free
+/// on a torus.
+pub trait RoutingOracle {
+    /// The output port for a head flit (deterministic routing; adaptive
+    /// selection, if any, happens inside the oracle).
+    fn output_port(&self, flit: &Flit) -> usize;
+
+    /// Bitmask of output VCs the packet may be allocated at `out_port`
+    /// (bit `i` = VC `i`). Defaults to all.
+    fn vc_mask(&self, _flit: &Flit, _out_port: usize) -> u64 {
+        u64::MAX
+    }
+}
+
+impl<F: Fn(&Flit) -> usize> RoutingOracle for F {
+    fn output_port(&self, flit: &Flit) -> usize {
+        self(flit)
+    }
+}
+
+/// A flit leaving through an output port this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Departure {
+    /// The flit, with its `vc` field already rewritten to the output VC.
+    pub flit: Flit,
+    /// The output port it leaves through.
+    pub out_port: usize,
+}
+
+/// A credit to return upstream: the buffer of `(in_port, vc)` was freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreditOut {
+    /// Input port whose buffer was freed.
+    pub in_port: usize,
+    /// Virtual channel within that port.
+    pub vc: usize,
+}
+
+/// Everything a router produced in one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct TickOutput {
+    /// Flits that traversed the crossbar this cycle.
+    pub departures: Vec<Departure>,
+    /// Credits to send upstream.
+    pub credits: Vec<CreditOut>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StEntry {
+    in_port: usize,
+    in_vc: usize,
+    out_port: usize,
+    out_vc: usize,
+    depart_at: u64,
+}
+
+/// A cycle-accurate wormhole / VC / speculative-VC router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    cfg: RouterConfig,
+    inputs: Vec<Vec<InputVc>>,
+    outputs: Vec<OutputPort>,
+    va: SeparableAllocator,
+    sa1: Vec<MatrixArbiter>,
+    sa2: Vec<MatrixArbiter>,
+    spec_sa1: Vec<MatrixArbiter>,
+    spec_sa2: Vec<MatrixArbiter>,
+    pending_st: Vec<StEntry>,
+    stats: RouterStats,
+    trace: Trace,
+    last_tick: Option<u64>,
+}
+
+impl Router {
+    /// Builds a router from its configuration. Output credit counters
+    /// start at zero: wire the router with [`Router::set_output_credits`]
+    /// / [`Router::mark_sink`] before simulating.
+    #[must_use]
+    pub fn new(cfg: RouterConfig) -> Self {
+        let p = cfg.ports;
+        let v = cfg.vcs;
+        Router {
+            cfg,
+            inputs: (0..p)
+                .map(|_| (0..v).map(|_| InputVc::new(cfg.buffers_per_vc)).collect())
+                .collect(),
+            outputs: (0..p).map(|_| OutputPort::new(v)).collect(),
+            va: SeparableAllocator::new(p * v, p * v),
+            sa1: (0..p).map(|_| MatrixArbiter::new(v)).collect(),
+            sa2: (0..p).map(|_| MatrixArbiter::new(p)).collect(),
+            spec_sa1: (0..p).map(|_| MatrixArbiter::new(v)).collect(),
+            spec_sa2: (0..p).map(|_| MatrixArbiter::new(p)).collect(),
+            pending_st: Vec::new(),
+            stats: RouterStats::default(),
+            trace: Trace::disabled(),
+            last_tick: None,
+        }
+    }
+
+    /// The configuration this router was built with.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Lifetime event counters.
+    #[must_use]
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// Enables pipeline event tracing, retaining up to `capacity` events
+    /// (see [`crate::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::enabled(capacity);
+    }
+
+    /// The recorded pipeline trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes the recorded pipeline events, leaving tracing on.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.take()
+    }
+
+    fn record(&mut self, cycle: u64, in_port: usize, in_vc: usize, packet: crate::flit::PacketId, event: PipelineEvent) {
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEntry { cycle, in_port, in_vc, packet, event });
+        }
+    }
+
+    /// Initializes the credit counters of `out_port` to the downstream
+    /// input buffer depth (per VC).
+    pub fn set_output_credits(&mut self, out_port: usize, per_vc: u64) {
+        self.outputs[out_port].set_credits(per_vc);
+    }
+
+    /// Marks `out_port` as an ejection port with immediate (unbounded)
+    /// ejection.
+    pub fn mark_sink(&mut self, out_port: usize) {
+        self.outputs[out_port].mark_sink();
+    }
+
+    /// Occupancy of input buffer `(port, vc)` in flits (diagnostics).
+    #[must_use]
+    pub fn input_occupancy(&self, port: usize, vc: usize) -> usize {
+        self.inputs[port][vc].occupancy()
+    }
+
+    /// Total flits buffered in the router.
+    #[must_use]
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|port| port.iter().map(InputVc::occupancy))
+            .sum()
+    }
+
+    /// Delivers a flit into input `port` during the delivery phase of
+    /// cycle `now` (call before [`Router::tick`] for the same cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit's VC is out of range or its buffer overflows
+    /// (i.e. the upstream violated credit flow control).
+    pub fn accept_flit(&mut self, port: usize, mut flit: Flit, now: u64) {
+        assert!(
+            flit.vc < self.cfg.vcs,
+            "flit vc {} out of range ({} vcs)",
+            flit.vc,
+            self.cfg.vcs
+        );
+        flit.arrival = now;
+        self.record(now, port, flit.vc, flit.packet, PipelineEvent::Arrived);
+        self.inputs[port][flit.vc].enqueue(flit);
+    }
+
+    /// Delivers a credit for downstream VC `vc` of output `port` (the
+    /// downstream router freed a buffer).
+    pub fn accept_credit(&mut self, port: usize, vc: usize, _now: u64) {
+        self.outputs[port].return_credit(vc);
+    }
+
+    /// Advances one clock cycle. `route` maps a head flit to its output
+    /// port (the routing function, a black box per the paper) and may
+    /// restrict the permissible output VCs (see [`RoutingOracle`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a non-increasing cycle number.
+    pub fn tick(&mut self, now: u64, route: &dyn RoutingOracle) -> TickOutput {
+        if let Some(last) = self.last_tick {
+            assert!(now > last, "tick({now}) after tick({last})");
+        }
+        self.last_tick = Some(now);
+
+        let mut out = TickOutput::default();
+
+        // Phase 1: ST — previously granted traversals.
+        self.phase_st(now, &mut out);
+
+        // Phase 2: RC.
+        self.phase_rc(now, route);
+
+        // Phase 3: VA (and remember who was bidding, for the speculative
+        // plane which runs its SA in parallel with VA).
+        let (va_bidders, va_winners) = self.phase_va(now);
+
+        // Phase 4: SA.
+        match self.cfg.kind {
+            FlowControlKind::Wormhole | FlowControlKind::VirtualCutThrough => {
+                self.phase_sa_wormhole(now, &mut out)
+            }
+            FlowControlKind::VirtualChannel => {
+                let _ = self.phase_sa_vc(now, &mut out);
+            }
+            FlowControlKind::SpeculativeVc => {
+                let granted = self.phase_sa_vc(now, &mut out);
+                self.phase_sa_speculative(now, &granted, &va_bidders, &va_winners, &mut out);
+            }
+        }
+
+        out
+    }
+
+    // ----- ST ---------------------------------------------------------
+
+    fn phase_st(&mut self, now: u64, out: &mut TickOutput) {
+        // Granted per-flit traversals whose time has come.
+        let mut due = Vec::new();
+        self.pending_st.retain(|e| {
+            if e.depart_at <= now {
+                due.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        for e in due {
+            debug_assert_eq!(e.depart_at, now, "missed an ST slot");
+            self.traverse(now, e, out);
+        }
+
+        // Wormhole/cut-through flow through held outputs.
+        if matches!(
+            self.cfg.kind,
+            FlowControlKind::Wormhole | FlowControlKind::VirtualCutThrough
+        ) {
+            for out_port in 0..self.cfg.ports {
+                self.wormhole_flow(now, out_port, out);
+            }
+        }
+    }
+
+    /// Moves one flit of the packet holding `out_port`, if any is eligible
+    /// and a credit is available (wormhole only).
+    fn wormhole_flow(&mut self, now: u64, out_port: usize, out: &mut TickOutput) {
+        let Some(in_port) = self.outputs[out_port].holder else {
+            return;
+        };
+        let t = self.cfg.timing;
+        let vc = &self.inputs[in_port][0];
+        let VcState::Active { sa_request_at: flow_start, .. } = vc.state else {
+            unreachable!("holder without active channel");
+        };
+        let Some(front) = vc.front() else { return };
+        let eligible = now >= flow_start && now >= front.arrival + t.body_sa_delay + t.st_delay;
+        if !eligible || !self.outputs[out_port].has_credit(0) {
+            return;
+        }
+        self.outputs[out_port].consume_credit(0);
+        self.traverse(
+            now,
+            StEntry {
+                in_port,
+                in_vc: 0,
+                out_port,
+                out_vc: 0,
+                depart_at: now,
+            },
+            out,
+        );
+    }
+
+    /// Executes one switch traversal: pops the flit, rewrites its VC id,
+    /// releases resources on tails, and emits the departure plus the
+    /// upstream credit.
+    fn traverse(&mut self, now: u64, e: StEntry, out: &mut TickOutput) {
+        let vc = &mut self.inputs[e.in_port][e.in_vc];
+        let mut flit = vc
+            .queue
+            .pop_front()
+            .expect("granted traversal with empty queue");
+        if let VcState::Active { packet, .. } = vc.state {
+            debug_assert_eq!(packet, flit.packet, "foreign flit on an active channel");
+        }
+        flit.vc = e.out_vc;
+        flit.arrival = now;
+        if flit.kind.is_tail() {
+            match self.cfg.kind {
+                FlowControlKind::Wormhole | FlowControlKind::VirtualCutThrough => {
+                    self.outputs[e.out_port].holder = None;
+                }
+                _ => self.outputs[e.out_port].owner[e.out_vc] = None,
+            }
+            vc.state = VcState::Idle;
+        }
+        self.stats.flits_switched += 1;
+        self.stats.credits_sent += 1;
+        self.record(
+            now,
+            e.in_port,
+            e.in_vc,
+            flit.packet,
+            PipelineEvent::Traversed { out_port: e.out_port, out_vc: e.out_vc },
+        );
+        out.departures.push(Departure {
+            flit,
+            out_port: e.out_port,
+        });
+        out.credits.push(CreditOut {
+            in_port: e.in_port,
+            vc: e.in_vc,
+        });
+    }
+
+    // ----- RC ---------------------------------------------------------
+
+    fn phase_rc(&mut self, now: u64, route: &dyn RoutingOracle) {
+        let rc_delay = self.cfg.timing.rc_delay;
+        let ports = self.cfg.ports;
+        for port in 0..ports {
+            for vc in 0..self.cfg.vcs {
+                let ivc = &self.inputs[port][vc];
+                if ivc.state != VcState::Idle {
+                    continue;
+                }
+                let Some(front) = ivc.front() else { continue };
+                assert!(
+                    front.kind.is_head(),
+                    "non-head flit {front} at the front of an idle channel"
+                );
+                let out_port = route.output_port(front);
+                assert!(out_port < ports, "routing returned port {out_port}");
+                let vc_mask = route.vc_mask(front, out_port);
+                assert!(
+                    vc_mask & (u64::MAX >> (64 - self.cfg.vcs)) != 0,
+                    "routing permitted no output VC at port {out_port}"
+                );
+                let packet = front.packet;
+                self.inputs[port][vc].state = VcState::Allocating {
+                    out_port,
+                    request_at: now + rc_delay,
+                    vc_mask,
+                };
+                self.record(now, port, vc, packet, PipelineEvent::RouteComputed { out_port });
+            }
+        }
+    }
+
+    // ----- VA ---------------------------------------------------------
+
+    /// Runs VC allocation. Returns (the channels that presented VA
+    /// requests this cycle, the subset that won an output VC) — the
+    /// speculative switch allocator needs both.
+    #[allow(clippy::type_complexity)]
+    fn phase_va(&mut self, now: u64) -> (Vec<(usize, usize)>, Vec<(usize, usize)>) {
+        if matches!(
+            self.cfg.kind,
+            FlowControlKind::Wormhole | FlowControlKind::VirtualCutThrough
+        ) {
+            return (Vec::new(), Vec::new());
+        }
+        let v = self.cfg.vcs;
+        let mut bidders = Vec::new();
+        let mut requests = Vec::new();
+        for port in 0..self.cfg.ports {
+            for vc in 0..v {
+                let VcState::Allocating {
+                    out_port,
+                    request_at,
+                    vc_mask,
+                } = self.inputs[port][vc].state
+                else {
+                    continue;
+                };
+                if now < request_at {
+                    continue;
+                }
+                bidders.push((port, vc));
+                for free in self.outputs[out_port].free_vcs() {
+                    if free < 64 && vc_mask & (1 << free) != 0 {
+                        requests.push((port * v + vc, out_port * v + free));
+                    }
+                }
+            }
+        }
+        let grants = self.va.allocate(&requests);
+        let mut winners = Vec::new();
+        for g in grants {
+            let (port, vc) = (g.input / v, g.input % v);
+            let (out_port, out_vc) = (g.resource / v, g.resource % v);
+            debug_assert!(self.outputs[out_port].owner[out_vc].is_none());
+            self.outputs[out_port].owner[out_vc] = Some((port, vc));
+            let packet = self.inputs[port][vc]
+                .front()
+                .expect("VA bid without a head flit")
+                .packet;
+            // The head may bid (non-speculatively) for the switch
+            // va_sa_delay cycles later; the speculative router bids in
+            // parallel *this* cycle through the speculative plane and
+            // falls back to non-speculative requests from the next cycle.
+            let sa_request_at = match self.cfg.kind {
+                FlowControlKind::VirtualChannel => now + self.cfg.timing.va_sa_delay,
+                FlowControlKind::SpeculativeVc => now + 1,
+                FlowControlKind::Wormhole | FlowControlKind::VirtualCutThrough => {
+                    unreachable!("hold-based routers do not allocate VCs")
+                }
+            };
+            self.inputs[port][vc].state = VcState::Active {
+                out_port,
+                out_vc,
+                sa_request_at,
+                packet,
+            };
+            self.stats.va_grants += 1;
+            self.record(now, port, vc, packet, PipelineEvent::VaGranted { out_vc });
+            winners.push((port, vc));
+        }
+        (bidders, winners)
+    }
+
+    // ----- SA ---------------------------------------------------------
+
+    /// Whether channel `(port, vc)` has a switch request this cycle:
+    /// active, with an eligible front flit and a downstream credit.
+    fn sa_request(&self, now: u64, port: usize, vc: usize) -> Option<(usize, usize)> {
+        let t = self.cfg.timing;
+        let ivc = &self.inputs[port][vc];
+        let VcState::Active {
+            out_port,
+            out_vc,
+            sa_request_at,
+            ..
+        } = ivc.state
+        else {
+            return None;
+        };
+        let front = ivc.front()?;
+        let eligible = if front.kind.is_head() {
+            now >= sa_request_at
+        } else {
+            now >= front.arrival + t.body_sa_delay
+        };
+        (eligible && self.outputs[out_port].has_credit(out_vc)).then_some((out_port, out_vc))
+    }
+
+    /// Non-speculative separable switch allocation (VC and speculative
+    /// routers; the speculative plane runs after this and never overrides
+    /// its grants). Returns the `(in_port, out_port)` pairs granted this
+    /// cycle — the crossbar connections the speculative plane must avoid.
+    fn phase_sa_vc(&mut self, now: u64, out: &mut TickOutput) -> Vec<(usize, usize)> {
+        let p = self.cfg.ports;
+        let v = self.cfg.vcs;
+
+        // Stage 1: per input port, pick one requesting VC.
+        let mut port_winner: Vec<Option<(usize, usize, usize)>> = vec![None; p]; // (vc, out_port, out_vc)
+        let mut reqs = vec![false; v];
+        for port in 0..p {
+            let mut targets = vec![None; v];
+            for vc in 0..v {
+                targets[vc] = self.sa_request(now, port, vc);
+                reqs[vc] = targets[vc].is_some();
+            }
+            if let Some(winner_vc) = self.sa1[port].peek(&reqs) {
+                let (op, ov) = targets[winner_vc].expect("stage-1 winner had a request");
+                port_winner[port] = Some((winner_vc, op, ov));
+            }
+        }
+
+        // Stage 2: per output port, pick one input port.
+        let mut granted = Vec::new();
+        let mut port_reqs = vec![false; p];
+        for out_port in 0..p {
+            for (port, w) in port_winner.iter().enumerate() {
+                port_reqs[port] = matches!(w, Some((_, op, _)) if *op == out_port);
+            }
+            let Some(win_port) = self.sa2[out_port].peek(&port_reqs) else {
+                continue;
+            };
+            let (vc, _, out_vc) = port_winner[win_port].expect("stage-2 winner had a request");
+            self.sa2[out_port].demote(win_port);
+            self.sa1[win_port].demote(vc);
+            self.grant_switch(now, win_port, vc, out_port, out_vc, false, out);
+            self.stats.sa_grants += 1;
+            granted.push((win_port, out_port));
+        }
+        granted
+    }
+
+    /// The speculative switch-allocation plane: channels still bidding for
+    /// an output VC bid for the switch in parallel. A speculative grant is
+    /// used only if the channel also won VA *this cycle* and the granted
+    /// VC has a credit; otherwise the crossbar slot is wasted. Output
+    /// ports and input ports already granted non-speculatively are
+    /// excluded — non-speculative requests have strict priority.
+    fn phase_sa_speculative(
+        &mut self,
+        now: u64,
+        nonspec_grants: &[(usize, usize)],
+        va_bidders: &[(usize, usize)],
+        va_winners: &[(usize, usize)],
+        out: &mut TickOutput,
+    ) {
+        let p = self.cfg.ports;
+        let v = self.cfg.vcs;
+        if va_bidders.is_empty() {
+            return;
+        }
+
+        // Crossbar connections consumed by this cycle's non-speculative
+        // grants (they traverse in the same cycle as any speculative grant
+        // issued now, so they conflict; traversals of *earlier* grants do
+        // not).
+        let mut in_taken = vec![false; p];
+        let mut out_taken = vec![false; p];
+        for &(in_port, out_port) in nonspec_grants {
+            in_taken[in_port] = true;
+            out_taken[out_port] = true;
+        }
+
+        // Stage 1: per input port, pick one speculatively bidding VC.
+        let mut port_winner: Vec<Option<(usize, usize)>> = vec![None; p]; // (vc, out_port)
+        for port in 0..p {
+            if in_taken[port] {
+                continue;
+            }
+            let mut reqs = vec![false; v];
+            let mut targets = vec![None; v];
+            for &(bp, bvc) in va_bidders {
+                if bp != port {
+                    continue;
+                }
+                // The channel bid for VA this cycle; its head (at the
+                // queue front) speculatively requests its output port.
+                let out_port = match self.inputs[bp][bvc].state {
+                    VcState::Allocating { out_port, .. } => out_port, // VA failed
+                    VcState::Active { out_port, .. } => out_port,     // VA succeeded
+                    VcState::Idle => continue,
+                };
+                reqs[bvc] = true;
+                targets[bvc] = Some(out_port);
+                self.stats.spec_requests += 1;
+            }
+            if let Some(winner_vc) = self.spec_sa1[port].peek(&reqs) {
+                port_winner[port] = Some((winner_vc, targets[winner_vc].expect("had target")));
+            }
+        }
+
+        // Stage 2: per output port not already granted, pick one port.
+        let mut port_reqs = vec![false; p];
+        for out_port in 0..p {
+            if out_taken[out_port] {
+                continue;
+            }
+            for (port, w) in port_winner.iter().enumerate() {
+                port_reqs[port] = matches!(w, Some((_, op)) if *op == out_port);
+            }
+            let Some(win_port) = self.spec_sa2[out_port].peek(&port_reqs) else {
+                continue;
+            };
+            let (vc, _) = port_winner[win_port].expect("stage-2 winner had a request");
+            self.spec_sa2[out_port].demote(win_port);
+            self.spec_sa1[win_port].demote(vc);
+
+            // Validate the speculation: the channel must have won VA this
+            // very cycle and the granted output VC must have a credit.
+            let valid = va_winners.contains(&(win_port, vc));
+            if !valid {
+                self.stats.spec_wasted += 1;
+                if let Some(front) = self.inputs[win_port][vc].front() {
+                    let packet = front.packet;
+                    self.record(now, win_port, vc, packet, PipelineEvent::SpecWasted);
+                }
+                continue;
+            }
+            let VcState::Active { out_vc, .. } = self.inputs[win_port][vc].state else {
+                unreachable!("VA winner must be active");
+            };
+            if !self.outputs[out_port].has_credit(out_vc) {
+                self.stats.spec_wasted += 1;
+                continue;
+            }
+            self.grant_switch(now, win_port, vc, out_port, out_vc, true, out);
+            self.stats.spec_hits += 1;
+        }
+    }
+
+    /// Wormhole switch arbitration: channels bid to *hold* a free output
+    /// port; held ports then stream flits (see [`Router::wormhole_flow`]).
+    fn phase_sa_wormhole(&mut self, now: u64, out: &mut TickOutput) {
+        let p = self.cfg.ports;
+        let mut reqs = vec![false; p];
+        let mut newly_held = Vec::new();
+        for out_port in 0..p {
+            if self.outputs[out_port].holder.is_some() {
+                continue;
+            }
+            for (port, r) in reqs.iter_mut().enumerate() {
+                *r = matches!(
+                    self.inputs[port][0].state,
+                    VcState::Allocating { out_port: op, request_at, .. }
+                        if op == out_port && now >= request_at
+                );
+                // Cut-through admission: the downstream buffer must have
+                // room for the entire packet before it may advance.
+                if *r && self.cfg.kind == FlowControlKind::VirtualCutThrough {
+                    let head = self.inputs[port][0].front().expect("bid without head");
+                    let room = self.outputs[out_port].is_sink()
+                        || self.outputs[out_port].credit_count(0) >= u64::from(head.len);
+                    *r = room;
+                }
+            }
+            let Some(winner) = self.sa2[out_port].peek(&reqs) else {
+                continue;
+            };
+            self.sa2[out_port].demote(winner);
+            let packet = self.inputs[winner][0]
+                .front()
+                .expect("switch bid without a head flit")
+                .packet;
+            self.outputs[out_port].holder = Some(winner);
+            self.inputs[winner][0].state = VcState::Active {
+                out_port,
+                out_vc: 0,
+                sa_request_at: now + self.cfg.timing.st_delay, // flow_start
+                packet,
+            };
+            self.stats.sa_grants += 1;
+            self.record(now, winner, 0, packet, PipelineEvent::SaGranted { speculative: false });
+            newly_held.push(out_port);
+        }
+        // Single-cycle routers start flowing in the grant cycle itself.
+        if self.cfg.timing.st_delay == 0 {
+            for out_port in newly_held {
+                self.wormhole_flow(now, out_port, out);
+            }
+        }
+    }
+
+    /// Commits a per-flit switch grant: consumes the credit and schedules
+    /// (or, for single-cycle routers, immediately executes) the traversal.
+    fn grant_switch(
+        &mut self,
+        now: u64,
+        in_port: usize,
+        in_vc: usize,
+        out_port: usize,
+        out_vc: usize,
+        speculative: bool,
+        out: &mut TickOutput,
+    ) {
+        if self.trace.is_enabled() {
+            if let Some(front) = self.inputs[in_port][in_vc].front() {
+                let packet = front.packet;
+                self.record(now, in_port, in_vc, packet, PipelineEvent::SaGranted { speculative });
+            }
+        }
+        self.outputs[out_port].consume_credit(out_vc);
+        let entry = StEntry {
+            in_port,
+            in_vc,
+            out_port,
+            out_vc,
+            depart_at: now + self.cfg.timing.st_delay,
+        };
+        if self.cfg.timing.st_delay == 0 {
+            self.traverse(now, entry, out);
+        } else {
+            self.pending_st.push(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RouterConfig;
+    use crate::flit::{Flit, FlitKind, PacketId};
+
+    /// Runs `router` from `from` to `to` inclusive, collecting output.
+    fn run(router: &mut Router, from: u64, to: u64, route: impl Fn(&Flit) -> usize) -> TickOutput {
+        let mut all = TickOutput::default();
+        for now in from..=to {
+            let o = router.tick(now, &route);
+            all.departures.extend(o.departures);
+            all.credits.extend(o.credits);
+        }
+        all
+    }
+
+    /// Runs `router`, delivering one flit per cycle from `feeds` =
+    /// `(port, flits)` as a real upstream link would.
+    fn run_feeding(
+        router: &mut Router,
+        from: u64,
+        to: u64,
+        feeds: &mut [(usize, std::collections::VecDeque<Flit>)],
+        route: impl Fn(&Flit) -> usize,
+    ) -> TickOutput {
+        let mut all = TickOutput::default();
+        for now in from..=to {
+            for (port, q) in feeds.iter_mut() {
+                if let Some(f) = q.pop_front() {
+                    router.accept_flit(*port, f, now);
+                }
+            }
+            let o = router.tick(now, &route);
+            all.departures.extend(o.departures);
+            all.credits.extend(o.credits);
+        }
+        all
+    }
+
+    fn wired(cfg: RouterConfig, credits: u64) -> Router {
+        let mut r = Router::new(cfg);
+        for port in 0..cfg.ports {
+            r.set_output_credits(port, credits);
+        }
+        r
+    }
+
+    #[test]
+    fn wormhole_head_takes_three_stages() {
+        let mut r = wired(RouterConfig::wormhole(5, 8), 8);
+        r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+        assert!(r.tick(10, &|_: &Flit| 2).departures.is_empty()); // RC
+        assert!(r.tick(11, &|_: &Flit| 2).departures.is_empty()); // SA
+        let o = r.tick(12, &|_: &Flit| 2); // ST
+        assert_eq!(o.departures.len(), 1);
+        assert_eq!(o.departures[0].out_port, 2);
+        assert_eq!(o.credits, vec![CreditOut { in_port: 0, vc: 0 }]);
+    }
+
+    #[test]
+    fn vc_head_takes_four_stages() {
+        let mut r = wired(RouterConfig::virtual_channel(5, 2, 4), 4);
+        r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+        for now in 10..=12 {
+            assert!(r.tick(now, &|_: &Flit| 3).departures.is_empty(), "cycle {now}");
+        }
+        let o = r.tick(13, &|_: &Flit| 3);
+        assert_eq!(o.departures.len(), 1);
+        assert_eq!(o.departures[0].out_port, 3);
+    }
+
+    #[test]
+    fn speculative_head_takes_three_stages() {
+        let mut r = wired(RouterConfig::speculative(5, 2, 4), 4);
+        r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+        assert!(r.tick(10, &|_: &Flit| 4).departures.is_empty()); // RC
+        assert!(r.tick(11, &|_: &Flit| 4).departures.is_empty()); // VA ∥ SA
+        let o = r.tick(12, &|_: &Flit| 4); // ST
+        assert_eq!(o.departures.len(), 1);
+        assert_eq!(r.stats().spec_hits, 1);
+        assert_eq!(r.stats().spec_wasted, 0);
+    }
+
+    #[test]
+    fn single_cycle_router_departs_same_cycle() {
+        for cfg in [
+            RouterConfig::wormhole(5, 8).into_single_cycle(),
+            RouterConfig::virtual_channel(5, 2, 4).into_single_cycle(),
+            RouterConfig::speculative(5, 2, 4).into_single_cycle(),
+        ] {
+            let mut r = wired(cfg, 4);
+            r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+            let o = r.tick(10, &|_: &Flit| 1);
+            assert_eq!(o.departures.len(), 1, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn five_flit_packet_streams_one_per_cycle() {
+        let mut r = wired(RouterConfig::wormhole(5, 8), 8);
+        let flits = Flit::packet(PacketId::new(1), 9, 0, 0, 5);
+        for (i, f) in flits.into_iter().enumerate() {
+            r.accept_flit(0, f, 10 + i as u64);
+        }
+        let out = run(&mut r, 10, 30, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 5);
+        // Head departs at 12; body/tail at 13, 14, 15, 16.
+        let kinds: Vec<FlitKind> = out.departures.iter().map(|d| d.flit.kind).collect();
+        assert_eq!(kinds[0], FlitKind::Head);
+        assert_eq!(kinds[4], FlitKind::Tail);
+    }
+
+    #[test]
+    fn tail_releases_wormhole_hold_for_next_packet() {
+        let mut r = wired(RouterConfig::wormhole(5, 8), 8);
+        // Packet 1 from port 0, packet 2 from port 1, both to output 2.
+        for f in Flit::packet(PacketId::new(1), 9, 0, 0, 2) {
+            r.accept_flit(0, f, 10);
+        }
+        for f in Flit::packet(PacketId::new(2), 9, 0, 0, 2) {
+            r.accept_flit(1, f, 10);
+        }
+        let out = run(&mut r, 10, 40, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 4);
+        // No interleaving: once packet A starts, its tail departs before
+        // packet B's head.
+        let ids: Vec<u64> = out.departures.iter().map(|d| d.flit.packet.value()).collect();
+        assert!(ids == vec![1, 1, 2, 2] || ids == vec![2, 2, 1, 1], "{ids:?}");
+    }
+
+    #[test]
+    fn vc_router_interleaves_packets_from_different_vcs() {
+        let mut r = wired(RouterConfig::virtual_channel(5, 2, 4), 4);
+        for f in Flit::packet(PacketId::new(1), 9, 0, 0, 3) {
+            r.accept_flit(0, f, 10);
+        }
+        for f in Flit::packet(PacketId::new(2), 9, 1, 0, 3) {
+            r.accept_flit(0, f, 10);
+        }
+        // Both packets leave through output 2 on different output VCs.
+        let out = run(&mut r, 10, 40, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 6);
+        let vcs: std::collections::HashSet<usize> =
+            out.departures.iter().map(|d| d.flit.vc).collect();
+        assert_eq!(vcs.len(), 2, "two output VCs in use");
+    }
+
+    #[test]
+    fn no_credit_no_departure() {
+        let mut r = wired(RouterConfig::wormhole(5, 8), 0);
+        r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+        let out = run(&mut r, 10, 20, |_: &Flit| 2);
+        assert!(out.departures.is_empty(), "no credits downstream");
+        assert_eq!(r.buffered_flits(), 1);
+    }
+
+    #[test]
+    fn credit_return_resumes_flow() {
+        let mut r = wired(RouterConfig::wormhole(5, 8), 1);
+        for f in Flit::packet(PacketId::new(1), 9, 0, 0, 2) {
+            r.accept_flit(0, f, 10);
+        }
+        let out = run(&mut r, 10, 20, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 1, "one credit, one flit");
+        r.accept_credit(2, 0, 21);
+        let out = run(&mut r, 21, 25, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 1, "returned credit releases the tail");
+    }
+
+    #[test]
+    fn speculation_fails_gracefully_when_no_free_vc() {
+        let mut r = wired(RouterConfig::speculative(5, 1, 4), 16);
+        // Packet A's head claims the only output VC of port 2 and then its
+        // body stalls (we withhold it). Packet B bids for the same port:
+        // VA fails (VC owned by A), so its speculative switch grant — made
+        // while output 2 sits idle — must be wasted.
+        let a = Flit::packet(PacketId::new(1), 9, 0, 0, 8);
+        r.accept_flit(0, a[0], 10);
+        r.accept_flit(1, Flit::head(PacketId::new(2), 9, 0, 0), 11);
+        let _ = run(&mut r, 10, 16, |_: &Flit| 2);
+        assert!(r.stats().spec_wasted > 0, "speculation should have been wasted");
+        // B's head is still buffered.
+        assert_eq!(r.input_occupancy(1, 0), 1);
+    }
+
+    #[test]
+    fn nonspec_priority_over_speculative() {
+        let mut r = wired(RouterConfig::speculative(5, 2, 8), 8);
+        // Packet A (port 0, vc 0) becomes non-speculative (active) first.
+        for f in Flit::packet(PacketId::new(1), 9, 0, 0, 5) {
+            r.accept_flit(0, f, 10);
+        }
+        let _ = run(&mut r, 10, 11, |_: &Flit| 2);
+        // Packet B arrives at port 1 with its VA∥SA cycle at 13, while A's
+        // body flits are streaming non-speculatively to the same output.
+        r.accept_flit(1, Flit::head(PacketId::new(2), 9, 0, 0), 12);
+        let out = run(&mut r, 12, 13, |_: &Flit| 2);
+        // At cycle 13 output 2 carries a non-speculative flit of A, not B.
+        let last = out.departures.last().expect("A streams every cycle");
+        assert_eq!(last.flit.packet, PacketId::new(1));
+        assert!(r.stats().spec_requests > 0, "B did bid speculatively");
+    }
+
+    #[test]
+    fn cut_through_waits_for_whole_packet_room() {
+        // Downstream has room for 3 flits; a 5-flit packet must not
+        // advance under cut-through, but does under wormhole.
+        let mut vct = wired(RouterConfig::virtual_cut_through(5, 8), 3);
+        let mut wh = wired(RouterConfig::wormhole(5, 8), 3);
+        for r in [&mut vct, &mut wh] {
+            let mut feeds = [(0usize, Flit::packet(PacketId::new(1), 9, 0, 0, 5).into())];
+            let out = run_feeding(r, 10, 30, &mut feeds, |_: &Flit| 2);
+            match r.config().kind {
+                FlowControlKind::VirtualCutThrough => {
+                    assert!(out.departures.is_empty(), "VCT must hold the packet")
+                }
+                _ => assert_eq!(out.departures.len(), 3, "WH streams into the room"),
+            }
+        }
+    }
+
+    #[test]
+    fn cut_through_advances_with_room() {
+        let mut r = wired(RouterConfig::virtual_cut_through(5, 8), 5);
+        let mut feeds = [(0usize, Flit::packet(PacketId::new(1), 9, 0, 0, 5).into())];
+        let out = run_feeding(&mut r, 10, 30, &mut feeds, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 5);
+    }
+
+    #[test]
+    fn cut_through_has_wormhole_pipeline_depth() {
+        let mut r = wired(RouterConfig::virtual_cut_through(5, 8), 8);
+        r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+        assert!(r.tick(10, &|_: &Flit| 2).departures.is_empty()); // RC
+        assert!(r.tick(11, &|_: &Flit| 2).departures.is_empty()); // SA
+        assert_eq!(r.tick(12, &|_: &Flit| 2).departures.len(), 1); // ST
+    }
+
+    #[test]
+    fn sink_ports_never_block() {
+        let mut r = Router::new(RouterConfig::virtual_channel(5, 2, 4));
+        for port in 0..5 {
+            r.set_output_credits(port, 0);
+        }
+        r.mark_sink(4);
+        let mut feeds = [(0usize, Flit::packet(PacketId::new(1), 0, 0, 0, 5).into())];
+        let out = run_feeding(&mut r, 10, 30, &mut feeds, |_: &Flit| 4);
+        assert_eq!(out.departures.len(), 5, "ejection is immediate");
+    }
+
+    #[test]
+    fn credits_equal_departures() {
+        let mut r = wired(RouterConfig::speculative(5, 2, 4), 8);
+        let mut feeds = [(3usize, Flit::packet(PacketId::new(1), 9, 0, 0, 5).into())];
+        let out = run_feeding(&mut r, 10, 40, &mut feeds, |_: &Flit| 0);
+        assert_eq!(out.departures.len(), 5);
+        assert_eq!(out.departures.len(), out.credits.len());
+        assert!(out
+            .credits
+            .iter()
+            .all(|c| c.in_port == 3 && c.vc == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick(10) after tick(10)")]
+    fn repeated_tick_rejected() {
+        let mut r = wired(RouterConfig::wormhole(2, 4), 4);
+        let _ = r.tick(10, &|_: &Flit| 0);
+        let _ = r.tick(10, &|_: &Flit| 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-router event counters, used by tests and the ablation benches.
+
+use std::fmt;
+
+/// Counters accumulated over a router's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Flits that traversed the crossbar.
+    pub flits_switched: u64,
+    /// Head flits granted an output VC.
+    pub va_grants: u64,
+    /// Non-speculative switch grants.
+    pub sa_grants: u64,
+    /// Speculative switch requests presented.
+    pub spec_requests: u64,
+    /// Speculative switch grants that were used (speculation succeeded).
+    pub spec_hits: u64,
+    /// Speculative switch grants wasted because VC allocation failed or
+    /// the granted VC had no credit (crossbar passage wasted).
+    pub spec_wasted: u64,
+    /// Credits returned upstream.
+    pub credits_sent: u64,
+}
+
+impl RouterStats {
+    /// Fraction of speculative grants that carried a flit, in `[0, 1]`;
+    /// `None` if no speculation was attempted.
+    #[must_use]
+    pub fn speculation_accuracy(&self) -> Option<f64> {
+        let granted = self.spec_hits + self.spec_wasted;
+        (granted > 0).then(|| self.spec_hits as f64 / granted as f64)
+    }
+}
+
+impl fmt::Display for RouterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flits={} va={} sa={} spec {}/{} (wasted {})",
+            self.flits_switched,
+            self.va_grants,
+            self.sa_grants,
+            self.spec_hits,
+            self.spec_requests,
+            self.spec_wasted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_none_without_speculation() {
+        assert_eq!(RouterStats::default().speculation_accuracy(), None);
+    }
+
+    #[test]
+    fn accuracy_is_hit_fraction() {
+        let s = RouterStats {
+            spec_hits: 3,
+            spec_wasted: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.speculation_accuracy(), Some(0.75));
+    }
+
+    #[test]
+    fn display_mentions_speculation() {
+        let s = RouterStats {
+            spec_requests: 5,
+            spec_hits: 2,
+            spec_wasted: 3,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("spec 2/5"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Pipeline explorer: how clock cycle, channel counts and routing-function
+//! range shape a router's pipeline (the design loop of the paper's §3–4).
+//!
+//! The paper fixes the clock at 20 τ4; real designers must work at
+//! whatever cycle the system dictates. This example sweeps the clock from
+//! aggressive (12 τ4) to relaxed (32 τ4) and shows the pipeline depth the
+//! model prescribes for each flow control, then explores the
+//! routing-function trade-off of Figure 12.
+//!
+//! Run with: `cargo run --release --example pipeline_explorer`
+
+use delay_model::{
+    canonical, equations, FlowControl, RouterParams, RoutingFunction,
+};
+use logical_effort::Tau4;
+
+fn main() {
+    println!("== Pipeline depth vs clock cycle (p=5, v=4) ==");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "clk(τ4)", "wormhole", "VC(Rpv)", "specVC(Rv)"
+    );
+    for clk_tau4 in [12u32, 16, 20, 24, 28, 32] {
+        let clk = Tau4::new(f64::from(clk_tau4)).as_tau();
+        let params = RouterParams::with_channels(5, 4).with_clock(clk);
+        let depth = |fc| canonical::pipeline(fc, &params).depth();
+        println!(
+            "{:>8} {:>10} {:>10} {:>10}",
+            clk_tau4,
+            depth(FlowControl::Wormhole),
+            depth(FlowControl::VirtualChannel(RoutingFunction::Rpv)),
+            depth(FlowControl::SpeculativeVirtualChannel(RoutingFunction::Rv)),
+        );
+    }
+    println!();
+
+    println!("== Combined VA∥SA stage delay vs routing-function range (20 τ4 clock) ==");
+    println!("{:>12} {:>8} {:>8} {:>8}  fits one cycle?", "config", "R:v", "R:p", "R:pv");
+    for p in [5u32, 7] {
+        for v in [2u32, 4, 8, 16] {
+            let params = RouterParams::with_channels(p, v);
+            let delays: Vec<f64> = RoutingFunction::ALL
+                .iter()
+                .map(|&r| equations::combined_va_sa(r, &params).t.as_tau4().value())
+                .collect();
+            let fits: Vec<&str> = RoutingFunction::ALL
+                .iter()
+                .map(|&r| {
+                    if equations::combined_va_sa_packing(r, &params).t <= params.clk {
+                        "y"
+                    } else {
+                        "n"
+                    }
+                })
+                .collect();
+            println!(
+                "{:>12} {:>8.1} {:>8.1} {:>8.1}  [{} {} {}]",
+                format!("{v}vcs,{p}pcs"),
+                delays[0],
+                delays[1],
+                delays[2],
+                fits[0],
+                fits[1],
+                fits[2],
+            );
+        }
+    }
+    println!();
+    println!(
+        "Reading: a less general routing function (R:v) keeps the combined\n\
+         allocation stage within one 20 τ4 cycle for far more configurations,\n\
+         letting the speculative router keep wormhole's 3-stage latency —\n\
+         the paper's Figure 12 argument."
+    );
+}

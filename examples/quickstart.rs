@@ -1,0 +1,58 @@
+//! Quickstart: the paper in three acts.
+//!
+//! 1. Ask the delay model for the pipelines of a wormhole, a
+//!    virtual-channel, and a speculative virtual-channel router.
+//! 2. Simulate all three on an 8×8 mesh at a moderate load.
+//! 3. Compare zero-load latency and observe the speculative router
+//!    matching wormhole latency with virtual-channel throughput.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use delay_model::{canonical, FlowControl, RouterParams, RoutingFunction};
+use noc_network::{Network, NetworkConfig, RouterKind};
+
+fn main() {
+    // --- Act 1: the delay model prescribes the pipelines. --------------
+    let params = RouterParams::paper_default(); // p=5, v=2, w=32, 20 τ4 clock
+    println!("== Delay model (p=5, v=2, w=32, clk=20 τ4) ==");
+    for fc in [
+        FlowControl::Wormhole,
+        FlowControl::VirtualChannel(RoutingFunction::Rpv),
+        FlowControl::SpeculativeVirtualChannel(RoutingFunction::Rv),
+    ] {
+        let pipe = canonical::pipeline(fc, &params);
+        println!("{fc}: {pipe}");
+    }
+    println!();
+
+    // --- Act 2: simulate the three routers at 30% capacity. ------------
+    println!("== Simulation: 8x8 mesh, uniform traffic, 5-flit packets, 30% load ==");
+    let kinds = [
+        RouterKind::Wormhole { buffers: 8 },
+        RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
+        RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+    ];
+    for kind in kinds {
+        let cfg = NetworkConfig::mesh(8, kind)
+            .with_injection(0.3)
+            .with_warmup(1_000)
+            .with_sample(2_000)
+            .with_max_cycles(100_000);
+        let result = Network::new(cfg).run();
+        println!(
+            "{:<22} avg latency {:>6.1} cycles ({} tagged packets)",
+            kind.label(),
+            result.avg_latency.unwrap_or(f64::NAN),
+            result.stats.count(),
+        );
+    }
+    println!();
+
+    // --- Act 3: the paper's headline. -----------------------------------
+    println!(
+        "The speculative VC router allocates its output VC and the switch\n\
+         in parallel, so it matches the wormhole router's 3-stage per-hop\n\
+         latency while keeping virtual-channel throughput. See the\n\
+         repro-fig13 binary for the full latency-throughput curves."
+    );
+}

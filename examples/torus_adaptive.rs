@@ -1,0 +1,70 @@
+//! Extensions tour: torus topology with dateline VC classes, and
+//! west-first minimal-adaptive routing — the paper's future-work section
+//! ("other topologies and other routing policies, for example, adaptive").
+//!
+//! Run with: `cargo run --release --example torus_adaptive`
+
+use noc_network::config::RoutingAlgo;
+use noc_network::{Network, NetworkConfig, RouterKind, TrafficPattern};
+
+fn run(cfg: NetworkConfig) -> (f64, bool) {
+    let r = Network::new(cfg).run();
+    (r.avg_latency.unwrap_or(f64::NAN), r.saturated)
+}
+
+fn main() {
+    let kind = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    let base = |cfg: NetworkConfig| {
+        cfg.with_injection(0.15)
+            .with_warmup(800)
+            .with_sample(1_500)
+            .with_max_cycles(150_000)
+    };
+
+    println!("== Mesh vs torus (specVC 2x4, uniform, equal absolute load) ==");
+    // A torus has twice the mesh's capacity, so the same *fraction* means
+    // twice the traffic; halve the torus fraction to compare fairly.
+    let (mesh_lat, _) = run(base(NetworkConfig::mesh(8, kind)));
+    let (torus_lat, _) =
+        run(base(NetworkConfig::mesh(8, kind).into_torus()).with_injection(0.075));
+    println!("8x8 mesh : {mesh_lat:6.1} cycles");
+    println!("8x8 torus: {torus_lat:6.1} cycles  (wrap links cut average distance 5.3 -> 4.0;");
+    println!("           dateline VC classes keep dimension-order routing deadlock-free)");
+    println!();
+
+    println!("== Tornado traffic: the torus pattern meshes hate ==");
+    for (name, cfg) in [
+        ("mesh ", NetworkConfig::mesh(8, kind)),
+        ("torus", NetworkConfig::mesh(8, kind).into_torus()),
+    ] {
+        let (lat, sat) = run(base(cfg.with_pattern(TrafficPattern::Tornado)).with_injection(0.05));
+        println!(
+            "{name}: {lat:6.1} cycles{}",
+            if sat { " (saturated)" } else { "" }
+        );
+    }
+    println!();
+
+    println!("== DOR vs west-first adaptive (mesh, transpose, 20% load) ==");
+    for (name, algo) in [
+        ("dimension-ordered  ", RoutingAlgo::DimensionOrdered),
+        ("west-first adaptive", RoutingAlgo::WestFirstAdaptive),
+    ] {
+        let cfg = base(NetworkConfig::mesh(8, kind))
+            .with_pattern(TrafficPattern::Transpose)
+            .with_injection(0.2)
+            .with_routing(algo);
+        let (lat, sat) = run(cfg);
+        println!(
+            "{name}: {lat:6.1} cycles{}",
+            if sat { " (saturated)" } else { "" }
+        );
+    }
+    println!();
+    println!(
+        "Reading: the speculative router microarchitecture is orthogonal to\n\
+         topology and routing policy — the extensions plug in through the\n\
+         RoutingOracle (output port + permitted-VC mask) without touching\n\
+         the router pipeline."
+    );
+}

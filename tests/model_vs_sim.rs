@@ -1,0 +1,117 @@
+//! Cross-validation: the delay model's pipeline depths must predict the
+//! simulator's zero-load latencies through the closed-form estimate.
+
+use peh_dally::delay_model::{canonical, FlowControl, RouterParams, RoutingFunction};
+use peh_dally::noc_network::{Mesh, Network, NetworkConfig, RouterKind};
+use peh_dally::zero_load_latency;
+
+fn measured_zero_load(kind: RouterKind, single_cycle: bool) -> f64 {
+    let cfg = NetworkConfig::mesh(8, kind)
+        .with_single_cycle(single_cycle)
+        .with_injection(0.03)
+        .with_warmup(400)
+        .with_sample(400)
+        .with_max_cycles(100_000);
+    Network::new(cfg)
+        .run()
+        .avg_latency
+        .expect("zero-load run completes")
+}
+
+/// The model prescribes S stages; the simulator must land within a few
+/// cycles of the analytic zero-load latency for S stages (the residual is
+/// the credit-loop serialization the analytic form ignores).
+#[test]
+fn pipeline_depths_predict_simulated_latency() {
+    let mesh = Mesh::paper_8x8();
+    let d = mesh.average_distance();
+    let params = RouterParams::paper_default();
+
+    let cases: [(RouterKind, FlowControl, f64); 3] = [
+        (
+            RouterKind::Wormhole { buffers: 8 },
+            FlowControl::Wormhole,
+            1.0,
+        ),
+        (
+            RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
+            FlowControl::VirtualChannel(RoutingFunction::Rpv),
+            5.5, // 4 bufs/VC do not cover the 5-cycle credit loop
+        ),
+        (
+            RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+            FlowControl::SpeculativeVirtualChannel(RoutingFunction::Rv),
+            4.0, // 4 bufs/VC just miss the 4-cycle credit loop
+        ),
+    ];
+
+    for (kind, fc, slack) in cases {
+        let stages = canonical::pipeline(fc, &params).depth();
+        let predicted = zero_load_latency(stages, d, 5, 1);
+        let measured = measured_zero_load(kind, false);
+        assert!(
+            measured >= predicted - 0.5,
+            "{kind}: measured {measured:.1} below analytic floor {predicted:.1}"
+        );
+        assert!(
+            measured <= predicted + slack,
+            "{kind}: measured {measured:.1} too far above analytic {predicted:.1}"
+        );
+    }
+}
+
+/// The unit-latency model's 16-cycle zero-load latency (paper §5.2).
+#[test]
+fn single_cycle_routers_match_unit_latency_model() {
+    let mesh = Mesh::paper_8x8();
+    let predicted = zero_load_latency(1, mesh.average_distance(), 5, 1);
+    for kind in [
+        RouterKind::Wormhole { buffers: 8 },
+        RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
+    ] {
+        let measured = measured_zero_load(kind, true);
+        assert!(
+            (measured - predicted).abs() < 2.5,
+            "{kind}: measured {measured:.1} vs predicted {predicted:.1}"
+        );
+    }
+}
+
+/// Paper §5.2: the unit-latency model underestimates zero-load latency by
+/// roughly half (16 vs 29–36 cycles).
+#[test]
+fn unit_latency_model_is_optimistic() {
+    let vc = RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 };
+    let pipelined = measured_zero_load(vc, false);
+    let unit = measured_zero_load(vc, true);
+    let ratio = pipelined / unit;
+    assert!(
+        (1.8..3.0).contains(&ratio),
+        "expected the pipelined VC router ~2x slower at zero load, got {ratio:.2} \
+         ({pipelined:.1} vs {unit:.1})"
+    );
+}
+
+/// The speculative router recovers the wormhole pipeline depth — both in
+/// the model and in simulation.
+#[test]
+fn speculation_recovers_wormhole_depth_end_to_end() {
+    let params = RouterParams::paper_default();
+    let wh_depth = canonical::pipeline(FlowControl::Wormhole, &params).depth();
+    let spec_depth = canonical::pipeline(
+        FlowControl::SpeculativeVirtualChannel(RoutingFunction::Rv),
+        &params,
+    )
+    .depth();
+    assert_eq!(wh_depth, spec_depth);
+
+    let wh = measured_zero_load(RouterKind::Wormhole { buffers: 8 }, false);
+    let spec = measured_zero_load(
+        RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+        false,
+    );
+    assert!(
+        (spec - wh).abs() < 4.0,
+        "same pipeline depth must give similar zero-load latency: {wh:.1} vs {spec:.1}"
+    );
+}

@@ -1,0 +1,111 @@
+//! Network-level invariants under randomized configurations: packet
+//! delivery, conservation, determinism, and topology generality.
+
+use peh_dally::noc_network::{Network, NetworkConfig, RouterKind, TrafficPattern};
+use proptest::prelude::*;
+
+fn kinds() -> impl Strategy<Value = RouterKind> {
+    prop_oneof![
+        (2usize..12).prop_map(|b| RouterKind::Wormhole { buffers: b }),
+        ((1usize..4), (2usize..8))
+            .prop_map(|(v, b)| RouterKind::VirtualChannel { vcs: v, buffers_per_vc: b }),
+        ((1usize..4), (2usize..8))
+            .prop_map(|(v, b)| RouterKind::SpeculativeVc { vcs: v, buffers_per_vc: b }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every tagged packet is delivered, whole, under any router kind and
+    /// a moderate load (the simulator's internal asserts also verify no
+    /// buffer overflows, credit duplication, or foreign flits en route).
+    #[test]
+    fn tagged_sample_always_drains(kind in kinds(), seed in any::<u64>()) {
+        let cfg = NetworkConfig::mesh(4, kind)
+            .with_injection(0.2)
+            .with_warmup(150)
+            .with_sample(120)
+            .with_max_cycles(60_000)
+            .with_seed(seed);
+        let r = Network::new(cfg).run();
+        prop_assert!(!r.saturated, "moderate load must not saturate {kind}");
+        prop_assert_eq!(r.stats.count(), 120);
+        prop_assert!(r.avg_latency.unwrap() >= 6.0, "latency below physical floor");
+    }
+
+    /// Simulations are bit-deterministic in their seed.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>()) {
+        let mk = || NetworkConfig::mesh(4, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
+            .with_injection(0.35)
+            .with_warmup(120)
+            .with_sample(100)
+            .with_max_cycles(50_000)
+            .with_seed(seed);
+        let a = Network::new(mk()).run();
+        let b = Network::new(mk()).run();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.avg_latency, b.avg_latency);
+        prop_assert_eq!(a.flits_ejected, b.flits_ejected);
+    }
+
+    /// Deterministic permutation patterns also deliver everything
+    /// (flow-control invariance, the paper's footnote 13 rationale).
+    #[test]
+    fn permutation_patterns_deliver(
+        seed in any::<u64>(),
+        pattern_idx in 0usize..3,
+    ) {
+        let pattern = [
+            TrafficPattern::Transpose,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Tornado,
+        ][pattern_idx].clone();
+        let cfg = NetworkConfig::mesh(4, RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 })
+            .with_injection(0.15)
+            .with_pattern(pattern)
+            .with_warmup(150)
+            .with_sample(100)
+            .with_max_cycles(80_000)
+            .with_seed(seed);
+        let r = Network::new(cfg).run();
+        prop_assert!(!r.saturated);
+        prop_assert_eq!(r.stats.count(), 100);
+    }
+}
+
+/// Larger meshes and non-square dimensionality work end to end.
+#[test]
+fn bigger_and_odd_meshes_work() {
+    for k in [3usize, 5, 6] {
+        let cfg = NetworkConfig::mesh(k, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
+            .with_injection(0.15)
+            .with_warmup(150)
+            .with_sample(150)
+            .with_max_cycles(60_000);
+        let r = Network::new(cfg).run();
+        assert!(!r.saturated, "k={k}");
+        assert_eq!(r.stats.count(), 150, "k={k}");
+    }
+}
+
+/// Latency is monotone (within noise) along a load sweep below
+/// saturation.
+#[test]
+fn latency_monotone_below_saturation() {
+    let mut prev = 0.0f64;
+    for load in [0.1, 0.2, 0.3, 0.4] {
+        let cfg = NetworkConfig::mesh(8, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
+            .with_injection(load)
+            .with_warmup(800)
+            .with_sample(1_500)
+            .with_max_cycles(150_000);
+        let lat = Network::new(cfg).run().avg_latency.expect("completes");
+        assert!(
+            lat + 1.0 >= prev,
+            "latency dropped from {prev:.1} to {lat:.1} at load {load}"
+        );
+        prev = lat;
+    }
+}
