@@ -76,8 +76,7 @@ impl MatrixArbiter {
             self.n
         );
         (0..self.n).find(|&i| {
-            requests[i]
-                && (0..self.n).all(|j| j == i || !requests[j] || self.beats[i][j])
+            requests[i] && (0..self.n).all(|j| j == i || !requests[j] || self.beats[i][j])
         })
     }
 
@@ -89,7 +88,11 @@ impl MatrixArbiter {
     ///
     /// Panics if `winner >= self.len()`.
     pub fn demote(&mut self, winner: usize) {
-        assert!(winner < self.n, "requestor {winner} out of range {}", self.n);
+        assert!(
+            winner < self.n,
+            "requestor {winner} out of range {}",
+            self.n
+        );
         for j in 0..self.n {
             if j != winner {
                 self.beats[winner][j] = false;
@@ -106,7 +109,10 @@ impl MatrixArbiter {
     /// Panics if `i == j` or either index is out of range.
     #[must_use]
     pub fn has_priority(&self, i: usize, j: usize) -> bool {
-        assert!(i != j, "priority between a requestor and itself is undefined");
+        assert!(
+            i != j,
+            "priority between a requestor and itself is undefined"
+        );
         assert!(i < self.n && j < self.n, "index out of range");
         self.beats[i][j]
     }
@@ -145,7 +151,12 @@ impl MatrixArbiter {
 
 impl fmt::Display for MatrixArbiter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MatrixArbiter(n={}, ranking={:?})", self.n, self.ranking())
+        write!(
+            f,
+            "MatrixArbiter(n={}, ranking={:?})",
+            self.n,
+            self.ranking()
+        )
     }
 }
 

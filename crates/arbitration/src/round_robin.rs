@@ -81,7 +81,11 @@ impl RoundRobinArbiter {
     ///
     /// Panics if `winner >= self.len()`.
     pub fn advance_past(&mut self, winner: usize) {
-        assert!(winner < self.n, "requestor {winner} out of range {}", self.n);
+        assert!(
+            winner < self.n,
+            "requestor {winner} out of range {}",
+            self.n
+        );
         self.next = (winner + 1) % self.n;
     }
 }

@@ -48,7 +48,10 @@ impl SeparableAllocator {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(n_in: usize, n_out: usize) -> Self {
-        assert!(n_in > 0 && n_out > 0, "allocator dimensions must be positive");
+        assert!(
+            n_in > 0 && n_out > 0,
+            "allocator dimensions must be positive"
+        );
         SeparableAllocator {
             n_in,
             n_out,
@@ -90,9 +93,7 @@ impl SeparableAllocator {
         // Stage 1: each input picks one candidate resource (peek only;
         // commit on final grant).
         for (i, mask) in masks.iter().enumerate() {
-            self.chosen[i] = mask
-                .as_ref()
-                .and_then(|m| self.stage1[i].peek(m));
+            self.chosen[i] = mask.as_ref().and_then(|m| self.stage1[i].peek(m));
         }
 
         // Stage 2: each resource arbitrates among the inputs that chose it.
@@ -201,7 +202,13 @@ mod tests {
         let mut alloc = SeparableAllocator::new(2, 2);
         let grants = alloc.allocate(&[(0, 1), (0, 1), (0, 1)]);
         assert_eq!(grants.len(), 1);
-        assert_eq!(grants[0], Grant { input: 0, resource: 1 });
+        assert_eq!(
+            grants[0],
+            Grant {
+                input: 0,
+                resource: 1
+            }
+        );
     }
 
     #[test]

@@ -25,8 +25,20 @@ fn bench_fig13(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig13");
     for (name, kind) in [
         ("WH8", RouterKind::Wormhole { buffers: 8 }),
-        ("VC2x4", RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 }),
-        ("specVC2x4", RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 }),
+        (
+            "VC2x4",
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        ),
+        (
+            "specVC2x4",
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(run_point(kind, 0.3, false, 1)))
@@ -39,10 +51,34 @@ fn bench_fig14_fig15(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_15");
     for (name, kind) in [
         ("WH16", RouterKind::Wormhole { buffers: 16 }),
-        ("VC2x8", RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 8 }),
-        ("specVC2x8", RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 8 }),
-        ("VC4x4", RouterKind::VirtualChannel { vcs: 4, buffers_per_vc: 4 }),
-        ("specVC4x4", RouterKind::SpeculativeVc { vcs: 4, buffers_per_vc: 4 }),
+        (
+            "VC2x8",
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 8,
+            },
+        ),
+        (
+            "specVC2x8",
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 8,
+            },
+        ),
+        (
+            "VC4x4",
+            RouterKind::VirtualChannel {
+                vcs: 4,
+                buffers_per_vc: 4,
+            },
+        ),
+        (
+            "specVC4x4",
+            RouterKind::SpeculativeVc {
+                vcs: 4,
+                buffers_per_vc: 4,
+            },
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(run_point(kind, 0.3, false, 1)))
@@ -53,7 +89,10 @@ fn bench_fig14_fig15(c: &mut Criterion) {
 
 fn bench_fig17(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig17");
-    let vc = RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 };
+    let vc = RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     g.bench_function("VC_pipelined", |b| {
         b.iter(|| black_box(run_point(vc, 0.3, false, 1)))
     });
@@ -65,7 +104,10 @@ fn bench_fig17(c: &mut Criterion) {
 
 fn bench_fig18_credit_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig18_credit_path");
-    let spec = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    let spec = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     for prop in [1u64, 2, 4] {
         g.bench_function(format!("credit_prop_{prop}"), |b| {
             b.iter(|| black_box(run_point(spec, 0.3, false, prop)))
@@ -77,7 +119,10 @@ fn bench_fig18_credit_ablation(c: &mut Criterion) {
 fn bench_buffer_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_buffers");
     for bufs in [2usize, 4, 8] {
-        let kind = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: bufs };
+        let kind = RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: bufs,
+        };
         g.bench_function(format!("specVC_2x{bufs}"), |b| {
             b.iter(|| black_box(run_point(kind, 0.3, false, 1)))
         });

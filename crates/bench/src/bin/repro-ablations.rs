@@ -43,6 +43,9 @@ fn main() {
     println!();
     println!("== Speculation accuracy vs load (specVC 2x4) ==");
     for (load, acc) in ablations::speculation_accuracy(scale, &[0.1, 0.3, 0.5]) {
-        println!("  load {load:.1}: {:.0}% of speculative grants used", acc * 100.0);
+        println!(
+            "  load {load:.1}: {:.0}% of speculative grants used",
+            acc * 100.0
+        );
     }
 }

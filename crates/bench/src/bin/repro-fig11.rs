@@ -4,13 +4,17 @@ use peh_dally::{figures, report};
 fn main() {
     print!(
         "{}",
-        report::pipeline_bars_text("Figure 11(a) — non-speculative VC routers (Rpv)",
-            &figures::fig11_nonspeculative())
+        report::pipeline_bars_text(
+            "Figure 11(a) — non-speculative VC routers (Rpv)",
+            &figures::fig11_nonspeculative()
+        )
     );
     println!();
     print!(
         "{}",
-        report::pipeline_bars_text("Figure 11(b) — speculative VC routers (Rv)",
-            &figures::fig11_speculative())
+        report::pipeline_bars_text(
+            "Figure 11(b) — speculative VC routers (Rv)",
+            &figures::fig11_speculative()
+        )
     );
 }

@@ -15,8 +15,7 @@ fn main() {
         let chien = chien::chien_critical_path(&params).value();
         let duato = duato::DuatoPipeline::of(&params).per_hop_latency().value();
         let vc = f64::from(
-            canonical::pipeline(FlowControl::VirtualChannel(RoutingFunction::Rv), &params)
-                .depth(),
+            canonical::pipeline(FlowControl::VirtualChannel(RoutingFunction::Rv), &params).depth(),
         ) * params.clk.value();
         let spec = f64::from(
             canonical::pipeline(

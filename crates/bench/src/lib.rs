@@ -78,16 +78,64 @@ mod tests {
         assert!(!opts.csv);
     }
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn each_scale_keyword_parses() {
+        for (word, scale) in [
+            ("quick", SimScale::quick()),
+            ("medium", SimScale::medium()),
+            ("paper", SimScale::paper()),
+        ] {
+            let opts = parse_args(args(&[word])).unwrap();
+            assert_eq!(opts.scale, scale, "scale keyword {word}");
+            assert!(!opts.csv);
+        }
+    }
+
     #[test]
     fn paper_and_csv_parse() {
-        let opts =
-            parse_args(["paper".to_string(), "--csv".to_string()]).unwrap();
+        let opts = parse_args(args(&["paper", "--csv"])).unwrap();
         assert_eq!(opts.scale, SimScale::paper());
         assert!(opts.csv);
     }
 
     #[test]
+    fn csv_flag_position_does_not_matter() {
+        let before = parse_args(args(&["--csv", "medium"])).unwrap();
+        let after = parse_args(args(&["medium", "--csv"])).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(before.scale, SimScale::medium());
+        assert!(before.csv);
+    }
+
+    #[test]
+    fn later_scale_keyword_wins() {
+        let opts = parse_args(args(&["quick", "paper"])).unwrap();
+        assert_eq!(opts.scale, SimScale::paper());
+    }
+
+    #[test]
     fn unknown_arg_is_rejected() {
-        assert!(parse_args(["--frobnicate".to_string()]).is_err());
+        assert!(parse_args(args(&["--frobnicate"])).is_err());
+        assert!(
+            parse_args(args(&["QUICK"])).is_err(),
+            "keywords are lowercase"
+        );
+        assert!(parse_args(args(&[""])).is_err());
+        // A valid prefix does not rescue a trailing unknown argument.
+        assert!(parse_args(args(&["paper", "--csv", "extra"])).is_err());
+    }
+
+    #[test]
+    fn rejection_message_names_the_argument_and_usage() {
+        let err = parse_args(args(&["bogus"])).unwrap_err();
+        assert!(
+            err.contains("'bogus'"),
+            "message must name the argument: {err}"
+        );
+        assert!(err.contains("usage"), "message must show usage: {err}");
     }
 }

@@ -46,8 +46,20 @@ pub fn speculation(scale: SimScale) -> Vec<AblationRow> {
     let mut rows = Vec::new();
     for bufs in [4usize, 8] {
         for (name, kind) in [
-            ("VC", RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: bufs }),
-            ("specVC", RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: bufs }),
+            (
+                "VC",
+                RouterKind::VirtualChannel {
+                    vcs: 2,
+                    buffers_per_vc: bufs,
+                },
+            ),
+            (
+                "specVC",
+                RouterKind::SpeculativeVc {
+                    vcs: 2,
+                    buffers_per_vc: bufs,
+                },
+            ),
         ] {
             rows.push(measure(
                 format!("{name} 2x{bufs}"),
@@ -70,7 +82,10 @@ pub fn buffer_depth(scale: SimScale) -> Vec<AblationRow> {
                 format!("specVC 2x{bufs}"),
                 NetworkConfig::mesh(
                     8,
-                    RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: bufs },
+                    RouterKind::SpeculativeVc {
+                        vcs: 2,
+                        buffers_per_vc: bufs,
+                    },
                 ),
                 scale,
             )
@@ -89,7 +104,10 @@ pub fn vc_count(scale: SimScale) -> Vec<AblationRow> {
                 format!("specVC {vcs}x{bufs}"),
                 NetworkConfig::mesh(
                     8,
-                    RouterKind::SpeculativeVc { vcs, buffers_per_vc: bufs },
+                    RouterKind::SpeculativeVc {
+                        vcs,
+                        buffers_per_vc: bufs,
+                    },
                 ),
                 scale,
             )
@@ -107,7 +125,10 @@ pub fn credit_path(scale: SimScale) -> Vec<AblationRow> {
                 format!("credit prop {prop}"),
                 NetworkConfig::mesh(
                     8,
-                    RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+                    RouterKind::SpeculativeVc {
+                        vcs: 2,
+                        buffers_per_vc: 4,
+                    },
                 )
                 .with_credit_prop_delay(prop),
                 scale,
@@ -128,7 +149,10 @@ pub fn speculation_accuracy(scale: SimScale, loads: &[f64]) -> Vec<(f64, f64)> {
             let cfg = scale.apply(
                 NetworkConfig::mesh(
                     8,
-                    RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+                    RouterKind::SpeculativeVc {
+                        vcs: 2,
+                        buffers_per_vc: 4,
+                    },
                 )
                 .with_injection(load),
             );

@@ -121,9 +121,8 @@ pub fn fig12() -> Vec<Fig12Row> {
         .into_iter()
         .map(|(v, p)| {
             let params = RouterParams::with_channels(p, v);
-            let delays = RoutingFunction::ALL.map(|r| {
-                delay_model::combined_va_sa(r, &params).t.as_tau4().value()
-            });
+            let delays = RoutingFunction::ALL
+                .map(|r| delay_model::combined_va_sa(r, &params).t.as_tau4().value());
             Fig12Row {
                 label: format!("{v}vcs,{p}pcs"),
                 v,
@@ -196,8 +195,14 @@ pub fn fig13(scale: SimScale) -> Figure {
         "Figure 13",
         [
             RouterKind::Wormhole { buffers: 8 },
-            RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
-            RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
         ]
         .into_iter()
         .map(|k| (k.label(), NetworkConfig::mesh(8, k)))
@@ -213,8 +218,14 @@ pub fn fig14(scale: SimScale) -> Figure {
         "Figure 14",
         [
             RouterKind::Wormhole { buffers: 16 },
-            RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 8 },
-            RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 8 },
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 8,
+            },
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 8,
+            },
         ]
         .into_iter()
         .map(|k| (k.label(), NetworkConfig::mesh(8, k)))
@@ -230,8 +241,14 @@ pub fn fig15(scale: SimScale) -> Figure {
         "Figure 15",
         [
             RouterKind::Wormhole { buffers: 16 },
-            RouterKind::VirtualChannel { vcs: 4, buffers_per_vc: 4 },
-            RouterKind::SpeculativeVc { vcs: 4, buffers_per_vc: 4 },
+            RouterKind::VirtualChannel {
+                vcs: 4,
+                buffers_per_vc: 4,
+            },
+            RouterKind::SpeculativeVc {
+                vcs: 4,
+                buffers_per_vc: 4,
+            },
         ]
         .into_iter()
         .map(|k| (k.label(), NetworkConfig::mesh(8, k)))
@@ -245,8 +262,14 @@ pub fn fig15(scale: SimScale) -> Figure {
 #[must_use]
 pub fn fig17(scale: SimScale) -> Figure {
     let wh = RouterKind::Wormhole { buffers: 8 };
-    let vc = RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 };
-    let spec = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    let vc = RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    let spec = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     run_series(
         "Figure 17",
         vec![
@@ -270,7 +293,10 @@ pub fn fig17(scale: SimScale) -> Figure {
 /// 4-cycle credit propagation latency.
 #[must_use]
 pub fn fig18(scale: SimScale) -> Figure {
-    let spec = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    let spec = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     run_series(
         "Figure 18",
         vec![
@@ -324,7 +350,10 @@ mod tests {
 
     #[test]
     fn fig11_bars_have_utilizations_within_unit() {
-        for bar in fig11_nonspeculative().iter().chain(fig11_speculative().iter()) {
+        for bar in fig11_nonspeculative()
+            .iter()
+            .chain(fig11_speculative().iter())
+        {
             for stage in &bar.stages {
                 let total: f64 = stage.iter().map(|(_, f)| f).sum();
                 assert!(total <= 1.0 + 1e-9, "{}: stage over one cycle", bar.label);
@@ -356,9 +385,24 @@ mod tests {
         let s = Series {
             label: "x".into(),
             points: vec![
-                LoadPoint { offered: 0.1, latency: Some(30.0), accepted: 0.1, saturated: false },
-                LoadPoint { offered: 0.5, latency: Some(80.0), accepted: 0.5, saturated: false },
-                LoadPoint { offered: 0.6, latency: Some(500.0), accepted: 0.5, saturated: true },
+                LoadPoint {
+                    offered: 0.1,
+                    latency: Some(30.0),
+                    accepted: 0.1,
+                    saturated: false,
+                },
+                LoadPoint {
+                    offered: 0.5,
+                    latency: Some(80.0),
+                    accepted: 0.5,
+                    saturated: false,
+                },
+                LoadPoint {
+                    offered: 0.6,
+                    latency: Some(500.0),
+                    accepted: 0.5,
+                    saturated: true,
+                },
             ],
         };
         assert_eq!(s.zero_load(), Some(30.0));

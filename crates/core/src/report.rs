@@ -47,7 +47,8 @@ pub fn figure_table(fig: &Figure) -> String {
             out,
             "  {:<30} zero-load {:>6} cycles, saturation {:>5.0}% capacity",
             s.label,
-            s.zero_load().map_or_else(|| "-".into(), |l| format!("{l:.1}")),
+            s.zero_load()
+                .map_or_else(|| "-".into(), |l| format!("{l:.1}")),
             s.saturation() * 100.0
         );
     }
@@ -126,11 +127,7 @@ pub fn figure_chart(fig: &Figure, width: usize, height: usize) -> String {
         };
         let _ = writeln!(out, "{label}{}", row.iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "        +{}",
-        "-".repeat(width)
-    );
+    let _ = writeln!(out, "        +{}", "-".repeat(width));
     let _ = writeln!(out, "         0.0{:>width$.2}", x_max, width = width - 3);
     for (si, s) in fig.series.iter().enumerate() {
         let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.label);
@@ -169,10 +166,13 @@ pub fn pipeline_bars_text(title: &str, bars: &[PipelineBar]) -> String {
 /// Renders Figure 12 rows as text.
 #[must_use]
 pub fn fig12_text(rows: &[Fig12Row]) -> String {
-    let mut out = String::from(
-        "Figure 12 — combined VA+SA stage delay (τ4) of a speculative router\n",
+    let mut out =
+        String::from("Figure 12 — combined VA+SA stage delay (τ4) of a speculative router\n");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>8} {:>8} {:>8}",
+        "config", "R:v", "R:p", "R:pv"
     );
-    let _ = writeln!(out, "{:>12} {:>8} {:>8} {:>8}", "config", "R:v", "R:p", "R:pv");
     for r in rows {
         let _ = writeln!(
             out,
@@ -195,8 +195,18 @@ mod tests {
             series: vec![Series {
                 label: "WH (8 bufs)".into(),
                 points: vec![
-                    LoadPoint { offered: 0.1, latency: Some(29.0), accepted: 0.1, saturated: false },
-                    LoadPoint { offered: 0.5, latency: None, accepted: 0.4, saturated: true },
+                    LoadPoint {
+                        offered: 0.1,
+                        latency: Some(29.0),
+                        accepted: 0.1,
+                        saturated: false,
+                    },
+                    LoadPoint {
+                        offered: 0.5,
+                        latency: None,
+                        accepted: 0.4,
+                        saturated: true,
+                    },
                 ],
             }],
         }
@@ -229,8 +239,18 @@ mod tests {
                 Series {
                     label: "A".into(),
                     points: vec![
-                        LoadPoint { offered: 0.1, latency: Some(30.0), accepted: 0.1, saturated: false },
-                        LoadPoint { offered: 0.5, latency: Some(60.0), accepted: 0.5, saturated: false },
+                        LoadPoint {
+                            offered: 0.1,
+                            latency: Some(30.0),
+                            accepted: 0.1,
+                            saturated: false,
+                        },
+                        LoadPoint {
+                            offered: 0.5,
+                            latency: Some(60.0),
+                            accepted: 0.5,
+                            saturated: false,
+                        },
                     ],
                 },
                 Series {
@@ -255,7 +275,10 @@ mod tests {
 
     #[test]
     fn chart_handles_empty_figure() {
-        let fig = Figure { name: "E".into(), series: vec![] };
+        let fig = Figure {
+            name: "E".into(),
+            series: vec![],
+        };
         assert!(figure_chart(&fig, 40, 10).contains("no completed points"));
     }
 

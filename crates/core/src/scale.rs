@@ -104,10 +104,8 @@ mod tests {
 
     #[test]
     fn apply_transfers_fields() {
-        let cfg = SimScale::quick().apply(NetworkConfig::mesh(
-            4,
-            RouterKind::Wormhole { buffers: 8 },
-        ));
+        let cfg =
+            SimScale::quick().apply(NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 }));
         assert_eq!(cfg.warmup_cycles, 1_500);
         assert_eq!(cfg.sample_packets, 2_000);
     }

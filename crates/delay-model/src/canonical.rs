@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn vc_router_is_four_stages_at_paper_default() {
         for r in R::ALL {
-            let p = pipeline(FlowControl::VirtualChannel(r), &RouterParams::paper_default());
+            let p = pipeline(
+                FlowControl::VirtualChannel(r),
+                &RouterParams::paper_default(),
+            );
             assert_eq!(p.depth(), 4, "VC router with {r:?} at p=5, v=2");
         }
     }
@@ -150,9 +153,11 @@ mod tests {
                 let params = RouterParams::with_channels(p, v);
                 for r in R::ALL {
                     let vc = pipeline(FlowControl::VirtualChannel(r), &params).depth();
-                    let spec =
-                        pipeline(FlowControl::SpeculativeVirtualChannel(r), &params).depth();
-                    assert!(vc > spec, "VC must be deeper than spec at p={p}, v={v}, {r:?}");
+                    let spec = pipeline(FlowControl::SpeculativeVirtualChannel(r), &params).depth();
+                    assert!(
+                        vc > spec,
+                        "VC must be deeper than spec at p={p}, v={v}, {r:?}"
+                    );
                 }
             }
         }
@@ -177,8 +182,7 @@ mod tests {
                     FlowControl::VirtualChannel(R::Rpv),
                     FlowControl::SpeculativeVirtualChannel(R::Rv),
                 ] {
-                    let strict =
-                        pipeline_with_policy(fc, &params, OverheadPolicy::Strict).depth();
+                    let strict = pipeline_with_policy(fc, &params, OverheadPolicy::Strict).depth();
                     let overlapped =
                         pipeline_with_policy(fc, &params, OverheadPolicy::Overlapped).depth();
                     assert!(strict >= overlapped);

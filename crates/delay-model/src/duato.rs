@@ -32,8 +32,7 @@ impl DuatoPipeline {
         let routing = params.clk + equations::switch_allocator(params).total();
         let switching = equations::crossbar(params).total();
         // Inter-node propagation ~ one clock of wire at the paper's scale.
-        let channel =
-            equations::vc_allocator(RoutingFunction::Rv, params).total() + params.clk;
+        let channel = equations::vc_allocator(RoutingFunction::Rv, params).total() + params.clk;
         DuatoPipeline {
             routing,
             switching,

@@ -77,7 +77,11 @@ impl RouterParams {
     ///
     /// Panics if any parameter is out of its meaningful range.
     pub fn validate(&self) {
-        assert!(self.p >= 2, "a router needs at least 2 ports, got {}", self.p);
+        assert!(
+            self.p >= 2,
+            "a router needs at least 2 ports, got {}",
+            self.p
+        );
         assert!(self.v >= 1, "v must be at least 1, got {}", self.v);
         assert!(self.w >= 1, "w must be at least 1, got {}", self.w);
         assert!(

@@ -24,8 +24,11 @@ pub enum RoutingFunction {
 
 impl RoutingFunction {
     /// All ranges, in increasing generality (the order Figure 12 plots).
-    pub const ALL: [RoutingFunction; 3] =
-        [RoutingFunction::Rv, RoutingFunction::Rp, RoutingFunction::Rpv];
+    pub const ALL: [RoutingFunction; 3] = [
+        RoutingFunction::Rv,
+        RoutingFunction::Rp,
+        RoutingFunction::Rpv,
+    ];
 
     /// The paper's legend string for this range.
     #[must_use]

@@ -121,9 +121,8 @@ pub fn generate() -> Vec<Table1Row> {
 /// paper Synopsys — all in τ4).
 #[must_use]
 pub fn render() -> String {
-    let mut out = String::from(
-        "Table 1 — delay equations at p=5, w=32, v=2, clk=20 τ4 (values in τ4)\n",
-    );
+    let mut out =
+        String::from("Table 1 — delay equations at p=5, w=32, v=2, clk=20 τ4 (values in τ4)\n");
     out.push_str(&format!(
         "{:<40} {:>8} {:>8} {:>9}\n",
         "module", "ours", "paper", "synopsys"

@@ -9,9 +9,8 @@ use logical_effort::Tau;
 use proptest::prelude::*;
 
 fn params_strategy() -> impl Strategy<Value = RouterParams> {
-    ((2u32..12), (1u32..33), (8u32..129)).prop_map(|(p, v, w)| {
-        RouterParams::with_channels(p, v).with_width(w)
-    })
+    ((2u32..12), (1u32..33), (8u32..129))
+        .prop_map(|(p, v, w)| RouterParams::with_channels(p, v).with_width(w))
 }
 
 proptest! {

@@ -61,7 +61,10 @@ pub use tau::{Tau, Tau4, CLOCK_TAU4, TAU4};
 /// assert!((logical_effort::log4(16.0) - 2.0).abs() < 1e-12);
 /// ```
 pub fn log4(x: f64) -> f64 {
-    assert!(x > 0.0, "log4 requires a strictly positive argument, got {x}");
+    assert!(
+        x > 0.0,
+        "log4 requires a strictly positive argument, got {x}"
+    );
     x.log2() / 2.0
 }
 
@@ -71,7 +74,10 @@ pub fn log4(x: f64) -> f64 {
 ///
 /// Panics if `x` is not strictly positive.
 pub fn log8(x: f64) -> f64 {
-    assert!(x > 0.0, "log8 requires a strictly positive argument, got {x}");
+    assert!(
+        x > 0.0,
+        "log8 requires a strictly positive argument, got {x}"
+    );
     x.log2() / 3.0
 }
 

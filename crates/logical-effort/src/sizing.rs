@@ -187,9 +187,18 @@ mod tests {
 
     #[test]
     fn best_stage_count_follows_log4() {
-        assert_eq!(PathTopology::new(vec![Gate::Inverter], 4.0).best_stage_count(), 1);
-        assert_eq!(PathTopology::new(vec![Gate::Inverter], 64.0).best_stage_count(), 3);
-        assert_eq!(PathTopology::new(vec![Gate::Inverter], 0.5).best_stage_count(), 1);
+        assert_eq!(
+            PathTopology::new(vec![Gate::Inverter], 4.0).best_stage_count(),
+            1
+        );
+        assert_eq!(
+            PathTopology::new(vec![Gate::Inverter], 64.0).best_stage_count(),
+            3
+        );
+        assert_eq!(
+            PathTopology::new(vec![Gate::Inverter], 0.5).best_stage_count(),
+            1
+        );
     }
 
     #[test]

@@ -59,9 +59,7 @@ impl RouterKind {
     #[must_use]
     pub fn buffers_per_vc(&self) -> usize {
         match *self {
-            RouterKind::Wormhole { buffers } | RouterKind::VirtualCutThrough { buffers } => {
-                buffers
-            }
+            RouterKind::Wormhole { buffers } | RouterKind::VirtualCutThrough { buffers } => buffers,
             RouterKind::VirtualChannel { buffers_per_vc, .. }
             | RouterKind::SpeculativeVc { buffers_per_vc, .. } => buffers_per_vc,
         }
@@ -320,8 +318,14 @@ mod tests {
 
     #[test]
     fn router_config_respects_single_cycle() {
-        let cfg = NetworkConfig::mesh(4, RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 })
-            .with_single_cycle(true);
+        let cfg = NetworkConfig::mesh(
+            4,
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_single_cycle(true);
         assert_eq!(cfg.router_config().timing, Timing::single_cycle());
     }
 
@@ -329,14 +333,21 @@ mod tests {
     fn labels_match_figure_legends() {
         assert_eq!(RouterKind::Wormhole { buffers: 8 }.label(), "WH (8 bufs)");
         assert_eq!(
-            RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 }.label(),
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4
+            }
+            .label(),
             "specVC (2vcsX4bufs)"
         );
     }
 
     #[test]
     fn kind_accessors() {
-        let k = RouterKind::VirtualChannel { vcs: 4, buffers_per_vc: 4 };
+        let k = RouterKind::VirtualChannel {
+            vcs: 4,
+            buffers_per_vc: 4,
+        };
         assert_eq!(k.vcs(), 4);
         assert_eq!(k.buffers_per_vc(), 4);
         assert_eq!(RouterKind::Wormhole { buffers: 16 }.vcs(), 1);

@@ -39,10 +39,10 @@ pub mod sweep;
 pub mod topology;
 pub mod traffic;
 
-pub use config::{NetworkConfig, RouterKind};
-pub use sim::{Network, RunResult};
 pub use channel_load::ChannelLoad;
+pub use config::{NetworkConfig, RouterKind};
 pub use histogram::Histogram;
+pub use sim::{Network, RunResult};
 pub use stats::LatencyStats;
 pub use sweep::{sweep, sweep_parallel, LoadPoint, SweepOptions};
 pub use topology::{Mesh, LOCAL_PORT};

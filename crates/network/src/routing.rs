@@ -57,11 +57,18 @@ pub fn dateline_vc_mask(
     dest: usize,
     vcs: usize,
 ) -> u64 {
-    let all = if vcs >= 64 { u64::MAX } else { (1u64 << vcs) - 1 };
+    let all = if vcs >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << vcs) - 1
+    };
     if !mesh.is_torus() || out_port == mesh.local_port() {
         return all;
     }
-    assert!(vcs >= 2, "the dateline scheme needs at least 2 VCs per port");
+    assert!(
+        vcs >= 2,
+        "the dateline scheme needs at least 2 VCs per port"
+    );
     let dim = out_port / 2;
     let positive = out_port % 2 == 0;
     let next = mesh
@@ -256,8 +263,9 @@ mod tests {
             assert!(cands.contains(&west_first_route(&m, src, dest, sel)));
         }
         // Different selectors actually spread over both candidates.
-        let picks: std::collections::HashSet<usize> =
-            (0..4u64).map(|s| west_first_route(&m, src, dest, s)).collect();
+        let picks: std::collections::HashSet<usize> = (0..4u64)
+            .map(|s| west_first_route(&m, src, dest, s))
+            .collect();
         assert_eq!(picks.len(), 2);
     }
 

@@ -130,9 +130,7 @@ impl Network {
 
         let rate = cfg.packets_per_node_cycle();
         let sources = (0..nodes)
-            .map(|node| {
-                Source::new(node, rate, cfg.packet_len, rcfg.vcs, buffers, cfg.seed)
-            })
+            .map(|node| Source::new(node, rate, cfg.packet_len, rcfg.vcs, buffers, cfg.seed))
             .collect();
 
         let cfg2 = cfg.mesh.clone();
@@ -365,7 +363,10 @@ mod tests {
 
     #[test]
     fn vc_zero_load_latency_close_to_paper() {
-        let r = quick(low_load(RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 }));
+        let r = quick(low_load(RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        }));
         let lat = r.avg_latency.expect("sample completed");
         // Paper: 36 cycles (one extra stage per hop). Our credit-loop
         // accounting charges the uncovered 4-buffer credit loop ~2 cycles
@@ -376,7 +377,10 @@ mod tests {
     #[test]
     fn spec_zero_load_matches_wormhole() {
         let wh = quick(low_load(RouterKind::Wormhole { buffers: 8 }));
-        let spec = quick(low_load(RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 }));
+        let spec = quick(low_load(RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        }));
         let (a, b) = (wh.avg_latency.unwrap(), spec.avg_latency.unwrap());
         // Paper: 29 vs 30 — the speculative router pays ~1 cycle because 4
         // buffers/VC do not quite cover the credit loop (footnote 15); our
@@ -387,8 +391,11 @@ mod tests {
 
     #[test]
     fn single_cycle_zero_load_close_to_paper() {
-        let cfg = low_load(RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 })
-            .with_single_cycle(true);
+        let cfg = low_load(RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        })
+        .with_single_cycle(true);
         let lat = quick(cfg).avg_latency.expect("completes");
         // Paper: 16 cycles for the unit-latency model.
         assert!((13.0..19.0).contains(&lat), "unit-latency model {lat}");
@@ -396,11 +403,17 @@ mod tests {
 
     #[test]
     fn all_flits_accounted_for() {
-        let cfg = NetworkConfig::mesh(4, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-            .with_injection(0.3)
-            .with_warmup(100)
-            .with_sample(200)
-            .with_max_cycles(20_000);
+        let cfg = NetworkConfig::mesh(
+            4,
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_injection(0.3)
+        .with_warmup(100)
+        .with_sample(200)
+        .with_max_cycles(20_000);
         let r = quick(cfg);
         assert!(!r.saturated);
         // Untagged packets may still be mid-flight when the run stops, but
@@ -423,11 +436,17 @@ mod tests {
 
     #[test]
     fn accepted_tracks_offered_below_saturation() {
-        let cfg = NetworkConfig::mesh(4, RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 })
-            .with_injection(0.2)
-            .with_warmup(200)
-            .with_sample(400)
-            .with_max_cycles(40_000);
+        let cfg = NetworkConfig::mesh(
+            4,
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_injection(0.2)
+        .with_warmup(200)
+        .with_sample(400)
+        .with_max_cycles(40_000);
         let r = quick(cfg);
         assert!(!r.saturated);
         assert!(
@@ -440,12 +459,18 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let mk = || {
-            NetworkConfig::mesh(4, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-                .with_injection(0.25)
-                .with_warmup(100)
-                .with_sample(150)
-                .with_max_cycles(20_000)
-                .with_seed(99)
+            NetworkConfig::mesh(
+                4,
+                RouterKind::SpeculativeVc {
+                    vcs: 2,
+                    buffers_per_vc: 4,
+                },
+            )
+            .with_injection(0.25)
+            .with_warmup(100)
+            .with_sample(150)
+            .with_max_cycles(20_000)
+            .with_seed(99)
         };
         let a = quick(mk());
         let b = quick(mk());

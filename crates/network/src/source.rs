@@ -193,7 +193,10 @@ mod tests {
         let mut s = Source::new(0, 1.0, 5, 1, 1000, 1);
         let mut injected = 0;
         for now in 0..50 {
-            if s.step(now, &mesh(), &TrafficPattern::Uniform).injected.is_some() {
+            if s.step(now, &mesh(), &TrafficPattern::Uniform)
+                .injected
+                .is_some()
+            {
                 injected += 1;
             }
         }
@@ -205,7 +208,10 @@ mod tests {
         let mut s = Source::new(0, 1.0, 5, 1, 2, 1);
         let mut injected = 0;
         for now in 0..20 {
-            if s.step(now, &mesh(), &TrafficPattern::Uniform).injected.is_some() {
+            if s.step(now, &mesh(), &TrafficPattern::Uniform)
+                .injected
+                .is_some()
+            {
                 injected += 1;
             }
         }

@@ -86,23 +86,53 @@ pub fn sweep(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoint> {
     curve
 }
 
-/// Like [`sweep`], but evaluates every load point on its own thread.
+/// Like [`sweep`], but evaluates load points concurrently on a worker
+/// pool capped at [`std::thread::available_parallelism`] (spawning one
+/// thread per load point oversubscribes the machine on large sweeps).
 /// Results are identical to the sequential sweep (each point has its own
 /// deterministic RNG); with `stop_at_saturation` the curve is truncated
 /// after the first saturated point post hoc, so some work beyond it is
 /// wasted in exchange for wall-clock speed.
 #[must_use]
 pub fn sweep_parallel(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoint> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let n = opts.loads.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    let next = AtomicUsize::new(0);
     let points: Vec<LoadPoint> = std::thread::scope(|scope| {
-        let handles: Vec<_> = opts
-            .loads
-            .iter()
-            .map(|&load| {
-                let cfg = base.clone().with_injection(load);
-                scope.spawn(move || LoadPoint::from(Network::new(cfg).run()))
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break mine;
+                        }
+                        let cfg = base.clone().with_injection(opts.loads[i]);
+                        mine.push((i, LoadPoint::from(Network::new(cfg).run())));
+                    }
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+        let mut slots: Vec<Option<LoadPoint>> = (0..n).map(|_| None).collect();
+        for handle in handles {
+            for (i, point) in handle.join().expect("sweep worker") {
+                slots[i] = Some(point);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|p| p.expect("every load point computed"))
+            .collect()
     });
     if opts.stop_at_saturation {
         let mut out = Vec::new();
@@ -125,14 +155,15 @@ pub fn sweep_parallel(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoin
 /// immediately-saturated curve.
 #[must_use]
 pub fn saturation_throughput(curve: &[LoadPoint], threshold: f64) -> f64 {
-    let Some(zero_load) = curve.iter().find_map(|p| p.latency.filter(|_| !p.saturated)) else {
+    let Some(zero_load) = curve
+        .iter()
+        .find_map(|p| p.latency.filter(|_| !p.saturated))
+    else {
         return 0.0;
     };
     curve
         .iter()
-        .filter(|p| {
-            !p.saturated && p.latency.is_some_and(|l| l <= zero_load * threshold)
-        })
+        .filter(|p| !p.saturated && p.latency.is_some_and(|l| l <= zero_load * threshold))
         .map(|p| p.offered)
         .fold(0.0, f64::max)
 }
@@ -143,10 +174,16 @@ mod tests {
     use crate::config::RouterKind;
 
     fn base() -> NetworkConfig {
-        NetworkConfig::mesh(4, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-            .with_warmup(100)
-            .with_sample(150)
-            .with_max_cycles(8_000)
+        NetworkConfig::mesh(
+            4,
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_warmup(100)
+        .with_sample(150)
+        .with_max_cycles(8_000)
     }
 
     #[test]
@@ -161,7 +198,10 @@ mod tests {
         assert!(curve.len() >= 2);
         let low = curve[0].latency.expect("low load completes");
         let high = curve[1].latency.expect("moderate load completes");
-        assert!(high >= low, "latency must not drop with load: {low} -> {high}");
+        assert!(
+            high >= low,
+            "latency must not drop with load: {low} -> {high}"
+        );
     }
 
     #[test]
@@ -194,6 +234,44 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_handles_more_points_than_workers() {
+        // More load points than any realistic core count, so workers must
+        // each pull several items off the shared queue — and the result
+        // order must still match the sequential sweep exactly.
+        let loads: Vec<f64> = (1..=24).map(|i| 0.01 * f64::from(i)).collect();
+        let opts = SweepOptions {
+            loads,
+            stop_at_saturation: false,
+        };
+        let small = NetworkConfig::mesh(
+            4,
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_warmup(20)
+        .with_sample(30)
+        .with_max_cycles(2_000);
+        let seq = sweep(&small, &opts);
+        let par = sweep_parallel(&small, &opts);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.offered, b.offered);
+            assert_eq!(a.latency, b.latency);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_of_empty_loads_is_empty() {
+        let opts = SweepOptions {
+            loads: Vec::new(),
+            stop_at_saturation: true,
+        };
+        assert!(sweep_parallel(&base(), &opts).is_empty());
+    }
+
+    #[test]
     fn parallel_sweep_truncates_at_saturation() {
         let opts = SweepOptions {
             loads: vec![0.2, 3.0, 4.0],
@@ -207,11 +285,36 @@ mod tests {
     #[test]
     fn saturation_throughput_of_synthetic_curve() {
         let curve = vec![
-            LoadPoint { offered: 0.1, latency: Some(30.0), accepted: 0.1, saturated: false },
-            LoadPoint { offered: 0.3, latency: Some(35.0), accepted: 0.3, saturated: false },
-            LoadPoint { offered: 0.5, latency: Some(60.0), accepted: 0.5, saturated: false },
-            LoadPoint { offered: 0.6, latency: Some(200.0), accepted: 0.55, saturated: false },
-            LoadPoint { offered: 0.7, latency: None, accepted: 0.55, saturated: true },
+            LoadPoint {
+                offered: 0.1,
+                latency: Some(30.0),
+                accepted: 0.1,
+                saturated: false,
+            },
+            LoadPoint {
+                offered: 0.3,
+                latency: Some(35.0),
+                accepted: 0.3,
+                saturated: false,
+            },
+            LoadPoint {
+                offered: 0.5,
+                latency: Some(60.0),
+                accepted: 0.5,
+                saturated: false,
+            },
+            LoadPoint {
+                offered: 0.6,
+                latency: Some(200.0),
+                accepted: 0.55,
+                saturated: false,
+            },
+            LoadPoint {
+                offered: 0.7,
+                latency: None,
+                accepted: 0.55,
+                saturated: true,
+            },
         ];
         assert_eq!(saturation_throughput(&curve, 3.0), 0.5);
         assert_eq!(saturation_throughput(&curve, 10.0), 0.6);
@@ -224,9 +327,19 @@ mod tests {
 
     #[test]
     fn display_formats_both_states() {
-        let p = LoadPoint { offered: 0.4, latency: Some(42.0), accepted: 0.4, saturated: false };
+        let p = LoadPoint {
+            offered: 0.4,
+            latency: Some(42.0),
+            accepted: 0.4,
+            saturated: false,
+        };
         assert!(p.to_string().contains("42.0"));
-        let s = LoadPoint { offered: 0.9, latency: None, accepted: 0.5, saturated: true };
+        let s = LoadPoint {
+            offered: 0.9,
+            latency: None,
+            accepted: 0.5,
+            saturated: true,
+        };
         assert!(s.to_string().contains("saturated"));
     }
 }

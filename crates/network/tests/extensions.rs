@@ -11,9 +11,18 @@ fn run(cfg: NetworkConfig) -> noc_network::RunResult {
 #[test]
 fn torus_uniform_traffic_drains() {
     for kind in [
-        RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
-        RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
-        RouterKind::SpeculativeVc { vcs: 4, buffers_per_vc: 2 },
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+        RouterKind::SpeculativeVc {
+            vcs: 4,
+            buffers_per_vc: 2,
+        },
     ] {
         let cfg = NetworkConfig::mesh(8, kind)
             .into_torus()
@@ -36,26 +45,38 @@ fn torus_tornado_does_not_deadlock() {
     // dateline classes leave a single usable VC per class on each
     // channel, so feasible load is low; well below it the sample must
     // drain...
-    let cfg = NetworkConfig::mesh(8, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-        .into_torus()
-        .with_pattern(TrafficPattern::Tornado)
-        .with_injection(0.05)
-        .with_warmup(500)
-        .with_sample(600)
-        .with_max_cycles(150_000);
+    let cfg = NetworkConfig::mesh(
+        8,
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .into_torus()
+    .with_pattern(TrafficPattern::Tornado)
+    .with_injection(0.05)
+    .with_warmup(500)
+    .with_sample(600)
+    .with_max_cycles(150_000);
     let r = run(cfg);
     assert!(!r.saturated, "tornado on torus deadlocked or saturated");
     assert_eq!(r.stats.count(), 600);
 
     // ...and even past saturation the network must stay *live* (packets
     // keep draining — saturation, not deadlock).
-    let hot = NetworkConfig::mesh(8, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-        .into_torus()
-        .with_pattern(TrafficPattern::Tornado)
-        .with_injection(0.5)
-        .with_warmup(500)
-        .with_sample(20_000)
-        .with_max_cycles(30_000);
+    let hot = NetworkConfig::mesh(
+        8,
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .into_torus()
+    .with_pattern(TrafficPattern::Tornado)
+    .with_injection(0.5)
+    .with_warmup(500)
+    .with_sample(20_000)
+    .with_max_cycles(30_000);
     let r = run(hot);
     assert!(
         r.flits_ejected > 10_000,
@@ -67,7 +88,10 @@ fn torus_tornado_does_not_deadlock() {
 /// Wrap links shorten paths: the torus must beat the mesh at zero load.
 #[test]
 fn torus_cuts_zero_load_latency() {
-    let kind = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    let kind = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     let base = |cfg: NetworkConfig| {
         cfg.with_injection(0.05)
             .with_warmup(400)
@@ -86,12 +110,18 @@ fn torus_cuts_zero_load_latency() {
 
 #[test]
 fn west_first_adaptive_delivers_uniform_traffic() {
-    let cfg = NetworkConfig::mesh(8, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-        .with_routing(RoutingAlgo::WestFirstAdaptive)
-        .with_injection(0.25)
-        .with_warmup(500)
-        .with_sample(800)
-        .with_max_cycles(100_000);
+    let cfg = NetworkConfig::mesh(
+        8,
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_routing(RoutingAlgo::WestFirstAdaptive)
+    .with_injection(0.25)
+    .with_warmup(500)
+    .with_sample(800)
+    .with_max_cycles(100_000);
     let r = run(cfg);
     assert!(!r.saturated);
     assert_eq!(r.stats.count(), 800);
@@ -100,7 +130,10 @@ fn west_first_adaptive_delivers_uniform_traffic() {
 /// Adaptive selection keeps paths minimal: zero-load latency matches DOR.
 #[test]
 fn west_first_zero_load_matches_dor() {
-    let kind = RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 };
+    let kind = RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     let base = |algo| {
         NetworkConfig::mesh(8, kind)
             .with_routing(algo)
@@ -109,8 +142,12 @@ fn west_first_zero_load_matches_dor() {
             .with_sample(500)
             .with_max_cycles(80_000)
     };
-    let dor = run(base(RoutingAlgo::DimensionOrdered)).avg_latency.unwrap();
-    let wf = run(base(RoutingAlgo::WestFirstAdaptive)).avg_latency.unwrap();
+    let dor = run(base(RoutingAlgo::DimensionOrdered))
+        .avg_latency
+        .unwrap();
+    let wf = run(base(RoutingAlgo::WestFirstAdaptive))
+        .avg_latency
+        .unwrap();
     assert!(
         (dor - wf).abs() < 2.0,
         "minimal routes must give matching zero-load latency: {dor:.1} vs {wf:.1}"
@@ -171,11 +208,17 @@ fn cut_through_admission_needs_multi_packet_buffers() {
 /// handles them end to end (4-ary 3-mesh, 7-port routers).
 #[test]
 fn three_dimensional_mesh_works() {
-    let mut cfg = NetworkConfig::mesh(4, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-        .with_injection(0.15)
-        .with_warmup(300)
-        .with_sample(400)
-        .with_max_cycles(80_000);
+    let mut cfg = NetworkConfig::mesh(
+        4,
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_injection(0.15)
+    .with_warmup(300)
+    .with_sample(400)
+    .with_max_cycles(80_000);
     cfg.mesh = noc_network::Mesh::new(4, 3);
     let r = run(cfg);
     assert!(!r.saturated);
@@ -188,11 +231,17 @@ fn three_dimensional_mesh_works() {
 /// A 3-D torus with dateline classes is likewise live.
 #[test]
 fn three_dimensional_torus_works() {
-    let mut cfg = NetworkConfig::mesh(4, RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 })
-        .with_injection(0.1)
-        .with_warmup(300)
-        .with_sample(300)
-        .with_max_cycles(80_000);
+    let mut cfg = NetworkConfig::mesh(
+        4,
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_injection(0.1)
+    .with_warmup(300)
+    .with_sample(300)
+    .with_max_cycles(80_000);
     cfg.mesh = noc_network::Mesh::new(4, 3).into_torus();
     let r = run(cfg);
     assert!(!r.saturated);
@@ -202,14 +251,23 @@ fn three_dimensional_torus_works() {
 #[test]
 #[should_panic(expected = "dateline")]
 fn torus_with_one_vc_is_rejected() {
-    let cfg = NetworkConfig::mesh(4, RouterKind::VirtualChannel { vcs: 1, buffers_per_vc: 4 });
+    let cfg = NetworkConfig::mesh(
+        4,
+        RouterKind::VirtualChannel {
+            vcs: 1,
+            buffers_per_vc: 4,
+        },
+    );
     let _ = cfg.into_torus();
 }
 
 #[test]
 #[should_panic(expected = "2-D meshes")]
 fn west_first_on_torus_is_rejected() {
-    let kind = RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 };
+    let kind = RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     let mut cfg = NetworkConfig::mesh(4, kind).into_torus();
     cfg.routing = RoutingAlgo::WestFirstAdaptive;
     let _ = Network::new(cfg);

@@ -271,11 +271,7 @@ mod tests {
             (FlowControlKind::VirtualChannel, 4),
             (FlowControlKind::SpeculativeVc, 3),
         ] {
-            assert_eq!(
-                Timing::pipelined(kind).head_latency(kind),
-                stages,
-                "{kind}"
-            );
+            assert_eq!(Timing::pipelined(kind).head_latency(kind), stages, "{kind}");
             assert_eq!(Timing::single_cycle().head_latency(kind), 1, "{kind}");
         }
     }

@@ -173,7 +173,10 @@ impl OutputPort {
         if self.sink {
             return;
         }
-        assert!(self.credits[vc] > 0, "consuming credit below zero on vc {vc}");
+        assert!(
+            self.credits[vc] > 0,
+            "consuming credit below zero on vc {vc}"
+        );
         self.credits[vc] -= 1;
     }
 

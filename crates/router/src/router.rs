@@ -157,9 +157,22 @@ impl Router {
         self.trace.take()
     }
 
-    fn record(&mut self, cycle: u64, in_port: usize, in_vc: usize, packet: crate::flit::PacketId, event: PipelineEvent) {
+    fn record(
+        &mut self,
+        cycle: u64,
+        in_port: usize,
+        in_vc: usize,
+        packet: crate::flit::PacketId,
+        event: PipelineEvent,
+    ) {
         if self.trace.is_enabled() {
-            self.trace.record(TraceEntry { cycle, in_port, in_vc, packet, event });
+            self.trace.record(TraceEntry {
+                cycle,
+                in_port,
+                in_vc,
+                packet,
+                event,
+            });
         }
     }
 
@@ -294,7 +307,11 @@ impl Router {
         };
         let t = self.cfg.timing;
         let vc = &self.inputs[in_port][0];
-        let VcState::Active { sa_request_at: flow_start, .. } = vc.state else {
+        let VcState::Active {
+            sa_request_at: flow_start,
+            ..
+        } = vc.state
+        else {
             unreachable!("holder without active channel");
         };
         let Some(front) = vc.front() else { return };
@@ -346,7 +363,10 @@ impl Router {
             e.in_port,
             e.in_vc,
             flit.packet,
-            PipelineEvent::Traversed { out_port: e.out_port, out_vc: e.out_vc },
+            PipelineEvent::Traversed {
+                out_port: e.out_port,
+                out_vc: e.out_vc,
+            },
         );
         out.departures.push(Departure {
             flit,
@@ -387,7 +407,13 @@ impl Router {
                     request_at: now + rc_delay,
                     vc_mask,
                 };
-                self.record(now, port, vc, packet, PipelineEvent::RouteComputed { out_port });
+                self.record(
+                    now,
+                    port,
+                    vc,
+                    packet,
+                    PipelineEvent::RouteComputed { out_port },
+                );
             }
         }
     }
@@ -671,7 +697,13 @@ impl Router {
                 packet,
             };
             self.stats.sa_grants += 1;
-            self.record(now, winner, 0, packet, PipelineEvent::SaGranted { speculative: false });
+            self.record(
+                now,
+                winner,
+                0,
+                packet,
+                PipelineEvent::SaGranted { speculative: false },
+            );
             newly_held.push(out_port);
         }
         // Single-cycle routers start flowing in the grant cycle itself.
@@ -697,7 +729,13 @@ impl Router {
         if self.trace.is_enabled() {
             if let Some(front) = self.inputs[in_port][in_vc].front() {
                 let packet = front.packet;
-                self.record(now, in_port, in_vc, packet, PipelineEvent::SaGranted { speculative });
+                self.record(
+                    now,
+                    in_port,
+                    in_vc,
+                    packet,
+                    PipelineEvent::SaGranted { speculative },
+                );
             }
         }
         self.outputs[out_port].consume_credit(out_vc);
@@ -781,7 +819,10 @@ mod tests {
         let mut r = wired(RouterConfig::virtual_channel(5, 2, 4), 4);
         r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
         for now in 10..=12 {
-            assert!(r.tick(now, &|_: &Flit| 3).departures.is_empty(), "cycle {now}");
+            assert!(
+                r.tick(now, &|_: &Flit| 3).departures.is_empty(),
+                "cycle {now}"
+            );
         }
         let o = r.tick(13, &|_: &Flit| 3);
         assert_eq!(o.departures.len(), 1);
@@ -843,8 +884,15 @@ mod tests {
         assert_eq!(out.departures.len(), 4);
         // No interleaving: once packet A starts, its tail departs before
         // packet B's head.
-        let ids: Vec<u64> = out.departures.iter().map(|d| d.flit.packet.value()).collect();
-        assert!(ids == vec![1, 1, 2, 2] || ids == vec![2, 2, 1, 1], "{ids:?}");
+        let ids: Vec<u64> = out
+            .departures
+            .iter()
+            .map(|d| d.flit.packet.value())
+            .collect();
+        assert!(
+            ids == vec![1, 1, 2, 2] || ids == vec![2, 2, 1, 1],
+            "{ids:?}"
+        );
     }
 
     #[test]
@@ -897,7 +945,10 @@ mod tests {
         r.accept_flit(0, a[0], 10);
         r.accept_flit(1, Flit::head(PacketId::new(2), 9, 0, 0), 11);
         let _ = run(&mut r, 10, 16, |_: &Flit| 2);
-        assert!(r.stats().spec_wasted > 0, "speculation should have been wasted");
+        assert!(
+            r.stats().spec_wasted > 0,
+            "speculation should have been wasted"
+        );
         // B's head is still buffered.
         assert_eq!(r.input_occupancy(1, 0), 1);
     }
@@ -974,10 +1025,7 @@ mod tests {
         let out = run_feeding(&mut r, 10, 40, &mut feeds, |_: &Flit| 0);
         assert_eq!(out.departures.len(), 5);
         assert_eq!(out.departures.len(), out.credits.len());
-        assert!(out
-            .credits
-            .iter()
-            .all(|c| c.in_port == 3 && c.vc == 0));
+        assert!(out.credits.iter().all(|c| c.in_port == 3 && c.vc == 0));
     }
 
     #[test]

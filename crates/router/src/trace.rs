@@ -228,7 +228,11 @@ mod tests {
     fn event_display_is_stage_shorthand() {
         assert_eq!(PipelineEvent::Arrived.to_string(), "BW");
         assert_eq!(
-            PipelineEvent::Traversed { out_port: 2, out_vc: 1 }.to_string(),
+            PipelineEvent::Traversed {
+                out_port: 2,
+                out_vc: 1
+            }
+            .to_string(),
             "ST->p2v1"
         );
         assert_eq!(PipelineEvent::SpecWasted.to_string(), "SA(wasted)");

@@ -61,8 +61,11 @@ impl Bench {
             }
             let out = self.router.tick(now, &|f: &Flit| f.dest % ports);
             for dep in out.departures {
-                self.downstream_credits
-                    .push_back((now + self.credit_delay, dep.out_port, dep.flit.vc));
+                self.downstream_credits.push_back((
+                    now + self.credit_delay,
+                    dep.out_port,
+                    dep.flit.vc,
+                ));
                 self.departures.push(dep.flit);
             }
             for c in out.credits {
@@ -83,10 +86,7 @@ impl Bench {
 
 /// Builds randomized per-port packet feeds. Destinations index output
 /// ports via `dest % ports`.
-fn feeds_strategy(
-    ports: usize,
-    vcs: usize,
-) -> impl Strategy<Value = Vec<VecDeque<Flit>>> {
+fn feeds_strategy(ports: usize, vcs: usize) -> impl Strategy<Value = Vec<VecDeque<Flit>>> {
     let packet = (0usize..64, 1u32..7);
     let per_port = proptest::collection::vec(packet, 0..5);
     proptest::collection::vec(per_port, ports).prop_map(move |spec| {

@@ -1,9 +1,7 @@
 //! Exact pipeline timing, verified through the event trace: the
 //! cycle-by-cycle stage sequences of the paper's three architectures.
 
-use router_core::{
-    Flit, PacketId, PipelineEvent, Router, RouterConfig, RoutingOracle, TraceEntry,
-};
+use router_core::{Flit, PacketId, PipelineEvent, Router, RouterConfig, TraceEntry};
 
 fn wired(cfg: RouterConfig) -> Router {
     let mut r = Router::new(cfg);
@@ -44,7 +42,13 @@ fn wormhole_head_stage_sequence() {
             (10, PipelineEvent::Arrived),
             (10, PipelineEvent::RouteComputed { out_port: 2 }),
             (11, PipelineEvent::SaGranted { speculative: false }),
-            (12, PipelineEvent::Traversed { out_port: 2, out_vc: 0 }),
+            (
+                12,
+                PipelineEvent::Traversed {
+                    out_port: 2,
+                    out_vc: 0
+                }
+            ),
         ]
     );
 }
@@ -63,7 +67,13 @@ fn vc_head_stage_sequence() {
             (20, PipelineEvent::RouteComputed { out_port: 2 }),
             (21, PipelineEvent::VaGranted { out_vc: 0 }),
             (22, PipelineEvent::SaGranted { speculative: false }),
-            (23, PipelineEvent::Traversed { out_port: 2, out_vc: 0 }),
+            (
+                23,
+                PipelineEvent::Traversed {
+                    out_port: 2,
+                    out_vc: 0
+                }
+            ),
         ]
     );
 }
@@ -83,7 +93,13 @@ fn speculative_head_stage_sequence() {
             (30, PipelineEvent::RouteComputed { out_port: 2 }),
             (31, PipelineEvent::VaGranted { out_vc: 0 }),
             (31, PipelineEvent::SaGranted { speculative: true }),
-            (32, PipelineEvent::Traversed { out_port: 2, out_vc: 0 }),
+            (
+                32,
+                PipelineEvent::Traversed {
+                    out_port: 2,
+                    out_vc: 0
+                }
+            ),
         ]
     );
 }

@@ -29,7 +29,10 @@ fn wired(vcs: usize) -> Router {
 fn mask_restricts_allocated_vcs() {
     // Only the upper half (VCs 2 and 3) permitted.
     let mut r = wired(4);
-    for (i, f) in Flit::packet(PacketId::new(1), 9, 0, 0, 2).into_iter().enumerate() {
+    for (i, f) in Flit::packet(PacketId::new(1), 9, 0, 0, 2)
+        .into_iter()
+        .enumerate()
+    {
         r.accept_flit(0, f, 10 + i as u64);
     }
     let mut out_vcs = Vec::new();
@@ -39,7 +42,10 @@ fn mask_restricts_allocated_vcs() {
         }
     }
     assert_eq!(out_vcs.len(), 2);
-    assert!(out_vcs.iter().all(|&v| v >= 2), "mask violated: {out_vcs:?}");
+    assert!(
+        out_vcs.iter().all(|&v| v >= 2),
+        "mask violated: {out_vcs:?}"
+    );
 }
 
 #[test]
@@ -69,7 +75,10 @@ fn packets_with_disjoint_masks_share_a_port() {
     let mut by_packet: std::collections::HashMap<u64, Vec<usize>> = Default::default();
     for now in 10..25 {
         for d in r.tick(now, &PerPacket).departures {
-            by_packet.entry(d.flit.packet.value()).or_default().push(d.flit.vc);
+            by_packet
+                .entry(d.flit.packet.value())
+                .or_default()
+                .push(d.flit.vc);
         }
     }
     assert!(by_packet[&1].iter().all(|&v| v < 2), "{by_packet:?}");

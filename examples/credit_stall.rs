@@ -37,8 +37,14 @@ fn measure(kind: RouterKind, credit_prop: u64) -> (f64, f64) {
 
 fn main() {
     println!("== Credit propagation latency (specVC, 2 VCs x 4 buffers) ==");
-    println!("{:>12} {:>12} {:>12}", "credit prop", "zero-load", "saturation");
-    let spec4 = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    println!(
+        "{:>12} {:>12} {:>12}",
+        "credit prop", "zero-load", "saturation"
+    );
+    let spec4 = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     for prop in [1u64, 2, 4] {
         let (zl, sat) = measure(spec4, prop);
         println!("{prop:>12} {zl:>12.1} {:>11.0}%", sat * 100.0);
@@ -47,7 +53,10 @@ fn main() {
     println!("== Buffer depth at 1-cycle credit propagation (specVC, 2 VCs) ==");
     println!("{:>12} {:>12} {:>12}", "bufs/VC", "zero-load", "saturation");
     for bufs in [2usize, 4, 8] {
-        let kind = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: bufs };
+        let kind = RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: bufs,
+        };
         let (zl, sat) = measure(kind, 1);
         println!("{bufs:>12} {zl:>12.1} {:>11.0}%", sat * 100.0);
     }

@@ -26,16 +26,28 @@ fn main() {
             "8 flit buffers per input port (paper Figure 13)",
             vec![
                 RouterKind::Wormhole { buffers: 8 },
-                RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
-                RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+                RouterKind::VirtualChannel {
+                    vcs: 2,
+                    buffers_per_vc: 4,
+                },
+                RouterKind::SpeculativeVc {
+                    vcs: 2,
+                    buffers_per_vc: 4,
+                },
             ],
         ),
         (
             "16 flit buffers per input port (paper Figure 14)",
             vec![
                 RouterKind::Wormhole { buffers: 16 },
-                RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 8 },
-                RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 8 },
+                RouterKind::VirtualChannel {
+                    vcs: 2,
+                    buffers_per_vc: 8,
+                },
+                RouterKind::SpeculativeVc {
+                    vcs: 2,
+                    buffers_per_vc: 8,
+                },
             ],
         ),
     ] {

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example pipeline_explorer`
 
-use delay_model::{
-    canonical, equations, FlowControl, RouterParams, RoutingFunction,
-};
+use delay_model::{canonical, equations, FlowControl, RouterParams, RoutingFunction};
 use logical_effort::Tau4;
 
 fn main() {
@@ -35,7 +33,10 @@ fn main() {
     println!();
 
     println!("== Combined VA∥SA stage delay vs routing-function range (20 τ4 clock) ==");
-    println!("{:>12} {:>8} {:>8} {:>8}  fits one cycle?", "config", "R:v", "R:p", "R:pv");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8}  fits one cycle?",
+        "config", "R:v", "R:p", "R:pv"
+    );
     for p in [5u32, 7] {
         for v in [2u32, 4, 8, 16] {
             let params = RouterParams::with_channels(p, v);

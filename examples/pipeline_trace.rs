@@ -14,7 +14,10 @@ fn walk(title: &str, cfg: RouterConfig) {
     }
     r.enable_trace(64);
     // A two-flit packet entering port 0, destined out port 2.
-    for (i, f) in Flit::packet(PacketId::new(1), 2, 0, 0, 2).into_iter().enumerate() {
+    for (i, f) in Flit::packet(PacketId::new(1), 2, 0, 0, 2)
+        .into_iter()
+        .enumerate()
+    {
         r.accept_flit(0, f, 100 + i as u64);
     }
     for now in 100..110 {
@@ -49,7 +52,10 @@ fn contention_demo() {
 }
 
 fn main() {
-    walk("Wormhole (3 stages: RC | SA | ST)", RouterConfig::wormhole(5, 8));
+    walk(
+        "Wormhole (3 stages: RC | SA | ST)",
+        RouterConfig::wormhole(5, 8),
+    );
     walk(
         "Virtual-channel (4 stages: RC | VA | SA | ST)",
         RouterConfig::virtual_channel(5, 2, 4),

@@ -29,8 +29,14 @@ fn main() {
     println!("== Simulation: 8x8 mesh, uniform traffic, 5-flit packets, 30% load ==");
     let kinds = [
         RouterKind::Wormhole { buffers: 8 },
-        RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
-        RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
     ];
     for kind in kinds {
         let cfg = NetworkConfig::mesh(8, kind)

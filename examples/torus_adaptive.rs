@@ -13,7 +13,10 @@ fn run(cfg: NetworkConfig) -> (f64, bool) {
 }
 
 fn main() {
-    let kind = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    let kind = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     let base = |cfg: NetworkConfig| {
         cfg.with_injection(0.15)
             .with_warmup(800)
@@ -25,8 +28,7 @@ fn main() {
     // A torus has twice the mesh's capacity, so the same *fraction* means
     // twice the traffic; halve the torus fraction to compare fairly.
     let (mesh_lat, _) = run(base(NetworkConfig::mesh(8, kind)));
-    let (torus_lat, _) =
-        run(base(NetworkConfig::mesh(8, kind).into_torus()).with_injection(0.075));
+    let (torus_lat, _) = run(base(NetworkConfig::mesh(8, kind).into_torus()).with_injection(0.075));
     println!("8x8 mesh : {mesh_lat:6.1} cycles");
     println!("8x8 torus: {torus_lat:6.1} cycles  (wrap links cut average distance 5.3 -> 4.0;");
     println!("           dateline VC classes keep dimension-order routing deadlock-free)");

@@ -57,7 +57,10 @@ fn wormhole_buffer_cycle_is_2_plus_4() {
 #[test]
 fn vc_buffer_cycle_is_3_plus_5() {
     assert_cycle(
-        RouterKind::VirtualChannel { vcs: 1, buffers_per_vc: 1 },
+        RouterKind::VirtualChannel {
+            vcs: 1,
+            buffers_per_vc: 1,
+        },
         false,
         1,
         8.0,
@@ -69,7 +72,10 @@ fn vc_buffer_cycle_is_3_plus_5() {
 #[test]
 fn speculative_buffer_cycle_is_2_plus_5() {
     assert_cycle(
-        RouterKind::SpeculativeVc { vcs: 1, buffers_per_vc: 1 },
+        RouterKind::SpeculativeVc {
+            vcs: 1,
+            buffers_per_vc: 1,
+        },
         false,
         1,
         7.0,
@@ -89,7 +95,10 @@ fn single_cycle_buffer_cycle_is_4() {
 #[test]
 fn slow_credits_add_exactly_their_latency() {
     assert_cycle(
-        RouterKind::SpeculativeVc { vcs: 1, buffers_per_vc: 1 },
+        RouterKind::SpeculativeVc {
+            vcs: 1,
+            buffers_per_vc: 1,
+        },
         false,
         4,
         10.0,

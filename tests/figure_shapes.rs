@@ -42,12 +42,18 @@ fn measure(kind: RouterKind, single_cycle: bool, credit_prop: u64) -> Curve {
 fn fig13_shape() {
     let wh = measure(RouterKind::Wormhole { buffers: 8 }, false, 1);
     let vc = measure(
-        RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
         false,
         1,
     );
     let spec = measure(
-        RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
         false,
         1,
     );
@@ -83,12 +89,18 @@ fn fig14_shape() {
     let wh8 = measure(RouterKind::Wormhole { buffers: 8 }, false, 1);
     let wh16 = measure(RouterKind::Wormhole { buffers: 16 }, false, 1);
     let vc = measure(
-        RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 8 },
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 8,
+        },
         false,
         1,
     );
     let spec = measure(
-        RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 8 },
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 8,
+        },
         false,
         1,
     );
@@ -112,12 +124,18 @@ fn fig14_shape() {
 #[test]
 fn fig15_shape() {
     let vc = measure(
-        RouterKind::VirtualChannel { vcs: 4, buffers_per_vc: 4 },
+        RouterKind::VirtualChannel {
+            vcs: 4,
+            buffers_per_vc: 4,
+        },
         false,
         1,
     );
     let spec = measure(
-        RouterKind::SpeculativeVc { vcs: 4, buffers_per_vc: 4 },
+        RouterKind::SpeculativeVc {
+            vcs: 4,
+            buffers_per_vc: 4,
+        },
         false,
         1,
     );
@@ -133,7 +151,10 @@ fn fig15_shape() {
 /// overestimates throughput relative to the pipelined model.
 #[test]
 fn fig17_shape() {
-    let vc = RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 };
+    let vc = RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     let pipelined = measure(vc, false, 1);
     let unit = measure(vc, true, 1);
     assert!(
@@ -155,7 +176,10 @@ fn fig17_shape() {
 /// (paper: 18%, 55% → 45% capacity).
 #[test]
 fn fig18_shape() {
-    let spec = RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 };
+    let spec = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     let fast = measure(spec, false, 1);
     let slow = measure(spec, false, 4);
     assert!(

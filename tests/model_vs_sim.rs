@@ -34,12 +34,18 @@ fn pipeline_depths_predict_simulated_latency() {
             1.0,
         ),
         (
-            RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
             FlowControl::VirtualChannel(RoutingFunction::Rpv),
             5.5, // 4 bufs/VC do not cover the 5-cycle credit loop
         ),
         (
-            RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
             FlowControl::SpeculativeVirtualChannel(RoutingFunction::Rv),
             4.0, // 4 bufs/VC just miss the 4-cycle credit loop
         ),
@@ -67,7 +73,10 @@ fn single_cycle_routers_match_unit_latency_model() {
     let predicted = zero_load_latency(1, mesh.average_distance(), 5, 1);
     for kind in [
         RouterKind::Wormhole { buffers: 8 },
-        RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 },
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
     ] {
         let measured = measured_zero_load(kind, true);
         assert!(
@@ -81,7 +90,10 @@ fn single_cycle_routers_match_unit_latency_model() {
 /// roughly half (16 vs 29–36 cycles).
 #[test]
 fn unit_latency_model_is_optimistic() {
-    let vc = RouterKind::VirtualChannel { vcs: 2, buffers_per_vc: 4 };
+    let vc = RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
     let pipelined = measured_zero_load(vc, false);
     let unit = measured_zero_load(vc, true);
     let ratio = pipelined / unit;
@@ -107,7 +119,10 @@ fn speculation_recovers_wormhole_depth_end_to_end() {
 
     let wh = measured_zero_load(RouterKind::Wormhole { buffers: 8 }, false);
     let spec = measured_zero_load(
-        RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
         false,
     );
     assert!(

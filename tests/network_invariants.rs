@@ -7,10 +7,14 @@ use proptest::prelude::*;
 fn kinds() -> impl Strategy<Value = RouterKind> {
     prop_oneof![
         (2usize..12).prop_map(|b| RouterKind::Wormhole { buffers: b }),
-        ((1usize..4), (2usize..8))
-            .prop_map(|(v, b)| RouterKind::VirtualChannel { vcs: v, buffers_per_vc: b }),
-        ((1usize..4), (2usize..8))
-            .prop_map(|(v, b)| RouterKind::SpeculativeVc { vcs: v, buffers_per_vc: b }),
+        ((1usize..4), (2usize..8)).prop_map(|(v, b)| RouterKind::VirtualChannel {
+            vcs: v,
+            buffers_per_vc: b
+        }),
+        ((1usize..4), (2usize..8)).prop_map(|(v, b)| RouterKind::SpeculativeVc {
+            vcs: v,
+            buffers_per_vc: b
+        }),
     ]
 }
 
@@ -79,11 +83,17 @@ proptest! {
 #[test]
 fn bigger_and_odd_meshes_work() {
     for k in [3usize, 5, 6] {
-        let cfg = NetworkConfig::mesh(k, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-            .with_injection(0.15)
-            .with_warmup(150)
-            .with_sample(150)
-            .with_max_cycles(60_000);
+        let cfg = NetworkConfig::mesh(
+            k,
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_injection(0.15)
+        .with_warmup(150)
+        .with_sample(150)
+        .with_max_cycles(60_000);
         let r = Network::new(cfg).run();
         assert!(!r.saturated, "k={k}");
         assert_eq!(r.stats.count(), 150, "k={k}");
@@ -96,11 +106,17 @@ fn bigger_and_odd_meshes_work() {
 fn latency_monotone_below_saturation() {
     let mut prev = 0.0f64;
     for load in [0.1, 0.2, 0.3, 0.4] {
-        let cfg = NetworkConfig::mesh(8, RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 })
-            .with_injection(load)
-            .with_warmup(800)
-            .with_sample(1_500)
-            .with_max_cycles(150_000);
+        let cfg = NetworkConfig::mesh(
+            8,
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_injection(load)
+        .with_warmup(800)
+        .with_sample(1_500)
+        .with_max_cycles(150_000);
         let lat = Network::new(cfg).run().avg_latency.expect("completes");
         assert!(
             lat + 1.0 >= prev,

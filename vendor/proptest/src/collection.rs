@@ -1,0 +1,161 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size bound for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        if self.lo >= self.hi {
+            self.lo
+        } else {
+            rng.range_usize(self.lo, self.hi + 1)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Generates a `Vec` of `size` elements drawn from `element`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates a `HashSet` of `size` distinct elements drawn from
+/// `element`. The element domain must be able to supply the requested
+/// number of distinct values; generation gives up (with a smaller set)
+/// after a bounded number of redundant draws.
+#[must_use]
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = HashSet::with_capacity(target);
+        let mut stale_draws = 0;
+        while set.len() < target && stale_draws < 1_000 {
+            if set.insert(self.element.generate(rng)) {
+                stale_draws = 0;
+            } else {
+                stale_draws += 1;
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let strat = vec(0u32..5, 2..7);
+        let mut rng = TestRng::new(6);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let strat = vec(0u32..5, 10usize);
+        let mut rng = TestRng::new(7);
+        assert_eq!(strat.generate(&mut rng).len(), 10);
+    }
+
+    #[test]
+    fn hash_set_hits_target_when_domain_allows() {
+        let strat = hash_set(0usize..8, 1..8);
+        let mut rng = TestRng::new(8);
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=7).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vec_composes() {
+        let strat = vec(vec(0u32..2, 0..3), 4usize);
+        let mut rng = TestRng::new(9);
+        let v = strat.generate(&mut rng);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|inner| inner.len() < 3));
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//! range/tuple/`prop_map`/`prop_oneof!` strategies, `collection::vec` and
+//! `collection::hash_set`, `any::<T>()`, and the `proptest!` /
+//! `prop_assert*!` macros. Unlike real proptest it does no shrinking —
+//! on failure the assertion message reports the raw failing values via
+//! the generated-input dump each test case keeps in scope.
+//!
+//! Generation is fully deterministic: each test derives its RNG seed
+//! from its own name, so failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop import for tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs each `#[test] fn name(arg in strategy, ...)` body over many
+/// generated inputs. Accepts an optional leading
+/// `#![proptest_config(...)]` controlling the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]. The `#[test]` attribute on
+/// each function is captured by `$(#[$meta:meta])*` and re-emitted.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Chooses uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
