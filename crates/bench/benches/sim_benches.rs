@@ -5,6 +5,7 @@
 //! credit-path latency, buffer depth).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use noc_network::config::EngineKind;
 use noc_network::{Network, NetworkConfig, RouterKind};
 use router_core::{Flit, PacketId, Router, RouterConfig};
 use std::hint::black_box;
@@ -19,6 +20,38 @@ fn run_point(kind: RouterKind, load: f64, single_cycle: bool, credit_prop: u64) 
         .with_single_cycle(single_cycle)
         .with_credit_prop_delay(credit_prop);
     Network::new(cfg).run().avg_latency.unwrap_or(f64::INFINITY)
+}
+
+/// The engine shoot-out: identical sweep points under the cycle-driven
+/// reference and the event-driven active-set engine. At low loads the
+/// event engine skips most router ticks (see `BENCH_baseline.json` for
+/// the recorded speedups; `bench-engines --json` regenerates it).
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engines");
+    let kind = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    for (label, engine) in [
+        ("cycle_driven", EngineKind::CycleDriven),
+        ("event_driven", EngineKind::EventDriven),
+    ] {
+        for load_pct in [5u32, 30] {
+            let load = f64::from(load_pct) / 100.0;
+            g.bench_function(format!("{label}/load_{load_pct}pct"), |b| {
+                b.iter(|| {
+                    let cfg = NetworkConfig::mesh(8, kind)
+                        .with_injection(load)
+                        .with_warmup(300)
+                        .with_sample(400)
+                        .with_max_cycles(60_000)
+                        .with_engine(engine);
+                    black_box(Network::new(cfg).run().flits_ejected)
+                })
+            });
+        }
+    }
+    g.finish();
 }
 
 fn bench_fig13(c: &mut Criterion) {
@@ -157,7 +190,7 @@ fn bench_single_router(c: &mut Criterion) {
 criterion_group!(
     name = sim;
     config = Criterion::default().sample_size(10);
-    targets = bench_fig13, bench_fig14_fig15, bench_fig17, bench_fig18_credit_ablation,
-              bench_buffer_ablation, bench_single_router
+    targets = bench_engine_comparison, bench_fig13, bench_fig14_fig15, bench_fig17,
+              bench_fig18_credit_ablation, bench_buffer_ablation, bench_single_router
 );
 criterion_main!(sim);

@@ -1,0 +1,133 @@
+//! Times the cycle-driven reference engine against the event-driven
+//! active-set engine on identical sweep points and emits the comparison
+//! as JSON — the generator of the repository's `BENCH_baseline.json`.
+//!
+//! Usage: `bench-engines [--json]` (human-readable table by default).
+//!
+//! Every point is first checked for bit-identical results across the two
+//! engines (the same invariant `tests/engine_equivalence.rs` enforces),
+//! so a timing row can never come from diverging simulations.
+
+use noc_network::config::EngineKind;
+use noc_network::{Network, NetworkConfig, RouterKind};
+use std::time::Instant;
+
+struct Point {
+    load: f64,
+    cycle_ms: f64,
+    event_ms: f64,
+    speedup: f64,
+    ticks_skipped_pct: f64,
+}
+
+fn cfg(load: f64) -> NetworkConfig {
+    NetworkConfig::mesh(
+        8,
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_injection(load)
+    .with_warmup(300)
+    .with_sample(400)
+    .with_max_cycles(60_000)
+}
+
+fn time_engine(load: f64, engine: EngineKind, reps: u32) -> (f64, f64) {
+    // Warm-up run (also produces the work counters).
+    let warm = Network::new(cfg(load).with_engine(engine)).run();
+    let start = Instant::now();
+    for _ in 0..reps {
+        let r = Network::new(cfg(load).with_engine(engine)).run();
+        assert_eq!(r.cycles, warm.cycles, "non-deterministic run");
+    }
+    let ms = start.elapsed().as_secs_f64() * 1_000.0 / f64::from(reps);
+    (ms, warm.work.skip_fraction() * 100.0)
+}
+
+fn verify_equivalence(load: f64) {
+    let a = Network::new(cfg(load).with_engine(EngineKind::CycleDriven)).run();
+    let b = Network::new(cfg(load).with_engine(EngineKind::EventDriven)).run();
+    assert_eq!(a.cycles, b.cycles, "engines diverged at load {load}");
+    assert_eq!(
+        a.avg_latency.map(f64::to_bits),
+        b.avg_latency.map(f64::to_bits),
+        "engines diverged at load {load}"
+    );
+    assert_eq!(a.flits_ejected, b.flits_ejected);
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no chrono:
+/// Howard Hinnant's civil-from-days algorithm over the Unix epoch).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("system clock before 1970")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let reps = 3;
+    let loads = [0.05, 0.1, 0.2, 0.3, 0.5];
+    let mut points = Vec::new();
+    for &load in &loads {
+        verify_equivalence(load);
+        let (cycle_ms, _) = time_engine(load, EngineKind::CycleDriven, reps);
+        let (event_ms, skipped) = time_engine(load, EngineKind::EventDriven, reps);
+        points.push(Point {
+            load,
+            cycle_ms,
+            event_ms,
+            speedup: cycle_ms / event_ms,
+            ticks_skipped_pct: skipped,
+        });
+    }
+
+    if json {
+        println!("{{");
+        println!("  \"recorded\": \"{}\",", today_utc());
+        println!(
+            "  \"generator\": \"cargo run --release -p bench --bin bench-engines -- --json\","
+        );
+        println!(
+            "  \"interpretation\": \"cycle_driven_ms is the pre-PR engine (tick every router \
+             every cycle); event_driven_ms is the active-set engine that replaced it as the \
+             default. Identical results are asserted before timing.\","
+        );
+        println!("  \"benchmark\": \"engine comparison, 8x8 mesh, specVC 2x4, uniform traffic\",");
+        println!("  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \"reps\": {reps}}},");
+        println!("  \"points\": [");
+        for (i, p) in points.iter().enumerate() {
+            let comma = if i + 1 < points.len() { "," } else { "" };
+            println!(
+                "    {{\"offered_load\": {:.2}, \"cycle_driven_ms\": {:.2}, \
+                 \"event_driven_ms\": {:.2}, \"speedup\": {:.2}, \
+                 \"router_ticks_skipped_pct\": {:.1}}}{comma}",
+                p.load, p.cycle_ms, p.event_ms, p.speedup, p.ticks_skipped_pct
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        println!("load   cycle-driven   event-driven   speedup   ticks skipped");
+        for p in &points {
+            println!(
+                "{:4.2}   {:9.2} ms   {:9.2} ms   {:6.2}x   {:6.1}%",
+                p.load, p.cycle_ms, p.event_ms, p.speedup, p.ticks_skipped_pct
+            );
+        }
+    }
+}

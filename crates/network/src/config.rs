@@ -98,6 +98,35 @@ impl fmt::Display for RouterKind {
     }
 }
 
+/// Which simulation engine advances the network.
+///
+/// Both engines produce **bit-identical** results — the event-driven
+/// engine only skips work that is provably a no-op (quiescent routers,
+/// channels with nothing due). The equivalence is enforced by the
+/// differential harness in `tests/engine_equivalence.rs`, which runs both
+/// engines across router kinds, topologies, traffic patterns, and loads
+/// and asserts identical measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Tick every router every cycle (the reference engine; simple,
+    /// obviously correct, O(nodes) per cycle regardless of load).
+    CycleDriven,
+    /// Tick only routers with work pending, waking them on flit delivery
+    /// (the default: at the low loads that dominate a latency–throughput
+    /// sweep, most routers are idle in most cycles).
+    #[default]
+    EventDriven,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::CycleDriven => write!(f, "cycle-driven"),
+            EngineKind::EventDriven => write!(f, "event-driven"),
+        }
+    }
+}
+
 /// Which routing algorithm the network uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RoutingAlgo {
@@ -117,6 +146,9 @@ pub struct NetworkConfig {
     pub mesh: Mesh,
     /// Routing algorithm.
     pub routing: RoutingAlgo,
+    /// Simulation engine (cycle-driven reference or the event-driven
+    /// active-set engine; results are identical).
+    pub engine: EngineKind,
     /// Router microarchitecture.
     pub router: RouterKind,
     /// Use single-cycle ("unit latency") routers instead of the pipelined
@@ -154,6 +186,7 @@ impl NetworkConfig {
         NetworkConfig {
             mesh: Mesh::new(k, 2),
             routing: RoutingAlgo::DimensionOrdered,
+            engine: EngineKind::default(),
             router,
             single_cycle: false,
             link_delay: 1,
@@ -217,6 +250,14 @@ impl NetworkConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the simulation engine. Results do not depend on the choice
+    /// (see [`EngineKind`]); wall-clock time does.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 

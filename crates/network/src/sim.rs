@@ -1,15 +1,42 @@
 //! The network simulator: routers wired by delay pipes, driven by
 //! constant-rate sources, measured with the paper's warm-up + tagged
 //! sample protocol.
+//!
+//! # Two engines, one result
+//!
+//! The network can be advanced by either of two engines (selected with
+//! [`crate::config::EngineKind`]):
+//!
+//! * **cycle-driven** — every cycle, poll every channel and tick every
+//!   router. The reference implementation: obviously correct, O(nodes)
+//!   work per cycle no matter how idle the fabric is.
+//! * **event-driven** — the default. Deliveries are scheduled on a
+//!   calendar wheel when flits/credits are pushed, so idle channels are
+//!   never polled; routers are ticked only while non-quiescent (see
+//!   [`Router::is_quiescent`]), and are woken by flit arrival. At the
+//!   sub-saturation loads that dominate a latency–throughput curve, most
+//!   routers are idle in most cycles, so this skips the bulk of the work.
+//!
+//! The engines produce **bit-identical** results, because the event
+//! engine only elides provable no-ops: a quiescent router's tick changes
+//! no state (arbiter priorities move only on grants), credits are
+//! push-delivered, and per-channel FIFO order is preserved by the pipes
+//! regardless of when they are drained. Within a delivery phase the
+//! per-pipe drains commute (they touch disjoint queues/counters), sources
+//! are stepped in node order, routers are ticked in node order, and
+//! routers only interact through pipes with ≥ 1 cycle of latency — so
+//! every cross-engine reordering is of commuting operations. The claim is
+//! enforced, not assumed: `tests/engine_equivalence.rs` runs both engines
+//! over randomized configurations and asserts identical measurements.
 
 use crate::channel_load::ChannelLoad;
-use crate::config::{NetworkConfig, RoutingAlgo};
+use crate::config::{EngineKind, NetworkConfig, RoutingAlgo};
 use crate::histogram::Histogram;
 use crate::routing::{dateline_vc_mask, dimension_ordered, west_first_route};
 use crate::source::Source;
-use crate::stats::LatencyStats;
+use crate::stats::{EngineWork, LatencyStats};
 use crate::topology::Mesh;
-use router_core::{DelayPipe, Flit, PacketId, Router, RoutingOracle};
+use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, RoutingOracle, TickOutput};
 use std::collections::{HashMap, HashSet};
 
 /// The routing function of one node: algorithm selection plus, on a
@@ -59,6 +86,19 @@ pub struct RunResult {
     pub histogram: Histogram,
     /// Router event counters summed over all nodes.
     pub router_stats: router_core::RouterStats,
+    /// Work the engine performed (identical results, different effort —
+    /// see [`crate::config::EngineKind`]).
+    pub work: EngineWork,
+}
+
+/// A wake-up notice scheduled on the event wheel: "pipe `(node, port)`
+/// has an item arriving; drain it".
+#[derive(Debug, Clone, Copy)]
+struct Delivery {
+    node: u32,
+    port: u8,
+    /// Credit pipe (`credit_back`) rather than flit pipe (`flit_in`).
+    credit: bool,
 }
 
 /// A mesh of routers under simulation.
@@ -73,6 +113,17 @@ pub struct Network {
     /// input port back to its upstream (router or source).
     credit_back: Vec<Vec<DelayPipe<usize>>>,
     now: u64,
+    /// Credit return latency (propagation + processing − 1), cached.
+    credit_latency: u64,
+    // Event-engine state (unused by the cycle-driven engine).
+    /// Scheduled pipe deliveries, indexed by arrival cycle.
+    wheel: EventWheel<Delivery>,
+    /// Routers with work pending; ticked each cycle until quiescent.
+    router_active: Vec<bool>,
+    /// Reused tick output buffer.
+    tick_buf: TickOutput,
+    /// Router ticks executed (work accounting).
+    router_ticks: u64,
     // Measurement state.
     tagged: HashSet<PacketId>,
     tagged_created: u64,
@@ -142,6 +193,9 @@ impl Network {
             .map(|_| (0..ports).map(|_| DelayPipe::new(credit_latency)).collect())
             .collect();
 
+        // Horizon: a delivery pushed during cycle `t` arrives at
+        // `t + 1 + latency`, so the wheel must reach that far ahead.
+        let horizon = 1 + cfg.link_delay.max(credit_latency) + 1;
         Network {
             cfg,
             routers,
@@ -149,6 +203,11 @@ impl Network {
             flit_in,
             credit_back,
             now: 0,
+            credit_latency,
+            wheel: EventWheel::new(horizon),
+            router_active: vec![false; nodes],
+            tick_buf: TickOutput::default(),
+            router_ticks: 0,
             tagged: HashSet::new(),
             tagged_created: 0,
             tagged_done: 0,
@@ -187,42 +246,127 @@ impl Network {
         self.sources.iter().map(Source::backlog).sum()
     }
 
-    /// Advances the network one cycle.
+    /// Advances the network one cycle with the configured engine.
     pub fn step(&mut self) {
+        match self.cfg.engine {
+            EngineKind::CycleDriven => self.step_cycle(),
+            EngineKind::EventDriven => self.step_event(),
+        }
+    }
+
+    /// The reference engine: poll every pipe, tick every router.
+    fn step_cycle(&mut self) {
         let now = self.now;
         let mesh = self.cfg.mesh.clone();
-        let local = mesh.local_port();
         let nodes = mesh.nodes();
 
         // 1. Deliver flits into input buffers.
         for node in 0..nodes {
             for port in 0..mesh.ports() {
-                while let Some(flit) = self.flit_in[node][port].pop_ready(now) {
-                    self.routers[node].accept_flit(port, flit, now);
-                }
+                self.drain_flit_pipe(now, node, port);
             }
         }
 
         // 2. Deliver credits to the upstream of each input port.
         for node in 0..nodes {
             for port in 0..mesh.ports() {
-                while let Some(vc) = self.credit_back[node][port].pop_ready(now) {
-                    if port == local {
-                        self.sources[node].credit(vc);
-                    } else {
-                        let upstream = mesh
-                            .neighbor(node, port)
-                            .expect("credit on an unwired port");
-                        self.routers[upstream].accept_credit(mesh.opposite(port), vc, now);
-                    }
-                }
+                self.drain_credit_pipe(now, &mesh, node, port);
             }
         }
 
         // 3. Sources generate and inject.
-        let measuring = now >= self.cfg.warmup_cycles;
+        self.step_sources(now, &mesh);
+
+        // 4. Routers advance; forward their departures and credits.
         for node in 0..nodes {
-            let step = self.sources[node].step(now, &mesh, &self.cfg.pattern);
+            self.tick_router(now, &mesh, node);
+        }
+
+        self.channel_load.tick();
+        self.now += 1;
+    }
+
+    /// The event-driven engine: drain only the pipes with a delivery due
+    /// (scheduled on the wheel at push time) and tick only the routers in
+    /// the active set. See the module docs for the equivalence argument.
+    fn step_event(&mut self) {
+        let now = self.now;
+        let mesh = self.cfg.mesh.clone();
+        let nodes = mesh.nodes();
+
+        // 1+2. Deliver everything due this cycle. Per-pipe drains commute,
+        // so processing them in schedule order (not node order) is
+        // equivalent to the cycle engine's fixed sweep.
+        let mut due = self.wheel.take_due(now);
+        for d in due.drain(..) {
+            let (node, port) = (d.node as usize, d.port as usize);
+            if d.credit {
+                self.drain_credit_pipe(now, &mesh, node, port);
+            } else {
+                self.drain_flit_pipe(now, node, port);
+            }
+        }
+        self.wheel.restore(now, due);
+
+        // 3. Sources generate and inject (every cycle: constant-rate
+        // accumulation must add `rate` exactly once per cycle to stay
+        // bit-identical with the reference engine).
+        self.step_sources(now, &mesh);
+
+        // 4. Tick the active routers in node order (eject order feeds the
+        // latency accumulator, whose floating-point state is
+        // order-sensitive), retiring the ones that went quiescent.
+        for node in 0..nodes {
+            if self.router_active[node] {
+                self.tick_router(now, &mesh, node);
+                if self.routers[node].is_quiescent() {
+                    self.router_active[node] = false;
+                }
+            }
+        }
+
+        self.channel_load.tick();
+        self.now += 1;
+    }
+
+    /// Delivers every flit due by `now` on `flit_in[node][port]`, waking
+    /// the receiving router.
+    fn drain_flit_pipe(&mut self, now: u64, node: usize, port: usize) {
+        while let Some(flit) = self.flit_in[node][port].pop_ready(now) {
+            self.routers[node].accept_flit(port, flit, now);
+            self.router_active[node] = true;
+        }
+    }
+
+    /// Delivers every credit due by `now` on `credit_back[node][port]` to
+    /// the upstream router or source.
+    ///
+    /// No wake-up is needed: a credit only *enables* work for flits the
+    /// receiver already buffers. A non-quiescent receiver is already in
+    /// the active set; a quiescent one stays a no-op until a flit arrives
+    /// (see [`Router::is_quiescent`]).
+    fn drain_credit_pipe(&mut self, now: u64, mesh: &Mesh, node: usize, port: usize) {
+        let local = mesh.local_port();
+        while let Some(vc) = self.credit_back[node][port].pop_ready(now) {
+            if port == local {
+                self.sources[node].credit(vc);
+            } else {
+                let upstream = mesh
+                    .neighbor(node, port)
+                    .expect("credit on an unwired port");
+                self.routers[upstream].accept_credit(mesh.opposite(port), vc, now);
+            }
+        }
+    }
+
+    /// Steps every source in node order; tags sample packets and pushes
+    /// injected flits onto the local input channel.
+    fn step_sources(&mut self, now: u64, mesh: &Mesh) {
+        let local = mesh.local_port();
+        let measuring = now >= self.cfg.warmup_cycles;
+        let event_driven = self.cfg.engine == EngineKind::EventDriven;
+        for node in 0..mesh.nodes() {
+            let step = self.sources[node].step(now, mesh, &self.cfg.pattern);
             if measuring {
                 for id in step.created {
                     if self.tagged_created < self.cfg.sample_packets {
@@ -236,36 +380,70 @@ impl Network {
             }
             if let Some(flit) = step.injected {
                 self.flit_in[node][local].push(now, flit);
-            }
-        }
-
-        // 4. Routers advance; forward their departures and credits.
-        for node in 0..nodes {
-            let oracle = NodeOracle {
-                mesh: &mesh,
-                node,
-                algo: self.cfg.routing,
-                vcs: self.cfg.router.vcs(),
-            };
-            let out = self.routers[node].tick(now, &oracle);
-            for dep in out.departures {
-                self.channel_load.record(node, dep.out_port);
-                if dep.out_port == local {
-                    self.eject(node, dep.flit);
-                } else {
-                    let next = mesh
-                        .neighbor(node, dep.out_port)
-                        .expect("departure off the mesh edge");
-                    self.flit_in[next][mesh.opposite(dep.out_port)].push(now, dep.flit);
+                if event_driven {
+                    self.wheel.schedule(
+                        now + 1 + self.cfg.link_delay,
+                        Delivery {
+                            node: node as u32,
+                            port: local as u8,
+                            credit: false,
+                        },
+                    );
                 }
             }
-            for c in out.credits {
-                self.credit_back[node][c.in_port].push(now, c.vc);
+        }
+    }
+
+    /// Ticks router `node`, forwarding its departures and credits (and,
+    /// under the event engine, scheduling the wake-ups they imply).
+    fn tick_router(&mut self, now: u64, mesh: &Mesh, node: usize) {
+        let local = mesh.local_port();
+        let event_driven = self.cfg.engine == EngineKind::EventDriven;
+        let oracle = NodeOracle {
+            mesh,
+            node,
+            algo: self.cfg.routing,
+            vcs: self.cfg.router.vcs(),
+        };
+        let mut out = std::mem::take(&mut self.tick_buf);
+        self.routers[node].tick_into(now, &oracle, &mut out);
+        self.router_ticks += 1;
+        for dep in out.departures.drain(..) {
+            self.channel_load.record(node, dep.out_port);
+            if dep.out_port == local {
+                self.eject(node, dep.flit);
+            } else {
+                let next = mesh
+                    .neighbor(node, dep.out_port)
+                    .expect("departure off the mesh edge");
+                let in_port = mesh.opposite(dep.out_port);
+                self.flit_in[next][in_port].push(now, dep.flit);
+                if event_driven {
+                    self.wheel.schedule(
+                        now + 1 + self.cfg.link_delay,
+                        Delivery {
+                            node: next as u32,
+                            port: in_port as u8,
+                            credit: false,
+                        },
+                    );
+                }
             }
         }
-
-        self.channel_load.tick();
-        self.now += 1;
+        for c in out.credits.drain(..) {
+            self.credit_back[node][c.in_port].push(now, c.vc);
+            if event_driven {
+                self.wheel.schedule(
+                    now + 1 + self.credit_latency,
+                    Delivery {
+                        node: node as u32,
+                        port: c.in_port as u8,
+                        credit: true,
+                    },
+                );
+            }
+        }
+        self.tick_buf = out;
     }
 
     /// Consumes an ejected flit at its destination ("immediate ejection").
@@ -298,12 +476,72 @@ impl Network {
         self.tagged_created >= self.cfg.sample_packets && self.tagged_done >= self.tagged_created
     }
 
+    /// Router ticks executed so far (work accounting; the event-driven
+    /// engine executes fewer than `cycles × nodes`).
+    #[must_use]
+    pub fn router_ticks(&self) -> u64 {
+        self.router_ticks
+    }
+
+    /// Total flits injected by all sources so far.
+    #[must_use]
+    pub fn flits_injected(&self) -> u64 {
+        self.sources.iter().map(|s| s.flits_injected).sum()
+    }
+
+    /// Total flits ejected at their destinations so far.
+    #[must_use]
+    pub fn flits_ejected(&self) -> u64 {
+        self.flits_ejected
+    }
+
+    /// Flits currently on a wire (pushed into a channel, not yet
+    /// delivered).
+    #[must_use]
+    pub fn flits_in_flight(&self) -> u64 {
+        self.flit_in
+            .iter()
+            .flat_map(|ports| ports.iter())
+            .map(|pipe| pipe.len() as u64)
+            .sum()
+    }
+
+    /// Flits currently buffered inside routers.
+    #[must_use]
+    pub fn flits_buffered(&self) -> u64 {
+        self.routers.iter().map(|r| r.buffered_flits() as u64).sum()
+    }
+
+    /// Asserts the flit-conservation invariant: every flit a source
+    /// injected is either ejected at its destination, on a wire, or
+    /// buffered in a router — nothing is duplicated or dropped. Holds at
+    /// every cycle boundary; [`Network::run`] checks it once at the end
+    /// of every run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the books do not balance.
+    pub fn assert_flit_conservation(&self) {
+        let injected = self.flits_injected();
+        let ejected = self.flits_ejected();
+        let in_flight = self.flits_in_flight();
+        let buffered = self.flits_buffered();
+        assert_eq!(
+            injected,
+            ejected + in_flight + buffered,
+            "flit conservation violated at cycle {}: injected {injected} != \
+             ejected {ejected} + in-flight {in_flight} + buffered {buffered}",
+            self.now
+        );
+    }
+
     /// Runs the full protocol: warm-up, tagged sample, drain; returns the
     /// measurements. Hitting `max_cycles` first marks the run saturated.
     pub fn run(mut self) -> RunResult {
         while self.now < self.cfg.max_cycles && !self.sample_complete() {
             self.step();
         }
+        self.assert_flit_conservation();
         let saturated = !self.sample_complete();
         let span = self
             .measure_start
@@ -312,14 +550,7 @@ impl Network {
             self.measured_flits as f64 / (span as f64 * self.cfg.mesh.nodes() as f64);
         let mut router_stats = router_core::RouterStats::default();
         for r in &self.routers {
-            let s = r.stats();
-            router_stats.flits_switched += s.flits_switched;
-            router_stats.va_grants += s.va_grants;
-            router_stats.sa_grants += s.sa_grants;
-            router_stats.spec_requests += s.spec_requests;
-            router_stats.spec_hits += s.spec_hits;
-            router_stats.spec_wasted += s.spec_wasted;
-            router_stats.credits_sent += s.credits_sent;
+            router_stats.merge(r.stats());
         }
         RunResult {
             offered: self.cfg.injection_fraction,
@@ -331,6 +562,11 @@ impl Network {
             flits_ejected: self.flits_ejected,
             histogram: self.histogram.clone(),
             router_stats,
+            work: EngineWork {
+                cycles: self.now,
+                router_ticks: self.router_ticks,
+                router_ticks_possible: self.now * self.cfg.mesh.nodes() as u64,
+            },
         }
     }
 }
@@ -453,6 +689,40 @@ mod tests {
             (r.accepted - 0.2).abs() < 0.08,
             "accepted {:.3} vs offered 0.2",
             r.accepted
+        );
+    }
+
+    #[test]
+    fn transpose_fixed_points_keep_throughput_accounting_correct() {
+        // On a k×k mesh under transpose, the k diagonal sources are
+        // permutation fixed points and send nothing. Accepted throughput
+        // must reflect the real traffic — offered load scaled by the
+        // (nodes − k) / nodes active fraction — rather than drifting
+        // from phantom injections, and the tagged sample must still
+        // complete from the active sources alone.
+        let offered = 0.2;
+        let cfg = NetworkConfig::mesh(
+            4,
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_injection(offered)
+        .with_pattern(crate::traffic::TrafficPattern::Transpose)
+        .with_warmup(300)
+        .with_sample(300)
+        .with_max_cycles(60_000);
+        let r = quick(cfg);
+        assert!(!r.saturated);
+        assert_eq!(r.stats.count(), 300, "sample completes without diagonals");
+        let active_fraction = (16.0 - 4.0) / 16.0;
+        let expected = offered * active_fraction;
+        assert!(
+            (r.accepted - expected).abs() < 0.05,
+            "accepted {:.3} vs expected {:.3} (offered {offered} × {active_fraction})",
+            r.accepted,
+            expected
         );
     }
 

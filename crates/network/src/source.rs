@@ -11,7 +11,7 @@
 use arbitration::RoundRobinArbiter;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use router_core::{Flit, PacketId};
+use router_core::{Flit, PacketFlits, PacketId};
 use std::collections::VecDeque;
 
 use crate::topology::Mesh;
@@ -35,13 +35,17 @@ pub struct Source {
     accum: f64,
     next_seq: u64,
     rng: SmallRng,
-    /// Whole packets waiting for an injection VC.
-    queue: VecDeque<Vec<Flit>>,
-    /// Remaining flits of the packet occupying each injection VC.
-    slots: Vec<VecDeque<Flit>>,
+    /// Whole packets waiting for an injection VC — allocation-free flit
+    /// cursors, not materialized flit vectors.
+    queue: VecDeque<PacketFlits>,
+    /// The packet occupying each injection VC, if any (remaining flits
+    /// are generated on demand).
+    slots: Vec<Option<PacketFlits>>,
     /// Credits into the router's local input port, per VC.
     credits: Vec<u64>,
     vc_pick: RoundRobinArbiter,
+    /// Reusable scratch for the per-cycle injection arbitration.
+    ready_buf: Vec<bool>,
     /// Total packets created (for diagnostics).
     pub packets_created: u64,
     /// Total flits injected (for diagnostics).
@@ -82,9 +86,10 @@ impl Source {
             next_seq: 0,
             rng,
             queue: VecDeque::new(),
-            slots: (0..vcs).map(|_| VecDeque::new()).collect(),
+            slots: vec![None; vcs],
             credits: vec![credits_per_vc; vcs],
             vc_pick: RoundRobinArbiter::new(vcs),
+            ready_buf: vec![false; vcs],
             packets_created: 0,
             flits_injected: 0,
         }
@@ -100,7 +105,7 @@ impl Source {
     /// saturation).
     #[must_use]
     pub fn backlog(&self) -> usize {
-        self.queue.len() + self.slots.iter().filter(|s| !s.is_empty()).count()
+        self.queue.len() + self.slots.iter().filter(|s| s.is_some()).count()
     }
 
     /// Returns one credit for injection VC `vc`.
@@ -112,6 +117,19 @@ impl Source {
     /// free injection VCs, and injects at most one flit.
     pub fn step(&mut self, now: u64, mesh: &Mesh, pattern: &TrafficPattern) -> SourceStep {
         let mut out = SourceStep::default();
+
+        // Fast path: nothing queued, nothing mid-injection, and the rate
+        // accumulator cannot cross 1.0 this cycle — the step is pure
+        // accumulation. Bit-exact shortcut of the full path below (the
+        // `accum + rate` comparison is the same addition the slow path
+        // performs, and an arbiter without requests does not move).
+        if self.accum + self.rate < 1.0
+            && self.queue.is_empty()
+            && self.slots.iter().all(Option::is_none)
+        {
+            self.accum += self.rate;
+            return out;
+        }
 
         // Constant-rate generation with fractional accumulation.
         self.accum += self.rate;
@@ -125,18 +143,16 @@ impl Source {
             self.next_seq += 1;
             self.packets_created += 1;
             self.queue
-                .push_back(Flit::packet(id, dest, 0, now, self.packet_len));
+                .push_back(PacketFlits::new(id, dest, 0, now, self.packet_len));
             out.created.push(id);
         }
 
         // Claim free VCs for waiting packets.
         for vc in 0..self.slots.len() {
-            if self.slots[vc].is_empty() {
-                if let Some(packet) = self.queue.pop_front() {
-                    self.slots[vc].extend(packet.into_iter().map(|mut f| {
-                        f.vc = vc;
-                        f
-                    }));
+            if self.slots[vc].is_none() {
+                if let Some(mut packet) = self.queue.pop_front() {
+                    packet.set_vc(vc);
+                    self.slots[vc] = Some(packet);
                 } else {
                     break;
                 }
@@ -144,14 +160,19 @@ impl Source {
         }
 
         // Inject one flit from a VC with work and credit.
-        let ready: Vec<bool> = self
-            .slots
-            .iter()
-            .zip(&self.credits)
-            .map(|(s, &c)| !s.is_empty() && c > 0)
-            .collect();
-        if let Some(vc) = self.vc_pick.arbitrate(&ready) {
-            let flit = self.slots[vc].pop_front().expect("ready slot is nonempty");
+        for (r, (s, &c)) in self
+            .ready_buf
+            .iter_mut()
+            .zip(self.slots.iter().zip(&self.credits))
+        {
+            *r = s.is_some() && c > 0;
+        }
+        if let Some(vc) = self.vc_pick.arbitrate(&self.ready_buf) {
+            let slot = self.slots[vc].as_mut().expect("ready slot is nonempty");
+            let flit = slot.next().expect("claimed packets have flits left");
+            if slot.is_exhausted() {
+                self.slots[vc] = None;
+            }
             self.credits[vc] -= 1;
             self.flits_injected += 1;
             out.injected = Some(flit);
@@ -270,6 +291,40 @@ mod tests {
         assert_eq!(step.created.len(), 1);
         let f = step.injected.expect("injects immediately");
         assert_eq!(f.created, 42);
+    }
+
+    #[test]
+    fn transpose_diagonal_never_injects() {
+        // Transpose maps diagonal nodes to themselves; the source must
+        // skip those injections entirely — no packet created, no flit
+        // injected, no id reported — so latency tagging and throughput
+        // accounting only ever see real traffic.
+        let diag = Mesh::new(4, 2).node_at(&[2, 2]);
+        let mut s = Source::new(diag, 1.0, 5, 2, 100, 9);
+        for now in 0..500 {
+            let step = s.step(now, &mesh(), &TrafficPattern::Transpose);
+            assert!(step.created.is_empty(), "fixed point produced a packet");
+            assert!(step.injected.is_none(), "fixed point injected a flit");
+        }
+        assert_eq!(s.packets_created, 0);
+        assert_eq!(s.flits_injected, 0);
+        assert_eq!(s.backlog(), 0);
+    }
+
+    #[test]
+    fn transpose_off_diagonal_injects_normally() {
+        // Off-diagonal sources are unaffected by the fixed-point skip.
+        let src = Mesh::new(4, 2).node_at(&[1, 3]);
+        let mut s = Source::new(src, 0.25, 5, 1, 1000, 9);
+        let created: usize = (0..400)
+            .map(|now| {
+                s.step(now, &mesh(), &TrafficPattern::Transpose)
+                    .created
+                    .len()
+            })
+            .sum();
+        assert_eq!(created, 100, "full configured rate off the diagonal");
+        assert!(s.flits_injected > 0);
     }
 
     #[test]

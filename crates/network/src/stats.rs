@@ -1,6 +1,49 @@
-//! Latency statistics accumulation.
+//! Latency statistics accumulation and engine work counters.
 
 use std::fmt;
+
+/// How much work a simulation run performed — the engine-efficiency
+/// counters behind the event-driven engine's speedup claims.
+///
+/// Both engines produce identical measurements; what differs is how many
+/// router ticks they execute to get there. The cycle-driven engine always
+/// performs `cycles × nodes`; the event-driven engine skips quiescent
+/// routers, so its `router_ticks` shrinks with offered load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineWork {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Router ticks actually executed.
+    pub router_ticks: u64,
+    /// Router ticks a cycle-driven engine would have executed
+    /// (`cycles × nodes`).
+    pub router_ticks_possible: u64,
+}
+
+impl EngineWork {
+    /// Fraction of possible router ticks skipped, in `[0, 1]`.
+    #[must_use]
+    pub fn skip_fraction(&self) -> f64 {
+        if self.router_ticks_possible == 0 {
+            0.0
+        } else {
+            1.0 - self.router_ticks as f64 / self.router_ticks_possible as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineWork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {}/{} router ticks ({:.0}% skipped)",
+            self.cycles,
+            self.router_ticks,
+            self.router_ticks_possible,
+            self.skip_fraction() * 100.0
+        )
+    }
+}
 
 /// Streaming latency statistics (count / mean / min / max / variance via
 /// Welford's algorithm).
@@ -163,5 +206,17 @@ mod tests {
         let mut s = LatencyStats::new();
         s.record(42);
         assert!(s.to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn engine_work_skip_fraction() {
+        let w = EngineWork {
+            cycles: 10,
+            router_ticks: 25,
+            router_ticks_possible: 100,
+        };
+        assert!((w.skip_fraction() - 0.75).abs() < 1e-12);
+        assert!(w.to_string().contains("75% skipped"));
+        assert_eq!(EngineWork::default().skip_fraction(), 0.0);
     }
 }

@@ -1,6 +1,6 @@
 //! Load sweeps: latency–throughput curves and saturation points.
 
-use crate::config::NetworkConfig;
+use crate::config::{EngineKind, NetworkConfig};
 use crate::sim::{Network, RunResult};
 use std::fmt;
 
@@ -59,6 +59,11 @@ pub struct SweepOptions {
     /// Stop sweeping after the first saturated point (the rest of the
     /// curve is vertical anyway).
     pub stop_at_saturation: bool,
+    /// Overrides the base configuration's simulation engine for every
+    /// point, if set. Curves are engine-independent (see
+    /// [`EngineKind`]); this exists for work-accounting comparisons like
+    /// the differential harness and `bench-engines`.
+    pub engine: Option<EngineKind>,
 }
 
 impl Default for SweepOptions {
@@ -66,6 +71,25 @@ impl Default for SweepOptions {
         SweepOptions {
             loads: (1..=10).map(|i| f64::from(i) / 10.0).collect(),
             stop_at_saturation: true,
+            engine: None,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Forces every point of the sweep onto `engine`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The configuration for one point of the sweep.
+    fn point_config(&self, base: &NetworkConfig, load: f64) -> NetworkConfig {
+        let cfg = base.clone().with_injection(load);
+        match self.engine {
+            Some(engine) => cfg.with_engine(engine),
+            None => cfg,
         }
     }
 }
@@ -75,7 +99,7 @@ impl Default for SweepOptions {
 pub fn sweep(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoint> {
     let mut curve = Vec::new();
     for &load in &opts.loads {
-        let cfg = base.clone().with_injection(load);
+        let cfg = opts.point_config(base, load);
         let point: LoadPoint = Network::new(cfg).run().into();
         let stop = opts.stop_at_saturation && point.saturated;
         curve.push(point);
@@ -117,7 +141,7 @@ pub fn sweep_parallel(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoin
                         if i >= n {
                             break mine;
                         }
-                        let cfg = base.clone().with_injection(opts.loads[i]);
+                        let cfg = opts.point_config(base, opts.loads[i]);
                         mine.push((i, LoadPoint::from(Network::new(cfg).run())));
                     }
                 })
@@ -193,6 +217,7 @@ mod tests {
             &SweepOptions {
                 loads: vec![0.1, 0.5],
                 stop_at_saturation: true,
+                engine: None,
             },
         );
         assert!(curve.len() >= 2);
@@ -211,6 +236,7 @@ mod tests {
             &SweepOptions {
                 loads: vec![0.2, 3.0, 4.0],
                 stop_at_saturation: true,
+                engine: None,
             },
         );
         assert!(curve.len() <= 2, "must stop after the saturated point");
@@ -222,6 +248,7 @@ mod tests {
         let opts = SweepOptions {
             loads: vec![0.1, 0.3, 0.5],
             stop_at_saturation: false,
+            engine: None,
         };
         let seq = sweep(&base(), &opts);
         let par = sweep_parallel(&base(), &opts);
@@ -242,6 +269,7 @@ mod tests {
         let opts = SweepOptions {
             loads,
             stop_at_saturation: false,
+            engine: None,
         };
         let small = NetworkConfig::mesh(
             4,
@@ -267,6 +295,7 @@ mod tests {
         let opts = SweepOptions {
             loads: Vec::new(),
             stop_at_saturation: true,
+            engine: None,
         };
         assert!(sweep_parallel(&base(), &opts).is_empty());
     }
@@ -276,6 +305,7 @@ mod tests {
         let opts = SweepOptions {
             loads: vec![0.2, 3.0, 4.0],
             stop_at_saturation: true,
+            engine: None,
         };
         let curve = sweep_parallel(&base(), &opts);
         assert!(curve.len() <= 2);

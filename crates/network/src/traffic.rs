@@ -115,6 +115,39 @@ mod tests {
     }
 
     #[test]
+    fn transpose_diagonal_is_a_fixed_point() {
+        // (d, d) → (d, d): the permutation maps diagonal nodes to
+        // themselves. `destination` reports the fixed point as-is; the
+        // *source* is responsible for skipping the injection (see
+        // `source::transpose_diagonal_never_injects`).
+        let m = Mesh::new(8, 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for d in 0..8 {
+            let src = m.node_at(&[d, d]);
+            assert_eq!(
+                TrafficPattern::Transpose.destination(&m, src, &mut rng),
+                src
+            );
+        }
+    }
+
+    #[test]
+    fn bit_complement_and_tornado_have_no_fixed_points_on_even_radix() {
+        // The injection-skip path is transpose-specific on an 8×8 mesh:
+        // the other permutations move every node (even radix), so they
+        // never hit it.
+        let m = Mesh::new(8, 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for src in 0..m.nodes() {
+            assert_ne!(
+                TrafficPattern::BitComplement.destination(&m, src, &mut rng),
+                src
+            );
+            assert_ne!(TrafficPattern::Tornado.destination(&m, src, &mut rng), src);
+        }
+    }
+
+    #[test]
     fn transpose_swaps_coordinates() {
         let m = Mesh::new(8, 2);
         let mut rng = SmallRng::seed_from_u64(0);

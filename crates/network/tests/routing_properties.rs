@@ -1,0 +1,178 @@
+//! Property tests for the deadlock-freedom plumbing: the dateline VC
+//! masks that make dimension-ordered routing safe on a torus, and the
+//! west-first turn-model candidates on a mesh.
+//!
+//! These are the two places a routing bug turns into a hung simulation
+//! rather than a wrong number: a mask that forbids every VC stalls a
+//! packet forever (the router asserts on it), and a non-productive or
+//! empty candidate set breaks minimal-routing termination.
+
+use noc_network::routing::{dateline_vc_mask, dimension_ordered, west_first_candidates};
+use noc_network::Mesh;
+use proptest::prelude::*;
+
+/// The mask of all `vcs` VCs (what "no restriction" looks like).
+fn full_mask(vcs: usize) -> u64 {
+    if vcs >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << vcs) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On a torus, every (current, dest, out_port) the router can reach
+    /// via dimension-ordered routing yields a dateline mask that permits
+    /// at least one in-range VC — and never a VC outside the configured
+    /// range. An all-zero (or out-of-range-only) mask would strand the
+    /// packet in VC allocation forever.
+    #[test]
+    fn dateline_mask_never_forbids_every_vc(
+        radix in 2usize..9,
+        dims in 2usize..4,
+        vcs in 2usize..9,
+    ) {
+        let t = Mesh::new(radix, dims).into_torus();
+        for current in 0..t.nodes() {
+            for dest in 0..t.nodes() {
+                let port = dimension_ordered(&t, current, dest);
+                let mask = dateline_vc_mask(&t, current, port, dest, vcs);
+                prop_assert!(
+                    mask & full_mask(vcs) != 0,
+                    "all VCs masked: radix={radix} dims={dims} vcs={vcs} \
+                     current={current} dest={dest} port={port} mask={mask:#b}"
+                );
+                prop_assert_eq!(
+                    mask & !full_mask(vcs), 0,
+                    "mask {:#b} permits VCs beyond the {} configured", mask, vcs
+                );
+            }
+        }
+    }
+
+    /// On a mesh the dateline machinery must be inert: every mask is the
+    /// full mask, for every port the routing function can produce.
+    #[test]
+    fn dateline_mask_is_inert_on_mesh(
+        radix in 2usize..9,
+        dims in 2usize..4,
+        vcs in 1usize..9,
+    ) {
+        let m = Mesh::new(radix, dims);
+        for current in 0..m.nodes() {
+            for dest in 0..m.nodes() {
+                let port = dimension_ordered(&m, current, dest);
+                prop_assert_eq!(
+                    dateline_vc_mask(&m, current, port, dest, vcs),
+                    full_mask(vcs)
+                );
+            }
+        }
+    }
+
+    /// West-first candidates exist for every (current, dest) pair on a
+    /// 2-D mesh and every candidate makes minimal progress: one hop
+    /// through it strictly decreases the distance to the destination.
+    /// The only exception is the arrived packet, which gets exactly the
+    /// local (ejection) port.
+    #[test]
+    fn west_first_candidates_nonempty_and_minimal(radix in 2usize..10) {
+        let m = Mesh::new(radix, 2);
+        for current in 0..m.nodes() {
+            for dest in 0..m.nodes() {
+                let cands = west_first_candidates(&m, current, dest);
+                prop_assert!(!cands.is_empty(), "no candidates {current}->{dest}");
+                if current == dest {
+                    prop_assert_eq!(&cands, &vec![m.local_port()]);
+                    continue;
+                }
+                for &port in &cands {
+                    prop_assert_ne!(
+                        port, m.local_port(),
+                        "premature ejection {}->{}", current, dest
+                    );
+                    let next = m
+                        .neighbor(current, port)
+                        .expect("candidate leaves the mesh");
+                    prop_assert_eq!(
+                        m.distance(next, dest) + 1,
+                        m.distance(current, dest),
+                        "non-minimal candidate {}->{} via port {}", current, dest, port
+                    );
+                }
+            }
+        }
+    }
+
+    /// The west-first invariant that makes the turn model deadlock-free:
+    /// whenever the destination lies to the west, the *only* candidate is
+    /// the west port (no south/north turns before the westward hops are
+    /// done).
+    #[test]
+    fn west_first_routes_west_first(radix in 2usize..10) {
+        let m = Mesh::new(radix, 2);
+        for current in 0..m.nodes() {
+            for dest in 0..m.nodes() {
+                if m.coord(dest, 0) < m.coord(current, 0) {
+                    prop_assert_eq!(
+                        west_first_candidates(&m, current, dest),
+                        vec![m.port(0, false)],
+                        "{} -> {}", current, dest
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive dateline-class walk on a 3-D torus: following
+/// dimension-ordered routing hop by hop, and *within each ring* (the
+/// class restriction is per-dimension), the permitted class may switch
+/// from 0 (pre-dateline) to 1 (post-dateline) at most once and never
+/// back, and every mask selects exactly one class — the
+/// acyclic-dependency argument in ring form.
+#[test]
+fn dateline_classes_switch_at_most_once_per_ring_in_three_dims() {
+    let t = Mesh::new(4, 3).into_torus();
+    let vcs = 4;
+    let low = full_mask(vcs / 2);
+    let high = full_mask(vcs) & !low;
+    for src in 0..t.nodes() {
+        for dest in 0..t.nodes() {
+            let mut cur = src;
+            let mut ring: Option<usize> = None; // dimension being corrected
+            let mut switched = false;
+            let mut hops = 0;
+            loop {
+                let port = dimension_ordered(&t, cur, dest);
+                if port == t.local_port() {
+                    break;
+                }
+                let dim = port / 2;
+                if ring != Some(dim) {
+                    // New ring: the class restriction starts over.
+                    ring = Some(dim);
+                    switched = false;
+                }
+                let mask = dateline_vc_mask(&t, cur, port, dest, vcs);
+                assert!(
+                    mask == low || mask == high,
+                    "mask {mask:#b} spans classes at {cur} -> {dest}"
+                );
+                if mask == high {
+                    switched = true;
+                }
+                assert!(
+                    !(switched && mask == low),
+                    "class dropped back to 0 within a ring on {src} -> {dest}"
+                );
+                cur = t.neighbor(cur, port).expect("torus is fully wired");
+                hops += 1;
+                assert!(hops <= t.nodes(), "routing loop {src} -> {dest}");
+            }
+            assert_eq!(cur, dest);
+        }
+    }
+}

@@ -129,44 +129,117 @@ impl Flit {
 
     /// Builds the flit sequence of an entire packet of `len ≥ 1` flits.
     ///
+    /// Allocates one `Vec` per call; hot paths (the traffic sources) use
+    /// [`PacketFlits`] instead, which generates the same sequence with no
+    /// allocation at all.
+    ///
     /// # Panics
     ///
     /// Panics if `len == 0`.
     #[must_use]
     pub fn packet(packet: PacketId, dest: usize, vc: usize, created: u64, len: u32) -> Vec<Flit> {
-        assert!(len >= 1, "a packet needs at least one flit");
-        if len == 1 {
-            return vec![Flit {
-                packet,
-                kind: FlitKind::HeadTail,
-                dest,
-                vc,
-                created,
-                arrival: 0,
-                seq: 0,
-                len: 1,
-            }];
-        }
-        (0..len)
-            .map(|seq| Flit {
-                packet,
-                kind: if seq == 0 {
-                    FlitKind::Head
-                } else if seq == len - 1 {
-                    FlitKind::Tail
-                } else {
-                    FlitKind::Body
-                },
-                dest,
-                vc,
-                created,
-                arrival: 0,
-                seq,
-                len,
-            })
-            .collect()
+        PacketFlits::new(packet, dest, vc, created, len).collect()
     }
 }
+
+/// An allocation-free generator of a packet's flit sequence.
+///
+/// Where [`Flit::packet`] materializes a `Vec<Flit>` per packet — one heap
+/// allocation on every injection, millions over a sweep — `PacketFlits` is
+/// a `Copy` cursor that synthesizes each flit on demand. Traffic sources
+/// keep one per pending packet and pop flits as credits allow, so the flit
+/// path performs no per-packet allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketFlits {
+    packet: PacketId,
+    dest: usize,
+    vc: usize,
+    created: u64,
+    len: u32,
+    next: u32,
+}
+
+impl PacketFlits {
+    /// A cursor over the `len ≥ 1` flits of one packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn new(packet: PacketId, dest: usize, vc: usize, created: u64, len: u32) -> Self {
+        assert!(len >= 1, "a packet needs at least one flit");
+        PacketFlits {
+            packet,
+            dest,
+            vc,
+            created,
+            len,
+            next: 0,
+        }
+    }
+
+    /// The packet being generated.
+    #[must_use]
+    pub fn packet(&self) -> PacketId {
+        self.packet
+    }
+
+    /// Flits not yet generated.
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        self.len - self.next
+    }
+
+    /// Whether every flit has been generated.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.next >= self.len
+    }
+
+    /// Rewrites the VC id stamped on the remaining flits (sources assign
+    /// the injection VC when a packet claims one).
+    pub fn set_vc(&mut self, vc: usize) {
+        self.vc = vc;
+    }
+}
+
+impl Iterator for PacketFlits {
+    type Item = Flit;
+
+    fn next(&mut self) -> Option<Flit> {
+        if self.next >= self.len {
+            return None;
+        }
+        let seq = self.next;
+        self.next += 1;
+        let kind = if self.len == 1 {
+            FlitKind::HeadTail
+        } else if seq == 0 {
+            FlitKind::Head
+        } else if seq == self.len - 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        };
+        Some(Flit {
+            packet: self.packet,
+            kind,
+            dest: self.dest,
+            vc: self.vc,
+            created: self.created,
+            arrival: 0,
+            seq,
+            len: self.len,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PacketFlits {}
 
 impl fmt::Display for Flit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -213,6 +286,36 @@ mod tests {
     #[should_panic(expected = "at least one flit")]
     fn zero_length_packet_rejected() {
         let _ = Flit::packet(PacketId::new(3), 0, 0, 0, 0);
+    }
+
+    #[test]
+    fn packet_flits_matches_vec_constructor() {
+        for len in [1u32, 2, 5, 9] {
+            let gen: Vec<Flit> = PacketFlits::new(PacketId::new(7), 3, 1, 42, len).collect();
+            assert_eq!(gen, Flit::packet(PacketId::new(7), 3, 1, 42, len));
+        }
+    }
+
+    #[test]
+    fn packet_flits_tracks_remaining_and_vc_rewrite() {
+        let mut p = PacketFlits::new(PacketId::new(1), 9, 0, 0, 3);
+        assert_eq!(p.remaining(), 3);
+        assert_eq!(p.len(), 3);
+        let head = p.next().unwrap();
+        assert_eq!(head.kind, FlitKind::Head);
+        assert_eq!(head.vc, 0);
+        p.set_vc(2);
+        assert_eq!(p.next().unwrap().vc, 2);
+        assert!(!p.is_exhausted());
+        assert_eq!(p.next().unwrap().kind, FlitKind::Tail);
+        assert!(p.is_exhausted());
+        assert_eq!(p.next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn packet_flits_rejects_zero_length() {
+        let _ = PacketFlits::new(PacketId::new(1), 0, 0, 0, 0);
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub mod stats;
 pub mod trace;
 
 pub use config::{FlowControlKind, RouterConfig, Timing};
-pub use flit::{Flit, FlitKind, PacketId};
-pub use link::DelayPipe;
+pub use flit::{Flit, FlitKind, PacketFlits, PacketId};
+pub use link::{DelayPipe, EventWheel};
 pub use router::{CreditOut, Departure, Router, RoutingOracle, TickOutput};
 pub use stats::RouterStats;
 pub use trace::{PipelineEvent, Trace, TraceEntry};

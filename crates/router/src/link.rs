@@ -1,4 +1,5 @@
-//! Fixed-latency delay pipes modeling channels and credit wires.
+//! Fixed-latency delay pipes modeling channels and credit wires, and the
+//! calendar wheel the event-driven engine schedules deliveries on.
 //!
 //! A [`DelayPipe`] delivers each item exactly `latency + 1` cycles after
 //! the cycle it was pushed in: an item sent during the switch-traversal
@@ -6,6 +7,13 @@
 //! t+latency`) and is delivered at the start of cycle `t + 1 + latency`.
 //! With the paper's 1-cycle propagation delay, a flit switched at `t`
 //! arrives downstream at `t + 2`.
+//!
+//! An [`EventWheel`] complements the pipes: where a pipe holds the items
+//! themselves, the wheel holds *wake-up notices* ("something arrives on
+//! pipe X at cycle T") so an event-driven simulator can skip polling every
+//! pipe every cycle. Because all link latencies are small fixed constants,
+//! a ring of `horizon` slots indexed by `cycle % horizon` suffices — no
+//! heap, no ordering, O(1) schedule and drain.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -93,6 +101,99 @@ impl<T> fmt::Display for DelayPipe<T> {
     }
 }
 
+/// A bounded calendar queue: schedule items at future cycles, drain the
+/// items due at the current cycle in O(1).
+///
+/// The wheel is a ring of `horizon` slots; an item scheduled for cycle `t`
+/// lives in slot `t % horizon`, so every schedule must land within
+/// `horizon` cycles of the current drain cursor — the natural fit for a
+/// synchronous network whose longest wire latency is a small constant.
+/// Slot buffers are recycled via [`EventWheel::take_due`] /
+/// [`EventWheel::restore`], so steady-state operation performs no
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct EventWheel<T> {
+    slots: Vec<Vec<T>>,
+    /// Cycle of the last `take_due`, for schedule-range checking.
+    cursor: Option<u64>,
+}
+
+impl<T> EventWheel<T> {
+    /// Creates a wheel able to schedule up to `horizon ≥ 1` cycles ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    #[must_use]
+    pub fn new(horizon: u64) -> Self {
+        assert!(horizon >= 1, "the wheel needs at least one slot");
+        let horizon = usize::try_from(horizon).expect("horizon fits in usize");
+        EventWheel {
+            slots: (0..horizon).map(|_| Vec::new()).collect(),
+            cursor: None,
+        }
+    }
+
+    /// How many cycles ahead the wheel can schedule.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Schedules `item` for cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not strictly after the last drained cycle or is
+    /// beyond the wheel's horizon (the slot still holds an earlier
+    /// cycle). Before the first [`EventWheel::take_due`] the drain cursor
+    /// is taken to be the start of time: `at` must lie below the horizon.
+    pub fn schedule(&mut self, at: u64, item: T) {
+        match self.cursor {
+            Some(cursor) => assert!(
+                at > cursor && at - cursor <= self.horizon(),
+                "schedule({at}) outside ({cursor}, {cursor} + {}]",
+                self.horizon()
+            ),
+            None => assert!(
+                at < self.horizon(),
+                "schedule({at}) beyond the horizon {} before any drain",
+                self.horizon()
+            ),
+        }
+        let idx = (at % self.horizon()) as usize;
+        self.slots[idx].push(item);
+    }
+
+    /// Takes the items due at cycle `now` (possibly empty). Pass the
+    /// buffer back through [`EventWheel::restore`] after processing so its
+    /// capacity is reused.
+    #[must_use]
+    pub fn take_due(&mut self, now: u64) -> Vec<T> {
+        self.cursor = Some(now);
+        let idx = (now % self.horizon()) as usize;
+        std::mem::take(&mut self.slots[idx])
+    }
+
+    /// Returns a drained buffer to the slot it came from, keeping its
+    /// allocation for future schedules.
+    pub fn restore(&mut self, now: u64, mut buf: Vec<T>) {
+        buf.clear();
+        let idx = (now % self.horizon()) as usize;
+        // Keep whichever buffer has more capacity; same-cycle schedules
+        // may already have repopulated the slot.
+        if self.slots[idx].is_empty() && self.slots[idx].capacity() < buf.capacity() {
+            self.slots[idx] = buf;
+        }
+    }
+
+    /// Total items currently scheduled.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +240,78 @@ mod tests {
         let mut pipe = DelayPipe::new(1);
         pipe.push(5, ());
         pipe.push(4, ());
+    }
+
+    #[test]
+    fn wheel_delivers_at_scheduled_cycle() {
+        let mut w: EventWheel<u32> = EventWheel::new(4);
+        w.schedule(2, 20);
+        w.schedule(3, 30);
+        w.schedule(2, 21);
+        assert_eq!(w.pending(), 3);
+        let empty = w.take_due(1);
+        assert!(empty.is_empty());
+        w.restore(1, empty);
+        let due = w.take_due(2);
+        assert_eq!(due, vec![20, 21]);
+        w.restore(2, due);
+        assert_eq!(w.take_due(3), vec![30]);
+    }
+
+    #[test]
+    fn wheel_recycles_buffer_capacity() {
+        let mut w: EventWheel<u64> = EventWheel::new(2);
+        let b = w.take_due(3);
+        w.restore(3, b);
+        for x in 0..16 {
+            w.schedule(4, x);
+        }
+        let due = w.take_due(4);
+        let cap = due.capacity();
+        assert!(cap >= 16);
+        w.restore(4, due);
+        w.schedule(6, 1); // lands in the same slot (4 % 2 == 6 % 2)
+        let again = w.take_due(6);
+        assert!(again.capacity() >= cap, "slot buffer was recycled");
+    }
+
+    #[test]
+    fn wheel_allows_full_horizon_lookahead() {
+        let mut w: EventWheel<&str> = EventWheel::new(3);
+        let b = w.take_due(10);
+        w.restore(10, b);
+        w.schedule(13, "edge"); // exactly now + horizon
+        let b = w.take_due(11);
+        w.restore(11, b);
+        let b = w.take_due(12);
+        w.restore(12, b);
+        assert_eq!(w.take_due(13), vec!["edge"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn wheel_rejects_past_schedules() {
+        let mut w: EventWheel<()> = EventWheel::new(4);
+        let b = w.take_due(5);
+        w.restore(5, b);
+        w.schedule(5, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn wheel_rejects_beyond_horizon() {
+        let mut w: EventWheel<()> = EventWheel::new(4);
+        let b = w.take_due(5);
+        w.restore(5, b);
+        w.schedule(10, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "before any drain")]
+    fn wheel_rejects_beyond_horizon_before_first_drain() {
+        // Without this guard a pre-drain schedule would silently wrap
+        // into the wrong slot and be delivered a full revolution early.
+        let mut w: EventWheel<()> = EventWheel::new(4);
+        w.schedule(7, ());
     }
 }

@@ -194,15 +194,13 @@ impl OutputPort {
         self.credits[vc] += 1;
     }
 
-    /// Index of a free (unowned) output VC, preferring lower indices from
-    /// `from` round-robin-style, or `None` if all are owned.
-    #[must_use]
-    pub fn free_vcs(&self) -> Vec<usize> {
+    /// The free (unowned) output VCs, in ascending index order, without
+    /// allocating — the VC allocator walks this every cycle.
+    pub fn free_vcs_iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.owner
             .iter()
             .enumerate()
             .filter_map(|(i, o)| o.is_none().then_some(i))
-            .collect()
     }
 }
 
@@ -282,10 +280,10 @@ mod tests {
     #[test]
     fn free_vcs_tracks_ownership() {
         let mut out = OutputPort::new(3);
-        assert_eq!(out.free_vcs(), vec![0, 1, 2]);
+        assert_eq!(out.free_vcs_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
         out.owner[1] = Some((0, 0));
-        assert_eq!(out.free_vcs(), vec![0, 2]);
+        assert_eq!(out.free_vcs_iter().collect::<Vec<_>>(), vec![0, 2]);
         out.owner[1] = None;
-        assert_eq!(out.free_vcs(), vec![0, 1, 2]);
+        assert_eq!(out.free_vcs_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 }

@@ -76,6 +76,15 @@ pub struct TickOutput {
     pub credits: Vec<CreditOut>,
 }
 
+impl TickOutput {
+    /// Empties both lists, keeping their capacity (for buffer reuse with
+    /// [`Router::tick_into`]).
+    pub fn clear(&mut self) {
+        self.departures.clear();
+        self.credits.clear();
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct StEntry {
     in_port: usize,
@@ -100,6 +109,9 @@ pub struct Router {
     stats: RouterStats,
     trace: Trace,
     last_tick: Option<u64>,
+    /// Flits currently buffered across all input VCs (wake accounting:
+    /// kept in O(1) so [`Router::is_quiescent`] is a cheap field test).
+    buffered: usize,
 }
 
 impl Router {
@@ -125,6 +137,7 @@ impl Router {
             stats: RouterStats::default(),
             trace: Trace::disabled(),
             last_tick: None,
+            buffered: 0,
         }
     }
 
@@ -194,13 +207,35 @@ impl Router {
         self.inputs[port][vc].occupancy()
     }
 
-    /// Total flits buffered in the router.
+    /// Total flits buffered in the router (O(1): maintained by
+    /// [`Router::accept_flit`] and switch traversal).
     #[must_use]
     pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|port| port.iter().map(InputVc::occupancy))
-            .sum()
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs
+                .iter()
+                .flat_map(|port| port.iter().map(InputVc::occupancy))
+                .sum::<usize>(),
+            "buffered-flit accounting out of sync"
+        );
+        self.buffered
+    }
+
+    /// Whether the next [`Router::tick`] is guaranteed to be a no-op, so
+    /// an event-driven simulator may skip it entirely.
+    ///
+    /// A router is quiescent when no input VC buffers a flit and no
+    /// granted switch traversal is pending. Everything a tick does is
+    /// driven by a buffered flit (route computation, VC allocation, switch
+    /// requests, wormhole flow) or a pending traversal; credits are
+    /// push-delivered via [`Router::accept_credit`] and only *enable*
+    /// work for buffered flits, so a credit arriving at a quiescent router
+    /// cannot make a tick non-trivial. The only transition out of
+    /// quiescence is [`Router::accept_flit`] — that is the wake-up event.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.buffered == 0 && self.pending_st.is_empty()
     }
 
     /// Delivers a flit into input `port` during the delivery phase of
@@ -220,6 +255,7 @@ impl Router {
         flit.arrival = now;
         self.record(now, port, flit.vc, flit.packet, PipelineEvent::Arrived);
         self.inputs[port][flit.vc].enqueue(flit);
+        self.buffered += 1;
     }
 
     /// Delivers a credit for downstream VC `vc` of output `port` (the
@@ -232,19 +268,36 @@ impl Router {
     /// port (the routing function, a black box per the paper) and may
     /// restrict the permissible output VCs (see [`RoutingOracle`]).
     ///
+    /// Cycle numbers need not be contiguous: an event-driven environment
+    /// may skip the cycles where the router [is
+    /// quiescent](Router::is_quiescent), which by construction are no-ops.
+    ///
     /// # Panics
     ///
     /// Panics if called with a non-increasing cycle number.
     pub fn tick(&mut self, now: u64, route: &dyn RoutingOracle) -> TickOutput {
+        let mut out = TickOutput::default();
+        self.tick_into(now, route, &mut out);
+        out
+    }
+
+    /// [`Router::tick`] into a caller-provided buffer, so a simulator
+    /// ticking thousands of routers per cycle reuses one allocation
+    /// instead of building fresh `Vec`s each tick. `out` is cleared first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a non-increasing cycle number.
+    pub fn tick_into(&mut self, now: u64, route: &dyn RoutingOracle, out: &mut TickOutput) {
         if let Some(last) = self.last_tick {
             assert!(now > last, "tick({now}) after tick({last})");
         }
         self.last_tick = Some(now);
 
-        let mut out = TickOutput::default();
+        out.clear();
 
         // Phase 1: ST — previously granted traversals.
-        self.phase_st(now, &mut out);
+        self.phase_st(now, out);
 
         // Phase 2: RC.
         self.phase_rc(now, route);
@@ -256,18 +309,16 @@ impl Router {
         // Phase 4: SA.
         match self.cfg.kind {
             FlowControlKind::Wormhole | FlowControlKind::VirtualCutThrough => {
-                self.phase_sa_wormhole(now, &mut out)
+                self.phase_sa_wormhole(now, out)
             }
             FlowControlKind::VirtualChannel => {
-                let _ = self.phase_sa_vc(now, &mut out);
+                let _ = self.phase_sa_vc(now, out);
             }
             FlowControlKind::SpeculativeVc => {
-                let granted = self.phase_sa_vc(now, &mut out);
-                self.phase_sa_speculative(now, &granted, &va_bidders, &va_winners, &mut out);
+                let granted = self.phase_sa_vc(now, out);
+                self.phase_sa_speculative(now, &granted, &va_bidders, &va_winners, out);
             }
         }
-
-        out
     }
 
     // ----- ST ---------------------------------------------------------
@@ -342,6 +393,7 @@ impl Router {
             .queue
             .pop_front()
             .expect("granted traversal with empty queue");
+        self.buffered -= 1;
         if let VcState::Active { packet, .. } = vc.state {
             debug_assert_eq!(packet, flit.packet, "foreign flit on an active channel");
         }
@@ -448,7 +500,7 @@ impl Router {
                     continue;
                 }
                 bidders.push((port, vc));
-                for free in self.outputs[out_port].free_vcs() {
+                for free in self.outputs[out_port].free_vcs_iter() {
                     if free < 64 && vc_mask & (1 << free) != 0 {
                         requests.push((port * v + vc, out_port * v + free));
                     }
@@ -1034,5 +1086,104 @@ mod tests {
         let mut r = wired(RouterConfig::wormhole(2, 4), 4);
         let _ = r.tick(10, &|_: &Flit| 0);
         let _ = r.tick(10, &|_: &Flit| 0);
+    }
+
+    #[test]
+    fn fresh_router_is_quiescent_and_flits_wake_it() {
+        let mut r = wired(RouterConfig::speculative(5, 2, 4), 4);
+        assert!(r.is_quiescent());
+        r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+        assert!(!r.is_quiescent());
+        let out = run(&mut r, 10, 14, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 1);
+        assert!(r.is_quiescent(), "drained router goes quiescent again");
+        assert_eq!(r.buffered_flits(), 0);
+    }
+
+    #[test]
+    fn pending_traversal_keeps_router_awake() {
+        // In a pipelined router the SA grant schedules ST for the next
+        // cycle; between grant and traversal the router must not be
+        // considered quiescent even though the grant is the only work.
+        let mut r = wired(RouterConfig::wormhole(5, 8), 8);
+        r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+        let _ = r.tick(10, &|_: &Flit| 2); // RC
+        let _ = r.tick(11, &|_: &Flit| 2); // SA: hold granted, flow at 12
+        assert!(!r.is_quiescent());
+    }
+
+    #[test]
+    fn quiescent_credit_arrival_needs_no_tick() {
+        // A credit delivered while the router is quiescent must not
+        // require a tick to take effect: the next packet consumes it on
+        // the normal pipeline schedule, with no tick in between.
+        let mut r = wired(RouterConfig::wormhole(5, 8), 1);
+        r.accept_flit(0, Flit::packet(PacketId::new(1), 9, 0, 0, 1)[0], 10);
+        let out = run(&mut r, 10, 13, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 1, "the only credit is consumed");
+        assert!(r.is_quiescent());
+        r.accept_credit(2, 0, 20); // downstream freed the buffer
+        assert!(r.is_quiescent(), "credits do not wake a drained router");
+        // Next packet, with no ticks since the credit, departs on the
+        // standard 3-stage schedule.
+        r.accept_flit(0, Flit::packet(PacketId::new(2), 9, 0, 0, 1)[0], 30);
+        let out = run(&mut r, 30, 32, |_: &Flit| 2);
+        assert_eq!(out.departures.len(), 1, "returned credit was usable");
+    }
+
+    #[test]
+    fn skipping_quiescent_cycles_is_equivalent_to_ticking_them() {
+        // Drive two identical routers with the same stimulus; tick one
+        // every cycle and the other only when non-quiescent. Outputs and
+        // stats must match exactly — the contract the event-driven
+        // network engine is built on.
+        let mk = || wired(RouterConfig::speculative(5, 2, 4), 8);
+        let mut every = mk();
+        let mut lazy = mk();
+        let stimulus = |r: &mut Router, now: u64| {
+            if now == 20 {
+                for f in Flit::packet(PacketId::new(1), 9, 0, 0, 3) {
+                    r.accept_flit(0, f, now);
+                }
+            }
+            if now == 40 {
+                r.accept_flit(1, Flit::head(PacketId::new(2), 9, 1, 0), now);
+            }
+        };
+        let mut out_every = TickOutput::default();
+        let mut out_lazy = TickOutput::default();
+        for now in 10..60 {
+            stimulus(&mut every, now);
+            stimulus(&mut lazy, now);
+            let o = every.tick(now, &|_: &Flit| 2);
+            out_every.departures.extend(o.departures);
+            out_every.credits.extend(o.credits);
+            if !lazy.is_quiescent() {
+                let o = lazy.tick(now, &|_: &Flit| 2);
+                out_lazy.departures.extend(o.departures);
+                out_lazy.credits.extend(o.credits);
+            }
+        }
+        assert_eq!(out_every.departures, out_lazy.departures);
+        assert_eq!(out_every.credits, out_lazy.credits);
+        assert_eq!(every.stats(), lazy.stats());
+        assert_eq!(out_every.departures.len(), 4, "both packets delivered");
+    }
+
+    #[test]
+    fn tick_into_reuses_buffers_and_matches_tick() {
+        let mut a = wired(RouterConfig::virtual_channel(5, 2, 4), 4);
+        let mut b = wired(RouterConfig::virtual_channel(5, 2, 4), 4);
+        for f in Flit::packet(PacketId::new(1), 9, 0, 0, 2) {
+            a.accept_flit(0, f, 10);
+            b.accept_flit(0, f, 10);
+        }
+        let mut buf = TickOutput::default();
+        for now in 10..20 {
+            let o = a.tick(now, &|_: &Flit| 2);
+            b.tick_into(now, &|_: &Flit| 2, &mut buf);
+            assert_eq!(o.departures, buf.departures, "cycle {now}");
+            assert_eq!(o.credits, buf.credits, "cycle {now}");
+        }
     }
 }

@@ -30,6 +30,18 @@ impl RouterStats {
         let granted = self.spec_hits + self.spec_wasted;
         (granted > 0).then(|| self.spec_hits as f64 / granted as f64)
     }
+
+    /// Accumulates another router's counters into this one (network-level
+    /// aggregation).
+    pub fn merge(&mut self, other: &RouterStats) {
+        self.flits_switched += other.flits_switched;
+        self.va_grants += other.va_grants;
+        self.sa_grants += other.sa_grants;
+        self.spec_requests += other.spec_requests;
+        self.spec_hits += other.spec_hits;
+        self.spec_wasted += other.spec_wasted;
+        self.credits_sent += other.credits_sent;
+    }
 }
 
 impl fmt::Display for RouterStats {
@@ -64,6 +76,41 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.speculation_accuracy(), Some(0.75));
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = RouterStats {
+            flits_switched: 1,
+            va_grants: 2,
+            sa_grants: 3,
+            spec_requests: 4,
+            spec_hits: 5,
+            spec_wasted: 6,
+            credits_sent: 7,
+        };
+        let b = RouterStats {
+            flits_switched: 10,
+            va_grants: 20,
+            sa_grants: 30,
+            spec_requests: 40,
+            spec_hits: 50,
+            spec_wasted: 60,
+            credits_sent: 70,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            RouterStats {
+                flits_switched: 11,
+                va_grants: 22,
+                sa_grants: 33,
+                spec_requests: 44,
+                spec_hits: 55,
+                spec_wasted: 66,
+                credits_sent: 77,
+            }
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ fn main() {
                 &SweepOptions {
                     loads: loads.clone(),
                     stop_at_saturation: true,
+                    engine: None,
                 },
             );
             let sat = saturation_throughput(&curve, 3.0);

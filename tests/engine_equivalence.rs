@@ -1,0 +1,284 @@
+//! The differential engine harness: the event-driven active-set engine
+//! must be **bit-identical** to the cycle-driven reference engine.
+//!
+//! Every test here builds one configuration, runs it once per
+//! [`EngineKind`], and asserts the results match *exactly* — down to the
+//! floating-point bits of the latency statistics. A deterministic grid
+//! covers every router kind × topology × traffic pattern combination the
+//! simulator supports; proptest then fuzzes the same space with random
+//! buffer depths, injection rates, packet lengths, and seeds.
+//!
+//! If a change to either engine breaks lockstep, these tests name the
+//! first diverging measurement rather than letting the drift hide inside
+//! a latency tolerance somewhere else in the suite.
+
+use peh_dally::noc_network::config::EngineKind;
+use peh_dally::noc_network::{
+    sweep, LoadPoint, Network, NetworkConfig, RouterKind, RunResult, SweepOptions, TrafficPattern,
+};
+use proptest::prelude::*;
+
+/// Runs `cfg` under both engines.
+fn run_both(cfg: NetworkConfig) -> (RunResult, RunResult) {
+    let cycle = Network::new(cfg.clone().with_engine(EngineKind::CycleDriven)).run();
+    let event = Network::new(cfg.with_engine(EngineKind::EventDriven)).run();
+    (cycle, event)
+}
+
+/// Asserts two runs are indistinguishable to every consumer of the
+/// simulator: same measurements, same distributions, same router-level
+/// event counts. Engine work counters are the one permitted difference.
+fn assert_equivalent(label: &str, cycle: &RunResult, event: &RunResult) {
+    assert_eq!(cycle.cycles, event.cycles, "{label}: cycles");
+    assert_eq!(cycle.saturated, event.saturated, "{label}: saturated");
+    assert_eq!(
+        cycle.flits_ejected, event.flits_ejected,
+        "{label}: flits ejected"
+    );
+    // Latency statistics accumulate floats sample by sample; identical
+    // bits mean identical samples in identical order.
+    assert_eq!(
+        cycle.avg_latency.map(f64::to_bits),
+        event.avg_latency.map(f64::to_bits),
+        "{label}: avg latency ({:?} vs {:?})",
+        cycle.avg_latency,
+        event.avg_latency
+    );
+    assert_eq!(cycle.stats, event.stats, "{label}: latency stats");
+    assert_eq!(
+        cycle.accepted.to_bits(),
+        event.accepted.to_bits(),
+        "{label}: accepted throughput ({} vs {})",
+        cycle.accepted,
+        event.accepted
+    );
+    assert_eq!(cycle.histogram, event.histogram, "{label}: histogram");
+    assert_eq!(
+        cycle.router_stats, event.router_stats,
+        "{label}: router stats"
+    );
+    // The derived sweep point must agree too.
+    let a: LoadPoint = LoadPoint::from(cycle.clone());
+    let b: LoadPoint = LoadPoint::from(event.clone());
+    assert_eq!(a.saturated, b.saturated, "{label}: load point saturation");
+    assert_eq!(
+        a.latency.map(f64::to_bits),
+        b.latency.map(f64::to_bits),
+        "{label}: load point latency"
+    );
+    // And the event engine must never do MORE router work.
+    assert!(
+        event.work.router_ticks <= cycle.work.router_ticks,
+        "{label}: event engine ticked more ({} > {})",
+        event.work.router_ticks,
+        cycle.work.router_ticks
+    );
+}
+
+/// Every router kind the simulator supports.
+fn all_kinds() -> [RouterKind; 4] {
+    [
+        RouterKind::Wormhole { buffers: 8 },
+        RouterKind::VirtualCutThrough { buffers: 8 },
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    ]
+}
+
+/// The traffic patterns the grid covers (> 4, per the harness contract).
+fn all_patterns() -> [TrafficPattern; 5] {
+    [
+        TrafficPattern::Uniform,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Tornado,
+        TrafficPattern::Hotspot {
+            hotspot: 5,
+            hotness: 0.3,
+        },
+    ]
+}
+
+fn small(kind: RouterKind) -> NetworkConfig {
+    NetworkConfig::mesh(4, kind)
+        .with_warmup(120)
+        .with_sample(100)
+        .with_max_cycles(40_000)
+}
+
+/// The deterministic grid: all router kinds × both topologies × five
+/// traffic patterns, at a low load (the regime the event engine
+/// optimizes for).
+#[test]
+fn engines_agree_across_kinds_topologies_and_patterns() {
+    for kind in all_kinds() {
+        for torus in [false, true] {
+            // Deadlock-free torus routing needs >= 2 VCs (dateline
+            // classes); wormhole/VCT have one.
+            if torus && kind.vcs() < 2 {
+                continue;
+            }
+            for pattern in all_patterns() {
+                let mut cfg = small(kind)
+                    .with_injection(0.1)
+                    .with_pattern(pattern.clone());
+                if torus {
+                    cfg = cfg.into_torus();
+                }
+                let label = format!("{kind} torus={torus} {pattern}");
+                let (cycle, event) = run_both(cfg);
+                assert_equivalent(&label, &cycle, &event);
+            }
+        }
+    }
+}
+
+/// Moderate and saturating loads exercise backpressure, wormhole holds,
+/// and the saturation early-exit path.
+#[test]
+fn engines_agree_under_pressure() {
+    for kind in all_kinds() {
+        for load in [0.35, 2.0] {
+            let cfg = small(kind)
+                .with_injection(load)
+                .with_max_cycles(6_000)
+                .with_sample(600);
+            let label = format!("{kind} load={load}");
+            let (cycle, event) = run_both(cfg);
+            assert_equivalent(&label, &cycle, &event);
+        }
+    }
+}
+
+/// The single-cycle ("unit latency") router model and the deep credit
+/// path of Figure 18 both reach engine-relevant corners: zero-delay ST
+/// and a long credit-return wheel horizon.
+#[test]
+fn engines_agree_on_timing_variants() {
+    let vc = RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    for (single_cycle, credit_prop) in [(true, 1), (false, 4), (true, 4)] {
+        let cfg = small(vc)
+            .with_injection(0.2)
+            .with_single_cycle(single_cycle)
+            .with_credit_prop_delay(credit_prop);
+        let label = format!("single_cycle={single_cycle} credit_prop={credit_prop}");
+        let (cycle, event) = run_both(cfg);
+        assert_equivalent(&label, &cycle, &event);
+    }
+}
+
+/// West-first adaptive routing (the extension path) also runs in
+/// lockstep.
+#[test]
+fn engines_agree_with_adaptive_routing() {
+    use peh_dally::noc_network::config::RoutingAlgo;
+    let cfg = small(RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    })
+    .with_injection(0.15)
+    .with_routing(RoutingAlgo::WestFirstAdaptive);
+    let (cycle, event) = run_both(cfg);
+    assert_equivalent("west-first", &cycle, &event);
+}
+
+/// Whole sweeps agree point by point, and the event engine demonstrably
+/// skips work at low loads — the speedup is real, not incidental.
+#[test]
+fn sweeps_agree_and_event_engine_skips_work() {
+    let base = small(RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    });
+    let opts = SweepOptions {
+        loads: vec![0.05, 0.2, 0.5],
+        stop_at_saturation: false,
+        engine: None,
+    };
+    let cycle_curve = sweep(&base.clone().with_engine(EngineKind::CycleDriven), &opts);
+    let event_curve = sweep(&base.clone().with_engine(EngineKind::EventDriven), &opts);
+    assert_eq!(cycle_curve.len(), event_curve.len());
+    for (a, b) in cycle_curve.iter().zip(&event_curve) {
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.latency.map(f64::to_bits), b.latency.map(f64::to_bits));
+        assert_eq!(a.accepted.to_bits(), b.accepted.to_bits());
+        assert_eq!(a.saturated, b.saturated);
+    }
+
+    // At 5% load on a 4x4 mesh, the overwhelming majority of router
+    // ticks are no-ops; the event engine must skip most of them.
+    let low = base
+        .with_injection(0.05)
+        .with_engine(EngineKind::EventDriven);
+    let r = Network::new(low).run();
+    assert!(
+        r.work.router_ticks * 2 < r.work.router_ticks_possible,
+        "event engine skipped too little: {}",
+        r.work
+    );
+}
+
+fn kind_strategy() -> impl Strategy<Value = RouterKind> {
+    prop_oneof![
+        (2usize..10).prop_map(|b| RouterKind::Wormhole { buffers: b }),
+        (5usize..10).prop_map(|b| RouterKind::VirtualCutThrough { buffers: b }),
+        ((1usize..4), (2usize..8)).prop_map(|(v, b)| RouterKind::VirtualChannel {
+            vcs: v,
+            buffers_per_vc: b
+        }),
+        ((1usize..4), (2usize..8)).prop_map(|(v, b)| RouterKind::SpeculativeVc {
+            vcs: v,
+            buffers_per_vc: b
+        }),
+    ]
+}
+
+fn pattern_strategy() -> impl Strategy<Value = TrafficPattern> {
+    prop_oneof![
+        Just(TrafficPattern::Uniform),
+        Just(TrafficPattern::Transpose),
+        Just(TrafficPattern::BitComplement),
+        Just(TrafficPattern::Tornado),
+        Just(TrafficPattern::NearestNeighbor),
+        (0usize..16, 0.0f64..0.8)
+            .prop_map(|(hotspot, hotness)| TrafficPattern::Hotspot { hotspot, hotness }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random configurations: router kind × topology × pattern ×
+    /// injection rate × packet length × seed. The engines must stay in
+    /// lockstep everywhere, not just on the curated grid.
+    #[test]
+    fn engines_agree_on_random_configs(
+        kind in kind_strategy(),
+        pattern in pattern_strategy(),
+        torus in any::<bool>(),
+        load_pct in 3u32..45,
+        packet_len in 1u32..7,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = small(kind)
+            .with_injection(f64::from(load_pct) / 100.0)
+            .with_pattern(pattern)
+            .with_seed(seed);
+        cfg.packet_len = packet_len;
+        if torus && kind.vcs() >= 2 {
+            cfg = cfg.into_torus();
+        }
+        let label = format!("{:?}", cfg);
+        let (cycle, event) = run_both(cfg);
+        assert_equivalent(&label, &cycle, &event);
+    }
+}

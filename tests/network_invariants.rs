@@ -1,6 +1,7 @@
 //! Network-level invariants under randomized configurations: packet
 //! delivery, conservation, determinism, and topology generality.
 
+use peh_dally::noc_network::config::EngineKind;
 use peh_dally::noc_network::{Network, NetworkConfig, RouterKind, TrafficPattern};
 use proptest::prelude::*;
 
@@ -76,6 +77,60 @@ proptest! {
         let r = Network::new(cfg).run();
         prop_assert!(!r.saturated);
         prop_assert_eq!(r.stats.count(), 100);
+    }
+}
+
+/// Flit conservation: at every cycle boundary, every flit a source has
+/// injected is ejected, on a wire, or buffered in a router — under both
+/// engines, at a load high enough to exercise blocking and backpressure.
+/// (`Network::run` re-checks the same invariant at the end of every run.)
+#[test]
+fn flits_are_conserved_every_cycle() {
+    for engine in [EngineKind::CycleDriven, EngineKind::EventDriven] {
+        let cfg = NetworkConfig::mesh(
+            4,
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_injection(0.4)
+        .with_warmup(100)
+        .with_engine(engine);
+        let mut net = Network::new(cfg);
+        for _ in 0..3_000 {
+            net.step();
+            net.assert_flit_conservation();
+        }
+        assert!(
+            net.flits_ejected() > 0,
+            "{engine}: the run must actually move traffic"
+        );
+        assert!(
+            net.flits_in_flight() + net.flits_buffered() > 0,
+            "{engine}: mid-run snapshot should catch flits en route"
+        );
+    }
+}
+
+/// Conservation also holds on a torus (wrap links and dateline VC
+/// classes exercise different wiring than the mesh edge).
+#[test]
+fn flits_are_conserved_on_torus() {
+    let cfg = NetworkConfig::mesh(
+        4,
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_injection(0.3)
+    .with_warmup(80)
+    .into_torus();
+    let mut net = Network::new(cfg);
+    for _ in 0..2_000 {
+        net.step();
+        net.assert_flit_conservation();
     }
 }
 

@@ -127,9 +127,22 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// The sample-count override for smoke runs: `CRITERION_SAMPLE_SIZE=1
+/// cargo bench` runs every benchmark once (plus warm-up) regardless of
+/// the size configured in code. Used by CI to keep the bench job a
+/// compile-and-execute check rather than a measurement.
+fn sample_size_override() -> Option<usize> {
+    parse_sample_size(std::env::var("CRITERION_SAMPLE_SIZE").ok().as_deref())
+}
+
+/// Parses a `CRITERION_SAMPLE_SIZE` value; garbage and zero are ignored.
+fn parse_sample_size(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.parse().ok()).filter(|&n| n >= 1)
+}
+
 fn run_one(id: &str, samples: usize, mut body: impl FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
-        samples,
+        samples: sample_size_override().unwrap_or(samples),
         mean_ns: 0.0,
     };
     body(&mut bencher);
@@ -198,5 +211,17 @@ mod tests {
         let mut g = c.benchmark_group("grp");
         g.bench_function("one", |b| b.iter(|| 1 + 1));
         g.finish();
+    }
+
+    #[test]
+    fn sample_size_parsing_accepts_positive_integers_only() {
+        // Tested through the pure parser: mutating the real env var here
+        // would race with sibling tests that run benchmarks in parallel.
+        assert_eq!(parse_sample_size(Some("1")), Some(1));
+        assert_eq!(parse_sample_size(Some("25")), Some(25));
+        assert_eq!(parse_sample_size(Some("0")), None);
+        assert_eq!(parse_sample_size(Some("-3")), None);
+        assert_eq!(parse_sample_size(Some("fast")), None);
+        assert_eq!(parse_sample_size(None), None);
     }
 }

@@ -21,7 +21,7 @@ pub mod test_runner;
 /// One-stop import for tests, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
