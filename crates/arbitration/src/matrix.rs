@@ -14,9 +14,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatrixArbiter {
     n: usize,
-    /// `beats[i][j]` is true when requestor `i` has priority over `j`
-    /// (`i != j`; the diagonal is unused and kept false).
-    beats: Vec<Vec<bool>>,
+    /// Flattened `n × n` priority matrix: `beats[i * n + j]` is true when
+    /// requestor `i` has priority over `j` (`i != j`; the diagonal is
+    /// unused and kept false). One contiguous slab — the inner loop of
+    /// every switch/VC arbitration walks it row-wise.
+    beats: Box<[bool]>,
 }
 
 impl MatrixArbiter {
@@ -29,7 +31,12 @@ impl MatrixArbiter {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "an arbiter needs at least one requestor");
-        let beats = (0..n).map(|i| (0..n).map(|j| i < j).collect()).collect();
+        let mut beats = vec![false; n * n].into_boxed_slice();
+        for i in 0..n {
+            for j in 0..n {
+                beats[i * n + j] = i < j;
+            }
+        }
         MatrixArbiter { n, beats }
     }
 
@@ -66,6 +73,7 @@ impl MatrixArbiter {
     /// # Panics
     ///
     /// Panics if `requests.len() != self.len()`.
+    #[inline]
     #[must_use]
     pub fn peek(&self, requests: &[bool]) -> Option<usize> {
         assert_eq!(
@@ -76,7 +84,8 @@ impl MatrixArbiter {
             self.n
         );
         (0..self.n).find(|&i| {
-            requests[i] && (0..self.n).all(|j| j == i || !requests[j] || self.beats[i][j])
+            let row = &self.beats[i * self.n..(i + 1) * self.n];
+            requests[i] && (0..self.n).all(|j| j == i || !requests[j] || row[j])
         })
     }
 
@@ -87,6 +96,7 @@ impl MatrixArbiter {
     /// # Panics
     ///
     /// Panics if `winner >= self.len()`.
+    #[inline]
     pub fn demote(&mut self, winner: usize) {
         assert!(
             winner < self.n,
@@ -95,8 +105,8 @@ impl MatrixArbiter {
         );
         for j in 0..self.n {
             if j != winner {
-                self.beats[winner][j] = false;
-                self.beats[j][winner] = true;
+                self.beats[winner * self.n + j] = false;
+                self.beats[j * self.n + winner] = true;
             }
         }
         debug_assert!(self.is_total_order(), "matrix must remain a total order");
@@ -114,37 +124,51 @@ impl MatrixArbiter {
             "priority between a requestor and itself is undefined"
         );
         assert!(i < self.n && j < self.n, "index out of range");
-        self.beats[i][j]
+        self.beats[i * self.n + j]
     }
 
     /// Invariant check: the matrix encodes a strict total order
     /// (antisymmetric and, via the demote-only update rule, transitive).
+    ///
+    /// Allocation-free — it runs inside a `debug_assert!` on the grant
+    /// path, and the hot tick must not allocate even in debug builds.
     #[must_use]
     pub fn is_total_order(&self) -> bool {
         // Antisymmetry.
         for i in 0..self.n {
             for j in 0..self.n {
-                if i != j && self.beats[i][j] == self.beats[j][i] {
+                if i != j && self.beats[i * self.n + j] == self.beats[j * self.n + i] {
                     return false;
                 }
             }
         }
         // A strict total order on a finite set has exactly one element
-        // beating k others for each k in 0..n.
-        let mut wins: Vec<usize> = (0..self.n)
-            .map(|i| (0..self.n).filter(|&j| j != i && self.beats[i][j]).count())
-            .collect();
-        wins.sort_unstable();
-        wins.iter().enumerate().all(|(k, &w)| w == k)
+        // beating k others for each k in 0..n: the win counts are a
+        // permutation of 0..n. With antisymmetry already established,
+        // checking the counts are pairwise distinct suffices.
+        for i in 0..self.n {
+            let wins_i = self.wins(i);
+            for j in 0..i {
+                if self.wins(j) == wins_i {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// How many other requestors `i` currently beats.
+    fn wins(&self, i: usize) -> usize {
+        (0..self.n)
+            .filter(|&j| j != i && self.beats[i * self.n + j])
+            .count()
     }
 
     /// The current priority ranking, highest first (diagnostic).
     #[must_use]
     pub fn ranking(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.n).collect();
-        idx.sort_by_key(|&i| {
-            std::cmp::Reverse((0..self.n).filter(|&j| j != i && self.beats[i][j]).count())
-        });
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.wins(i)));
         idx
     }
 }

@@ -61,6 +61,7 @@ impl RoundRobinArbiter {
     /// # Panics
     ///
     /// Panics if `requests.len() != self.len()`.
+    #[inline]
     #[must_use]
     pub fn peek(&self, requests: &[bool]) -> Option<usize> {
         assert_eq!(

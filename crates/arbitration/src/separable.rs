@@ -38,6 +38,10 @@ pub struct SeparableAllocator {
     // Scratch buffers, retained to avoid per-cycle allocation.
     chosen: Vec<Option<usize>>,
     contenders: Vec<bool>,
+    /// Per-input request masks over resources, flattened `n_in × n_out`.
+    /// Always all-false between allocations (set and cleared per call).
+    req_mask: Vec<bool>,
+    has_req: Vec<bool>,
 }
 
 impl SeparableAllocator {
@@ -59,6 +63,8 @@ impl SeparableAllocator {
             stage2: (0..n_out).map(|_| MatrixArbiter::new(n_in)).collect(),
             chosen: vec![None; n_in],
             contenders: vec![false; n_in],
+            req_mask: vec![false; n_in * n_out],
+            has_req: vec![false; n_in],
         }
     }
 
@@ -82,22 +88,42 @@ impl SeparableAllocator {
     ///
     /// Panics if any index is out of range.
     pub fn allocate(&mut self, requests: &[(usize, usize)]) -> Vec<Grant> {
-        // Build per-input request masks over resources.
-        let mut masks: Vec<Option<Vec<bool>>> = vec![None; self.n_in];
+        let mut grants = Vec::new();
+        self.allocate_into(requests, &mut grants);
+        grants
+    }
+
+    /// [`SeparableAllocator::allocate`] into a caller-provided buffer
+    /// (cleared first). All working state is retained scratch, so a
+    /// steady-state allocation performs no heap allocation at all — the
+    /// router tick path calls this every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn allocate_into(&mut self, requests: &[(usize, usize)], grants: &mut Vec<Grant>) {
+        grants.clear();
+        // Build per-input request masks over resources (rows of the
+        // retained flattened mask, cleared again before returning).
         for &(i, r) in requests {
             assert!(i < self.n_in, "input {i} out of range {}", self.n_in);
             assert!(r < self.n_out, "resource {r} out of range {}", self.n_out);
-            masks[i].get_or_insert_with(|| vec![false; self.n_out])[r] = true;
+            self.req_mask[i * self.n_out + r] = true;
+            self.has_req[i] = true;
         }
 
         // Stage 1: each input picks one candidate resource (peek only;
         // commit on final grant).
-        for (i, mask) in masks.iter().enumerate() {
-            self.chosen[i] = mask.as_ref().and_then(|m| self.stage1[i].peek(m));
+        for i in 0..self.n_in {
+            self.chosen[i] = if self.has_req[i] {
+                let row = &self.req_mask[i * self.n_out..(i + 1) * self.n_out];
+                self.stage1[i].peek(row)
+            } else {
+                None
+            };
         }
 
         // Stage 2: each resource arbitrates among the inputs that chose it.
-        let mut grants = Vec::new();
         for r in 0..self.n_out {
             self.contenders.iter_mut().for_each(|c| *c = false);
             let mut any = false;
@@ -119,7 +145,12 @@ impl SeparableAllocator {
                 });
             }
         }
-        grants
+
+        // Restore the all-false invariant by clearing only the set bits.
+        for &(i, r) in requests {
+            self.req_mask[i * self.n_out + r] = false;
+            self.has_req[i] = false;
+        }
     }
 }
 
@@ -219,6 +250,19 @@ mod tests {
         assert_eq!(alloc.allocate(&[(0, 0), (1, 0)])[0].input, 0);
         assert_eq!(alloc.allocate(&[(0, 0), (1, 0)])[0].input, 1);
         assert_eq!(alloc.allocate(&[(0, 0), (1, 0)])[0].input, 0);
+    }
+
+    #[test]
+    fn allocate_into_matches_allocate_across_rounds() {
+        let mut a = SeparableAllocator::new(4, 4);
+        let mut b = SeparableAllocator::new(4, 4);
+        let mut buf = Vec::new();
+        for round in 0..6 {
+            let reqs = [(0, round % 4), (1, 0), (2, 3), (3, round % 2)];
+            let grants = a.allocate(&reqs);
+            b.allocate_into(&reqs, &mut buf);
+            assert_eq!(grants, buf, "round {round}");
+        }
     }
 
     #[test]

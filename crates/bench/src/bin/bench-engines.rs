@@ -1,15 +1,26 @@
 //! Times the cycle-driven reference engine against the event-driven
 //! active-set engine on identical sweep points and emits the comparison
-//! as JSON — the generator of the repository's `BENCH_baseline.json`.
+//! as JSON — the generator of the repository's `BENCH_baseline.json` and
+//! `BENCH_hotpath.json`.
 //!
-//! Usage: `bench-engines [--json]` (human-readable table by default).
+//! Usage: `bench-engines [--json] [--loads 0.3,0.5] [--reps N]
+//! [--baseline PATH]` (human-readable table by default).
 //!
 //! Every point is first checked for bit-identical results across the two
 //! engines (the same invariant `tests/engine_equivalence.rs` enforces),
-//! so a timing row can never come from diverging simulations.
+//! so a timing row can never come from diverging simulations. Each point
+//! also reports:
+//!
+//! * a per-phase wall-clock breakdown of the event engine (router tick
+//!   vs link delivery vs source injection vs stats upkeep), measured on
+//!   a separate instrumented run so the timed runs stay clean — this is
+//!   what lets future perf PRs attribute a regression to a phase;
+//! * when a baseline file is available (`--baseline`, defaulting to
+//!   `BENCH_baseline.json` in the working directory), the speedup of the
+//!   current event engine over the baseline's `event_driven_ms` column.
 
 use noc_network::config::EngineKind;
-use noc_network::{Network, NetworkConfig, RouterKind};
+use noc_network::{Network, NetworkConfig, PhaseNanos, RouterKind};
 use std::time::Instant;
 
 struct Point {
@@ -18,6 +29,14 @@ struct Point {
     event_ms: f64,
     speedup: f64,
     ticks_skipped_pct: f64,
+    phases: PhaseNanos,
+    baseline_event_ms: Option<f64>,
+}
+
+impl Point {
+    fn speedup_vs_baseline(&self) -> Option<f64> {
+        self.baseline_event_ms.map(|b| b / self.event_ms)
+    }
 }
 
 fn cfg(load: f64) -> NetworkConfig {
@@ -46,6 +65,19 @@ fn time_engine(load: f64, engine: EngineKind, reps: u32) -> (f64, f64) {
     (ms, warm.work.skip_fraction() * 100.0)
 }
 
+/// One instrumented event-engine run for phase attribution (separate
+/// from the timed runs: the clock reads would distort them).
+fn phase_profile(load: f64) -> PhaseNanos {
+    Network::new(
+        cfg(load)
+            .with_engine(EngineKind::EventDriven)
+            .with_phase_timing(true),
+    )
+    .run()
+    .phases
+    .expect("phase timing was enabled")
+}
+
 fn verify_equivalence(load: f64) {
     let a = Network::new(cfg(load).with_engine(EngineKind::CycleDriven)).run();
     let b = Network::new(cfg(load).with_engine(EngineKind::EventDriven)).run();
@@ -56,6 +88,36 @@ fn verify_equivalence(load: f64) {
         "engines diverged at load {load}"
     );
     assert_eq!(a.flits_ejected, b.flits_ejected);
+}
+
+/// Minimal scanner for the baseline JSON: pulls the `offered_load` /
+/// `event_driven_ms` pairs out of the `points` array. (The workspace is
+/// offline and vendors no JSON parser; the files are machine-written by
+/// this very binary, so a field scan is reliable.)
+fn baseline_event_ms(path: &str) -> Vec<(f64, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        let Some(load) = scan_field(line, "\"offered_load\":") else {
+            continue;
+        };
+        if let Some(ms) = scan_field(line, "\"event_driven_ms\":") {
+            pairs.push((load, ms));
+        }
+    }
+    pairs
+}
+
+/// Parses the number following `key` in `line`, if present.
+fn scan_field(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Today's UTC date as `YYYY-MM-DD`, from the system clock (no chrono:
@@ -78,55 +140,133 @@ fn today_utc() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+struct Options {
+    json: bool,
+    loads: Vec<f64>,
+    reps: u32,
+    baseline: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        json: false,
+        loads: vec![0.05, 0.1, 0.2, 0.3, 0.5],
+        reps: 3,
+        baseline: "BENCH_baseline.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--loads" => {
+                let list = args.next().expect("--loads needs a comma-separated list");
+                opts.loads = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad load value"))
+                    .collect();
+            }
+            "--reps" => {
+                opts.reps = args
+                    .next()
+                    .expect("--reps needs a count")
+                    .parse()
+                    .expect("bad rep count");
+            }
+            "--baseline" => {
+                opts.baseline = args.next().expect("--baseline needs a path");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!opts.loads.is_empty(), "no loads to run");
+    opts
+}
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let reps = 3;
-    let loads = [0.05, 0.1, 0.2, 0.3, 0.5];
+    let opts = parse_args();
+    let baseline = baseline_event_ms(&opts.baseline);
     let mut points = Vec::new();
-    for &load in &loads {
+    for &load in &opts.loads {
         verify_equivalence(load);
-        let (cycle_ms, _) = time_engine(load, EngineKind::CycleDriven, reps);
-        let (event_ms, skipped) = time_engine(load, EngineKind::EventDriven, reps);
+        let (cycle_ms, _) = time_engine(load, EngineKind::CycleDriven, opts.reps);
+        let (event_ms, skipped) = time_engine(load, EngineKind::EventDriven, opts.reps);
+        let phases = phase_profile(load);
+        // Baseline files serialize offered_load rounded to 2 decimals
+        // (the {:.2} below), so match with half that resolution.
+        let baseline_event = baseline
+            .iter()
+            .find(|(l, _)| (l - load).abs() < 5e-3)
+            .map(|&(_, ms)| ms);
         points.push(Point {
             load,
             cycle_ms,
             event_ms,
             speedup: cycle_ms / event_ms,
             ticks_skipped_pct: skipped,
+            phases,
+            baseline_event_ms: baseline_event,
         });
     }
 
-    if json {
+    if opts.json {
         println!("{{");
         println!("  \"recorded\": \"{}\",", today_utc());
         println!(
             "  \"generator\": \"cargo run --release -p bench --bin bench-engines -- --json\","
         );
         println!(
-            "  \"interpretation\": \"cycle_driven_ms is the pre-PR engine (tick every router \
-             every cycle); event_driven_ms is the active-set engine that replaced it as the \
-             default. Identical results are asserted before timing.\","
+            "  \"interpretation\": \"cycle_driven_ms is the reference engine (tick every \
+             router every cycle); event_driven_ms is the default active-set engine. \
+             Identical results are asserted before timing. phase_pct attributes the event \
+             engine's wall-clock to its per-cycle phases; baseline_event_driven_ms and \
+             event_speedup_vs_baseline compare against the committed baseline file.\","
         );
         println!("  \"benchmark\": \"engine comparison, 8x8 mesh, specVC 2x4, uniform traffic\",");
-        println!("  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \"reps\": {reps}}},");
+        println!(
+            "  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \"reps\": {}}},",
+            opts.reps
+        );
         println!("  \"points\": [");
         for (i, p) in points.iter().enumerate() {
             let comma = if i + 1 < points.len() { "," } else { "" };
+            let baseline_fields = match (p.baseline_event_ms, p.speedup_vs_baseline()) {
+                (Some(b), Some(s)) => format!(
+                    ", \"baseline_event_driven_ms\": {b:.2}, \
+                     \"event_speedup_vs_baseline\": {s:.2}"
+                ),
+                _ => String::new(),
+            };
+            let ph = &p.phases;
             println!(
                 "    {{\"offered_load\": {:.2}, \"cycle_driven_ms\": {:.2}, \
                  \"event_driven_ms\": {:.2}, \"speedup\": {:.2}, \
-                 \"router_ticks_skipped_pct\": {:.1}}}{comma}",
-                p.load, p.cycle_ms, p.event_ms, p.speedup, p.ticks_skipped_pct
+                 \"router_ticks_skipped_pct\": {:.1}, \
+                 \"phase_pct\": {{\"delivery\": {:.1}, \"sources\": {:.1}, \
+                 \"router_tick\": {:.1}, \"stats\": {:.1}}}{baseline_fields}}}{comma}",
+                p.load,
+                p.cycle_ms,
+                p.event_ms,
+                p.speedup,
+                p.ticks_skipped_pct,
+                ph.pct(ph.delivery),
+                ph.pct(ph.sources),
+                ph.pct(ph.router),
+                ph.pct(ph.stats),
             );
         }
         println!("  ]");
         println!("}}");
     } else {
-        println!("load   cycle-driven   event-driven   speedup   ticks skipped");
+        println!(
+            "load   cycle-driven   event-driven   speedup   ticks skipped   vs baseline   phases"
+        );
         for p in &points {
+            let vs = p
+                .speedup_vs_baseline()
+                .map_or_else(|| "    n/a".to_string(), |s| format!("{s:6.2}x"));
             println!(
-                "{:4.2}   {:9.2} ms   {:9.2} ms   {:6.2}x   {:6.1}%",
-                p.load, p.cycle_ms, p.event_ms, p.speedup, p.ticks_skipped_pct
+                "{:4.2}   {:9.2} ms   {:9.2} ms   {:6.2}x   {:6.1}%        {}   [{}]",
+                p.load, p.cycle_ms, p.event_ms, p.speedup, p.ticks_skipped_pct, vs, p.phases
             );
         }
     }

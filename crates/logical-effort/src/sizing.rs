@@ -224,7 +224,6 @@ mod tests {
 impl PathTopology {
     /// Iterator over per-stage branching (testing convenience).
     #[doc(hidden)]
-    #[must_use]
     pub fn branching_effort_iter(&self) -> impl Iterator<Item = f64> + '_ {
         self.branching.iter().copied()
     }

@@ -176,6 +176,10 @@ pub struct NetworkConfig {
     pub max_cycles: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Collect per-phase wall-clock attribution
+    /// ([`crate::stats::PhaseNanos`]) while running. Off by default: the
+    /// clock reads cost a few percent and change no simulation result.
+    pub phase_timing: bool,
 }
 
 impl NetworkConfig {
@@ -199,6 +203,7 @@ impl NetworkConfig {
             sample_packets: 2_000,
             max_cycles: 200_000,
             seed: 0x5EED,
+            phase_timing: false,
         }
     }
 
@@ -258,6 +263,15 @@ impl NetworkConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enables per-phase wall-clock attribution (see
+    /// [`crate::stats::PhaseNanos`]). Results are unaffected; the run
+    /// gains clock reads and [`crate::sim::RunResult::phases`].
+    #[must_use]
+    pub fn with_phase_timing(mut self, on: bool) -> Self {
+        self.phase_timing = on;
         self
     }
 

@@ -42,8 +42,9 @@ pub mod traffic;
 pub use channel_load::ChannelLoad;
 pub use config::{NetworkConfig, RouterKind};
 pub use histogram::Histogram;
+pub use routing::RouteTable;
 pub use sim::{Network, RunResult};
-pub use stats::LatencyStats;
+pub use stats::{LatencyStats, PhaseNanos};
 pub use sweep::{sweep, sweep_parallel, LoadPoint, SweepOptions};
 pub use topology::{Mesh, LOCAL_PORT};
 pub use traffic::TrafficPattern;

@@ -4,7 +4,16 @@
 //! possible for deterministic routing" (`Rp→`) — which is deadlock-free
 //! on a mesh. A west-first turn-model adaptive router is provided as an
 //! extension (the paper's future-work direction).
+//!
+//! The free functions here ([`dimension_ordered`], [`dateline_vc_mask`],
+//! [`west_first_candidates`]) are the *definitions*; the simulator's hot
+//! path never calls them per flit. Instead a [`RouteTable`] evaluates
+//! them once per `(node, dest)` pair at network construction and the
+//! per-flit route computation becomes two array loads (plus a modulo
+//! candidate pick for adaptive algorithms). The table is exhaustively
+//! checked against the definitions in `crates/network/tests/route_table.rs`.
 
+use crate::config::RoutingAlgo;
 use crate::topology::Mesh;
 
 /// Dimension-ordered routing: correct dimension 0 first, then 1, …; the
@@ -70,7 +79,7 @@ pub fn dateline_vc_mask(
         "the dateline scheme needs at least 2 VCs per port"
     );
     let dim = out_port / 2;
-    let positive = out_port % 2 == 0;
+    let positive = out_port.is_multiple_of(2);
     let next = mesh
         .neighbor(current, out_port)
         .expect("torus ports always have neighbors");
@@ -124,6 +133,127 @@ pub fn west_first_candidates(mesh: &Mesh, current: usize, dest: usize) -> Vec<us
         out.push(mesh.local_port());
     }
     out
+}
+
+/// Up to two minimal candidates exist under the west-first turn model
+/// (east, and one of north/south), or a single forced direction.
+const MAX_CANDIDATES: usize = 2;
+
+/// One precomputed adaptive candidate set.
+#[derive(Debug, Clone, Copy)]
+struct CandidateSet {
+    ports: [u8; MAX_CANDIDATES],
+    len: u8,
+}
+
+/// Precomputed routing decisions for every `(node, dest)` pair.
+///
+/// Dense arrays indexed `node * nodes + dest`:
+///
+/// * the output port (for adaptive algorithms, of the first candidate —
+///   see [`RouteTable::route`] for the selector-driven pick);
+/// * the permitted output-VC mask (the torus dateline classes; all-ones
+///   on a mesh);
+/// * for adaptive algorithms, the full candidate set.
+///
+/// Entries are produced by the definitional routing functions of this
+/// module, so table lookups are bit-identical to calling them per flit —
+/// just without re-deriving coordinates, directions, and datelines on
+/// every head flit of every hop.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    nodes: usize,
+    ports: Box<[u8]>,
+    masks: Box<[u64]>,
+    /// Candidate sets, present only for adaptive algorithms.
+    candidates: Option<Box<[CandidateSet]>>,
+}
+
+impl RouteTable {
+    /// Precomputes the routing of `algo` over `mesh` with `vcs` VCs per
+    /// port.
+    ///
+    /// # Panics
+    ///
+    /// Panics where the underlying routing functions would: west-first
+    /// outside a 2-D mesh, or a torus with fewer than 2 VCs.
+    #[must_use]
+    pub fn new(mesh: &Mesh, algo: RoutingAlgo, vcs: usize) -> Self {
+        let nodes = mesh.nodes();
+        let all_vcs = if vcs >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << vcs) - 1
+        };
+        let mut ports = vec![0u8; nodes * nodes].into_boxed_slice();
+        let mut masks = vec![all_vcs; nodes * nodes].into_boxed_slice();
+        let mut candidates = match algo {
+            RoutingAlgo::DimensionOrdered => None,
+            RoutingAlgo::WestFirstAdaptive => Some(
+                vec![
+                    CandidateSet {
+                        ports: [0; MAX_CANDIDATES],
+                        len: 0,
+                    };
+                    nodes * nodes
+                ]
+                .into_boxed_slice(),
+            ),
+        };
+        for node in 0..nodes {
+            for dest in 0..nodes {
+                let idx = node * nodes + dest;
+                match algo {
+                    RoutingAlgo::DimensionOrdered => {
+                        let port = dimension_ordered(mesh, node, dest);
+                        ports[idx] = u8::try_from(port).expect("port fits u8");
+                        masks[idx] = dateline_vc_mask(mesh, node, port, dest, vcs);
+                    }
+                    RoutingAlgo::WestFirstAdaptive => {
+                        let cands = west_first_candidates(mesh, node, dest);
+                        assert!(cands.len() <= MAX_CANDIDATES, "candidate overflow");
+                        let set = &mut candidates.as_mut().expect("adaptive table")[idx];
+                        set.len = cands.len() as u8;
+                        for (slot, &port) in set.ports.iter_mut().zip(&cands) {
+                            *slot = u8::try_from(port).expect("port fits u8");
+                        }
+                        ports[idx] = set.ports[0];
+                        // West-first is mesh-only; the mask stays all-ones.
+                    }
+                }
+            }
+        }
+        RouteTable {
+            nodes,
+            ports,
+            masks,
+            candidates,
+        }
+    }
+
+    /// The output port for a packet at `node` heading to `dest`.
+    /// `selector` picks among adaptive candidates (ignored for
+    /// deterministic algorithms) exactly like [`west_first_route`].
+    #[inline]
+    #[must_use]
+    pub fn route(&self, node: usize, dest: usize, selector: u64) -> usize {
+        let idx = node * self.nodes + dest;
+        match &self.candidates {
+            None => self.ports[idx] as usize,
+            Some(cands) => {
+                let set = &cands[idx];
+                set.ports[(selector as usize) % set.len as usize] as usize
+            }
+        }
+    }
+
+    /// The permitted output-VC mask at `node` for a packet to `dest`
+    /// (precomputed for the port the table itself routes to).
+    #[inline]
+    #[must_use]
+    pub fn vc_mask(&self, node: usize, dest: usize) -> u64 {
+        self.masks[node * self.nodes + dest]
+    }
 }
 
 #[cfg(test)]

@@ -32,34 +32,28 @@
 use crate::channel_load::ChannelLoad;
 use crate::config::{EngineKind, NetworkConfig, RoutingAlgo};
 use crate::histogram::Histogram;
-use crate::routing::{dateline_vc_mask, dimension_ordered, west_first_route};
-use crate::source::Source;
-use crate::stats::{EngineWork, LatencyStats};
+use crate::routing::RouteTable;
+use crate::source::{packet_seq, packet_source, Source};
+use crate::stats::{EngineWork, LatencyStats, PhaseNanos};
 use crate::topology::Mesh;
 use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, RoutingOracle, TickOutput};
-use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
-/// The routing function of one node: algorithm selection plus, on a
-/// torus, the dateline VC-class restriction.
+/// The routing function of one node: two loads from the network's
+/// precomputed [`RouteTable`] (see `routing.rs`) — no per-flit coordinate
+/// math, no candidate-list allocation.
 struct NodeOracle<'a> {
-    mesh: &'a Mesh,
+    table: &'a RouteTable,
     node: usize,
-    algo: RoutingAlgo,
-    vcs: usize,
 }
 
 impl RoutingOracle for NodeOracle<'_> {
     fn output_port(&self, flit: &Flit) -> usize {
-        match self.algo {
-            RoutingAlgo::DimensionOrdered => dimension_ordered(self.mesh, self.node, flit.dest),
-            RoutingAlgo::WestFirstAdaptive => {
-                west_first_route(self.mesh, self.node, flit.dest, flit.packet.value())
-            }
-        }
+        self.table.route(self.node, flit.dest, flit.packet.value())
     }
 
-    fn vc_mask(&self, flit: &Flit, out_port: usize) -> u64 {
-        dateline_vc_mask(self.mesh, self.node, out_port, flit.dest, self.vcs)
+    fn vc_mask(&self, flit: &Flit, _out_port: usize) -> u64 {
+        self.table.vc_mask(self.node, flit.dest)
     }
 }
 
@@ -89,6 +83,10 @@ pub struct RunResult {
     /// Work the engine performed (identical results, different effort —
     /// see [`crate::config::EngineKind`]).
     pub work: EngineWork,
+    /// Wall-clock attribution per engine phase, present only when
+    /// [`NetworkConfig::with_phase_timing`] was enabled (instrumentation
+    /// changes no simulation result, only adds clock reads).
+    pub phases: Option<PhaseNanos>,
 }
 
 /// A wake-up notice scheduled on the event wheel: "pipe `(node, port)`
@@ -107,6 +105,8 @@ pub struct Network {
     cfg: NetworkConfig,
     routers: Vec<Router>,
     sources: Vec<Source>,
+    /// Precomputed per-node routing decisions (see [`RouteTable`]).
+    route_table: RouteTable,
     /// `flit_in[node][port]`: channel delivering flits into that input.
     flit_in: Vec<Vec<DelayPipe<Flit>>>,
     /// `credit_back[node][port]`: carries freed-buffer credits of that
@@ -124,17 +124,32 @@ pub struct Network {
     tick_buf: TickOutput,
     /// Router ticks executed (work accounting).
     router_ticks: u64,
-    // Measurement state.
-    tagged: HashSet<PacketId>,
+    // Measurement state. All of it is index-addressed — no hash
+    // structure anywhere in the per-cycle path.
+    /// Per source node, the half-open `[lo, hi)` range of packet
+    /// sequence numbers belonging to the tagged sample. Tagging is by
+    /// creation order while a global monotone counter is below the
+    /// sample size, so each node's tagged seqs are contiguous — a range
+    /// replaces the old `HashSet<PacketId>` exactly.
+    tagged_ranges: Vec<(u64, u64)>,
     tagged_created: u64,
     tagged_done: u64,
     latency: LatencyStats,
     histogram: Histogram,
     channel_load: ChannelLoad,
-    inflight: HashMap<PacketId, u32>,
+    /// Reassembly slot per `(node, ejection VC)`: the packet currently
+    /// ejecting there and how many of its flits have arrived. Packets
+    /// cannot interleave within one ejection VC (the output VC / wormhole
+    /// hold is owned until the tail), so this replaces the old
+    /// `HashMap<PacketId, u32>` with a dense `node * vcs + vc` lookup.
+    /// A count of 0 means the slot is free.
+    eject_slots: Vec<(PacketId, u32)>,
     flits_ejected: u64,
     measured_flits: u64,
     measure_start: Option<u64>,
+    /// Per-phase wall-clock attribution (accumulated only when
+    /// `cfg.phase_timing` is set).
+    phases: PhaseNanos,
 }
 
 impl Network {
@@ -184,7 +199,7 @@ impl Network {
             .map(|node| Source::new(node, rate, cfg.packet_len, rcfg.vcs, buffers, cfg.seed))
             .collect();
 
-        let cfg2 = cfg.mesh.clone();
+        let route_table = RouteTable::new(mesh, cfg.routing, rcfg.vcs);
         let credit_latency = cfg.credit_prop_delay + cfg.credit_proc_delay - 1;
         let flit_in = (0..nodes)
             .map(|_| (0..ports).map(|_| DelayPipe::new(cfg.link_delay)).collect())
@@ -196,10 +211,13 @@ impl Network {
         // Horizon: a delivery pushed during cycle `t` arrives at
         // `t + 1 + latency`, so the wheel must reach that far ahead.
         let horizon = 1 + cfg.link_delay.max(credit_latency) + 1;
+        let channel_load = ChannelLoad::new(&cfg.mesh);
+        let vcs = cfg.router.vcs();
         Network {
             cfg,
             routers,
             sources,
+            route_table,
             flit_in,
             credit_back,
             now: 0,
@@ -208,16 +226,17 @@ impl Network {
             router_active: vec![false; nodes],
             tick_buf: TickOutput::default(),
             router_ticks: 0,
-            tagged: HashSet::new(),
+            tagged_ranges: vec![(0, 0); nodes],
             tagged_created: 0,
             tagged_done: 0,
             latency: LatencyStats::new(),
             histogram: Histogram::new(10, 500),
-            channel_load: ChannelLoad::new(&cfg2),
-            inflight: HashMap::new(),
+            channel_load,
+            eject_slots: vec![(PacketId::new(0), 0); nodes * vcs],
             flits_ejected: 0,
             measured_flits: 0,
             measure_start: None,
+            phases: PhaseNanos::default(),
         }
     }
 
@@ -257,8 +276,10 @@ impl Network {
     /// The reference engine: poll every pipe, tick every router.
     fn step_cycle(&mut self) {
         let now = self.now;
-        let mesh = self.cfg.mesh.clone();
+        let mesh = self.cfg.mesh;
         let nodes = mesh.nodes();
+        let timing = self.cfg.phase_timing;
+        let t0 = timing.then(Instant::now);
 
         // 1. Deliver flits into input buffers.
         for node in 0..nodes {
@@ -274,16 +295,24 @@ impl Network {
             }
         }
 
+        let t1 = timing.then(Instant::now);
+
         // 3. Sources generate and inject.
         self.step_sources(now, &mesh);
+
+        let t2 = timing.then(Instant::now);
 
         // 4. Routers advance; forward their departures and credits.
         for node in 0..nodes {
             self.tick_router(now, &mesh, node);
         }
 
+        let t3 = timing.then(Instant::now);
         self.channel_load.tick();
         self.now += 1;
+        if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
+            self.phases.accumulate(t0, t1, t2, t3, Instant::now());
+        }
     }
 
     /// The event-driven engine: drain only the pipes with a delivery due
@@ -291,8 +320,10 @@ impl Network {
     /// the active set. See the module docs for the equivalence argument.
     fn step_event(&mut self) {
         let now = self.now;
-        let mesh = self.cfg.mesh.clone();
+        let mesh = self.cfg.mesh;
         let nodes = mesh.nodes();
+        let timing = self.cfg.phase_timing;
+        let t0 = timing.then(Instant::now);
 
         // 1+2. Deliver everything due this cycle. Per-pipe drains commute,
         // so processing them in schedule order (not node order) is
@@ -308,10 +339,14 @@ impl Network {
         }
         self.wheel.restore(now, due);
 
+        let t1 = timing.then(Instant::now);
+
         // 3. Sources generate and inject (every cycle: constant-rate
         // accumulation must add `rate` exactly once per cycle to stay
         // bit-identical with the reference engine).
         self.step_sources(now, &mesh);
+
+        let t2 = timing.then(Instant::now);
 
         // 4. Tick the active routers in node order (eject order feeds the
         // latency accumulator, whose floating-point state is
@@ -325,8 +360,12 @@ impl Network {
             }
         }
 
+        let t3 = timing.then(Instant::now);
         self.channel_load.tick();
         self.now += 1;
+        if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
+            self.phases.accumulate(t0, t1, t2, t3, Instant::now());
+        }
     }
 
     /// Delivers every flit due by `now` on `flit_in[node][port]`, waking
@@ -370,7 +409,14 @@ impl Network {
             if measuring {
                 for id in step.created {
                     if self.tagged_created < self.cfg.sample_packets {
-                        self.tagged.insert(id);
+                        let seq = packet_seq(id);
+                        let range = &mut self.tagged_ranges[packet_source(id)];
+                        if range.0 == range.1 {
+                            *range = (seq, seq + 1);
+                        } else {
+                            debug_assert_eq!(seq, range.1, "non-contiguous tagged seq");
+                            range.1 = seq + 1;
+                        }
                         self.tagged_created += 1;
                         if self.measure_start.is_none() {
                             self.measure_start = Some(now);
@@ -400,10 +446,8 @@ impl Network {
         let local = mesh.local_port();
         let event_driven = self.cfg.engine == EngineKind::EventDriven;
         let oracle = NodeOracle {
-            mesh,
+            table: &self.route_table,
             node,
-            algo: self.cfg.routing,
-            vcs: self.cfg.router.vcs(),
         };
         let mut out = std::mem::take(&mut self.tick_buf);
         self.routers[node].tick_into(now, &oracle, &mut out);
@@ -453,16 +497,29 @@ impl Network {
         if self.measure_start.is_some() {
             self.measured_flits += 1;
         }
-        let count = self.inflight.entry(flit.packet).or_insert(0);
-        *count += 1;
+        // Index-addressed reassembly: flits of one packet arrive on one
+        // ejection VC in order and packets never interleave within a VC
+        // (the upstream output VC / wormhole hold is held to the tail).
+        let slot = &mut self.eject_slots[node * self.cfg.router.vcs() + flit.vc];
+        if slot.1 == 0 {
+            *slot = (flit.packet, 1);
+        } else {
+            assert_eq!(
+                slot.0, flit.packet,
+                "packets interleaved within one ejection VC"
+            );
+            slot.1 += 1;
+        }
         if flit.kind.is_tail() {
-            let received = *count;
-            self.inflight.remove(&flit.packet);
+            let received = slot.1;
+            slot.1 = 0;
             assert_eq!(
                 received, self.cfg.packet_len,
                 "tail ejected before the whole packet arrived"
             );
-            if self.tagged.remove(&flit.packet) {
+            let (lo, hi) = self.tagged_ranges[packet_source(flit.packet)];
+            let seq = packet_seq(flit.packet);
+            if (lo..hi).contains(&seq) {
                 self.tagged_done += 1;
                 self.latency.record(self.now - flit.created);
                 self.histogram.record(self.now - flit.created);
@@ -567,6 +624,7 @@ impl Network {
                 router_ticks: self.router_ticks,
                 router_ticks_possible: self.now * self.cfg.mesh.nodes() as u64,
             },
+            phases: self.cfg.phase_timing.then_some(self.phases),
         }
     }
 }

@@ -17,6 +17,23 @@ use std::collections::VecDeque;
 use crate::topology::Mesh;
 use crate::traffic::TrafficPattern;
 
+/// Packet-id encoding: the low `SEQ_BITS` bits hold the source's packet
+/// sequence number, the high bits the source node id. The simulator's
+/// index-addressed measurement structures rely on this split.
+pub(crate) const SEQ_BITS: u32 = 40;
+
+/// The node that created `id`.
+#[inline]
+pub(crate) fn packet_source(id: PacketId) -> usize {
+    (id.value() >> SEQ_BITS) as usize
+}
+
+/// The per-source sequence number of `id`.
+#[inline]
+pub(crate) fn packet_seq(id: PacketId) -> u64 {
+    id.value() & ((1u64 << SEQ_BITS) - 1)
+}
+
 /// What a source did in one cycle.
 #[derive(Debug, Clone, Default)]
 pub struct SourceStep {
@@ -139,7 +156,7 @@ impl Source {
             if dest == self.node {
                 continue; // permutation fixed point: nothing to send
             }
-            let id = PacketId::new(((self.node as u64) << 40) | self.next_seq);
+            let id = PacketId::new(((self.node as u64) << SEQ_BITS) | self.next_seq);
             self.next_seq += 1;
             self.packets_created += 1;
             self.queue

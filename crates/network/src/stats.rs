@@ -1,6 +1,66 @@
 //! Latency statistics accumulation and engine work counters.
 
 use std::fmt;
+use std::time::Instant;
+
+/// Wall-clock attribution of a run across the engine's per-cycle phases,
+/// in nanoseconds. Collected only when
+/// [`crate::config::NetworkConfig::with_phase_timing`] is enabled, so
+/// future perf work can see *where* a regression lives (router tick vs
+/// link delivery vs source injection vs statistics upkeep) instead of
+/// only that total wall-clock moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Draining flit/credit pipes into routers, sources, and upstreams.
+    pub delivery: u64,
+    /// Source packet generation and injection.
+    pub sources: u64,
+    /// Router ticks, including departure forwarding and ejection.
+    pub router: u64,
+    /// Statistics upkeep (channel-load accounting, cycle bookkeeping).
+    pub stats: u64,
+}
+
+impl PhaseNanos {
+    /// Adds one cycle's phase boundaries: delivery ran `t0..t1`, sources
+    /// `t1..t2`, router ticks `t2..t3`, stats upkeep `t3..t4`.
+    pub fn accumulate(&mut self, t0: Instant, t1: Instant, t2: Instant, t3: Instant, t4: Instant) {
+        self.delivery += (t1 - t0).as_nanos() as u64;
+        self.sources += (t2 - t1).as_nanos() as u64;
+        self.router += (t3 - t2).as_nanos() as u64;
+        self.stats += (t4 - t3).as_nanos() as u64;
+    }
+
+    /// Total attributed nanoseconds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.delivery + self.sources + self.router + self.stats
+    }
+
+    /// The share of `part` in the total, in percent (0 when empty).
+    #[must_use]
+    pub fn pct(&self, part: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            part as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PhaseNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delivery {:.1}% | sources {:.1}% | router {:.1}% | stats {:.1}%",
+            self.pct(self.delivery),
+            self.pct(self.sources),
+            self.pct(self.router),
+            self.pct(self.stats)
+        )
+    }
+}
 
 /// How much work a simulation run performed — the engine-efficiency
 /// counters behind the event-driven engine's speedup claims.

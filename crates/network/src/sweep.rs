@@ -113,10 +113,15 @@ pub fn sweep(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoint> {
 /// Like [`sweep`], but evaluates load points concurrently on a worker
 /// pool capped at [`std::thread::available_parallelism`] (spawning one
 /// thread per load point oversubscribes the machine on large sweeps).
-/// Results are identical to the sequential sweep (each point has its own
-/// deterministic RNG); with `stop_at_saturation` the curve is truncated
-/// after the first saturated point post hoc, so some work beyond it is
-/// wasted in exchange for wall-clock speed.
+/// Points are handed out through a shared atomic index — no static
+/// chunking — and in *descending-load order*: the near-saturation points
+/// simulate the most cycles by far, so starting them first keeps the
+/// pool's makespan close to the single most expensive point instead of
+/// letting an expensive tail serialize behind one worker. Results are
+/// identical to the sequential sweep, in the original load order (each
+/// point has its own deterministic RNG); with `stop_at_saturation` the
+/// curve is truncated after the first saturated point post hoc, so some
+/// work beyond it is wasted in exchange for wall-clock speed.
 #[must_use]
 pub fn sweep_parallel(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoint> {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -129,18 +134,24 @@ pub fn sweep_parallel(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoin
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(n);
+    // Schedule expensive (high-load) points first, ties in index order;
+    // total_cmp keeps the comparator a total order even for NaN loads.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| opts.loads[b].total_cmp(&opts.loads[a]).then(a.cmp(&b)));
     let next = AtomicUsize::new(0);
     let points: Vec<LoadPoint> = std::thread::scope(|scope| {
         let next = &next;
+        let order = &order;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
                     let mut mine = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
                             break mine;
                         }
+                        let i = order[k];
                         let cfg = opts.point_config(base, opts.loads[i]);
                         mine.push((i, LoadPoint::from(Network::new(cfg).run())));
                     }
@@ -287,6 +298,40 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.offered, b.offered);
             assert_eq!(a.latency, b.latency);
+        }
+    }
+
+    #[test]
+    fn full_sweep_output_is_deterministic_run_to_run() {
+        // Two independent parallel sweeps over the same configuration
+        // must agree bit for bit on every field of every point — no
+        // hash-order, thread-schedule, or allocator nondeterminism may
+        // leak into results. Includes a high (0.5) and a saturating load
+        // so the expensive points run through the work-stealing path.
+        let opts = SweepOptions {
+            loads: vec![0.1, 0.5, 0.3, 2.0, 0.2],
+            stop_at_saturation: false,
+            engine: None,
+        };
+        let a = sweep_parallel(&base(), &opts);
+        let b = sweep_parallel(&base(), &opts);
+        let seq = sweep(&base(), &opts);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), seq.len());
+        for ((x, y), z) in a.iter().zip(&b).zip(&seq) {
+            assert_eq!(x.offered.to_bits(), y.offered.to_bits());
+            assert_eq!(
+                x.latency.map(f64::to_bits),
+                y.latency.map(f64::to_bits),
+                "run-to-run latency drift at load {}",
+                x.offered
+            );
+            assert_eq!(x.accepted.to_bits(), y.accepted.to_bits());
+            assert_eq!(x.saturated, y.saturated);
+            // And the parallel schedule matches the sequential sweep.
+            assert_eq!(x.latency.map(f64::to_bits), z.latency.map(f64::to_bits));
+            assert_eq!(x.accepted.to_bits(), z.accepted.to_bits());
+            assert_eq!(x.saturated, z.saturated);
         }
     }
 

@@ -11,7 +11,10 @@ use std::fmt;
 pub const LOCAL_PORT: usize = 4;
 
 /// A k-ary n-mesh (optionally a torus with wraparound links).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Three words of plain data — `Copy`, so simulators hand it around by
+/// value instead of cloning it every cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mesh {
     radix: usize,
     dims: usize,
@@ -141,7 +144,7 @@ impl Mesh {
             return None;
         }
         let dim = port / 2;
-        let positive = port % 2 == 0;
+        let positive = port.is_multiple_of(2);
         let c = self.coord(node, dim);
         let stride = self.radix.pow(dim as u32);
         if positive {

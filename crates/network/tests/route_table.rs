@@ -1,0 +1,78 @@
+//! The precomputed [`RouteTable`] must agree with the definitional
+//! routing functions on every `(node, dest)` pair — the hot path may
+//! only be *faster* than calling them per flit, never different.
+
+use noc_network::config::RoutingAlgo;
+use noc_network::routing::{
+    dateline_vc_mask, dimension_ordered, west_first_candidates, west_first_route, RouteTable,
+};
+use noc_network::Mesh;
+
+#[test]
+fn dor_table_matches_function_on_mesh_and_torus() {
+    for (mesh, vcs) in [
+        (Mesh::new(4, 2), 1),
+        (Mesh::new(8, 2), 2),
+        (Mesh::new(3, 3), 4),
+        (Mesh::new(4, 2).into_torus(), 2),
+        (Mesh::new(8, 2).into_torus(), 4),
+    ] {
+        let table = RouteTable::new(&mesh, RoutingAlgo::DimensionOrdered, vcs);
+        for node in 0..mesh.nodes() {
+            for dest in 0..mesh.nodes() {
+                let port = dimension_ordered(&mesh, node, dest);
+                // Deterministic routing ignores the selector.
+                for selector in [0u64, 1, 0xDEAD_BEEF] {
+                    assert_eq!(
+                        table.route(node, dest, selector),
+                        port,
+                        "{mesh} node {node} dest {dest}"
+                    );
+                }
+                assert_eq!(
+                    table.vc_mask(node, dest),
+                    dateline_vc_mask(&mesh, node, port, dest, vcs),
+                    "{mesh} node {node} dest {dest} mask"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_table_matches_west_first_for_every_selector_class() {
+    let mesh = Mesh::new(6, 2);
+    let table = RouteTable::new(&mesh, RoutingAlgo::WestFirstAdaptive, 2);
+    for node in 0..mesh.nodes() {
+        for dest in 0..mesh.nodes() {
+            let cands = west_first_candidates(&mesh, node, dest);
+            // Selector choice is modulo the candidate count; cover both
+            // residues plus large values.
+            for selector in [0u64, 1, 2, 3, u64::MAX - 1, u64::MAX] {
+                assert_eq!(
+                    table.route(node, dest, selector),
+                    west_first_route(&mesh, node, dest, selector),
+                    "node {node} dest {dest} selector {selector} (cands {cands:?})"
+                );
+            }
+            // West-first is mesh-only: every VC is permitted.
+            assert_eq!(table.vc_mask(node, dest), 0b11);
+        }
+    }
+}
+
+#[test]
+fn table_masks_never_empty() {
+    // An all-zero mask would deadlock the router at RC; every entry must
+    // permit at least one VC.
+    for mesh in [Mesh::new(5, 2), Mesh::new(5, 2).into_torus()] {
+        let vcs = 3;
+        let table = RouteTable::new(&mesh, RoutingAlgo::DimensionOrdered, vcs);
+        for node in 0..mesh.nodes() {
+            for dest in 0..mesh.nodes() {
+                let mask = table.vc_mask(node, dest) & ((1 << vcs) - 1);
+                assert_ne!(mask, 0, "{mesh} node {node} dest {dest}");
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! The arena backing every input-VC flit buffer of a router.
+//!
+//! A router with `p` ports × `v` VCs × `b` buffers used to keep `p·v`
+//! separate `VecDeque<Flit>`s — `p·v` heap blocks walked in a random
+//! order every cycle. A [`FlitArena`] replaces them with **one**
+//! contiguous slab of `p·v·b` flit slots; each virtual channel is a
+//! fixed-capacity ring window of `b` slots at offset `ring · b`. The
+//! whole router's buffered state now lives in one allocation with
+//! predictable stride, so the per-cycle pipeline walk stays in cache,
+//! and no queue operation ever touches the allocator.
+//!
+//! Credit flow control bounds every ring's occupancy by construction,
+//! which is what makes the fixed capacity safe: a push past capacity is
+//! an upstream credit-accounting bug and panics, exactly like the old
+//! `InputVc::enqueue` overflow assert.
+
+use crate::flit::{Flit, PacketId};
+
+/// Placeholder stored in never-written slots (rings are windows into one
+/// slab, so the slab must be fully initialized up front).
+const EMPTY_SLOT: Flit = Flit {
+    packet: PacketId::new(0),
+    kind: crate::flit::FlitKind::HeadTail,
+    dest: 0,
+    vc: 0,
+    created: 0,
+    arrival: 0,
+    seq: 0,
+    len: 1,
+};
+
+/// One contiguous slab of fixed-capacity flit rings (see module docs).
+///
+/// Ring indices are dense `0..rings`; a router maps `(port, vc)` to
+/// `port * vcs + vc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlitArena {
+    slots: Box<[Flit]>,
+    /// Per-ring index of the front flit within the ring's window.
+    head: Box<[u32]>,
+    /// Per-ring occupancy.
+    len: Box<[u32]>,
+    /// Capacity of each ring (the per-VC buffer depth).
+    capacity: u32,
+}
+
+impl FlitArena {
+    /// Creates an arena of `rings` rings of `capacity` flit slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rings == 0` or `capacity == 0` (a bufferless VC cannot
+    /// accept any flit), or if the slab size overflows `u32` indexing.
+    #[must_use]
+    pub fn new(rings: usize, capacity: usize) -> Self {
+        assert!(rings > 0, "an arena needs at least one ring");
+        assert!(capacity > 0, "rings need at least one flit slot");
+        let capacity = u32::try_from(capacity).expect("ring capacity fits u32");
+        let total = rings
+            .checked_mul(capacity as usize)
+            .expect("arena size overflow");
+        FlitArena {
+            slots: vec![EMPTY_SLOT; total].into_boxed_slice(),
+            head: vec![0; rings].into_boxed_slice(),
+            len: vec![0; rings].into_boxed_slice(),
+            capacity,
+        }
+    }
+
+    /// Number of rings.
+    #[must_use]
+    pub fn rings(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Capacity of every ring, in flits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Occupancy of `ring`, in flits.
+    #[must_use]
+    pub fn len(&self, ring: usize) -> usize {
+        self.len[ring] as usize
+    }
+
+    /// Whether `ring` holds no flit.
+    #[must_use]
+    pub fn is_empty(&self, ring: usize) -> bool {
+        self.len[ring] == 0
+    }
+
+    /// Whether `ring` is at capacity.
+    #[must_use]
+    pub fn is_full(&self, ring: usize) -> bool {
+        self.len[ring] == self.capacity
+    }
+
+    /// Total flits buffered across all rings (diagnostics; O(rings)).
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.len.iter().map(|&l| l as usize).sum()
+    }
+
+    /// The slab index of position `i` within `ring`'s window.
+    #[inline]
+    fn slot(&self, ring: usize, i: u32) -> usize {
+        let cap = self.capacity;
+        let wrapped = {
+            let j = self.head[ring] + i;
+            if j >= cap {
+                j - cap
+            } else {
+                j
+            }
+        };
+        ring * cap as usize + wrapped as usize
+    }
+
+    /// The flit at the front of `ring`, if any.
+    #[inline]
+    #[must_use]
+    pub fn front(&self, ring: usize) -> Option<&Flit> {
+        if self.len[ring] == 0 {
+            None
+        } else {
+            Some(&self.slots[self.slot(ring, 0)])
+        }
+    }
+
+    /// Enqueues a flit at the back of `ring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full — upstream credit accounting must make
+    /// this impossible.
+    #[inline]
+    pub fn push_back(&mut self, ring: usize, flit: Flit) {
+        let l = self.len[ring];
+        assert!(
+            l < self.capacity,
+            "input VC buffer overflow: credits out of sync ({l} flits, cap {})",
+            self.capacity
+        );
+        let idx = self.slot(ring, l);
+        self.slots[idx] = flit;
+        self.len[ring] = l + 1;
+    }
+
+    /// Dequeues the front flit of `ring`, if any.
+    #[inline]
+    pub fn pop_front(&mut self, ring: usize) -> Option<Flit> {
+        let l = self.len[ring];
+        if l == 0 {
+            return None;
+        }
+        let idx = self.slot(ring, 0);
+        let flit = self.slots[idx];
+        let head = self.head[ring] + 1;
+        self.head[ring] = if head == self.capacity { 0 } else { head };
+        self.len[ring] = l - 1;
+        Some(flit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::Flit;
+
+    fn f(n: u64) -> Flit {
+        Flit::head(PacketId::new(n), 3, 0, n)
+    }
+
+    #[test]
+    fn fifo_order_within_a_ring() {
+        let mut a = FlitArena::new(4, 3);
+        a.push_back(2, f(1));
+        a.push_back(2, f(2));
+        assert_eq!(a.front(2).unwrap().packet, PacketId::new(1));
+        assert_eq!(a.pop_front(2).unwrap().packet, PacketId::new(1));
+        assert_eq!(a.pop_front(2).unwrap().packet, PacketId::new(2));
+        assert_eq!(a.pop_front(2), None);
+    }
+
+    #[test]
+    fn rings_are_independent() {
+        let mut a = FlitArena::new(3, 2);
+        a.push_back(0, f(10));
+        a.push_back(2, f(20));
+        assert_eq!(a.len(0), 1);
+        assert!(a.is_empty(1));
+        assert_eq!(a.front(2).unwrap().packet, PacketId::new(20));
+        assert_eq!(a.pop_front(1), None);
+        assert_eq!(a.total_len(), 2);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let mut a = FlitArena::new(1, 3);
+        for n in 1..=3 {
+            a.push_back(0, f(n));
+        }
+        assert!(a.is_full(0));
+        assert_eq!(a.pop_front(0).unwrap().packet, PacketId::new(1));
+        a.push_back(0, f(4)); // wraps into the freed slot
+        for n in 2..=4 {
+            assert_eq!(a.pop_front(0).unwrap().packet, PacketId::new(n));
+        }
+        assert!(a.is_empty(0));
+    }
+
+    #[test]
+    fn sustained_churn_wraps_many_times() {
+        let mut a = FlitArena::new(2, 4);
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for round in 0..50 {
+            let burst = 1 + round % 4;
+            for _ in 0..burst {
+                a.push_back(1, f(next));
+                next += 1;
+            }
+            for _ in 0..burst {
+                assert_eq!(a.pop_front(1).unwrap().packet, PacketId::new(expect));
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut a = FlitArena::new(1, 1);
+        a.push_back(0, f(1));
+        a.push_back(0, f(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit slot")]
+    fn zero_capacity_rejected() {
+        let _ = FlitArena::new(1, 0);
+    }
+}

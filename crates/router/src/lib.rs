@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod flit;
 pub mod link;
@@ -52,9 +53,10 @@ pub mod router;
 pub mod stats;
 pub mod trace;
 
+pub use arena::FlitArena;
 pub use config::{FlowControlKind, RouterConfig, Timing};
 pub use flit::{Flit, FlitKind, PacketFlits, PacketId};
 pub use link::{DelayPipe, EventWheel};
 pub use router::{CreditOut, Departure, Router, RoutingOracle, TickOutput};
 pub use stats::RouterStats;
-pub use trace::{PipelineEvent, Trace, TraceEntry};
+pub use trace::{PipelineEvent, Trace, TraceEntry, TraceSink};

@@ -1,8 +1,15 @@
-//! Per-port input and output state: virtual-channel queues, channel state
-//! machines, output-VC ownership, and credit counters.
+//! Per-port input and output state: virtual-channel state machines,
+//! output-VC ownership, and credit counters.
+//!
+//! The flits themselves no longer live here: every input VC's buffer is
+//! a fixed-capacity ring window into the router's [`FlitArena`]
+//! (one contiguous slab per router), and [`InputVc`] is the thin
+//! per-channel view that remains — the channel state machine plus the
+//! index of its ring.
+//!
+//! [`FlitArena`]: crate::arena::FlitArena
 
-use crate::flit::{Flit, PacketId};
-use std::collections::VecDeque;
+use crate::flit::PacketId;
 use std::fmt;
 
 /// The state machine of one input virtual channel (`invc_state` /
@@ -37,71 +44,38 @@ pub enum VcState {
     },
 }
 
-/// One input virtual channel: a flit queue plus its state machine.
-#[derive(Debug, Clone)]
+/// One input virtual channel: the channel state machine plus the ring it
+/// buffers flits in. A thin view — the flit queue itself is a window
+/// into the router's [`crate::arena::FlitArena`].
+#[derive(Debug, Clone, Copy)]
 pub struct InputVc {
-    /// Buffered flits, in arrival order.
-    pub queue: VecDeque<Flit>,
     /// Channel state.
     pub state: VcState,
-    capacity: usize,
+    /// Index of this channel's ring in the router's arena
+    /// (`port * vcs + vc`).
+    ring: usize,
 }
 
 impl InputVc {
-    /// Creates an empty channel with the given buffer capacity.
+    /// Creates an idle channel viewing arena ring `ring`.
     #[must_use]
-    pub fn new(capacity: usize) -> Self {
+    pub fn new(ring: usize) -> Self {
         InputVc {
-            queue: VecDeque::with_capacity(capacity),
             state: VcState::Idle,
-            capacity,
+            ring,
         }
     }
 
-    /// Buffer capacity in flits.
+    /// The arena ring this channel buffers flits in.
     #[must_use]
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Enqueues a delivered flit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the buffer would overflow — upstream credit accounting
-    /// must make this impossible.
-    pub fn enqueue(&mut self, flit: Flit) {
-        assert!(
-            self.queue.len() < self.capacity,
-            "input VC buffer overflow: credits out of sync ({} flits, cap {})",
-            self.queue.len(),
-            self.capacity
-        );
-        self.queue.push_back(flit);
-    }
-
-    /// The flit at the head of the queue, if any.
-    #[must_use]
-    pub fn front(&self) -> Option<&Flit> {
-        self.queue.front()
-    }
-
-    /// Number of buffered flits.
-    #[must_use]
-    pub fn occupancy(&self) -> usize {
-        self.queue.len()
+    pub fn ring(&self) -> usize {
+        self.ring
     }
 }
 
 impl fmt::Display for InputVc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "InputVc({}/{} flits, {:?})",
-            self.queue.len(),
-            self.capacity,
-            self.state
-        )
+        write!(f, "InputVc(ring {}, {:?})", self.ring, self.state)
     }
 }
 
@@ -217,22 +191,13 @@ impl fmt::Display for OutputPort {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{Flit, PacketId};
 
     #[test]
-    fn input_vc_enqueues_up_to_capacity() {
-        let mut vc = InputVc::new(2);
-        vc.enqueue(Flit::head(PacketId::new(1), 0, 0, 0));
-        vc.enqueue(Flit::body(PacketId::new(1), 0, 0, 0, 1));
-        assert_eq!(vc.occupancy(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "overflow")]
-    fn input_vc_overflow_panics() {
-        let mut vc = InputVc::new(1);
-        vc.enqueue(Flit::head(PacketId::new(1), 0, 0, 0));
-        vc.enqueue(Flit::body(PacketId::new(1), 0, 0, 0, 1));
+    fn input_vc_starts_idle_and_remembers_its_ring() {
+        let vc = InputVc::new(7);
+        assert_eq!(vc.state, VcState::Idle);
+        assert_eq!(vc.ring(), 7);
+        assert!(vc.to_string().contains("ring 7"));
     }
 
     #[test]

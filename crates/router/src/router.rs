@@ -16,13 +16,27 @@
 //! `t` with `st_delay = 1` performs its traversal in the ST phase of
 //! `t + 1`, while single-cycle ("unit latency") routers execute grants
 //! inline in the same cycle.
+//!
+//! # The hot path is allocation-free
+//!
+//! A steady-state [`Router::tick_into`] performs **zero heap
+//! allocation** and walks contiguous memory: every input VC buffers its
+//! flits in a ring window of the router's single [`FlitArena`] slab, all
+//! per-phase working sets live in a retained [`Scratch`] struct (and in
+//! the allocators' own retained buffers), and trace capture is gated
+//! behind an `Option<Box<Trace>>` sink that costs one null test when
+//! disabled. The only allocations left are capacity growth of the
+//! caller's reused [`TickOutput`] and of `pending_st` during warm-up —
+//! both reach a fixed point after a few cycles. The claim is enforced by
+//! the counting-allocator test in `tests/alloc_free.rs`.
 
+use crate::arena::FlitArena;
 use crate::config::{FlowControlKind, RouterConfig};
 use crate::flit::Flit;
 use crate::ports::{InputVc, OutputPort, VcState};
 use crate::stats::RouterStats;
 use crate::trace::{PipelineEvent, Trace, TraceEntry};
-use arbitration::{MatrixArbiter, SeparableAllocator};
+use arbitration::{Grant, MatrixArbiter, SeparableAllocator};
 
 /// The routing function a router consults during route computation.
 ///
@@ -94,11 +108,74 @@ struct StEntry {
     depart_at: u64,
 }
 
+/// Retained per-phase working buffers: taken out of the router at the
+/// top of a tick, threaded through the phases, and put back — so the
+/// phases can borrow scratch and router state disjointly and no phase
+/// ever allocates in steady state.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// ST entries due this cycle (drained from `pending_st`).
+    st_due: Vec<StEntry>,
+    /// Channels that presented VA requests this cycle.
+    va_bidders: Vec<(usize, usize)>,
+    /// Flattened `(input, resource)` VA requests.
+    va_requests: Vec<(usize, usize)>,
+    /// Grants returned by the VC allocator.
+    va_grants: Vec<Grant>,
+    /// Channels that won an output VC this cycle.
+    va_winners: Vec<(usize, usize)>,
+    /// SA stage-1 winner per input port: `(vc, out_port, out_vc)`.
+    sa_port_winner: Vec<Option<(usize, usize, usize)>>,
+    /// `(in_port, out_port)` pairs granted non-speculatively this cycle.
+    sa_granted: Vec<(usize, usize)>,
+    /// Per-VC request flags (length `vcs`).
+    vc_reqs: Vec<bool>,
+    /// Per-VC SA targets (length `vcs`).
+    vc_targets: Vec<Option<(usize, usize)>>,
+    /// Per-port request flags (length `ports`).
+    port_reqs: Vec<bool>,
+    /// Input ports consumed by non-speculative grants (length `ports`).
+    in_taken: Vec<bool>,
+    /// Output ports consumed by non-speculative grants (length `ports`).
+    out_taken: Vec<bool>,
+    /// Speculative stage-1 winner per input port: `(vc, out_port)`.
+    spec_winner: Vec<Option<(usize, usize)>>,
+    /// Per-VC speculative targets (length `vcs`).
+    spec_targets: Vec<Option<usize>>,
+    /// Wormhole outputs newly held this cycle.
+    newly_held: Vec<usize>,
+}
+
+impl Scratch {
+    fn new(ports: usize, vcs: usize) -> Self {
+        Scratch {
+            st_due: Vec::new(),
+            va_bidders: Vec::new(),
+            va_requests: Vec::new(),
+            va_grants: Vec::new(),
+            va_winners: Vec::new(),
+            sa_port_winner: vec![None; ports],
+            sa_granted: Vec::new(),
+            vc_reqs: vec![false; vcs],
+            vc_targets: vec![None; vcs],
+            port_reqs: vec![false; ports],
+            in_taken: vec![false; ports],
+            out_taken: vec![false; ports],
+            spec_winner: vec![None; ports],
+            spec_targets: vec![None; vcs],
+            newly_held: Vec::new(),
+        }
+    }
+}
+
 /// A cycle-accurate wormhole / VC / speculative-VC router.
 #[derive(Debug, Clone)]
 pub struct Router {
     cfg: RouterConfig,
-    inputs: Vec<Vec<InputVc>>,
+    /// All input flit buffers: one slab, one ring window per (port, VC).
+    arena: FlitArena,
+    /// Flattened channel state, indexed `port * vcs + vc`.
+    inputs: Vec<InputVc>,
     outputs: Vec<OutputPort>,
     va: SeparableAllocator,
     sa1: Vec<MatrixArbiter>,
@@ -106,8 +183,11 @@ pub struct Router {
     spec_sa1: Vec<MatrixArbiter>,
     spec_sa2: Vec<MatrixArbiter>,
     pending_st: Vec<StEntry>,
+    scratch: Scratch,
     stats: RouterStats,
-    trace: Trace,
+    /// Trace sink; `None` (the default) costs one null test per event
+    /// site — see [`crate::trace::TraceSink`].
+    trace: Option<Box<Trace>>,
     last_tick: Option<u64>,
     /// Flits currently buffered across all input VCs (wake accounting:
     /// kept in O(1) so [`Router::is_quiescent`] is a cheap field test).
@@ -124,9 +204,8 @@ impl Router {
         let v = cfg.vcs;
         Router {
             cfg,
-            inputs: (0..p)
-                .map(|_| (0..v).map(|_| InputVc::new(cfg.buffers_per_vc)).collect())
-                .collect(),
+            arena: FlitArena::new(p * v, cfg.buffers_per_vc),
+            inputs: (0..p * v).map(InputVc::new).collect(),
             outputs: (0..p).map(|_| OutputPort::new(v)).collect(),
             va: SeparableAllocator::new(p * v, p * v),
             sa1: (0..p).map(|_| MatrixArbiter::new(v)).collect(),
@@ -134,11 +213,18 @@ impl Router {
             spec_sa1: (0..p).map(|_| MatrixArbiter::new(v)).collect(),
             spec_sa2: (0..p).map(|_| MatrixArbiter::new(p)).collect(),
             pending_st: Vec::new(),
+            scratch: Scratch::new(p, v),
             stats: RouterStats::default(),
-            trace: Trace::disabled(),
+            trace: None,
             last_tick: None,
             buffered: 0,
         }
+    }
+
+    /// The flattened channel index of `(port, vc)` — also its arena ring.
+    #[inline]
+    fn chan(&self, port: usize, vc: usize) -> usize {
+        port * self.cfg.vcs + vc
     }
 
     /// The configuration this router was built with.
@@ -154,22 +240,41 @@ impl Router {
     }
 
     /// Enables pipeline event tracing, retaining up to `capacity` events
-    /// (see [`crate::trace`]).
+    /// (see [`crate::trace`]). Until this is called the router carries no
+    /// trace sink and the tick path pays nothing for tracing.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Trace::enabled(capacity);
+        self.trace = Some(Box::new(Trace::enabled(capacity)));
     }
 
-    /// The recorded pipeline trace.
+    /// The recorded pipeline trace (the shared disabled trace if tracing
+    /// was never enabled).
     #[must_use]
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        self.trace.as_deref().unwrap_or(&crate::trace::DISABLED)
     }
 
     /// Takes the recorded pipeline events, leaving tracing on.
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
-        self.trace.take()
+        self.trace
+            .as_deref_mut()
+            .map(Trace::take)
+            .unwrap_or_default()
     }
 
+    /// Drains the recorded pipeline events into `sink` (in order), leaving
+    /// tracing on — the streaming-consumption counterpart of
+    /// [`Router::take_trace`] for custom [`crate::trace::TraceSink`]s.
+    /// Call it between ticks; the tick path itself records into the
+    /// router's own bounded buffer with no virtual dispatch.
+    pub fn drain_trace_into(&mut self, sink: &mut dyn crate::trace::TraceSink) {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            for entry in trace.take() {
+                sink.record(entry);
+            }
+        }
+    }
+
+    #[inline]
     fn record(
         &mut self,
         cycle: u64,
@@ -178,8 +283,8 @@ impl Router {
         packet: crate::flit::PacketId,
         event: PipelineEvent,
     ) {
-        if self.trace.is_enabled() {
-            self.trace.record(TraceEntry {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.record(TraceEntry {
                 cycle,
                 in_port,
                 in_vc,
@@ -204,7 +309,7 @@ impl Router {
     /// Occupancy of input buffer `(port, vc)` in flits (diagnostics).
     #[must_use]
     pub fn input_occupancy(&self, port: usize, vc: usize) -> usize {
-        self.inputs[port][vc].occupancy()
+        self.arena.len(self.chan(port, vc))
     }
 
     /// Total flits buffered in the router (O(1): maintained by
@@ -213,10 +318,7 @@ impl Router {
     pub fn buffered_flits(&self) -> usize {
         debug_assert_eq!(
             self.buffered,
-            self.inputs
-                .iter()
-                .flat_map(|port| port.iter().map(InputVc::occupancy))
-                .sum::<usize>(),
+            self.arena.total_len(),
             "buffered-flit accounting out of sync"
         );
         self.buffered
@@ -254,7 +356,7 @@ impl Router {
         );
         flit.arrival = now;
         self.record(now, port, flit.vc, flit.packet, PipelineEvent::Arrived);
-        self.inputs[port][flit.vc].enqueue(flit);
+        self.arena.push_back(self.chan(port, flit.vc), flit);
         self.buffered += 1;
     }
 
@@ -295,37 +397,41 @@ impl Router {
         self.last_tick = Some(now);
 
         out.clear();
+        let mut s = std::mem::take(&mut self.scratch);
 
         // Phase 1: ST — previously granted traversals.
-        self.phase_st(now, out);
+        self.phase_st(now, &mut s, out);
 
         // Phase 2: RC.
         self.phase_rc(now, route);
 
-        // Phase 3: VA (and remember who was bidding, for the speculative
+        // Phase 3: VA (remembering who was bidding, for the speculative
         // plane which runs its SA in parallel with VA).
-        let (va_bidders, va_winners) = self.phase_va(now);
+        self.phase_va(now, &mut s);
 
         // Phase 4: SA.
         match self.cfg.kind {
             FlowControlKind::Wormhole | FlowControlKind::VirtualCutThrough => {
-                self.phase_sa_wormhole(now, out)
+                self.phase_sa_wormhole(now, &mut s, out);
             }
             FlowControlKind::VirtualChannel => {
-                let _ = self.phase_sa_vc(now, out);
+                self.phase_sa_vc(now, &mut s, out);
             }
             FlowControlKind::SpeculativeVc => {
-                let granted = self.phase_sa_vc(now, out);
-                self.phase_sa_speculative(now, &granted, &va_bidders, &va_winners, out);
+                self.phase_sa_vc(now, &mut s, out);
+                self.phase_sa_speculative(now, &mut s, out);
             }
         }
+
+        self.scratch = s;
     }
 
     // ----- ST ---------------------------------------------------------
 
-    fn phase_st(&mut self, now: u64, out: &mut TickOutput) {
+    fn phase_st(&mut self, now: u64, s: &mut Scratch, out: &mut TickOutput) {
         // Granted per-flit traversals whose time has come.
-        let mut due = Vec::new();
+        s.st_due.clear();
+        let due = &mut s.st_due;
         self.pending_st.retain(|e| {
             if e.depart_at <= now {
                 due.push(*e);
@@ -334,7 +440,8 @@ impl Router {
                 true
             }
         });
-        for e in due {
+        for i in 0..s.st_due.len() {
+            let e = s.st_due[i];
             debug_assert_eq!(e.depart_at, now, "missed an ST slot");
             self.traverse(now, e, out);
         }
@@ -357,15 +464,17 @@ impl Router {
             return;
         };
         let t = self.cfg.timing;
-        let vc = &self.inputs[in_port][0];
+        let chan = self.chan(in_port, 0);
         let VcState::Active {
             sa_request_at: flow_start,
             ..
-        } = vc.state
+        } = self.inputs[chan].state
         else {
             unreachable!("holder without active channel");
         };
-        let Some(front) = vc.front() else { return };
+        let Some(front) = self.arena.front(chan) else {
+            return;
+        };
         let eligible = now >= flow_start && now >= front.arrival + t.body_sa_delay + t.st_delay;
         if !eligible || !self.outputs[out_port].has_credit(0) {
             return;
@@ -388,13 +497,13 @@ impl Router {
     /// releases resources on tails, and emits the departure plus the
     /// upstream credit.
     fn traverse(&mut self, now: u64, e: StEntry, out: &mut TickOutput) {
-        let vc = &mut self.inputs[e.in_port][e.in_vc];
-        let mut flit = vc
-            .queue
-            .pop_front()
+        let chan = self.chan(e.in_port, e.in_vc);
+        let mut flit = self
+            .arena
+            .pop_front(chan)
             .expect("granted traversal with empty queue");
         self.buffered -= 1;
-        if let VcState::Active { packet, .. } = vc.state {
+        if let VcState::Active { packet, .. } = self.inputs[chan].state {
             debug_assert_eq!(packet, flit.packet, "foreign flit on an active channel");
         }
         flit.vc = e.out_vc;
@@ -406,7 +515,7 @@ impl Router {
                 }
                 _ => self.outputs[e.out_port].owner[e.out_vc] = None,
             }
-            vc.state = VcState::Idle;
+            self.inputs[chan].state = VcState::Idle;
         }
         self.stats.flits_switched += 1;
         self.stats.credits_sent += 1;
@@ -435,87 +544,94 @@ impl Router {
     fn phase_rc(&mut self, now: u64, route: &dyn RoutingOracle) {
         let rc_delay = self.cfg.timing.rc_delay;
         let ports = self.cfg.ports;
-        for port in 0..ports {
-            for vc in 0..self.cfg.vcs {
-                let ivc = &self.inputs[port][vc];
-                if ivc.state != VcState::Idle {
-                    continue;
-                }
-                let Some(front) = ivc.front() else { continue };
-                assert!(
-                    front.kind.is_head(),
-                    "non-head flit {front} at the front of an idle channel"
-                );
-                let out_port = route.output_port(front);
-                assert!(out_port < ports, "routing returned port {out_port}");
-                let vc_mask = route.vc_mask(front, out_port);
-                assert!(
-                    vc_mask & (u64::MAX >> (64 - self.cfg.vcs)) != 0,
-                    "routing permitted no output VC at port {out_port}"
-                );
-                let packet = front.packet;
-                self.inputs[port][vc].state = VcState::Allocating {
-                    out_port,
-                    request_at: now + rc_delay,
-                    vc_mask,
-                };
-                self.record(
-                    now,
-                    port,
-                    vc,
-                    packet,
-                    PipelineEvent::RouteComputed { out_port },
-                );
+        let v = self.cfg.vcs;
+        for chan in 0..ports * v {
+            if self.inputs[chan].state != VcState::Idle {
+                continue;
             }
+            let Some(front) = self.arena.front(chan) else {
+                continue;
+            };
+            assert!(
+                front.kind.is_head(),
+                "non-head flit {front} at the front of an idle channel"
+            );
+            let out_port = route.output_port(front);
+            assert!(out_port < ports, "routing returned port {out_port}");
+            let vc_mask = route.vc_mask(front, out_port);
+            assert!(
+                vc_mask & (u64::MAX >> (64 - v)) != 0,
+                "routing permitted no output VC at port {out_port}"
+            );
+            let packet = front.packet;
+            self.inputs[chan].state = VcState::Allocating {
+                out_port,
+                request_at: now + rc_delay,
+                vc_mask,
+            };
+            self.record(
+                now,
+                chan / v,
+                chan % v,
+                packet,
+                PipelineEvent::RouteComputed { out_port },
+            );
         }
     }
 
     // ----- VA ---------------------------------------------------------
 
-    /// Runs VC allocation. Returns (the channels that presented VA
-    /// requests this cycle, the subset that won an output VC) — the
-    /// speculative switch allocator needs both.
-    #[allow(clippy::type_complexity)]
-    fn phase_va(&mut self, now: u64) -> (Vec<(usize, usize)>, Vec<(usize, usize)>) {
+    /// Runs VC allocation, filling `s.va_bidders` with the channels that
+    /// presented VA requests this cycle and `s.va_winners` with the subset
+    /// that won an output VC — the speculative switch allocator needs
+    /// both.
+    fn phase_va(&mut self, now: u64, s: &mut Scratch) {
+        s.va_bidders.clear();
+        s.va_winners.clear();
         if matches!(
             self.cfg.kind,
             FlowControlKind::Wormhole | FlowControlKind::VirtualCutThrough
         ) {
-            return (Vec::new(), Vec::new());
+            return;
         }
         let v = self.cfg.vcs;
-        let mut bidders = Vec::new();
-        let mut requests = Vec::new();
+        s.va_requests.clear();
         for port in 0..self.cfg.ports {
             for vc in 0..v {
+                let chan = port * v + vc;
                 let VcState::Allocating {
                     out_port,
                     request_at,
                     vc_mask,
-                } = self.inputs[port][vc].state
+                } = self.inputs[chan].state
                 else {
                     continue;
                 };
                 if now < request_at {
                     continue;
                 }
-                bidders.push((port, vc));
+                s.va_bidders.push((port, vc));
                 for free in self.outputs[out_port].free_vcs_iter() {
                     if free < 64 && vc_mask & (1 << free) != 0 {
-                        requests.push((port * v + vc, out_port * v + free));
+                        s.va_requests.push((chan, out_port * v + free));
                     }
                 }
             }
         }
-        let grants = self.va.allocate(&requests);
-        let mut winners = Vec::new();
-        for g in grants {
+        if s.va_requests.is_empty() {
+            // Nothing bid (the common case while bodies stream): skip the
+            // allocator's stage scans entirely.
+            return;
+        }
+        self.va.allocate_into(&s.va_requests, &mut s.va_grants);
+        for g in &s.va_grants {
             let (port, vc) = (g.input / v, g.input % v);
             let (out_port, out_vc) = (g.resource / v, g.resource % v);
             debug_assert!(self.outputs[out_port].owner[out_vc].is_none());
             self.outputs[out_port].owner[out_vc] = Some((port, vc));
-            let packet = self.inputs[port][vc]
-                .front()
+            let packet = self
+                .arena
+                .front(g.input)
                 .expect("VA bid without a head flit")
                 .packet;
             // The head may bid (non-speculatively) for the switch
@@ -529,7 +645,7 @@ impl Router {
                     unreachable!("hold-based routers do not allocate VCs")
                 }
             };
-            self.inputs[port][vc].state = VcState::Active {
+            self.inputs[g.input].state = VcState::Active {
                 out_port,
                 out_vc,
                 sa_request_at,
@@ -537,9 +653,8 @@ impl Router {
             };
             self.stats.va_grants += 1;
             self.record(now, port, vc, packet, PipelineEvent::VaGranted { out_vc });
-            winners.push((port, vc));
+            s.va_winners.push((port, vc));
         }
-        (bidders, winners)
     }
 
     // ----- SA ---------------------------------------------------------
@@ -548,17 +663,17 @@ impl Router {
     /// active, with an eligible front flit and a downstream credit.
     fn sa_request(&self, now: u64, port: usize, vc: usize) -> Option<(usize, usize)> {
         let t = self.cfg.timing;
-        let ivc = &self.inputs[port][vc];
+        let chan = port * self.cfg.vcs + vc;
         let VcState::Active {
             out_port,
             out_vc,
             sa_request_at,
             ..
-        } = ivc.state
+        } = self.inputs[chan].state
         else {
             return None;
         };
-        let front = ivc.front()?;
+        let front = self.arena.front(chan)?;
         let eligible = if front.kind.is_head() {
             now >= sa_request_at
         } else {
@@ -569,45 +684,53 @@ impl Router {
 
     /// Non-speculative separable switch allocation (VC and speculative
     /// routers; the speculative plane runs after this and never overrides
-    /// its grants). Returns the `(in_port, out_port)` pairs granted this
-    /// cycle — the crossbar connections the speculative plane must avoid.
-    fn phase_sa_vc(&mut self, now: u64, out: &mut TickOutput) -> Vec<(usize, usize)> {
+    /// its grants). Fills `s.sa_granted` with the `(in_port, out_port)`
+    /// pairs granted this cycle — the crossbar connections the
+    /// speculative plane must avoid.
+    fn phase_sa_vc(&mut self, now: u64, s: &mut Scratch, out: &mut TickOutput) {
         let p = self.cfg.ports;
         let v = self.cfg.vcs;
 
         // Stage 1: per input port, pick one requesting VC.
-        let mut port_winner: Vec<Option<(usize, usize, usize)>> = vec![None; p]; // (vc, out_port, out_vc)
-        let mut reqs = vec![false; v];
+        let mut any_winner = false;
         for port in 0..p {
-            let mut targets = vec![None; v];
+            s.sa_port_winner[port] = None;
+            let mut any_req = false;
             for vc in 0..v {
-                targets[vc] = self.sa_request(now, port, vc);
-                reqs[vc] = targets[vc].is_some();
+                s.vc_targets[vc] = self.sa_request(now, port, vc);
+                s.vc_reqs[vc] = s.vc_targets[vc].is_some();
+                any_req |= s.vc_reqs[vc];
             }
-            if let Some(winner_vc) = self.sa1[port].peek(&reqs) {
-                let (op, ov) = targets[winner_vc].expect("stage-1 winner had a request");
-                port_winner[port] = Some((winner_vc, op, ov));
+            if !any_req {
+                continue;
+            }
+            if let Some(winner_vc) = self.sa1[port].peek(&s.vc_reqs) {
+                let (op, ov) = s.vc_targets[winner_vc].expect("stage-1 winner had a request");
+                s.sa_port_winner[port] = Some((winner_vc, op, ov));
+                any_winner = true;
             }
         }
 
         // Stage 2: per output port, pick one input port.
-        let mut granted = Vec::new();
-        let mut port_reqs = vec![false; p];
+        s.sa_granted.clear();
+        if !any_winner {
+            return;
+        }
         for out_port in 0..p {
-            for (port, w) in port_winner.iter().enumerate() {
-                port_reqs[port] = matches!(w, Some((_, op, _)) if *op == out_port);
+            for (port, w) in s.sa_port_winner.iter().enumerate() {
+                s.port_reqs[port] = matches!(w, Some((_, op, _)) if *op == out_port);
             }
-            let Some(win_port) = self.sa2[out_port].peek(&port_reqs) else {
+            let Some(win_port) = self.sa2[out_port].peek(&s.port_reqs) else {
                 continue;
             };
-            let (vc, _, out_vc) = port_winner[win_port].expect("stage-2 winner had a request");
+            let (vc, _, out_vc) = s.sa_port_winner[win_port].expect("stage-2 winner had a request");
             self.sa2[out_port].demote(win_port);
             self.sa1[win_port].demote(vc);
-            self.grant_switch(now, win_port, vc, out_port, out_vc, false, out);
+            let entry = self.st_entry(now, win_port, vc, (out_port, out_vc));
+            self.grant_switch(now, entry, false, out);
             self.stats.sa_grants += 1;
-            granted.push((win_port, out_port));
+            s.sa_granted.push((win_port, out_port));
         }
-        granted
     }
 
     /// The speculative switch-allocation plane: channels still bidding for
@@ -616,17 +739,10 @@ impl Router {
     /// VC has a credit; otherwise the crossbar slot is wasted. Output
     /// ports and input ports already granted non-speculatively are
     /// excluded — non-speculative requests have strict priority.
-    fn phase_sa_speculative(
-        &mut self,
-        now: u64,
-        nonspec_grants: &[(usize, usize)],
-        va_bidders: &[(usize, usize)],
-        va_winners: &[(usize, usize)],
-        out: &mut TickOutput,
-    ) {
+    fn phase_sa_speculative(&mut self, now: u64, s: &mut Scratch, out: &mut TickOutput) {
         let p = self.cfg.ports;
         let v = self.cfg.vcs;
-        if va_bidders.is_empty() {
+        if s.va_bidders.is_empty() {
             return;
         }
 
@@ -634,115 +750,124 @@ impl Router {
         // grants (they traverse in the same cycle as any speculative grant
         // issued now, so they conflict; traversals of *earlier* grants do
         // not).
-        let mut in_taken = vec![false; p];
-        let mut out_taken = vec![false; p];
-        for &(in_port, out_port) in nonspec_grants {
-            in_taken[in_port] = true;
-            out_taken[out_port] = true;
+        s.in_taken.iter_mut().for_each(|t| *t = false);
+        s.out_taken.iter_mut().for_each(|t| *t = false);
+        for &(in_port, out_port) in &s.sa_granted {
+            s.in_taken[in_port] = true;
+            s.out_taken[out_port] = true;
         }
 
         // Stage 1: per input port, pick one speculatively bidding VC.
-        let mut port_winner: Vec<Option<(usize, usize)>> = vec![None; p]; // (vc, out_port)
+        let mut any_winner = false;
         for port in 0..p {
-            if in_taken[port] {
+            s.spec_winner[port] = None;
+            if s.in_taken[port] {
                 continue;
             }
-            let mut reqs = vec![false; v];
-            let mut targets = vec![None; v];
-            for &(bp, bvc) in va_bidders {
+            s.vc_reqs.iter_mut().for_each(|r| *r = false);
+            s.spec_targets.iter_mut().for_each(|t| *t = None);
+            for &(bp, bvc) in &s.va_bidders {
                 if bp != port {
                     continue;
                 }
                 // The channel bid for VA this cycle; its head (at the
                 // queue front) speculatively requests its output port.
-                let out_port = match self.inputs[bp][bvc].state {
+                let out_port = match self.inputs[bp * v + bvc].state {
                     VcState::Allocating { out_port, .. } => out_port, // VA failed
                     VcState::Active { out_port, .. } => out_port,     // VA succeeded
                     VcState::Idle => continue,
                 };
-                reqs[bvc] = true;
-                targets[bvc] = Some(out_port);
+                s.vc_reqs[bvc] = true;
+                s.spec_targets[bvc] = Some(out_port);
                 self.stats.spec_requests += 1;
             }
-            if let Some(winner_vc) = self.spec_sa1[port].peek(&reqs) {
-                port_winner[port] = Some((winner_vc, targets[winner_vc].expect("had target")));
+            if let Some(winner_vc) = self.spec_sa1[port].peek(&s.vc_reqs) {
+                s.spec_winner[port] =
+                    Some((winner_vc, s.spec_targets[winner_vc].expect("had target")));
+                any_winner = true;
             }
+        }
+        if !any_winner {
+            return;
         }
 
         // Stage 2: per output port not already granted, pick one port.
-        let mut port_reqs = vec![false; p];
         for out_port in 0..p {
-            if out_taken[out_port] {
+            if s.out_taken[out_port] {
                 continue;
             }
-            for (port, w) in port_winner.iter().enumerate() {
-                port_reqs[port] = matches!(w, Some((_, op)) if *op == out_port);
+            for (port, w) in s.spec_winner.iter().enumerate() {
+                s.port_reqs[port] = matches!(w, Some((_, op)) if *op == out_port);
             }
-            let Some(win_port) = self.spec_sa2[out_port].peek(&port_reqs) else {
+            let Some(win_port) = self.spec_sa2[out_port].peek(&s.port_reqs) else {
                 continue;
             };
-            let (vc, _) = port_winner[win_port].expect("stage-2 winner had a request");
+            let (vc, _) = s.spec_winner[win_port].expect("stage-2 winner had a request");
             self.spec_sa2[out_port].demote(win_port);
             self.spec_sa1[win_port].demote(vc);
 
             // Validate the speculation: the channel must have won VA this
             // very cycle and the granted output VC must have a credit.
-            let valid = va_winners.contains(&(win_port, vc));
+            let valid = s.va_winners.contains(&(win_port, vc));
             if !valid {
                 self.stats.spec_wasted += 1;
-                if let Some(front) = self.inputs[win_port][vc].front() {
+                if let Some(front) = self.arena.front(win_port * v + vc) {
                     let packet = front.packet;
                     self.record(now, win_port, vc, packet, PipelineEvent::SpecWasted);
                 }
                 continue;
             }
-            let VcState::Active { out_vc, .. } = self.inputs[win_port][vc].state else {
+            let VcState::Active { out_vc, .. } = self.inputs[win_port * v + vc].state else {
                 unreachable!("VA winner must be active");
             };
             if !self.outputs[out_port].has_credit(out_vc) {
                 self.stats.spec_wasted += 1;
                 continue;
             }
-            self.grant_switch(now, win_port, vc, out_port, out_vc, true, out);
+            let entry = self.st_entry(now, win_port, vc, (out_port, out_vc));
+            self.grant_switch(now, entry, true, out);
             self.stats.spec_hits += 1;
         }
     }
 
     /// Wormhole switch arbitration: channels bid to *hold* a free output
     /// port; held ports then stream flits (see [`Router::wormhole_flow`]).
-    fn phase_sa_wormhole(&mut self, now: u64, out: &mut TickOutput) {
+    fn phase_sa_wormhole(&mut self, now: u64, s: &mut Scratch, out: &mut TickOutput) {
         let p = self.cfg.ports;
-        let mut reqs = vec![false; p];
-        let mut newly_held = Vec::new();
+        let v = self.cfg.vcs;
+        s.newly_held.clear();
         for out_port in 0..p {
             if self.outputs[out_port].holder.is_some() {
                 continue;
             }
-            for (port, r) in reqs.iter_mut().enumerate() {
-                *r = matches!(
-                    self.inputs[port][0].state,
+            for port in 0..p {
+                let chan = port * v;
+                let mut r = matches!(
+                    self.inputs[chan].state,
                     VcState::Allocating { out_port: op, request_at, .. }
                         if op == out_port && now >= request_at
                 );
                 // Cut-through admission: the downstream buffer must have
                 // room for the entire packet before it may advance.
-                if *r && self.cfg.kind == FlowControlKind::VirtualCutThrough {
-                    let head = self.inputs[port][0].front().expect("bid without head");
+                if r && self.cfg.kind == FlowControlKind::VirtualCutThrough {
+                    let head = self.arena.front(chan).expect("bid without head");
                     let room = self.outputs[out_port].is_sink()
                         || self.outputs[out_port].credit_count(0) >= u64::from(head.len);
-                    *r = room;
+                    r = room;
                 }
+                s.port_reqs[port] = r;
             }
-            let Some(winner) = self.sa2[out_port].peek(&reqs) else {
+            let Some(winner) = self.sa2[out_port].peek(&s.port_reqs) else {
                 continue;
             };
             self.sa2[out_port].demote(winner);
-            let packet = self.inputs[winner][0]
-                .front()
+            let packet = self
+                .arena
+                .front(winner * v)
                 .expect("switch bid without a head flit")
                 .packet;
             self.outputs[out_port].holder = Some(winner);
-            self.inputs[winner][0].state = VcState::Active {
+            self.inputs[winner * v].state = VcState::Active {
                 out_port,
                 out_vc: 0,
                 sa_request_at: now + self.cfg.timing.st_delay, // flow_start
@@ -756,52 +881,48 @@ impl Router {
                 packet,
                 PipelineEvent::SaGranted { speculative: false },
             );
-            newly_held.push(out_port);
+            s.newly_held.push(out_port);
         }
         // Single-cycle routers start flowing in the grant cycle itself.
         if self.cfg.timing.st_delay == 0 {
-            for out_port in newly_held {
-                self.wormhole_flow(now, out_port, out);
+            for i in 0..s.newly_held.len() {
+                self.wormhole_flow(now, s.newly_held[i], out);
             }
         }
     }
 
     /// Commits a per-flit switch grant: consumes the credit and schedules
-    /// (or, for single-cycle routers, immediately executes) the traversal.
-    fn grant_switch(
-        &mut self,
-        now: u64,
-        in_port: usize,
-        in_vc: usize,
-        out_port: usize,
-        out_vc: usize,
-        speculative: bool,
-        out: &mut TickOutput,
-    ) {
-        if self.trace.is_enabled() {
-            if let Some(front) = self.inputs[in_port][in_vc].front() {
+    /// (or, for single-cycle routers, immediately executes) the traversal
+    /// of `entry` (whose `depart_at` the caller set to `now + st_delay`).
+    fn grant_switch(&mut self, now: u64, entry: StEntry, speculative: bool, out: &mut TickOutput) {
+        if self.trace.is_some() {
+            if let Some(front) = self.arena.front(self.chan(entry.in_port, entry.in_vc)) {
                 let packet = front.packet;
                 self.record(
                     now,
-                    in_port,
-                    in_vc,
+                    entry.in_port,
+                    entry.in_vc,
                     packet,
                     PipelineEvent::SaGranted { speculative },
                 );
             }
         }
-        self.outputs[out_port].consume_credit(out_vc);
-        let entry = StEntry {
-            in_port,
-            in_vc,
-            out_port,
-            out_vc,
-            depart_at: now + self.cfg.timing.st_delay,
-        };
+        self.outputs[entry.out_port].consume_credit(entry.out_vc);
         if self.cfg.timing.st_delay == 0 {
             self.traverse(now, entry, out);
         } else {
             self.pending_st.push(entry);
+        }
+    }
+
+    /// The [`StEntry`] for a grant issued at `now`.
+    fn st_entry(&self, now: u64, in_port: usize, in_vc: usize, out: (usize, usize)) -> StEntry {
+        StEntry {
+            in_port,
+            in_vc,
+            out_port: out.0,
+            out_vc: out.1,
+            depart_at: now + self.cfg.timing.st_delay,
         }
     }
 }
@@ -1168,6 +1289,23 @@ mod tests {
         assert_eq!(out_every.credits, out_lazy.credits);
         assert_eq!(every.stats(), lazy.stats());
         assert_eq!(out_every.departures.len(), 4, "both packets delivered");
+    }
+
+    #[test]
+    fn drain_trace_into_streams_to_any_sink() {
+        let mut r = wired(RouterConfig::wormhole(5, 8), 8);
+        r.enable_trace(64);
+        r.accept_flit(0, Flit::head(PacketId::new(1), 9, 0, 0), 10);
+        let _ = run(&mut r, 10, 12, |_: &Flit| 2);
+        let mut sink: Vec<crate::trace::TraceEntry> = Vec::new();
+        r.drain_trace_into(&mut sink);
+        assert!(!sink.is_empty(), "traced events reach the sink");
+        assert!(r.trace().entries().is_empty(), "buffer drained");
+        // An untraced router has nothing to drain.
+        let before = sink.len();
+        let mut untraced = wired(RouterConfig::wormhole(5, 8), 8);
+        untraced.drain_trace_into(&mut sink);
+        assert_eq!(sink.len(), before);
     }
 
     #[test]

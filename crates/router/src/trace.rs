@@ -6,10 +6,40 @@
 //! traversal — letting tests pin the exact cycle-by-cycle pipeline
 //! behavior and users debug stalls.
 //!
-//! Tracing is off by default and costs nothing when disabled.
+//! Capture is gated behind an explicit sink: a router holds
+//! `Option<Box<Trace>>`, `None` by default, so the hot tick path pays a
+//! single pointer-null test per *potential* event and never constructs a
+//! [`TraceEntry`] it would throw away. The [`TraceSink`] trait names the
+//! capture contract; [`Trace`] is its canonical bounded-buffer
+//! implementation.
 
 use crate::flit::PacketId;
 use std::fmt;
+
+/// Something that consumes pipeline events. [`Trace`] (the bounded
+/// in-memory buffer a traced router records into) implements it, as does
+/// a plain `Vec<TraceEntry>`; custom sinks can aggregate or stream
+/// instead. Drain a router's buffered events into any sink between
+/// ticks with [`crate::router::Router::drain_trace_into`] — the hot
+/// path itself never pays a virtual dispatch.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn record(&mut self, entry: TraceEntry);
+}
+
+impl TraceSink for Vec<TraceEntry> {
+    fn record(&mut self, entry: TraceEntry) {
+        self.push(entry);
+    }
+}
+
+/// The disabled trace every untraced router exposes through
+/// [`crate::router::Router::trace`] — recording into it is a no-op.
+pub(crate) static DISABLED: Trace = Trace {
+    entries: Vec::new(),
+    capacity: 0,
+    enabled: false,
+};
 
 /// A pipeline event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +184,12 @@ impl Trace {
     }
 }
 
+impl TraceSink for Trace {
+    fn record(&mut self, entry: TraceEntry) {
+        Trace::record(self, entry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +258,19 @@ mod tests {
         assert!(s.contains("@4"));
         assert!(s.contains("SA(spec)"));
         assert_eq!(s.lines().count(), 1);
+    }
+
+    #[test]
+    fn trace_sink_trait_routes_to_the_buffer() {
+        let mut t = Trace::enabled(4);
+        TraceSink::record(&mut t, entry(1, PipelineEvent::Arrived));
+        assert_eq!(t.entries().len(), 1);
+    }
+
+    #[test]
+    fn the_shared_disabled_trace_is_inert() {
+        assert!(!DISABLED.is_enabled());
+        assert!(DISABLED.entries().is_empty());
     }
 
     #[test]
