@@ -47,7 +47,7 @@ proptest! {
                 waited = 0;
             } else {
                 waited += 1;
-                prop_assert!(waited <= n - 1, "starved beyond the fairness bound");
+                prop_assert!(waited < n, "starved beyond the fairness bound");
             }
         }
     }

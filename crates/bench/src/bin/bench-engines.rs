@@ -4,7 +4,15 @@
 //! `BENCH_hotpath.json`.
 //!
 //! Usage: `bench-engines [--json] [--loads 0.3,0.5] [--reps N]
-//! [--baseline PATH]` (human-readable table by default).
+//! [--baseline PATH] [--threads N] [--scale 1,2,4]` (human-readable
+//! table by default).
+//!
+//! `--threads N` additionally times the sharded-parallel engine with `N`
+//! shards (verified bit-identical first, like the serial engines) and
+//! reports its per-phase breakdown including barrier wait; `--scale`
+//! runs a thread-scaling sweep over the listed shard counts per load.
+//! The JSON records `host_parallelism` so single-core results are
+//! recognizable as overhead measurements rather than scaling claims.
 //!
 //! Every point is first checked for bit-identical results across the two
 //! engines (the same invariant `tests/engine_equivalence.rs` enforces),
@@ -31,11 +39,30 @@ struct Point {
     ticks_skipped_pct: f64,
     phases: PhaseNanos,
     baseline_event_ms: Option<f64>,
+    parallel: Option<ParallelPoint>,
+}
+
+/// The sharded-parallel engine's timing at one load.
+struct ParallelPoint {
+    shards: usize,
+    ms: f64,
+    phases: PhaseNanos,
+    /// `(shards, ms)` rows of the thread-scaling sweep (`--scale`).
+    scaling: Vec<(usize, f64)>,
 }
 
 impl Point {
     fn speedup_vs_baseline(&self) -> Option<f64> {
         self.baseline_event_ms.map(|b| b / self.event_ms)
+    }
+
+    /// Sharded-engine speedup over the committed baseline's serial
+    /// event-engine time (the BENCH_hotpath comparison).
+    fn parallel_speedup_vs_baseline(&self) -> Option<f64> {
+        match (&self.parallel, self.baseline_event_ms) {
+            (Some(p), Some(b)) => Some(b / p.ms),
+            _ => None,
+        }
     }
 }
 
@@ -65,20 +92,16 @@ fn time_engine(load: f64, engine: EngineKind, reps: u32) -> (f64, f64) {
     (ms, warm.work.skip_fraction() * 100.0)
 }
 
-/// One instrumented event-engine run for phase attribution (separate
-/// from the timed runs: the clock reads would distort them).
-fn phase_profile(load: f64) -> PhaseNanos {
-    Network::new(
-        cfg(load)
-            .with_engine(EngineKind::EventDriven)
-            .with_phase_timing(true),
-    )
-    .run()
-    .phases
-    .expect("phase timing was enabled")
+/// One instrumented run for phase attribution (separate from the timed
+/// runs: the clock reads would distort them).
+fn phase_profile(load: f64, engine: EngineKind) -> PhaseNanos {
+    Network::new(cfg(load).with_engine(engine).with_phase_timing(true))
+        .run()
+        .phases
+        .expect("phase timing was enabled")
 }
 
-fn verify_equivalence(load: f64) {
+fn verify_equivalence(load: f64, threads: Option<usize>) {
     let a = Network::new(cfg(load).with_engine(EngineKind::CycleDriven)).run();
     let b = Network::new(cfg(load).with_engine(EngineKind::EventDriven)).run();
     assert_eq!(a.cycles, b.cycles, "engines diverged at load {load}");
@@ -88,6 +111,16 @@ fn verify_equivalence(load: f64) {
         "engines diverged at load {load}"
     );
     assert_eq!(a.flits_ejected, b.flits_ejected);
+    if let Some(shards) = threads {
+        let c = Network::new(cfg(load).with_engine(EngineKind::parallel(shards))).run();
+        assert_eq!(a.cycles, c.cycles, "sharded engine diverged at load {load}");
+        assert_eq!(
+            a.avg_latency.map(f64::to_bits),
+            c.avg_latency.map(f64::to_bits),
+            "sharded engine diverged at load {load}"
+        );
+        assert_eq!(a.flits_ejected, c.flits_ejected);
+    }
 }
 
 /// Minimal scanner for the baseline JSON: pulls the `offered_load` /
@@ -145,6 +178,11 @@ struct Options {
     loads: Vec<f64>,
     reps: u32,
     baseline: String,
+    /// Shard count for the sharded-parallel engine timing, if requested.
+    threads: Option<usize>,
+    /// Shard counts for the thread-scaling sweep (implies `--threads`'s
+    /// verification; empty = off).
+    scale: Vec<usize>,
 }
 
 fn parse_args() -> Options {
@@ -153,6 +191,8 @@ fn parse_args() -> Options {
         loads: vec![0.05, 0.1, 0.2, 0.3, 0.5],
         reps: 3,
         baseline: "BENCH_baseline.json".to_string(),
+        threads: None,
+        scale: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -175,10 +215,30 @@ fn parse_args() -> Options {
             "--baseline" => {
                 opts.baseline = args.next().expect("--baseline needs a path");
             }
+            "--threads" => {
+                opts.threads = Some(
+                    args.next()
+                        .expect("--threads needs a shard count")
+                        .parse()
+                        .expect("bad shard count"),
+                );
+            }
+            "--scale" => {
+                let list = args.next().expect("--scale needs a comma-separated list");
+                opts.scale = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("bad shard count"))
+                    .collect();
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     assert!(!opts.loads.is_empty(), "no loads to run");
+    if opts.threads.is_none() && !opts.scale.is_empty() {
+        // A scaling sweep implies the parallel engine; default the
+        // headline shard count to the largest swept.
+        opts.threads = opts.scale.iter().max().copied();
+    }
     opts
 }
 
@@ -187,10 +247,34 @@ fn main() {
     let baseline = baseline_event_ms(&opts.baseline);
     let mut points = Vec::new();
     for &load in &opts.loads {
-        verify_equivalence(load);
+        verify_equivalence(load, opts.threads);
         let (cycle_ms, _) = time_engine(load, EngineKind::CycleDriven, opts.reps);
         let (event_ms, skipped) = time_engine(load, EngineKind::EventDriven, opts.reps);
-        let phases = phase_profile(load);
+        let phases = phase_profile(load, EngineKind::EventDriven);
+        let parallel = opts.threads.map(|shards| {
+            let scaling: Vec<(usize, f64)> = opts
+                .scale
+                .iter()
+                .map(|&s| {
+                    let (ms, _) = time_engine(load, EngineKind::parallel(s), opts.reps);
+                    (s, ms)
+                })
+                .collect();
+            // The headline shard count reuses its scale row when present
+            // — timing the identical configuration twice would waste
+            // reps × loads of wall-clock and emit two (noisy,
+            // conflicting) numbers for one configuration.
+            let ms = scaling.iter().find(|&&(s, _)| s == shards).map_or_else(
+                || time_engine(load, EngineKind::parallel(shards), opts.reps).0,
+                |&(_, ms)| ms,
+            );
+            ParallelPoint {
+                shards,
+                ms,
+                phases: phase_profile(load, EngineKind::parallel(shards)),
+                scaling,
+            }
+        });
         // Baseline files serialize offered_load rounded to 2 decimals
         // (the {:.2} below), so match with half that resolution.
         let baseline_event = baseline
@@ -205,14 +289,20 @@ fn main() {
             ticks_skipped_pct: skipped,
             phases,
             baseline_event_ms: baseline_event,
+            parallel,
         });
     }
 
     if opts.json {
         println!("{{");
         println!("  \"recorded\": \"{}\",", today_utc());
+        // Record the *actual* argv so the file can be regenerated from
+        // its own metadata (a fixed string silently drifts from the
+        // flags that produced the data).
+        let argv: Vec<String> = std::env::args().skip(1).collect();
         println!(
-            "  \"generator\": \"cargo run --release -p bench --bin bench-engines -- --json\","
+            "  \"generator\": \"cargo run --release -p bench --bin bench-engines -- {}\",",
+            argv.join(" ")
         );
         println!(
             "  \"interpretation\": \"cycle_driven_ms is the reference engine (tick every \
@@ -226,6 +316,19 @@ fn main() {
             "  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \"reps\": {}}},",
             opts.reps
         );
+        let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        println!("  \"host_parallelism\": {host},");
+        if let Some(shards) = opts.threads {
+            if host < shards {
+                println!(
+                    "  \"note\": \"host_parallelism < shards: the parallel rows measure \
+                     synchronization overhead under serialization, not scaling — the \
+                     per-shard compute split (see parallel.phase_pct.router_tick vs the \
+                     serial router_tick share) is the signal that the work division is \
+                     real; run on >= {shards} cores for wall-clock speedup\","
+                );
+            }
+        }
         println!("  \"points\": [");
         for (i, p) in points.iter().enumerate() {
             let comma = if i + 1 < points.len() { "," } else { "" };
@@ -236,13 +339,53 @@ fn main() {
                 ),
                 _ => String::new(),
             };
+            let parallel_fields = p.parallel.as_ref().map_or_else(String::new, |pp| {
+                let ph = &pp.phases;
+                let vs_baseline = p
+                    .parallel_speedup_vs_baseline()
+                    .map_or_else(String::new, |s| {
+                        format!(", \"speedup_vs_baseline_event\": {s:.2}")
+                    });
+                let scaling = if pp.scaling.is_empty() {
+                    String::new()
+                } else {
+                    let rows: Vec<String> = pp
+                        .scaling
+                        .iter()
+                        .map(|&(s, ms)| {
+                            format!(
+                                "{{\"shards\": {s}, \"ms\": {ms:.2}, \
+                                 \"speedup_vs_event\": {:.2}}}",
+                                p.event_ms / ms
+                            )
+                        })
+                        .collect();
+                    format!(", \"thread_scaling\": [{}]", rows.join(", "))
+                };
+                format!(
+                    ", \"parallel\": {{\"shards\": {}, \"ms\": {:.2}, \
+                     \"speedup_vs_event\": {:.2}{vs_baseline}, \
+                     \"phase_pct\": {{\"delivery\": {:.1}, \"sources\": {:.1}, \
+                     \"router_tick\": {:.1}, \"stats\": {:.1}, \
+                     \"barrier\": {:.1}}}{scaling}}}",
+                    pp.shards,
+                    pp.ms,
+                    p.event_ms / pp.ms,
+                    ph.pct(ph.delivery),
+                    ph.pct(ph.sources),
+                    ph.pct(ph.router),
+                    ph.pct(ph.stats),
+                    ph.pct(ph.barrier),
+                )
+            });
             let ph = &p.phases;
             println!(
                 "    {{\"offered_load\": {:.2}, \"cycle_driven_ms\": {:.2}, \
                  \"event_driven_ms\": {:.2}, \"speedup\": {:.2}, \
                  \"router_ticks_skipped_pct\": {:.1}, \
                  \"phase_pct\": {{\"delivery\": {:.1}, \"sources\": {:.1}, \
-                 \"router_tick\": {:.1}, \"stats\": {:.1}}}{baseline_fields}}}{comma}",
+                 \"router_tick\": {:.1}, \"stats\": {:.1}}}\
+                 {baseline_fields}{parallel_fields}}}{comma}",
                 p.load,
                 p.cycle_ms,
                 p.event_ms,
@@ -268,6 +411,21 @@ fn main() {
                 "{:4.2}   {:9.2} ms   {:9.2} ms   {:6.2}x   {:6.1}%        {}   [{}]",
                 p.load, p.cycle_ms, p.event_ms, p.speedup, p.ticks_skipped_pct, vs, p.phases
             );
+            if let Some(pp) = &p.parallel {
+                println!(
+                    "       parallel({} shards): {:9.2} ms   {:6.2}x vs event   [{}]",
+                    pp.shards,
+                    pp.ms,
+                    p.event_ms / pp.ms,
+                    pp.phases
+                );
+                for &(s, ms) in &pp.scaling {
+                    println!(
+                        "         scale {s:2} shards: {ms:9.2} ms   {:6.2}x vs event",
+                        p.event_ms / ms
+                    );
+                }
+            }
         }
     }
 }

@@ -134,6 +134,14 @@ impl PathTopology {
     }
 }
 
+impl PathTopology {
+    /// Iterator over per-stage branching (testing convenience).
+    #[doc(hidden)]
+    pub fn branching_effort_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.branching.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,13 +226,5 @@ mod tests {
     #[should_panic(expected = "branching")]
     fn sub_unit_branching_rejected() {
         let _ = PathTopology::new(vec![Gate::Inverter], 4.0).with_branching(0, 0.5);
-    }
-}
-
-impl PathTopology {
-    /// Iterator over per-stage branching (testing convenience).
-    #[doc(hidden)]
-    pub fn branching_effort_iter(&self) -> impl Iterator<Item = f64> + '_ {
-        self.branching.iter().copied()
     }
 }

@@ -100,12 +100,15 @@ impl fmt::Display for RouterKind {
 
 /// Which simulation engine advances the network.
 ///
-/// Both engines produce **bit-identical** results — the event-driven
+/// All engines produce **bit-identical** results — the event-driven
 /// engine only skips work that is provably a no-op (quiescent routers,
-/// channels with nothing due). The equivalence is enforced by the
-/// differential harness in `tests/engine_equivalence.rs`, which runs both
-/// engines across router kinds, topologies, traffic patterns, and loads
-/// and asserts identical measurements.
+/// channels with nothing due), and the sharded-parallel engine only
+/// reorders operations that provably commute, replaying every
+/// order-sensitive accumulation serially in node order. The equivalence
+/// is enforced by the differential harness in
+/// `tests/engine_equivalence.rs`, which runs the engines across router
+/// kinds, topologies, traffic patterns, loads, and shard counts and
+/// asserts identical measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// Tick every router every cycle (the reference engine; simple,
@@ -116,6 +119,38 @@ pub enum EngineKind {
     /// sweep, most routers are idle in most cycles).
     #[default]
     EventDriven,
+    /// Partition the mesh into contiguous shards and run each cycle as a
+    /// barrier-separated two-phase protocol: a parallel compute phase in
+    /// which every shard ticks its own (active-set) routers against an
+    /// immutable snapshot of cross-shard inputs, and a commit phase that
+    /// exchanges boundary flits/credits through preallocated
+    /// per-shard-pair mailboxes and merges measurement state in fixed
+    /// node order. Results are bit-identical to the serial engines for
+    /// any shard count and any thread schedule (see
+    /// [`crate::shard`]).
+    ParallelShards {
+        /// Worker shards (≥ 1; clamped to the node count). Each shard
+        /// runs on its own thread during [`crate::sim::Network::run`].
+        shards: usize,
+    },
+}
+
+impl EngineKind {
+    /// The sharded-parallel engine with `shards` worker shards.
+    #[must_use]
+    pub fn parallel(shards: usize) -> Self {
+        EngineKind::ParallelShards { shards }
+    }
+
+    /// How many threads one simulation run occupies under this engine
+    /// (1 for the serial engines).
+    #[must_use]
+    pub fn threads_per_run(&self) -> usize {
+        match *self {
+            EngineKind::CycleDriven | EngineKind::EventDriven => 1,
+            EngineKind::ParallelShards { shards } => shards.max(1),
+        }
+    }
 }
 
 impl fmt::Display for EngineKind {
@@ -123,6 +158,7 @@ impl fmt::Display for EngineKind {
         match self {
             EngineKind::CycleDriven => write!(f, "cycle-driven"),
             EngineKind::EventDriven => write!(f, "event-driven"),
+            EngineKind::ParallelShards { shards } => write!(f, "parallel-shards({shards})"),
         }
     }
 }
@@ -412,5 +448,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_injection_rejected() {
         let _ = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 }).with_injection(0.0);
+    }
+
+    #[test]
+    fn engine_kinds_report_their_thread_footprint() {
+        assert_eq!(EngineKind::CycleDriven.threads_per_run(), 1);
+        assert_eq!(EngineKind::EventDriven.threads_per_run(), 1);
+        assert_eq!(EngineKind::parallel(4).threads_per_run(), 4);
+        assert_eq!(
+            EngineKind::ParallelShards { shards: 0 }.threads_per_run(),
+            1,
+            "a degenerate shard count still occupies one thread"
+        );
+        assert_eq!(EngineKind::parallel(3).to_string(), "parallel-shards(3)");
     }
 }

@@ -32,6 +32,7 @@ pub mod channel_load;
 pub mod config;
 pub mod histogram;
 pub mod routing;
+pub mod shard;
 pub mod sim;
 pub mod source;
 pub mod stats;

@@ -1,0 +1,641 @@
+//! Deterministic sharded-parallel execution of the network simulator.
+//!
+//! The [`crate::config::EngineKind::ParallelShards`] engine partitions the
+//! mesh's routers into contiguous per-thread shards
+//! ([`crate::topology::Mesh::shard_ranges`]) and executes every cycle as a
+//! barrier-separated protocol whose results are **bit-identical** to the
+//! serial event-driven engine for any shard count and any thread
+//! schedule:
+//!
+//! 1. **Deliver** (parallel) — each shard drains the flit/credit pipe
+//!    deliveries due on its own wheel. Flits land in the shard's own
+//!    routers; credits whose upstream lives in another shard are staged
+//!    in a per-shard-pair mailbox instead of written cross-shard. Then
+//!    the shard steps its own sources, recording created packet ids (in
+//!    node order) for the serial commit.
+//! 2. **Tick** (parallel, after a barrier) — each shard applies the
+//!    credit mailboxes addressed to it (credit delivery commutes: it only
+//!    increments counters) and ticks its active routers in node order
+//!    against an immutable snapshot of cross-shard inputs. Departures to
+//!    a neighbor in another shard are staged in a flit mailbox; tail
+//!    ejections, channel-load events, and ejection counts are recorded
+//!    per shard in node order.
+//! 3. **Apply + commit** (after a barrier) — each shard pushes the flit
+//!    mailboxes addressed to it into its own delivery pipes (same-cycle
+//!    pushes deliver next cycle at the earliest, so ordering within the
+//!    phase is irrelevant), while the coordinating thread replays every
+//!    order-sensitive accumulation **serially in fixed node order**:
+//!    sample tagging from the created lists, then latency / histogram /
+//!    channel-load updates from the ejection records. Per-shard state is
+//!    merged in node order, never in thread-completion order, so the
+//!    floating-point accumulators see exactly the serial engine's sample
+//!    sequence.
+//!
+//! Why this is bit-identical: within one cycle the serial engine's
+//! delivery operations commute (disjoint queues and counters — the same
+//! argument the event engine rests on), sources interact with nothing but
+//! their own state and their own injection pipe, and routers only
+//! interact through pipes with ≥ 1 cycle of latency. The only
+//! order-sensitive state — the global tagging counter and the
+//! floating-point latency accumulators — never leaves the serial commit.
+//!
+//! Everything here is allocation-free in steady state: mailboxes, wheels,
+//! scratch buffers, and the per-cycle record vectors are retained and
+//! reach a fixed capacity after warm-up (enforced by
+//! `crates/network/tests/alloc_free_parallel.rs`).
+
+use crate::routing::RouteTable;
+use crate::sim::{Delivery, NodeOracle};
+use crate::source::{Source, SourceStep};
+use crate::topology::Mesh;
+use crate::traffic::TrafficPattern;
+use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, TickOutput};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A reusable spin-then-yield barrier for the per-cycle phase lockstep.
+///
+/// `std::sync::Barrier` parks threads on a futex; at the microsecond
+/// cycle times of this simulator the wake-up latency would dominate the
+/// compute phase, so arrivals spin briefly before yielding (the yield
+/// fallback keeps oversubscribed configurations — more shards than
+/// cores — live instead of burning a core per waiter).
+///
+/// The barrier is *poisonable*: a shard that panics mid-phase poisons it
+/// from a drop guard, and every waiter converts the poison into its own
+/// panic instead of deadlocking the lockstep.
+#[derive(Debug)]
+pub(crate) struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl SpinBarrier {
+    pub(crate) fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "a barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the barrier dead; every current and future waiter panics.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn check_poison(&self) {
+        assert!(
+            !self.poisoned.load(Ordering::Acquire),
+            "a sibling shard panicked; abandoning the cycle lockstep"
+        );
+    }
+
+    /// Blocks until all parties have arrived at this generation.
+    pub(crate) fn wait(&self) {
+        self.check_poison();
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arriver releases the generation; resetting `arrived`
+            // first is safe because nobody re-enters until they observe
+            // the new generation (which happens-after both stores).
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                self.check_poison();
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.check_poison();
+    }
+}
+
+/// Poisons the barrier if the holder unwinds, so sibling shards panic
+/// out of their waits instead of spinning forever.
+pub(crate) struct PoisonGuard<'a>(pub &'a SpinBarrier);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// A flit crossing a shard boundary: deliver `flit` into input
+/// `(node, port)` of the receiving shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlitMsg {
+    pub node: u32,
+    pub port: u8,
+    pub flit: Flit,
+}
+
+/// A credit crossing a shard boundary: return one credit for output
+/// `(node, port)`, VC `vc`, of the receiving shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CreditMsg {
+    pub node: u32,
+    pub port: u8,
+    pub vc: u32,
+}
+
+/// Preallocated per-shard-pair mailboxes. Slot `(from, to)` is written by
+/// shard `from` at the end of its compute phase and drained by shard `to`
+/// in the following phase; the barrier between the two keeps every lock
+/// uncontended, and the retained `Vec`s make the exchange allocation-free
+/// once capacities plateau.
+#[derive(Debug)]
+pub(crate) struct Mailboxes {
+    shards: usize,
+    flits: Vec<Mutex<Vec<FlitMsg>>>,
+    credits: Vec<Mutex<Vec<CreditMsg>>>,
+}
+
+impl Mailboxes {
+    pub(crate) fn new(shards: usize) -> Self {
+        Mailboxes {
+            shards,
+            flits: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            credits: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn flit_slot(&self, from: usize, to: usize) -> &Mutex<Vec<FlitMsg>> {
+        &self.flits[from * self.shards + to]
+    }
+
+    fn credit_slot(&self, from: usize, to: usize) -> &Mutex<Vec<CreditMsg>> {
+        &self.credits[from * self.shards + to]
+    }
+}
+
+/// What one shard reports to the serial commit each cycle. Every vector
+/// is filled in node order during the parallel phases and drained by the
+/// coordinating thread, so concatenating the shards in index order
+/// replays the serial engine's exact event sequence.
+#[derive(Debug, Default)]
+pub(crate) struct ShardOut {
+    /// Packets created this cycle, in node order.
+    pub created: Vec<PacketId>,
+    /// Tail-flit ejections this cycle, in node order: `(packet,
+    /// creation cycle)`.
+    pub tails: Vec<(PacketId, u64)>,
+    /// Channel-load events this cycle: `(node, out_port)`.
+    pub loads: Vec<(u32, u8)>,
+    /// Flits ejected this cycle.
+    pub ejected: u64,
+}
+
+/// Per-shard state that persists across cycles (the shard's half of the
+/// event-driven machinery plus its outbound mailbox staging).
+#[derive(Debug)]
+pub(crate) struct ShardAux {
+    /// Scheduled pipe deliveries for this shard's nodes.
+    pub wheel: EventWheel<Delivery>,
+    /// Reused router tick output buffer.
+    pub tick_buf: TickOutput,
+    /// Reused source step buffer.
+    pub step_buf: SourceStep,
+    /// Router ticks executed by this shard (work accounting).
+    pub router_ticks: u64,
+    /// Outbound flit staging, one buffer per destination shard.
+    out_flits: Vec<Vec<FlitMsg>>,
+    /// Outbound credit staging, one buffer per destination shard.
+    out_credits: Vec<Vec<CreditMsg>>,
+}
+
+impl ShardAux {
+    pub(crate) fn new(shards: usize, horizon: u64) -> Self {
+        ShardAux {
+            wheel: EventWheel::new(horizon),
+            tick_buf: TickOutput::default(),
+            step_buf: SourceStep::default(),
+            router_ticks: 0,
+            out_flits: (0..shards).map(|_| Vec::new()).collect(),
+            out_credits: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// The full sharded-engine state owned by a `Network` (present only when
+/// the engine is `ParallelShards`).
+#[derive(Debug)]
+pub(crate) struct ShardSet {
+    /// Contiguous `[lo, hi)` node range per shard.
+    pub ranges: Vec<(usize, usize)>,
+    /// Owning shard of every node (`O(1)` boundary lookups).
+    pub node_shard: Vec<u32>,
+    /// Persistent per-shard engine state.
+    pub aux: Vec<ShardAux>,
+    /// The per-shard-pair exchange.
+    pub mail: Mailboxes,
+    /// Per-shard commit records.
+    pub outs: Vec<Mutex<ShardOut>>,
+}
+
+impl ShardSet {
+    pub(crate) fn new(mesh: &Mesh, shards: usize, horizon: u64) -> Self {
+        let ranges = mesh.shard_ranges(shards);
+        let s = ranges.len();
+        let mut node_shard = vec![0u32; mesh.nodes()];
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            for slot in &mut node_shard[lo..hi] {
+                *slot = i as u32;
+            }
+        }
+        ShardSet {
+            ranges,
+            node_shard,
+            aux: (0..s).map(|_| ShardAux::new(s, horizon)).collect(),
+            mail: Mailboxes::new(s),
+            outs: (0..s).map(|_| Mutex::new(ShardOut::default())).collect(),
+        }
+    }
+
+    /// Router ticks executed across all shards.
+    pub(crate) fn router_ticks(&self) -> u64 {
+        self.aux.iter().map(|a| a.router_ticks).sum()
+    }
+}
+
+/// Read-only environment shared by every shard during a cycle.
+pub(crate) struct ShardEnv<'a> {
+    pub mesh: Mesh,
+    pub pattern: &'a TrafficPattern,
+    pub route_table: &'a RouteTable,
+    pub node_shard: &'a [u32],
+    pub link_delay: u64,
+    pub credit_latency: u64,
+    pub packet_len: u32,
+    pub vcs: usize,
+    pub mail: &'a Mailboxes,
+    pub outs: &'a [Mutex<ShardOut>],
+}
+
+/// One shard's disjoint mutable view of the network: slices of the flat
+/// per-node state plus its persistent aux. Shards never alias — every
+/// cross-shard effect travels through [`Mailboxes`].
+pub(crate) struct ShardCtx<'a> {
+    pub idx: usize,
+    /// First node of the shard (global index of `routers[0]`).
+    pub lo: usize,
+    pub routers: &'a mut [Router],
+    pub sources: &'a mut [Source],
+    pub flit_in: &'a mut [Vec<DelayPipe<Flit>>],
+    pub credit_back: &'a mut [Vec<DelayPipe<usize>>],
+    /// Reassembly slots of this shard's nodes (`(hi - lo) * vcs` entries).
+    pub eject_slots: &'a mut [(PacketId, u32)],
+    pub active: &'a mut [bool],
+    pub aux: &'a mut ShardAux,
+}
+
+impl ShardCtx<'_> {
+    /// Phase 1a: drains every pipe delivery due at `now` on this shard's
+    /// wheel. Mirrors the serial engines' delivery phase; credits whose
+    /// upstream lives in another shard are staged for that shard's
+    /// mailbox (flushed here, applied by the owner before it ticks).
+    pub(crate) fn phase_deliver(&mut self, env: &ShardEnv<'_>, now: u64) {
+        let mesh = env.mesh;
+        let local = mesh.local_port();
+        let mut due = self.aux.wheel.take_due(now);
+        for d in due.drain(..) {
+            let node = d.node as usize;
+            let i = node - self.lo;
+            let port = d.port as usize;
+            if d.credit {
+                while let Some(vc) = self.credit_back[i][port].pop_ready(now) {
+                    if port == local {
+                        self.sources[i].credit(vc);
+                    } else {
+                        let upstream = mesh
+                            .neighbor(node, port)
+                            .expect("credit on an unwired port");
+                        let out_port = mesh.opposite(port);
+                        let owner = env.node_shard[upstream] as usize;
+                        if owner == self.idx {
+                            self.routers[upstream - self.lo].accept_credit(out_port, vc, now);
+                        } else {
+                            self.aux.out_credits[owner].push(CreditMsg {
+                                node: upstream as u32,
+                                port: out_port as u8,
+                                vc: vc as u32,
+                            });
+                        }
+                    }
+                }
+            } else {
+                while let Some(flit) = self.flit_in[i][port].pop_ready(now) {
+                    self.routers[i].accept_flit(port, flit, now);
+                    self.active[i] = true;
+                }
+            }
+        }
+        self.aux.wheel.restore(now, due);
+
+        // Publish staged credits for the owning shards' tick phase.
+        for to in 0..env.mail.shards() {
+            if to != self.idx && !self.aux.out_credits[to].is_empty() {
+                let mut slot = env
+                    .mail
+                    .credit_slot(self.idx, to)
+                    .lock()
+                    .expect("mailbox poisoned");
+                slot.extend(self.aux.out_credits[to].drain(..));
+            }
+        }
+    }
+
+    /// Phase 1b: steps this shard's sources in node order, recording the
+    /// created packet ids for the serial tagging commit.
+    pub(crate) fn phase_sources(&mut self, env: &ShardEnv<'_>, now: u64) {
+        let mesh = env.mesh;
+        let local = mesh.local_port();
+        let mut step = std::mem::take(&mut self.aux.step_buf);
+        let mut out = env.outs[self.idx].lock().expect("shard out poisoned");
+        for i in 0..self.sources.len() {
+            self.sources[i].step_into(now, &mesh, env.pattern, &mut step);
+            out.created.extend_from_slice(&step.created);
+            if let Some(flit) = step.injected {
+                self.flit_in[i][local].push(now, flit);
+                self.aux.wheel.schedule(
+                    now + 1 + env.link_delay,
+                    Delivery {
+                        node: (self.lo + i) as u32,
+                        port: local as u8,
+                        credit: false,
+                    },
+                );
+            }
+        }
+        drop(out);
+        self.aux.step_buf = step;
+    }
+
+    /// Phase 2: applies inbound credit mailboxes, then ticks this shard's
+    /// active routers in node order. Cross-shard departures are staged in
+    /// the flit mailboxes; ejections and channel-load events are recorded
+    /// for the serial commit.
+    pub(crate) fn phase_tick(&mut self, env: &ShardEnv<'_>, now: u64) {
+        let mesh = env.mesh;
+        let local = mesh.local_port();
+
+        // Credits staged by other shards during their delivery phase.
+        // Application order is irrelevant (pure counter increments), but
+        // iterate in shard order anyway for a deterministic trace.
+        for from in 0..env.mail.shards() {
+            if from == self.idx {
+                continue;
+            }
+            let mut slot = env
+                .mail
+                .credit_slot(from, self.idx)
+                .lock()
+                .expect("mailbox poisoned");
+            for m in slot.drain(..) {
+                self.routers[m.node as usize - self.lo].accept_credit(
+                    m.port as usize,
+                    m.vc as usize,
+                    now,
+                );
+            }
+        }
+
+        let mut buf = std::mem::take(&mut self.aux.tick_buf);
+        let mut out = env.outs[self.idx].lock().expect("shard out poisoned");
+        for i in 0..self.routers.len() {
+            if !self.active[i] {
+                continue;
+            }
+            let node = self.lo + i;
+            let oracle = NodeOracle {
+                table: env.route_table,
+                node,
+            };
+            self.routers[i].tick_into(now, &oracle, &mut buf);
+            self.aux.router_ticks += 1;
+            for dep in buf.departures.drain(..) {
+                out.loads.push((node as u32, dep.out_port as u8));
+                if dep.out_port == local {
+                    self.eject(env, node, dep.flit, &mut out);
+                } else {
+                    let next = mesh
+                        .neighbor(node, dep.out_port)
+                        .expect("departure off the mesh edge");
+                    let in_port = mesh.opposite(dep.out_port);
+                    let owner = env.node_shard[next] as usize;
+                    if owner == self.idx {
+                        self.flit_in[next - self.lo][in_port].push(now, dep.flit);
+                        self.aux.wheel.schedule(
+                            now + 1 + env.link_delay,
+                            Delivery {
+                                node: next as u32,
+                                port: in_port as u8,
+                                credit: false,
+                            },
+                        );
+                    } else {
+                        self.aux.out_flits[owner].push(FlitMsg {
+                            node: next as u32,
+                            port: in_port as u8,
+                            flit: dep.flit,
+                        });
+                    }
+                }
+            }
+            for c in buf.credits.drain(..) {
+                self.credit_back[i][c.in_port].push(now, c.vc);
+                self.aux.wheel.schedule(
+                    now + 1 + env.credit_latency,
+                    Delivery {
+                        node: node as u32,
+                        port: c.in_port as u8,
+                        credit: true,
+                    },
+                );
+            }
+            if self.routers[i].is_quiescent() {
+                self.active[i] = false;
+            }
+        }
+        drop(out);
+        self.aux.tick_buf = buf;
+
+        // Publish staged boundary flits for the owners' apply phase.
+        for to in 0..env.mail.shards() {
+            if to != self.idx && !self.aux.out_flits[to].is_empty() {
+                let mut slot = env
+                    .mail
+                    .flit_slot(self.idx, to)
+                    .lock()
+                    .expect("mailbox poisoned");
+                slot.extend(self.aux.out_flits[to].drain(..));
+            }
+        }
+    }
+
+    /// Phase 3: applies inbound flit mailboxes — pushes every boundary
+    /// flit into this shard's own delivery pipes with the emission cycle
+    /// `now`, exactly as a same-shard departure would have been pushed.
+    /// A push at `now` delivers at `now + 1 + link_delay` at the
+    /// earliest, so nothing in this phase affects the cycle being
+    /// committed.
+    pub(crate) fn phase_apply(&mut self, env: &ShardEnv<'_>, now: u64) {
+        for from in 0..env.mail.shards() {
+            if from == self.idx {
+                continue;
+            }
+            let mut slot = env
+                .mail
+                .flit_slot(from, self.idx)
+                .lock()
+                .expect("mailbox poisoned");
+            for m in slot.drain(..) {
+                let i = m.node as usize - self.lo;
+                self.flit_in[i][m.port as usize].push(now, m.flit);
+                self.aux.wheel.schedule(
+                    now + 1 + env.link_delay,
+                    Delivery {
+                        node: m.node,
+                        port: m.port,
+                        credit: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Consumes an ejected flit at its destination — the shard-local half
+    /// of [`crate::sim::Network`]'s ejection: reassembly and conservation
+    /// checks happen here; the order-sensitive tagging/latency updates are
+    /// deferred to the serial commit via `out.tails`.
+    fn eject(&mut self, env: &ShardEnv<'_>, node: usize, flit: Flit, out: &mut ShardOut) {
+        assert_eq!(flit.dest, node, "flit ejected at the wrong node");
+        out.ejected += 1;
+        let slot = &mut self.eject_slots[(node - self.lo) * env.vcs + flit.vc];
+        if slot.1 == 0 {
+            *slot = (flit.packet, 1);
+        } else {
+            assert_eq!(
+                slot.0, flit.packet,
+                "packets interleaved within one ejection VC"
+            );
+            slot.1 += 1;
+        }
+        if flit.kind.is_tail() {
+            let received = slot.1;
+            slot.1 = 0;
+            assert_eq!(
+                received, env.packet_len,
+                "tail ejected before the whole packet arrived"
+            );
+            out.tails.push((flit.packet, flit.created));
+        }
+    }
+}
+
+/// The worker-thread loop: one cycle per barrier generation, mirroring
+/// the coordinating thread's phase sequence in
+/// [`crate::sim::Network::run`] exactly (three waits per cycle).
+pub(crate) fn worker_loop(
+    mut ctx: ShardCtx<'_>,
+    env: &ShardEnv<'_>,
+    barrier: &SpinBarrier,
+    stop: &AtomicBool,
+    mut now: u64,
+) {
+    let _guard = PoisonGuard(barrier);
+    loop {
+        barrier.wait();
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        ctx.phase_deliver(env, now);
+        ctx.phase_sources(env, now);
+        barrier.wait();
+        ctx.phase_tick(env, now);
+        barrier.wait();
+        ctx.phase_apply(env, now);
+        now += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spin_barrier_synchronizes_phases() {
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for round in 0..100u64 {
+                        counter.fetch_add(1, Ordering::AcqRel);
+                        barrier.wait();
+                        // Everyone incremented before anyone proceeds.
+                        assert!(counter.load(Ordering::Acquire) >= (round + 1) * 4);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Acquire), 400);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let barrier = SpinBarrier::new(1);
+        for _ in 0..10 {
+            barrier.wait();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sibling shard panicked")]
+    fn poisoned_barrier_panics_waiters() {
+        let barrier = SpinBarrier::new(2);
+        barrier.poison();
+        barrier.wait();
+    }
+
+    #[test]
+    fn poison_guard_fires_only_on_unwind() {
+        let barrier = SpinBarrier::new(1);
+        {
+            let _guard = PoisonGuard(&barrier);
+        }
+        barrier.wait(); // not poisoned by a clean drop
+
+        let barrier = std::sync::Arc::new(SpinBarrier::new(2));
+        let b = std::sync::Arc::clone(&barrier);
+        let worker = std::thread::spawn(move || {
+            let _guard = PoisonGuard(&b);
+            panic!("boom");
+        });
+        assert!(worker.join().is_err());
+        assert!(std::panic::catch_unwind(|| barrier.wait()).is_err());
+    }
+}

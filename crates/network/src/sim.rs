@@ -33,18 +33,21 @@ use crate::channel_load::ChannelLoad;
 use crate::config::{EngineKind, NetworkConfig, RoutingAlgo};
 use crate::histogram::Histogram;
 use crate::routing::RouteTable;
-use crate::source::{packet_seq, packet_source, Source};
+use crate::shard::{worker_loop, ShardCtx, ShardEnv, ShardOut, ShardSet, SpinBarrier};
+use crate::source::{packet_seq, packet_source, Source, SourceStep};
 use crate::stats::{EngineWork, LatencyStats, PhaseNanos};
 use crate::topology::Mesh;
 use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, RoutingOracle, TickOutput};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// The routing function of one node: two loads from the network's
 /// precomputed [`RouteTable`] (see `routing.rs`) — no per-flit coordinate
 /// math, no candidate-list allocation.
-struct NodeOracle<'a> {
-    table: &'a RouteTable,
-    node: usize,
+pub(crate) struct NodeOracle<'a> {
+    pub(crate) table: &'a RouteTable,
+    pub(crate) node: usize,
 }
 
 impl RoutingOracle for NodeOracle<'_> {
@@ -92,11 +95,11 @@ pub struct RunResult {
 /// A wake-up notice scheduled on the event wheel: "pipe `(node, port)`
 /// has an item arriving; drain it".
 #[derive(Debug, Clone, Copy)]
-struct Delivery {
-    node: u32,
-    port: u8,
+pub(crate) struct Delivery {
+    pub(crate) node: u32,
+    pub(crate) port: u8,
     /// Credit pipe (`credit_back`) rather than flit pipe (`flit_in`).
-    credit: bool,
+    pub(crate) credit: bool,
 }
 
 /// A mesh of routers under simulation.
@@ -122,10 +125,34 @@ pub struct Network {
     router_active: Vec<bool>,
     /// Reused tick output buffer.
     tick_buf: TickOutput,
+    /// Reused source step buffer.
+    source_step_buf: SourceStep,
     /// Router ticks executed (work accounting).
     router_ticks: u64,
-    // Measurement state. All of it is index-addressed — no hash
-    // structure anywhere in the per-cycle path.
+    /// Sharded-parallel engine state (present only under
+    /// [`EngineKind::ParallelShards`]; see [`crate::shard`]).
+    shards: Option<ShardSet>,
+    /// The global, order-sensitive measurement state — one field, so the
+    /// serial engines and the parallel [`Committer`] borrow it as a unit
+    /// and there is exactly one list of what "measurement" means.
+    meas: Measurement,
+    /// Reassembly slot per `(node, ejection VC)`: the packet currently
+    /// ejecting there and how many of its flits have arrived. Packets
+    /// cannot interleave within one ejection VC (the output VC / wormhole
+    /// hold is owned until the tail), so this replaces the old
+    /// `HashMap<PacketId, u32>` with a dense `node * vcs + vc` lookup.
+    /// A count of 0 means the slot is free. (Node-indexed, hence shard-
+    /// split under the parallel engine — not part of [`Measurement`].)
+    eject_slots: Vec<(PacketId, u32)>,
+    /// Per-phase wall-clock attribution (accumulated only when
+    /// `cfg.phase_timing` is set).
+    phases: PhaseNanos,
+}
+
+/// Measurement state. All of it is index-addressed — no hash structure
+/// anywhere in the per-cycle path.
+#[derive(Debug)]
+struct Measurement {
     /// Per source node, the half-open `[lo, hi)` range of packet
     /// sequence numbers belonging to the tagged sample. Tagging is by
     /// creation order while a global monotone counter is below the
@@ -137,19 +164,44 @@ pub struct Network {
     latency: LatencyStats,
     histogram: Histogram,
     channel_load: ChannelLoad,
-    /// Reassembly slot per `(node, ejection VC)`: the packet currently
-    /// ejecting there and how many of its flits have arrived. Packets
-    /// cannot interleave within one ejection VC (the output VC / wormhole
-    /// hold is owned until the tail), so this replaces the old
-    /// `HashMap<PacketId, u32>` with a dense `node * vcs + vc` lookup.
-    /// A count of 0 means the slot is free.
-    eject_slots: Vec<(PacketId, u32)>,
     flits_ejected: u64,
     measured_flits: u64,
     measure_start: Option<u64>,
-    /// Per-phase wall-clock attribution (accumulated only when
-    /// `cfg.phase_timing` is set).
-    phases: PhaseNanos,
+}
+
+impl Measurement {
+    /// Tags `id` if the sample is still filling (call in creation order;
+    /// shared by [`Network::step_sources`] and the parallel commit).
+    #[inline]
+    fn tag_created(&mut self, id: PacketId, now: u64, cfg: &NetworkConfig) {
+        if self.tagged_created < cfg.sample_packets {
+            let seq = packet_seq(id);
+            let range = &mut self.tagged_ranges[packet_source(id)];
+            if range.0 == range.1 {
+                *range = (seq, seq + 1);
+            } else {
+                debug_assert_eq!(seq, range.1, "non-contiguous tagged seq");
+                range.1 = seq + 1;
+            }
+            self.tagged_created += 1;
+            if self.measure_start.is_none() {
+                self.measure_start = Some(now);
+            }
+        }
+    }
+
+    /// Records a tail ejection at cycle `now` of a packet created at
+    /// `created`, if it belongs to the tagged sample.
+    #[inline]
+    fn record_tail(&mut self, packet: PacketId, created: u64, now: u64) {
+        let (lo, hi) = self.tagged_ranges[packet_source(packet)];
+        let seq = packet_seq(packet);
+        if (lo..hi).contains(&seq) {
+            self.tagged_done += 1;
+            self.latency.record(now - created);
+            self.histogram.record(now - created);
+        }
+    }
 }
 
 impl Network {
@@ -213,6 +265,12 @@ impl Network {
         let horizon = 1 + cfg.link_delay.max(credit_latency) + 1;
         let channel_load = ChannelLoad::new(&cfg.mesh);
         let vcs = cfg.router.vcs();
+        let shards = match cfg.engine {
+            EngineKind::ParallelShards { shards } => {
+                Some(ShardSet::new(&cfg.mesh, shards, horizon))
+            }
+            EngineKind::CycleDriven | EngineKind::EventDriven => None,
+        };
         Network {
             cfg,
             routers,
@@ -225,17 +283,21 @@ impl Network {
             wheel: EventWheel::new(horizon),
             router_active: vec![false; nodes],
             tick_buf: TickOutput::default(),
+            source_step_buf: SourceStep::default(),
             router_ticks: 0,
-            tagged_ranges: vec![(0, 0); nodes],
-            tagged_created: 0,
-            tagged_done: 0,
-            latency: LatencyStats::new(),
-            histogram: Histogram::new(10, 500),
-            channel_load,
+            shards,
+            meas: Measurement {
+                tagged_ranges: vec![(0, 0); nodes],
+                tagged_created: 0,
+                tagged_done: 0,
+                latency: LatencyStats::new(),
+                histogram: Histogram::new(10, 500),
+                channel_load,
+                flits_ejected: 0,
+                measured_flits: 0,
+                measure_start: None,
+            },
             eject_slots: vec![(PacketId::new(0), 0); nodes * vcs],
-            flits_ejected: 0,
-            measured_flits: 0,
-            measure_start: None,
             phases: PhaseNanos::default(),
         }
     }
@@ -255,7 +317,7 @@ impl Network {
     /// Per-channel flit counts observed so far.
     #[must_use]
     pub fn channel_load(&self) -> &ChannelLoad {
-        &self.channel_load
+        &self.meas.channel_load
     }
 
     /// Total source backlog in packets (diagnostic; grows without bound
@@ -266,10 +328,16 @@ impl Network {
     }
 
     /// Advances the network one cycle with the configured engine.
+    ///
+    /// Under [`EngineKind::ParallelShards`] this executes the sharded
+    /// protocol inline on the calling thread (shard by shard, in index
+    /// order) — bit-identical to the threaded run, which only exists for
+    /// wall-clock speed. [`Network::run`] is where the worker pool lives.
     pub fn step(&mut self) {
         match self.cfg.engine {
             EngineKind::CycleDriven => self.step_cycle(),
             EngineKind::EventDriven => self.step_event(),
+            EngineKind::ParallelShards { .. } => self.step_parallel_inline(),
         }
     }
 
@@ -308,7 +376,7 @@ impl Network {
         }
 
         let t3 = timing.then(Instant::now);
-        self.channel_load.tick();
+        self.meas.channel_load.tick();
         self.now += 1;
         if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
             self.phases.accumulate(t0, t1, t2, t3, Instant::now());
@@ -361,7 +429,7 @@ impl Network {
         }
 
         let t3 = timing.then(Instant::now);
-        self.channel_load.tick();
+        self.meas.channel_load.tick();
         self.now += 1;
         if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
             self.phases.accumulate(t0, t1, t2, t3, Instant::now());
@@ -404,24 +472,12 @@ impl Network {
         let local = mesh.local_port();
         let measuring = now >= self.cfg.warmup_cycles;
         let event_driven = self.cfg.engine == EngineKind::EventDriven;
+        let mut step = std::mem::take(&mut self.source_step_buf);
         for node in 0..mesh.nodes() {
-            let step = self.sources[node].step(now, mesh, &self.cfg.pattern);
+            self.sources[node].step_into(now, mesh, &self.cfg.pattern, &mut step);
             if measuring {
-                for id in step.created {
-                    if self.tagged_created < self.cfg.sample_packets {
-                        let seq = packet_seq(id);
-                        let range = &mut self.tagged_ranges[packet_source(id)];
-                        if range.0 == range.1 {
-                            *range = (seq, seq + 1);
-                        } else {
-                            debug_assert_eq!(seq, range.1, "non-contiguous tagged seq");
-                            range.1 = seq + 1;
-                        }
-                        self.tagged_created += 1;
-                        if self.measure_start.is_none() {
-                            self.measure_start = Some(now);
-                        }
-                    }
+                for &id in &step.created {
+                    self.meas.tag_created(id, now, &self.cfg);
                 }
             }
             if let Some(flit) = step.injected {
@@ -438,6 +494,7 @@ impl Network {
                 }
             }
         }
+        self.source_step_buf = step;
     }
 
     /// Ticks router `node`, forwarding its departures and credits (and,
@@ -453,7 +510,7 @@ impl Network {
         self.routers[node].tick_into(now, &oracle, &mut out);
         self.router_ticks += 1;
         for dep in out.departures.drain(..) {
-            self.channel_load.record(node, dep.out_port);
+            self.meas.channel_load.record(node, dep.out_port);
             if dep.out_port == local {
                 self.eject(node, dep.flit);
             } else {
@@ -493,9 +550,9 @@ impl Network {
     /// Consumes an ejected flit at its destination ("immediate ejection").
     fn eject(&mut self, node: usize, flit: Flit) {
         assert_eq!(flit.dest, node, "flit ejected at the wrong node");
-        self.flits_ejected += 1;
-        if self.measure_start.is_some() {
-            self.measured_flits += 1;
+        self.meas.flits_ejected += 1;
+        if self.meas.measure_start.is_some() {
+            self.meas.measured_flits += 1;
         }
         // Index-addressed reassembly: flits of one packet arrive on one
         // ejection VC in order and packets never interleave within a VC
@@ -517,27 +574,192 @@ impl Network {
                 received, self.cfg.packet_len,
                 "tail ejected before the whole packet arrived"
             );
-            let (lo, hi) = self.tagged_ranges[packet_source(flit.packet)];
-            let seq = packet_seq(flit.packet);
-            if (lo..hi).contains(&seq) {
-                self.tagged_done += 1;
-                self.latency.record(self.now - flit.created);
-                self.histogram.record(self.now - flit.created);
-            }
+            self.meas.record_tail(flit.packet, flit.created, self.now);
         }
+    }
+
+    /// One cycle of the sharded-parallel protocol, executed inline on the
+    /// calling thread: every shard runs each phase in index order, so the
+    /// result is identical to the threaded [`Network::run`] loop by
+    /// construction (cross-shard interaction happens only through the
+    /// phase-separated mailboxes either way). This is what [`Network::step`]
+    /// uses — the worker pool only pays off amortized over a whole run.
+    fn step_parallel_inline(&mut self) {
+        let mut set = self.shards.take().expect("parallel engine state");
+        let now = self.now;
+        let vcs = self.cfg.router.vcs();
+        let mut stamps = self.cfg.phase_timing.then(|| [Instant::now(); 8]);
+        {
+            let env = ShardEnv {
+                mesh: self.cfg.mesh,
+                pattern: &self.cfg.pattern,
+                route_table: &self.route_table,
+                node_shard: &set.node_shard,
+                link_delay: self.cfg.link_delay,
+                credit_latency: self.credit_latency,
+                packet_len: self.cfg.packet_len,
+                vcs,
+                mail: &set.mail,
+                outs: &set.outs,
+            };
+            // A shard's disjoint view, re-borrowed per phase call (the
+            // macro keeps the borrows field-granular).
+            macro_rules! ctx {
+                ($s:expr) => {{
+                    let (lo, hi) = set.ranges[$s];
+                    ShardCtx {
+                        idx: $s,
+                        lo,
+                        routers: &mut self.routers[lo..hi],
+                        sources: &mut self.sources[lo..hi],
+                        flit_in: &mut self.flit_in[lo..hi],
+                        credit_back: &mut self.credit_back[lo..hi],
+                        eject_slots: &mut self.eject_slots[lo * vcs..hi * vcs],
+                        active: &mut self.router_active[lo..hi],
+                        aux: &mut set.aux[$s],
+                    }
+                }};
+            }
+            let shards = set.ranges.len();
+            for s in 0..shards {
+                ctx!(s).phase_deliver(&env, now);
+            }
+            mark(&mut stamps, 1);
+            for s in 0..shards {
+                ctx!(s).phase_sources(&env, now);
+            }
+            mark(&mut stamps, 2);
+            mark(&mut stamps, 3); // no barrier inline
+            for s in 0..shards {
+                ctx!(s).phase_tick(&env, now);
+            }
+            mark(&mut stamps, 4);
+            mark(&mut stamps, 5);
+            for s in 0..shards {
+                ctx!(s).phase_apply(&env, now);
+            }
+            mark(&mut stamps, 6);
+        }
+        self.committer().commit(now, &set.outs);
+        mark(&mut stamps, 7);
+        if let Some(t) = stamps {
+            self.phases.accumulate_parallel(&t);
+        }
+        self.now = now + 1;
+        self.shards = Some(set);
+    }
+
+    /// The serial measurement commit over this network's global state.
+    fn committer(&mut self) -> Committer<'_> {
+        Committer {
+            cfg: &self.cfg,
+            meas: &mut self.meas,
+        }
+    }
+
+    /// The threaded sharded-parallel loop: a persistent scoped worker
+    /// pool (one thread per shard beyond the coordinator, which doubles
+    /// as shard 0's worker), reusable spin barriers between phases, and
+    /// the serial measurement commit on the coordinator. Advances the
+    /// network until the sample completes or `max_cycles` is hit.
+    fn run_parallel(&mut self) {
+        let mut set = self.shards.take().expect("parallel engine state");
+        let vcs = self.cfg.router.vcs();
+        let timing = self.cfg.phase_timing;
+        let max_cycles = self.cfg.max_cycles;
+        let start_now = self.now;
+        let barrier = SpinBarrier::new(set.ranges.len());
+        let stop = AtomicBool::new(false);
+
+        let env = ShardEnv {
+            mesh: self.cfg.mesh,
+            pattern: &self.cfg.pattern,
+            route_table: &self.route_table,
+            node_shard: &set.node_shard,
+            link_delay: self.cfg.link_delay,
+            credit_latency: self.credit_latency,
+            packet_len: self.cfg.packet_len,
+            vcs,
+            mail: &set.mail,
+            outs: &set.outs,
+        };
+        let ctxs = split_shards(
+            &set.ranges,
+            vcs,
+            &mut self.routers,
+            &mut self.sources,
+            &mut self.flit_in,
+            &mut self.credit_back,
+            &mut self.eject_slots,
+            &mut self.router_active,
+            &mut set.aux,
+        );
+        let mut committer = Committer {
+            cfg: &self.cfg,
+            meas: &mut self.meas,
+        };
+        let phases = &mut self.phases;
+
+        let final_now = std::thread::scope(|scope| {
+            let mut ctx_iter = ctxs.into_iter();
+            let mut ctx0 = ctx_iter.next().expect("at least one shard");
+            for ctx in ctx_iter {
+                let (env, barrier, stop) = (&env, &barrier, &stop);
+                scope.spawn(move || worker_loop(ctx, env, barrier, stop, start_now));
+            }
+            // The coordinator is shard 0's worker; if it panics (e.g. a
+            // conservation assert), poison the lockstep so the workers
+            // panic out of their barrier waits instead of deadlocking.
+            let _guard = crate::shard::PoisonGuard(&barrier);
+            let mut now = start_now;
+            loop {
+                let done = now >= max_cycles || committer.sample_complete();
+                stop.store(done, Ordering::Release);
+                barrier.wait();
+                if done {
+                    break;
+                }
+                let mut stamps = timing.then(|| [Instant::now(); 8]);
+                ctx0.phase_deliver(&env, now);
+                mark(&mut stamps, 1);
+                ctx0.phase_sources(&env, now);
+                mark(&mut stamps, 2);
+                barrier.wait();
+                mark(&mut stamps, 3);
+                ctx0.phase_tick(&env, now);
+                mark(&mut stamps, 4);
+                barrier.wait();
+                mark(&mut stamps, 5);
+                ctx0.phase_apply(&env, now);
+                mark(&mut stamps, 6);
+                // Workers run their own phase_apply concurrently; the
+                // commit touches only coordinator-owned measurement state
+                // and the phase-separated ShardOut records.
+                committer.commit(now, env.outs);
+                mark(&mut stamps, 7);
+                if let Some(t) = stamps {
+                    phases.accumulate_parallel(&t);
+                }
+                now += 1;
+            }
+            now
+        });
+        self.now = final_now;
+        self.shards = Some(set);
     }
 
     /// Whether the tagged sample has been fully created and received.
     #[must_use]
     pub fn sample_complete(&self) -> bool {
-        self.tagged_created >= self.cfg.sample_packets && self.tagged_done >= self.tagged_created
+        self.meas.tagged_created >= self.cfg.sample_packets
+            && self.meas.tagged_done >= self.meas.tagged_created
     }
 
     /// Router ticks executed so far (work accounting; the event-driven
-    /// engine executes fewer than `cycles × nodes`).
+    /// and sharded-parallel engines execute fewer than `cycles × nodes`).
     #[must_use]
     pub fn router_ticks(&self) -> u64 {
-        self.router_ticks
+        self.router_ticks + self.shards.as_ref().map_or(0, ShardSet::router_ticks)
     }
 
     /// Total flits injected by all sources so far.
@@ -549,7 +771,7 @@ impl Network {
     /// Total flits ejected at their destinations so far.
     #[must_use]
     pub fn flits_ejected(&self) -> u64 {
-        self.flits_ejected
+        self.meas.flits_ejected
     }
 
     /// Flits currently on a wire (pushed into a channel, not yet
@@ -594,38 +816,154 @@ impl Network {
 
     /// Runs the full protocol: warm-up, tagged sample, drain; returns the
     /// measurements. Hitting `max_cycles` first marks the run saturated.
+    ///
+    /// Under [`EngineKind::ParallelShards`] the run executes on a
+    /// persistent scoped worker pool (one thread per shard); the result
+    /// is bit-identical to the serial engines regardless of shard count
+    /// or thread schedule.
     pub fn run(mut self) -> RunResult {
-        while self.now < self.cfg.max_cycles && !self.sample_complete() {
-            self.step();
+        if matches!(self.cfg.engine, EngineKind::ParallelShards { .. }) {
+            self.run_parallel();
+        } else {
+            while self.now < self.cfg.max_cycles && !self.sample_complete() {
+                self.step();
+            }
         }
         self.assert_flit_conservation();
         let saturated = !self.sample_complete();
         let span = self
+            .meas
             .measure_start
             .map_or(1, |s| self.now.saturating_sub(s).max(1));
         let per_node_cycle =
-            self.measured_flits as f64 / (span as f64 * self.cfg.mesh.nodes() as f64);
+            self.meas.measured_flits as f64 / (span as f64 * self.cfg.mesh.nodes() as f64);
         let mut router_stats = router_core::RouterStats::default();
         for r in &self.routers {
             router_stats.merge(r.stats());
         }
         RunResult {
             offered: self.cfg.injection_fraction,
-            avg_latency: self.latency.mean(),
-            stats: self.latency.clone(),
+            avg_latency: self.meas.latency.mean(),
+            stats: self.meas.latency.clone(),
             saturated,
             cycles: self.now,
             accepted: per_node_cycle / self.cfg.mesh.capacity_flits_per_node(),
-            flits_ejected: self.flits_ejected,
-            histogram: self.histogram.clone(),
+            flits_ejected: self.meas.flits_ejected,
+            histogram: self.meas.histogram.clone(),
             router_stats,
             work: EngineWork {
                 cycles: self.now,
-                router_ticks: self.router_ticks,
+                router_ticks: self.router_ticks(),
                 router_ticks_possible: self.now * self.cfg.mesh.nodes() as u64,
             },
             phases: self.cfg.phase_timing.then_some(self.phases),
         }
+    }
+}
+
+/// Records a phase-boundary timestamp when phase timing is enabled
+/// (no clock read otherwise).
+#[inline]
+fn mark(stamps: &mut Option<[Instant; 8]>, i: usize) {
+    if let Some(t) = stamps.as_mut() {
+        t[i] = Instant::now();
+    }
+}
+
+/// Splits the network's flat per-node state into disjoint per-shard
+/// views along `ranges` (which are contiguous and cover all nodes).
+#[allow(clippy::too_many_arguments)]
+fn split_shards<'a>(
+    ranges: &[(usize, usize)],
+    vcs: usize,
+    mut routers: &'a mut [Router],
+    mut sources: &'a mut [Source],
+    mut flit_in: &'a mut [Vec<DelayPipe<Flit>>],
+    mut credit_back: &'a mut [Vec<DelayPipe<usize>>],
+    mut eject_slots: &'a mut [(PacketId, u32)],
+    mut active: &'a mut [bool],
+    aux: &'a mut [crate::shard::ShardAux],
+) -> Vec<ShardCtx<'a>> {
+    let mut ctxs = Vec::with_capacity(ranges.len());
+    let mut aux_iter = aux.iter_mut();
+    for (idx, &(lo, hi)) in ranges.iter().enumerate() {
+        let n = hi - lo;
+        let (r, rest) = std::mem::take(&mut routers).split_at_mut(n);
+        routers = rest;
+        let (s, rest) = std::mem::take(&mut sources).split_at_mut(n);
+        sources = rest;
+        let (f, rest) = std::mem::take(&mut flit_in).split_at_mut(n);
+        flit_in = rest;
+        let (c, rest) = std::mem::take(&mut credit_back).split_at_mut(n);
+        credit_back = rest;
+        let (e, rest) = std::mem::take(&mut eject_slots).split_at_mut(n * vcs);
+        eject_slots = rest;
+        let (a, rest) = std::mem::take(&mut active).split_at_mut(n);
+        active = rest;
+        ctxs.push(ShardCtx {
+            idx,
+            lo,
+            routers: r,
+            sources: s,
+            flit_in: f,
+            credit_back: c,
+            eject_slots: e,
+            active: a,
+            aux: aux_iter.next().expect("one aux per shard"),
+        });
+    }
+    ctxs
+}
+
+/// The serial measurement commit of the sharded-parallel engine: drains
+/// every shard's per-cycle records **in shard (= node) order**, replaying
+/// exactly the serial engines' within-cycle event sequence — tagging
+/// first (the source phase precedes every ejection), then the
+/// floating-point latency accumulators and channel-load counters. This
+/// is the only place per-shard state is merged, and it never depends on
+/// thread completion order.
+struct Committer<'a> {
+    cfg: &'a NetworkConfig,
+    meas: &'a mut Measurement,
+}
+
+impl Committer<'_> {
+    fn sample_complete(&self) -> bool {
+        self.meas.tagged_created >= self.cfg.sample_packets
+            && self.meas.tagged_done >= self.meas.tagged_created
+    }
+
+    fn commit(&mut self, now: u64, outs: &[Mutex<ShardOut>]) {
+        let measuring = now >= self.cfg.warmup_cycles;
+        // Tagging first: the serial engines tag during the source phase,
+        // before any ejection of the same cycle is observed. (A packet
+        // created this cycle cannot eject this cycle — every path has
+        // ≥ 1 cycle of pipe latency — but the measure_start transition
+        // must see the source-phase state.)
+        for out in outs {
+            let mut o = out.lock().expect("shard out poisoned");
+            for id in o.created.drain(..) {
+                if measuring {
+                    self.meas.tag_created(id, now, self.cfg);
+                }
+            }
+        }
+        // Then the ejection-side accumulators, in shard (= node) order.
+        for out in outs {
+            let mut o = out.lock().expect("shard out poisoned");
+            self.meas.flits_ejected += o.ejected;
+            if self.meas.measure_start.is_some() {
+                self.meas.measured_flits += o.ejected;
+            }
+            o.ejected = 0;
+            for (node, port) in o.loads.drain(..) {
+                self.meas.channel_load.record(node as usize, port as usize);
+            }
+            for (packet, created) in o.tails.drain(..) {
+                self.meas.record_tail(packet, created, now);
+            }
+        }
+        self.meas.channel_load.tick();
     }
 }
 

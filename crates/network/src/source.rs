@@ -134,6 +134,23 @@ impl Source {
     /// free injection VCs, and injects at most one flit.
     pub fn step(&mut self, now: u64, mesh: &Mesh, pattern: &TrafficPattern) -> SourceStep {
         let mut out = SourceStep::default();
+        self.step_into(now, mesh, pattern, &mut out);
+        out
+    }
+
+    /// [`Source::step`] into a caller-retained buffer, so a simulator
+    /// stepping thousands of sources per cycle reuses one `created`
+    /// allocation instead of building a fresh `Vec` whenever a packet is
+    /// generated. `out` is cleared first.
+    pub fn step_into(
+        &mut self,
+        now: u64,
+        mesh: &Mesh,
+        pattern: &TrafficPattern,
+        out: &mut SourceStep,
+    ) {
+        out.injected = None;
+        out.created.clear();
 
         // Fast path: nothing queued, nothing mid-injection, and the rate
         // accumulator cannot cross 1.0 this cycle — the step is pure
@@ -145,7 +162,7 @@ impl Source {
             && self.slots.iter().all(Option::is_none)
         {
             self.accum += self.rate;
-            return out;
+            return;
         }
 
         // Constant-rate generation with fractional accumulation.
@@ -194,7 +211,6 @@ impl Source {
             self.flits_injected += 1;
             out.injected = Some(flit);
         }
-        out
     }
 }
 

@@ -11,14 +11,22 @@ use std::time::Instant;
 /// only that total wall-clock moved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseNanos {
-    /// Draining flit/credit pipes into routers, sources, and upstreams.
+    /// Draining flit/credit pipes into routers, sources, and upstreams
+    /// (under the sharded-parallel engine: pipe drains plus mailbox
+    /// application).
     pub delivery: u64,
     /// Source packet generation and injection.
     pub sources: u64,
     /// Router ticks, including departure forwarding and ejection.
     pub router: u64,
-    /// Statistics upkeep (channel-load accounting, cycle bookkeeping).
+    /// Statistics upkeep (channel-load accounting, cycle bookkeeping;
+    /// under the sharded-parallel engine: the serial node-order commit of
+    /// tagging, latency, and channel-load state).
     pub stats: u64,
+    /// Time the coordinating thread spent waiting at the phase barriers
+    /// of the sharded-parallel engine — straggler imbalance plus
+    /// synchronization cost. Always zero for the serial engines.
+    pub barrier: u64,
 }
 
 impl PhaseNanos {
@@ -31,10 +39,24 @@ impl PhaseNanos {
         self.stats += (t4 - t3).as_nanos() as u64;
     }
 
+    /// Adds one sharded-parallel cycle measured on the coordinating
+    /// thread, whose shard is representative of the (balanced) others:
+    /// `t[0]..t[1]` pipe drains, `t[1]..t[2]` sources, `t[2]..t[3]`
+    /// barrier wait, `t[3]..t[4]` router ticks, `t[4]..t[5]` barrier
+    /// wait, `t[5]..t[6]` mailbox application, `t[6]..t[7]` the serial
+    /// measurement commit.
+    pub fn accumulate_parallel(&mut self, t: &[Instant; 8]) {
+        self.delivery += (t[1] - t[0]).as_nanos() as u64 + (t[6] - t[5]).as_nanos() as u64;
+        self.sources += (t[2] - t[1]).as_nanos() as u64;
+        self.barrier += (t[3] - t[2]).as_nanos() as u64 + (t[5] - t[4]).as_nanos() as u64;
+        self.router += (t[4] - t[3]).as_nanos() as u64;
+        self.stats += (t[7] - t[6]).as_nanos() as u64;
+    }
+
     /// Total attributed nanoseconds.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.delivery + self.sources + self.router + self.stats
+        self.delivery + self.sources + self.router + self.stats + self.barrier
     }
 
     /// The share of `part` in the total, in percent (0 when empty).
@@ -58,7 +80,11 @@ impl fmt::Display for PhaseNanos {
             self.pct(self.sources),
             self.pct(self.router),
             self.pct(self.stats)
-        )
+        )?;
+        if self.barrier > 0 {
+            write!(f, " | barrier {:.1}%", self.pct(self.barrier))?;
+        }
+        Ok(())
     }
 }
 

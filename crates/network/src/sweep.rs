@@ -110,9 +110,25 @@ pub fn sweep(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoint> {
     curve
 }
 
+/// The sweep worker budget: with each run occupying `threads_per_run`
+/// threads (1 for the serial engines, the shard count for
+/// [`EngineKind::ParallelShards`]), the pool must satisfy
+/// `workers × threads_per_run ≤ available` so a parallel-engine sweep
+/// does not oversubscribe the machine — while always granting at least
+/// one worker, and never more workers than points.
+#[must_use]
+fn sweep_worker_budget(available: usize, points: usize, threads_per_run: usize) -> usize {
+    (available / threads_per_run.max(1))
+        .max(1)
+        .min(points.max(1))
+}
+
 /// Like [`sweep`], but evaluates load points concurrently on a worker
 /// pool capped at [`std::thread::available_parallelism`] (spawning one
-/// thread per load point oversubscribes the machine on large sweeps).
+/// thread per load point oversubscribes the machine on large sweeps);
+/// when the per-point engine is [`EngineKind::ParallelShards`], the cap
+/// is divided by the shard count so that `workers × shards` stays within
+/// the machine (see [`sweep_worker_budget`]).
 /// Points are handed out through a shared atomic index — no static
 /// chunking — and in *descending-load order*: the near-saturation points
 /// simulate the most cycles by far, so starting them first keeps the
@@ -130,10 +146,18 @@ pub fn sweep_parallel(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoin
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
+    let available = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n);
+        .unwrap_or(1);
+    // Clamp by the node count: the engine clamps shards to the mesh, so
+    // a `ParallelShards { shards: 1000 }` run on a 16-node mesh really
+    // occupies 16 threads, and the budget must not over-reserve for it.
+    let threads_per_run = opts
+        .engine
+        .unwrap_or(base.engine)
+        .threads_per_run()
+        .min(base.mesh.nodes());
+    let workers = sweep_worker_budget(available, n, threads_per_run);
     // Schedule expensive (high-load) points first, ties in index order;
     // total_cmp keeps the comparator a total order even for NaN loads.
     let mut order: Vec<usize> = (0..n).collect();
@@ -332,6 +356,53 @@ mod tests {
             assert_eq!(x.latency.map(f64::to_bits), z.latency.map(f64::to_bits));
             assert_eq!(x.accepted.to_bits(), z.accepted.to_bits());
             assert_eq!(x.saturated, z.saturated);
+        }
+    }
+
+    #[test]
+    fn worker_budget_caps_the_thread_product() {
+        // Serial engines: one thread per run, workers = min(cores, points).
+        assert_eq!(sweep_worker_budget(8, 10, 1), 8);
+        assert_eq!(sweep_worker_budget(8, 3, 1), 3);
+        // Parallel runs occupy `shards` threads each: workers × shards
+        // must not exceed the available parallelism.
+        assert_eq!(sweep_worker_budget(8, 10, 4), 2);
+        assert_eq!(sweep_worker_budget(8, 10, 3), 2);
+        assert_eq!(sweep_worker_budget(7, 10, 4), 1);
+        // A run wider than the machine still gets one worker.
+        assert_eq!(sweep_worker_budget(4, 10, 16), 1);
+        // Degenerate inputs stay sane.
+        assert_eq!(sweep_worker_budget(1, 1, 1), 1);
+        assert_eq!(sweep_worker_budget(8, 0, 0), 1);
+        for (avail, points, shards) in [(8, 10, 4), (16, 5, 3), (2, 9, 2), (1, 4, 7)] {
+            let w = sweep_worker_budget(avail, points, shards);
+            assert!(
+                w * shards.max(1) <= avail.max(shards.max(1)),
+                "budget blown"
+            );
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_with_sharded_engine_matches_sequential() {
+        // The oversubscription fix must not change results: a sweep whose
+        // points each run the sharded engine still matches the serial
+        // sweep bit for bit.
+        // 99 shards clamps to the 16-node mesh inside the engine, and
+        // the worker budget clamps the same way instead of reserving 99
+        // threads' worth of the machine per point.
+        let opts = SweepOptions {
+            loads: vec![0.1, 0.3],
+            stop_at_saturation: false,
+            engine: Some(EngineKind::ParallelShards { shards: 99 }),
+        };
+        let seq = sweep(&base(), &opts);
+        let par = sweep_parallel(&base(), &opts);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.latency.map(f64::to_bits), b.latency.map(f64::to_bits));
+            assert_eq!(a.accepted.to_bits(), b.accepted.to_bits());
         }
     }
 

@@ -26,7 +26,7 @@ fn center_channels_are_hottest_under_uniform_dor() {
     for _ in 0..20_000 {
         net.step();
     }
-    let mesh = net.config().mesh.clone();
+    let mesh = net.config().mesh;
     let load = net.channel_load();
     let (node, port, hot) = load.hottest(&mesh).expect("traffic flowed");
     // The hottest channel must cross the mesh bisection. Under uniform
@@ -67,7 +67,7 @@ fn channel_load_scales_linearly_below_saturation() {
         for _ in 0..10_000 {
             net.step();
         }
-        let mesh = net.config().mesh.clone();
+        let mesh = net.config().mesh;
         net.channel_load().hottest(&mesh).unwrap().2
     };
     let low = measure(0.1);
@@ -91,7 +91,7 @@ fn nearest_neighbor_loads_only_x_channels() {
     for _ in 0..5_000 {
         net.step();
     }
-    let mesh = net.config().mesh.clone();
+    let mesh = net.config().mesh;
     let load = net.channel_load();
     for node in 0..mesh.nodes() {
         // Y-dimension channels (ports 2 and 3) never carry NN traffic.

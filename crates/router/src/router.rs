@@ -29,6 +29,31 @@
 //! caller's reused [`TickOutput`] and of `pending_st` during warm-up —
 //! both reach a fixed point after a few cycles. The claim is enforced by
 //! the counting-allocator test in `tests/alloc_free.rs`.
+//!
+//! # The tick is a side-effect-free compute half
+//!
+//! The router's cycle is already split into the two halves a
+//! deterministic parallel simulator needs:
+//!
+//! * **compute** — [`Router::tick_into`] mutates *only this router's own
+//!   state* (its arena, channel states, arbiters, counters). Everything
+//!   destined for the rest of the world — departures and upstream
+//!   credits — is written into the caller's [`TickOutput`], never pushed
+//!   into a neighbor.
+//! * **commit** — [`Router::accept_flit`] / [`Router::accept_credit`]
+//!   apply remote effects, and within one delivery phase they commute:
+//!   flit acceptance appends to per-`(port, vc)` FIFOs that each have
+//!   exactly one upstream writer per cycle, and credit acceptance only
+//!   increments per-`(port, vc)` counters.
+//!
+//! Because the compute half never aliases another router and the commit
+//! half commutes, a sharded simulator may tick disjoint router sets on
+//! different threads and exchange `TickOutput`s at a barrier, and the
+//! result is bit-identical to a serial sweep in node order — the
+//! contract `noc-network`'s `ParallelShards` engine is built on
+//! (enforced end to end by `tests/engine_equivalence.rs` at the
+//! workspace root, and locally by `cross_thread_ticks_match_serial`
+//! below).
 
 use crate::arena::FlitArena;
 use crate::config::{FlowControlKind, RouterConfig};
@@ -1306,6 +1331,43 @@ mod tests {
         let mut untraced = wired(RouterConfig::wormhole(5, 8), 8);
         untraced.drain_trace_into(&mut sink);
         assert_eq!(sink.len(), before);
+    }
+
+    #[test]
+    fn cross_thread_ticks_match_serial() {
+        // The compute/commit contract behind sharded-parallel simulation:
+        // two routers fed identical stimulus, one ticked on the main
+        // thread and one on a worker, produce identical outputs and
+        // stats — Router is Send and its tick touches no shared state.
+        fn drive(mut r: Router) -> (TickOutput, RouterStats) {
+            let mut all = TickOutput::default();
+            let mut buf = TickOutput::default();
+            for now in 0..40 {
+                if now % 3 == 0 {
+                    let mut f = Flit::head(PacketId::new(now + 1), 9, 0, now);
+                    f.kind = crate::flit::FlitKind::HeadTail;
+                    r.accept_flit((now as usize) % 4, f, now);
+                }
+                r.tick_into(now, &|_: &Flit| 2, &mut buf);
+                // Credits loop straight back, as a sharded commit phase
+                // would deliver them.
+                for dep in &buf.departures {
+                    r.accept_credit(dep.out_port, dep.flit.vc, now);
+                }
+                all.departures.append(&mut buf.departures);
+                all.credits.append(&mut buf.credits);
+            }
+            (all, *r.stats())
+        }
+        let mk = || wired(RouterConfig::speculative(5, 2, 4), 4);
+        let serial = drive(mk());
+        let threaded = std::thread::spawn(move || drive(mk()))
+            .join()
+            .expect("worker tick");
+        assert_eq!(serial.0.departures, threaded.0.departures);
+        assert_eq!(serial.0.credits, threaded.0.credits);
+        assert_eq!(serial.1, threaded.1);
+        assert!(!serial.0.departures.is_empty(), "traffic moved");
     }
 
     #[test]

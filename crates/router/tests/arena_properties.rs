@@ -89,8 +89,8 @@ proptest! {
         }
 
         // Drain everything: remaining contents must match in order.
-        for ring in 0..RINGS {
-            while let Some(want) = model[ring].pop_front() {
+        for (ring, queue) in model.iter_mut().enumerate() {
+            while let Some(want) = queue.pop_front() {
                 prop_assert_eq!(arena.pop_front(ring), Some(want));
             }
             prop_assert_eq!(arena.pop_front(ring), None);

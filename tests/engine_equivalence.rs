@@ -1,14 +1,18 @@
 //! The differential engine harness: the event-driven active-set engine
-//! must be **bit-identical** to the cycle-driven reference engine.
+//! and the sharded-parallel engine must be **bit-identical** to the
+//! cycle-driven reference engine.
 //!
 //! Every test here builds one configuration, runs it once per
 //! [`EngineKind`], and asserts the results match *exactly* — down to the
 //! floating-point bits of the latency statistics. A deterministic grid
 //! covers every router kind × topology × traffic pattern combination the
-//! simulator supports; proptest then fuzzes the same space with random
-//! buffer depths, injection rates, packet lengths, and seeds.
+//! simulator supports — extended with shard counts {1, 2, 4, 7},
+//! including counts that do not divide the node count; proptest then
+//! fuzzes the same space with random buffer depths, injection rates,
+//! packet lengths, seeds, and shard counts. A repeated-run test proves
+//! the multi-threaded engine is independent of the thread schedule.
 //!
-//! If a change to either engine breaks lockstep, these tests name the
+//! If a change to any engine breaks lockstep, these tests name the
 //! first diverging measurement rather than letting the drift hide inside
 //! a latency tolerance somewhere else in the suite.
 
@@ -227,6 +231,117 @@ fn sweeps_agree_and_event_engine_skips_work() {
     );
 }
 
+/// Runs `cfg` under the sharded-parallel engine (threaded: one worker
+/// per shard via [`Network::run`]).
+fn run_sharded(cfg: NetworkConfig, shards: usize) -> RunResult {
+    Network::new(cfg.with_engine(EngineKind::ParallelShards { shards })).run()
+}
+
+/// The sharded grid: shard counts {1, 2, 4, 7} — 7 does not divide the
+/// 16-node mesh, so shard sizes are unequal — × every router kind ×
+/// three traffic patterns, all bit-identical to the serial event engine.
+/// The parallel engine must also execute *exactly* the same router ticks
+/// (it runs the same active-set rule, just sharded).
+#[test]
+fn sharded_engine_matches_event_engine_across_shard_counts() {
+    for kind in all_kinds() {
+        for pattern in [
+            TrafficPattern::Uniform,
+            TrafficPattern::Transpose,
+            TrafficPattern::Tornado,
+        ] {
+            let cfg = small(kind)
+                .with_injection(0.15)
+                .with_pattern(pattern.clone());
+            let event = Network::new(cfg.clone().with_engine(EngineKind::EventDriven)).run();
+            for shards in [1, 2, 4, 7] {
+                let label = format!("{kind} {pattern} shards={shards}");
+                let sharded = run_sharded(cfg.clone(), shards);
+                assert_equivalent(&label, &event, &sharded);
+                assert_eq!(
+                    event.work.router_ticks, sharded.work.router_ticks,
+                    "{label}: sharded engine must tick exactly the active set"
+                );
+            }
+        }
+    }
+}
+
+/// Backpressure, wormhole holds, saturation early-exit, and the torus
+/// dateline path all survive sharding.
+#[test]
+fn sharded_engine_matches_under_pressure_and_on_torus() {
+    for kind in all_kinds() {
+        for load in [0.35, 2.0] {
+            let cfg = small(kind)
+                .with_injection(load)
+                .with_max_cycles(6_000)
+                .with_sample(600);
+            let event = Network::new(cfg.clone().with_engine(EngineKind::EventDriven)).run();
+            let sharded = run_sharded(cfg, 4);
+            assert_equivalent(&format!("{kind} load={load} shards=4"), &event, &sharded);
+        }
+        if kind.vcs() >= 2 {
+            let cfg = small(kind).with_injection(0.2).into_torus();
+            let event = Network::new(cfg.clone().with_engine(EngineKind::EventDriven)).run();
+            let sharded = run_sharded(cfg, 3);
+            assert_equivalent(&format!("{kind} torus shards=3"), &event, &sharded);
+        }
+    }
+}
+
+/// Thread-schedule independence: repeated multi-threaded runs of the
+/// same configuration agree bit for bit on every measurement — no
+/// completion-order, interleaving, or allocator nondeterminism leaks
+/// into results.
+#[test]
+fn sharded_runs_are_bit_identical_across_repeats() {
+    let cfg = small(RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    })
+    .with_injection(0.3)
+    .with_sample(400);
+    let first = run_sharded(cfg.clone(), 4);
+    for rep in 0..2 {
+        let again = run_sharded(cfg.clone(), 4);
+        let label = format!("repeat {rep}");
+        assert_equivalent(&label, &first, &again);
+        assert_eq!(first.work, again.work, "{label}: work counters");
+        assert_eq!(
+            first.stats.std_dev().map(f64::to_bits),
+            again.stats.std_dev().map(f64::to_bits),
+            "{label}: variance accumulator"
+        );
+    }
+}
+
+/// The inline single-threaded `step()` path and the threaded `run()`
+/// path of the sharded engine are the same protocol; stepping manually
+/// must land on the same totals, with flit conservation holding at every
+/// cycle boundary (mailboxes are empty between cycles).
+#[test]
+fn sharded_inline_step_matches_threaded_run() {
+    let cfg = small(RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    })
+    .with_injection(0.2)
+    .with_engine(EngineKind::ParallelShards { shards: 3 });
+    let threaded = Network::new(cfg.clone()).run();
+    let mut net = Network::new(cfg);
+    while net.cycle() < threaded.cycles {
+        net.step();
+        if net.cycle().is_multiple_of(97) {
+            net.assert_flit_conservation();
+        }
+    }
+    net.assert_flit_conservation();
+    assert!(net.sample_complete(), "same stopping point");
+    assert_eq!(net.flits_ejected(), threaded.flits_ejected);
+    assert_eq!(net.router_ticks(), threaded.work.router_ticks);
+}
+
 fn kind_strategy() -> impl Strategy<Value = RouterKind> {
     prop_oneof![
         (2usize..10).prop_map(|b| RouterKind::Wormhole { buffers: b }),
@@ -280,5 +395,25 @@ proptest! {
         let label = format!("{:?}", cfg);
         let (cycle, event) = run_both(cfg);
         assert_equivalent(&label, &cycle, &event);
+    }
+
+    /// Random shard counts (including > nodes, which clamps) against the
+    /// serial event engine: `RunResult`s stay bit-identical everywhere.
+    #[test]
+    fn sharded_engine_agrees_on_random_configs(
+        kind in kind_strategy(),
+        pattern in pattern_strategy(),
+        shards in 1usize..10,
+        load_pct in 3u32..45,
+        seed in any::<u64>(),
+    ) {
+        let cfg = small(kind)
+            .with_injection(f64::from(load_pct) / 100.0)
+            .with_pattern(pattern)
+            .with_seed(seed);
+        let label = format!("shards={shards} {:?}", cfg);
+        let event = Network::new(cfg.clone().with_engine(EngineKind::EventDriven)).run();
+        let sharded = run_sharded(cfg, shards);
+        assert_equivalent(&label, &event, &sharded);
     }
 }
