@@ -29,6 +29,8 @@
 
 use noc_network::config::EngineKind;
 use noc_network::{Network, NetworkConfig, PhaseNanos, RouterKind};
+use repro_bench::meta;
+use runqueue::{run_tasks, CancelToken, Task};
 use std::time::Instant;
 
 struct Point {
@@ -124,53 +126,24 @@ fn verify_equivalence(load: f64, threads: Option<usize>) {
 }
 
 /// Minimal scanner for the baseline JSON: pulls the `offered_load` /
-/// `event_driven_ms` pairs out of the `points` array. (The workspace is
-/// offline and vendors no JSON parser; the files are machine-written by
-/// this very binary, so a field scan is reliable.)
+/// `event_driven_ms` pairs out of the `points` array with the shared
+/// [`meta::scan_field`] (the workspace is offline and vendors no JSON
+/// parser; the files are machine-written by this very binary, so a
+/// field scan is reliable).
 fn baseline_event_ms(path: &str) -> Vec<(f64, f64)> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
     let mut pairs = Vec::new();
     for line in text.lines() {
-        let Some(load) = scan_field(line, "\"offered_load\":") else {
+        let Some(load) = meta::scan_field(line, "\"offered_load\":") else {
             continue;
         };
-        if let Some(ms) = scan_field(line, "\"event_driven_ms\":") {
+        if let Some(ms) = meta::scan_field(line, "\"event_driven_ms\":") {
             pairs.push((load, ms));
         }
     }
     pairs
-}
-
-/// Parses the number following `key` in `line`, if present.
-fn scan_field(line: &str, key: &str) -> Option<f64> {
-    let start = line.find(key)? + key.len();
-    let rest = line[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Today's UTC date as `YYYY-MM-DD`, from the system clock (no chrono:
-/// Howard Hinnant's civil-from-days algorithm over the Unix epoch).
-fn today_utc() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .expect("system clock before 1970")
-        .as_secs();
-    let z = (secs / 86_400) as i64 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
 }
 
 struct Options {
@@ -242,67 +215,97 @@ fn parse_args() -> Options {
     opts
 }
 
+/// Measures one load point end to end (equivalence check, serial
+/// timings, phase profile, optional sharded timings).
+fn measure_point(opts: &Options, baseline: &[(f64, f64)], load: f64) -> Point {
+    verify_equivalence(load, opts.threads);
+    let (cycle_ms, _) = time_engine(load, EngineKind::CycleDriven, opts.reps);
+    let (event_ms, skipped) = time_engine(load, EngineKind::EventDriven, opts.reps);
+    let phases = phase_profile(load, EngineKind::EventDriven);
+    let parallel = opts.threads.map(|shards| {
+        let scaling: Vec<(usize, f64)> = opts
+            .scale
+            .iter()
+            .map(|&s| {
+                let (ms, _) = time_engine(load, EngineKind::parallel(s), opts.reps);
+                (s, ms)
+            })
+            .collect();
+        // The headline shard count reuses its scale row when present
+        // — timing the identical configuration twice would waste
+        // reps × loads of wall-clock and emit two (noisy,
+        // conflicting) numbers for one configuration.
+        let ms = scaling.iter().find(|&&(s, _)| s == shards).map_or_else(
+            || time_engine(load, EngineKind::parallel(shards), opts.reps).0,
+            |&(_, ms)| ms,
+        );
+        ParallelPoint {
+            shards,
+            ms,
+            phases: phase_profile(load, EngineKind::parallel(shards)),
+            scaling,
+        }
+    });
+    // Baseline files serialize offered_load rounded to 2 decimals
+    // (the {:.2} in the JSON emitter), so match with half that
+    // resolution.
+    let baseline_event = baseline
+        .iter()
+        .find(|(l, _)| (l - load).abs() < 5e-3)
+        .map(|&(_, ms)| ms);
+    Point {
+        load,
+        cycle_ms,
+        event_ms,
+        speedup: cycle_ms / event_ms,
+        ticks_skipped_pct: skipped,
+        phases,
+        baseline_event_ms: baseline_event,
+        parallel,
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let baseline = baseline_event_ms(&opts.baseline);
-    let mut points = Vec::new();
-    for &load in &opts.loads {
-        verify_equivalence(load, opts.threads);
-        let (cycle_ms, _) = time_engine(load, EngineKind::CycleDriven, opts.reps);
-        let (event_ms, skipped) = time_engine(load, EngineKind::EventDriven, opts.reps);
-        let phases = phase_profile(load, EngineKind::EventDriven);
-        let parallel = opts.threads.map(|shards| {
-            let scaling: Vec<(usize, f64)> = opts
-                .scale
-                .iter()
-                .map(|&s| {
-                    let (ms, _) = time_engine(load, EngineKind::parallel(s), opts.reps);
-                    (s, ms)
-                })
-                .collect();
-            // The headline shard count reuses its scale row when present
-            // — timing the identical configuration twice would waste
-            // reps × loads of wall-clock and emit two (noisy,
-            // conflicting) numbers for one configuration.
-            let ms = scaling.iter().find(|&&(s, _)| s == shards).map_or_else(
-                || time_engine(load, EngineKind::parallel(shards), opts.reps).0,
-                |&(_, ms)| ms,
-            );
-            ParallelPoint {
-                shards,
-                ms,
-                phases: phase_profile(load, EngineKind::parallel(shards)),
-                scaling,
-            }
-        });
-        // Baseline files serialize offered_load rounded to 2 decimals
-        // (the {:.2} below), so match with half that resolution.
-        let baseline_event = baseline
-            .iter()
-            .find(|(l, _)| (l - load).abs() < 5e-3)
-            .map(|&(_, ms)| ms);
-        points.push(Point {
-            load,
-            cycle_ms,
-            event_ms,
-            speedup: cycle_ms / event_ms,
-            ticks_skipped_pct: skipped,
-            phases,
-            baseline_event_ms: baseline_event,
-            parallel,
-        });
-    }
+    // The loads run through the shared run queue, like every other batch
+    // consumer. Each point's width is the *whole* host: timing needs the
+    // machine to itself (concurrent timed runs would perturb each
+    // other), so the queue — which keeps the width-sum within the budget
+    // — degenerates to serial execution in priority order, and the
+    // descending-index priority makes that exactly the input order.
+    let host = meta::host_parallelism();
+    let tasks: Vec<Task<f64>> = opts
+        .loads
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| Task {
+            item: load,
+            width: host,
+            priority: [-(i as f64), 0.0],
+        })
+        .collect();
+    let slots = run_tasks(
+        tasks,
+        host,
+        &CancelToken::new(),
+        |load, _| measure_point(&opts, &baseline, load),
+        |_, _| {},
+    );
+    let points: Vec<Point> = slots
+        .into_iter()
+        .map(|p| p.expect("every load measured"))
+        .collect();
 
     if opts.json {
         println!("{{");
-        println!("  \"recorded\": \"{}\",", today_utc());
+        println!("  \"recorded\": \"{}\",", meta::today_utc());
         // Record the *actual* argv so the file can be regenerated from
         // its own metadata (a fixed string silently drifts from the
         // flags that produced the data).
-        let argv: Vec<String> = std::env::args().skip(1).collect();
         println!(
-            "  \"generator\": \"cargo run --release -p bench --bin bench-engines -- {}\",",
-            argv.join(" ")
+            "  \"generator\": \"{}\",",
+            meta::generator_line("bench-engines")
         );
         println!(
             "  \"interpretation\": \"cycle_driven_ms is the reference engine (tick every \
@@ -316,7 +319,6 @@ fn main() {
             "  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \"reps\": {}}},",
             opts.reps
         );
-        let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         println!("  \"host_parallelism\": {host},");
         if let Some(shards) = opts.threads {
             if host < shards {

@@ -11,6 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jobfile;
+pub mod meta;
+pub mod queued;
+
 use peh_dally::SimScale;
 
 /// Options parsed from a harness binary's command line.
@@ -47,24 +51,33 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<HarnessOpti
     Ok(opts)
 }
 
+/// Parses harness options from the process argv, exiting with status 2
+/// (and usage on stderr) when they do not parse — the shared front door
+/// of every figure binary, queued or direct.
+#[must_use]
+pub fn harness_options_or_exit() -> HarnessOptions {
+    parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+/// Renders a figure the way every repro binary does: CSV on `--csv`,
+/// otherwise the aligned table followed by the ASCII chart.
+pub fn print_figure(fig: &peh_dally::figures::Figure, csv: bool) {
+    if csv {
+        print!("{}", peh_dally::report::figure_csv(fig));
+    } else {
+        print!("{}", peh_dally::report::figure_table(fig));
+        println!();
+        print!("{}", peh_dally::report::figure_chart(fig, 60, 18));
+    }
+}
+
 /// Runs a simulated-figure binary: parse args, build the figure, print.
 pub fn figure_main(build: impl Fn(SimScale) -> peh_dally::figures::Figure) {
-    match parse_args(std::env::args().skip(1)) {
-        Ok(opts) => {
-            let fig = build(opts.scale);
-            if opts.csv {
-                print!("{}", peh_dally::report::figure_csv(&fig));
-            } else {
-                print!("{}", peh_dally::report::figure_table(&fig));
-                println!();
-                print!("{}", peh_dally::report::figure_chart(&fig, 60, 18));
-            }
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    }
+    let opts = harness_options_or_exit();
+    print_figure(&build(opts.scale), opts.csv);
 }
 
 #[cfg(test)]

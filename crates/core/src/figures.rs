@@ -188,28 +188,32 @@ fn run_series(name: &str, configs: Vec<(String, NetworkConfig)>, scale: SimScale
     }
 }
 
-/// Figure 13: WH (8 bufs), VC (2vcs×4bufs), specVC (2vcs×4bufs) on the
-/// 8×8 mesh — 8 flit buffers per input port.
+/// The labelled configurations of Figure 13: WH (8 bufs), VC
+/// (2vcs×4bufs), specVC (2vcs×4bufs) on the 8×8 mesh — 8 flit buffers
+/// per input port. Public so batch drivers (e.g. the `runq`-backed
+/// `repro-fig13`) sweep exactly the figure's experiments.
+#[must_use]
+pub fn fig13_configs() -> Vec<(String, NetworkConfig)> {
+    [
+        RouterKind::Wormhole { buffers: 8 },
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    ]
+    .into_iter()
+    .map(|k| (k.label(), NetworkConfig::mesh(8, k)))
+    .collect()
+}
+
+/// Figure 13: see [`fig13_configs`].
 #[must_use]
 pub fn fig13(scale: SimScale) -> Figure {
-    run_series(
-        "Figure 13",
-        [
-            RouterKind::Wormhole { buffers: 8 },
-            RouterKind::VirtualChannel {
-                vcs: 2,
-                buffers_per_vc: 4,
-            },
-            RouterKind::SpeculativeVc {
-                vcs: 2,
-                buffers_per_vc: 4,
-            },
-        ]
-        .into_iter()
-        .map(|k| (k.label(), NetworkConfig::mesh(8, k)))
-        .collect(),
-        scale,
-    )
+    run_series("Figure 13", fig13_configs(), scale)
 }
 
 /// Figure 14: 16 buffers per port, 2 VCs — WH (16), VC (2×8), specVC (2×8).
@@ -290,28 +294,31 @@ pub fn fig17(scale: SimScale) -> Figure {
     )
 }
 
-/// Figure 18: speculative VC routers (2 VCs × 4 buffers) with 1-cycle vs
-/// 4-cycle credit propagation latency.
+/// The labelled configurations of Figure 18: speculative VC routers
+/// (2 VCs × 4 buffers) with 1-cycle vs 4-cycle credit propagation
+/// latency. Public for the same reason as [`fig13_configs`].
 #[must_use]
-pub fn fig18(scale: SimScale) -> Figure {
+pub fn fig18_configs() -> Vec<(String, NetworkConfig)> {
     let spec = RouterKind::SpeculativeVc {
         vcs: 2,
         buffers_per_vc: 4,
     };
-    run_series(
-        "Figure 18",
-        vec![
-            (
-                "specVC (1-cycle credit propagation)".into(),
-                NetworkConfig::mesh(8, spec),
-            ),
-            (
-                "specVC (4-cycle credit propagation)".into(),
-                NetworkConfig::mesh(8, spec).with_credit_prop_delay(4),
-            ),
-        ],
-        scale,
-    )
+    vec![
+        (
+            "specVC (1-cycle credit propagation)".into(),
+            NetworkConfig::mesh(8, spec),
+        ),
+        (
+            "specVC (4-cycle credit propagation)".into(),
+            NetworkConfig::mesh(8, spec).with_credit_prop_delay(4),
+        ),
+    ]
+}
+
+/// Figure 18: see [`fig18_configs`].
+#[must_use]
+pub fn fig18(scale: SimScale) -> Figure {
+    run_series("Figure 18", fig18_configs(), scale)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::topology::Mesh;
 use crate::traffic::TrafficPattern;
 use router_core::{RouterConfig, Timing};
+use runqueue::CancelToken;
 use std::fmt;
 
 /// Which router microarchitecture populates the network.
@@ -216,6 +217,12 @@ pub struct NetworkConfig {
     /// ([`crate::stats::PhaseNanos`]) while running. Off by default: the
     /// clock reads cost a few percent and change no simulation result.
     pub phase_timing: bool,
+    /// Cooperative cancellation token, if the run belongs to a batch.
+    /// [`crate::sim::Network::run`] polls it once per
+    /// [`crate::sim::CANCEL_BATCH`] cycles and winds down early when it
+    /// is poisoned (marking the result
+    /// [`crate::sim::RunResult::cancelled`]); `None` costs nothing.
+    pub cancel: Option<CancelToken>,
 }
 
 impl NetworkConfig {
@@ -240,6 +247,7 @@ impl NetworkConfig {
             max_cycles: 200_000,
             seed: 0x5EED,
             phase_timing: false,
+            cancel: None,
         }
     }
 
@@ -308,6 +316,17 @@ impl NetworkConfig {
     #[must_use]
     pub fn with_phase_timing(mut self, on: bool) -> Self {
         self.phase_timing = on;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token. The run polls it at
+    /// cycle-batch granularity ([`crate::sim::CANCEL_BATCH`] cycles) and
+    /// stops early once it is poisoned; a cancelled run's result is
+    /// flagged [`crate::sim::RunResult::cancelled`] and must not be
+    /// recorded as a measurement.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 

@@ -87,10 +87,28 @@ impl Histogram {
         self.quantile(0.5)
     }
 
+    /// 95th percentile upper bound.
+    #[must_use]
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
     /// 99th percentile upper bound.
     #[must_use]
     pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
+    }
+
+    /// The p50/p95/p99 summary incremental result records carry: each is
+    /// an upper bucket bound, or `None` when the histogram is empty or
+    /// that quantile falls in the overflow bucket.
+    #[must_use]
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.median(),
+            p95: self.p95(),
+            p99: self.p99(),
+        }
     }
 
     /// The non-empty `(bucket upper bound, count)` pairs.
@@ -119,6 +137,17 @@ impl Histogram {
         }
         out
     }
+}
+
+/// The tail-latency summary of a run: p50/p95/p99 upper bucket bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median upper bound, if measured.
+    pub p50: Option<u64>,
+    /// 95th-percentile upper bound, if measured.
+    pub p95: Option<u64>,
+    /// 99th-percentile upper bound, if measured.
+    pub p99: Option<u64>,
 }
 
 impl fmt::Display for Histogram {
@@ -191,5 +220,59 @@ mod tests {
     fn zero_quantile_rejected() {
         let h = Histogram::new(10, 10);
         let _ = h.quantile(0.0);
+    }
+
+    #[test]
+    fn percentiles_of_known_uniform_distribution() {
+        // 1000 samples uniform over [0, 1000) in 10-cycle buckets: the
+        // q-quantile's upper bucket bound is ceil(q * 1000 / 10) * 10.
+        let mut h = Histogram::new(10, 100);
+        for v in 0..1000 {
+            h.record(v);
+        }
+        let p = h.percentiles();
+        assert_eq!(p.p50, Some(500));
+        assert_eq!(p.p95, Some(950));
+        assert_eq!(p.p99, Some(990));
+        assert_eq!(p.p50, h.median());
+        assert_eq!(p.p95, h.p95());
+    }
+
+    #[test]
+    fn percentiles_of_skewed_distribution() {
+        // 99 fast samples and one slow outlier: the tail quantiles must
+        // find the outlier's bucket while the median stays low.
+        let mut h = Histogram::new(10, 50);
+        for _ in 0..99 {
+            h.record(5);
+        }
+        h.record(400);
+        let p = h.percentiles();
+        assert_eq!(p.p50, Some(10));
+        assert_eq!(p.p95, Some(10), "95% of mass is in the first bucket");
+        assert_eq!(p.p99, Some(10), "rank 99 of 100 is still the fast bucket");
+        assert_eq!(h.quantile(1.0), Some(410), "the max finds the outlier");
+    }
+
+    #[test]
+    fn empty_percentiles_are_all_none() {
+        let p = Histogram::new(10, 10).percentiles();
+        assert_eq!((p.p50, p.p95, p.p99), (None, None, None));
+    }
+
+    #[test]
+    fn overflow_tail_reports_none() {
+        // p50 lands in a real bucket; p99 falls into overflow → None.
+        let mut h = Histogram::new(10, 2);
+        for _ in 0..60 {
+            h.record(5);
+        }
+        for _ in 0..40 {
+            h.record(1_000);
+        }
+        let p = h.percentiles();
+        assert_eq!(p.p50, Some(10));
+        assert_eq!(p.p95, None);
+        assert_eq!(p.p99, None);
     }
 }

@@ -31,6 +31,7 @@
 pub mod channel_load;
 pub mod config;
 pub mod histogram;
+pub mod orchestrate;
 pub mod routing;
 pub mod shard;
 pub mod sim;
@@ -42,9 +43,12 @@ pub mod traffic;
 
 pub use channel_load::ChannelLoad;
 pub use config::{NetworkConfig, RouterKind};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, Percentiles};
+pub use orchestrate::NetworkRunner;
 pub use routing::RouteTable;
-pub use sim::{Network, RunResult};
+// Batches cancel through the same token type the simulator polls.
+pub use runqueue::CancelToken;
+pub use sim::{Network, RunResult, CANCEL_BATCH};
 pub use stats::{LatencyStats, PhaseNanos};
 pub use sweep::{sweep, sweep_parallel, LoadPoint, SweepOptions};
 pub use topology::{Mesh, LOCAL_PORT};

@@ -1,0 +1,262 @@
+//! Orchestration glue: plugs the network simulator into the
+//! [`runqueue`] batch layer.
+//!
+//! A batch point is `(config, seed, load)`; this module supplies the two
+//! things `runqueue` is generic over — a stable configuration hash
+//! ([`runqueue::JobConfig`] for [`NetworkConfig`]) and a runner that
+//! turns one point into one [`runqueue::PointRecord`]
+//! ([`NetworkRunner`]). Everything else (budgeting, priorities,
+//! cancellation, dedup-resume, sinks) lives in `runqueue` and is shared
+//! with any other workload.
+
+use crate::config::{NetworkConfig, RouterKind, RoutingAlgo};
+use crate::sim::Network;
+use crate::sweep::LoadPoint;
+use crate::traffic::TrafficPattern;
+use runqueue::{CancelToken, JobConfig, PointKey, PointRecord, PointRunner};
+
+/// FNV-1a, folded a word at a time.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+impl JobConfig for NetworkConfig {
+    /// Hashes every field that determines a run's *results* except the
+    /// seed and the offered load (the other two components of a
+    /// [`PointKey`]). Deliberately excluded, so dedup-resume recognizes
+    /// reruns across result-neutral knobs: the engine (all engines are
+    /// bit-identical by contract), phase timing (instrumentation only),
+    /// and the cancellation token.
+    fn config_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.mesh.radix() as u64);
+        h.u64(self.mesh.dims() as u64);
+        h.u64(u64::from(self.mesh.is_torus()));
+        h.u64(match self.routing {
+            RoutingAlgo::DimensionOrdered => 0,
+            RoutingAlgo::WestFirstAdaptive => 1,
+        });
+        match self.router {
+            RouterKind::Wormhole { buffers } => {
+                h.u64(1);
+                h.u64(buffers as u64);
+            }
+            RouterKind::VirtualCutThrough { buffers } => {
+                h.u64(2);
+                h.u64(buffers as u64);
+            }
+            RouterKind::VirtualChannel {
+                vcs,
+                buffers_per_vc,
+            } => {
+                h.u64(3);
+                h.u64(vcs as u64);
+                h.u64(buffers_per_vc as u64);
+            }
+            RouterKind::SpeculativeVc {
+                vcs,
+                buffers_per_vc,
+            } => {
+                h.u64(4);
+                h.u64(vcs as u64);
+                h.u64(buffers_per_vc as u64);
+            }
+        }
+        h.u64(u64::from(self.single_cycle));
+        h.u64(self.link_delay);
+        h.u64(self.credit_prop_delay);
+        h.u64(self.credit_proc_delay);
+        h.u64(u64::from(self.packet_len));
+        match self.pattern {
+            TrafficPattern::Uniform => h.u64(1),
+            TrafficPattern::Transpose => h.u64(2),
+            TrafficPattern::BitComplement => h.u64(3),
+            TrafficPattern::Tornado => h.u64(4),
+            TrafficPattern::NearestNeighbor => h.u64(5),
+            TrafficPattern::Hotspot { hotspot, hotness } => {
+                h.u64(6);
+                h.u64(hotspot as u64);
+                h.f64(hotness);
+            }
+        }
+        h.u64(self.warmup_cycles);
+        h.u64(self.sample_packets);
+        h.u64(self.max_cycles);
+        h.0
+    }
+}
+
+/// Runs one `(config, seed, load)` point as a full [`Network::run`],
+/// producing the incremental record a [`runqueue::ResultSink`] streams.
+///
+/// The point's configuration is the job's with the load and seed
+/// applied — exactly what [`crate::sweep::sweep_parallel`] runs for the
+/// same load, so a one-rep job reproduces a sweep bit for bit. A run
+/// whose cancellation token fires mid-flight yields `None`: partial
+/// measurements are never recorded, which is what makes an interrupted
+/// batch resumable by key dedup alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetworkRunner;
+
+impl PointRunner<NetworkConfig> for NetworkRunner {
+    fn run_point(
+        &self,
+        config: &NetworkConfig,
+        seed: u64,
+        load: f64,
+        cancel: &CancelToken,
+    ) -> Option<PointRecord> {
+        let cfg = config
+            .clone()
+            .with_injection(load)
+            .with_seed(seed)
+            .with_cancel(cancel.clone());
+        let r = Network::new(cfg).run();
+        if r.cancelled {
+            return None;
+        }
+        let cycles = r.cycles;
+        let pct = r.histogram.percentiles();
+        // LoadPoint owns the saturation semantics (undelivered sample or
+        // collapsed throughput); reuse it so `runq` and `sweep` can never
+        // disagree on what "saturated" means.
+        let point = LoadPoint::from(r);
+        Some(PointRecord {
+            key: PointKey::new(config.config_hash(), seed, load),
+            job: String::new(),
+            seed,
+            load,
+            latency: point.latency,
+            accepted: point.accepted,
+            saturated: point.saturated,
+            cycles,
+            p50: pct.p50,
+            p95: pct.p95,
+            p99: pct.p99,
+        })
+    }
+}
+
+impl From<&PointRecord> for LoadPoint {
+    /// A record carries a [`LoadPoint`]'s fields verbatim, so consumers
+    /// that plot curves (the `repro-*` binaries) rebuild them losslessly.
+    fn from(r: &PointRecord) -> Self {
+        LoadPoint {
+            offered: r.load,
+            latency: r.latency,
+            accepted: r.accepted,
+            saturated: r.saturated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineKind;
+
+    fn base() -> NetworkConfig {
+        NetworkConfig::mesh(
+            4,
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_warmup(100)
+        .with_sample(150)
+        .with_max_cycles(8_000)
+    }
+
+    #[test]
+    fn hash_is_stable_across_result_neutral_knobs() {
+        let h = base().config_hash();
+        assert_eq!(h, base().config_hash(), "deterministic");
+        assert_eq!(
+            h,
+            base().with_engine(EngineKind::parallel(4)).config_hash(),
+            "engines produce identical results, so the hash ignores them"
+        );
+        assert_eq!(h, base().with_seed(99).config_hash(), "seed is in the key");
+        assert_eq!(
+            h,
+            base().with_injection(0.7).config_hash(),
+            "load is in the key"
+        );
+        assert_eq!(h, base().with_phase_timing(true).config_hash());
+        assert_eq!(h, base().with_cancel(CancelToken::new()).config_hash());
+    }
+
+    #[test]
+    fn hash_separates_result_relevant_knobs() {
+        let h = base().config_hash();
+        assert_ne!(h, base().with_warmup(200).config_hash());
+        assert_ne!(h, base().with_sample(100).config_hash());
+        assert_ne!(h, base().with_max_cycles(9_000).config_hash());
+        assert_ne!(h, base().with_single_cycle(true).config_hash());
+        assert_ne!(h, base().with_credit_prop_delay(4).config_hash());
+        assert_ne!(
+            h,
+            base().with_pattern(TrafficPattern::Transpose).config_hash()
+        );
+        assert_ne!(
+            h,
+            NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 })
+                .with_warmup(100)
+                .with_sample(150)
+                .with_max_cycles(8_000)
+                .config_hash()
+        );
+        // VC vs specVC with identical parameters must differ (tagged).
+        let vc = NetworkConfig::mesh(
+            4,
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_warmup(100)
+        .with_sample(150)
+        .with_max_cycles(8_000);
+        assert_ne!(h, vc.config_hash());
+    }
+
+    #[test]
+    fn runner_reproduces_a_direct_run_bit_for_bit() {
+        let cfg = base();
+        let rec = NetworkRunner
+            .run_point(&cfg, cfg.seed, 0.3, &CancelToken::new())
+            .expect("not cancelled");
+        let direct = Network::new(cfg.clone().with_injection(0.3)).run();
+        assert_eq!(
+            rec.latency.map(f64::to_bits),
+            direct.avg_latency.map(f64::to_bits)
+        );
+        assert_eq!(rec.cycles, direct.cycles);
+        assert_eq!(rec.p50, direct.histogram.percentiles().p50);
+        let point = LoadPoint::from(direct);
+        assert_eq!(rec.accepted.to_bits(), point.accepted.to_bits());
+        assert_eq!(rec.saturated, point.saturated);
+    }
+
+    #[test]
+    fn pre_cancelled_runner_returns_none() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(NetworkRunner.run_point(&base(), 1, 0.3, &token).is_none());
+    }
+}

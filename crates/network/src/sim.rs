@@ -38,9 +38,17 @@ use crate::source::{packet_seq, packet_source, Source, SourceStep};
 use crate::stats::{EngineWork, LatencyStats, PhaseNanos};
 use crate::topology::Mesh;
 use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, RoutingOracle, TickOutput};
+use runqueue::CancelToken;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// How often a run polls its cancellation token, in cycles. Cooperative
+/// cancellation is checked at cycle-*batch* granularity: one relaxed
+/// atomic load per 1024 cycles is unmeasurable, while still bounding the
+/// post-cancel overshoot of even a paper-scale run to well under a
+/// millisecond of work.
+pub const CANCEL_BATCH: u64 = 1024;
 
 /// The routing function of one node: two loads from the network's
 /// precomputed [`RouteTable`] (see `routing.rs`) — no per-flit coordinate
@@ -90,6 +98,12 @@ pub struct RunResult {
     /// [`NetworkConfig::with_phase_timing`] was enabled (instrumentation
     /// changes no simulation result, only adds clock reads).
     pub phases: Option<PhaseNanos>,
+    /// True if the run stopped early because its
+    /// [`NetworkConfig::with_cancel`] token was poisoned. A cancelled
+    /// run's measurements are partial (it also reads as `saturated`,
+    /// since the sample never drained) and must be discarded, not
+    /// recorded.
+    pub cancelled: bool,
 }
 
 /// A wake-up notice scheduled on the event wheel: "pipe `(node, port)`
@@ -661,12 +675,17 @@ impl Network {
     /// pool (one thread per shard beyond the coordinator, which doubles
     /// as shard 0's worker), reusable spin barriers between phases, and
     /// the serial measurement commit on the coordinator. Advances the
-    /// network until the sample completes or `max_cycles` is hit.
-    fn run_parallel(&mut self) {
+    /// network until the sample completes, `max_cycles` is hit, or the
+    /// cancellation token (polled every [`CANCEL_BATCH`] cycles on the
+    /// coordinator) is poisoned — the return value is true for that last
+    /// case. The workers need no cancellation plumbing of their own: the
+    /// coordinator folds it into the existing per-cycle `stop` broadcast.
+    fn run_parallel(&mut self) -> bool {
         let mut set = self.shards.take().expect("parallel engine state");
         let vcs = self.cfg.router.vcs();
         let timing = self.cfg.phase_timing;
         let max_cycles = self.cfg.max_cycles;
+        let cancel = self.cfg.cancel.clone();
         let start_now = self.now;
         let barrier = SpinBarrier::new(set.ranges.len());
         let stop = AtomicBool::new(false);
@@ -700,7 +719,7 @@ impl Network {
         };
         let phases = &mut self.phases;
 
-        let final_now = std::thread::scope(|scope| {
+        let (final_now, cancelled) = std::thread::scope(|scope| {
             let mut ctx_iter = ctxs.into_iter();
             let mut ctx0 = ctx_iter.next().expect("at least one shard");
             for ctx in ctx_iter {
@@ -712,12 +731,16 @@ impl Network {
             // panic out of their barrier waits instead of deadlocking.
             let _guard = crate::shard::PoisonGuard(&barrier);
             let mut now = start_now;
-            loop {
-                let done = now >= max_cycles || committer.sample_complete();
+            let cancelled = loop {
+                let finished = now >= max_cycles || committer.sample_complete();
+                let cancel_due = !finished
+                    && now.is_multiple_of(CANCEL_BATCH)
+                    && cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+                let done = finished || cancel_due;
                 stop.store(done, Ordering::Release);
                 barrier.wait();
                 if done {
-                    break;
+                    break cancel_due;
                 }
                 let mut stamps = timing.then(|| [Instant::now(); 8]);
                 ctx0.phase_deliver(&env, now);
@@ -741,11 +764,12 @@ impl Network {
                     phases.accumulate_parallel(&t);
                 }
                 now += 1;
-            }
-            now
+            };
+            (now, cancelled)
         });
         self.now = final_now;
         self.shards = Some(set);
+        cancelled
     }
 
     /// Whether the tagged sample has been fully created and received.
@@ -822,13 +846,22 @@ impl Network {
     /// is bit-identical to the serial engines regardless of shard count
     /// or thread schedule.
     pub fn run(mut self) -> RunResult {
-        if matches!(self.cfg.engine, EngineKind::ParallelShards { .. }) {
-            self.run_parallel();
+        let cancelled = if matches!(self.cfg.engine, EngineKind::ParallelShards { .. }) {
+            self.run_parallel()
         } else {
+            let cancel = self.cfg.cancel.clone();
+            let mut cancelled = false;
             while self.now < self.cfg.max_cycles && !self.sample_complete() {
+                if self.now.is_multiple_of(CANCEL_BATCH)
+                    && cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+                {
+                    cancelled = true;
+                    break;
+                }
                 self.step();
             }
-        }
+            cancelled
+        };
         self.assert_flit_conservation();
         let saturated = !self.sample_complete();
         let span = self
@@ -857,6 +890,7 @@ impl Network {
                 router_ticks_possible: self.now * self.cfg.mesh.nodes() as u64,
             },
             phases: self.cfg.phase_timing.then_some(self.phases),
+            cancelled,
         }
     }
 }

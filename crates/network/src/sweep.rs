@@ -2,6 +2,7 @@
 
 use crate::config::{EngineKind, NetworkConfig};
 use crate::sim::{Network, RunResult};
+use runqueue::{run_tasks, CancelToken, Task};
 use std::fmt;
 
 /// One point of a latency–throughput curve.
@@ -110,38 +111,28 @@ pub fn sweep(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoint> {
     curve
 }
 
-/// The sweep worker budget: with each run occupying `threads_per_run`
-/// threads (1 for the serial engines, the shard count for
-/// [`EngineKind::ParallelShards`]), the pool must satisfy
-/// `workers × threads_per_run ≤ available` so a parallel-engine sweep
-/// does not oversubscribe the machine — while always granting at least
-/// one worker, and never more workers than points.
-#[must_use]
-fn sweep_worker_budget(available: usize, points: usize, threads_per_run: usize) -> usize {
-    (available / threads_per_run.max(1))
-        .max(1)
-        .min(points.max(1))
-}
-
-/// Like [`sweep`], but evaluates load points concurrently on a worker
-/// pool capped at [`std::thread::available_parallelism`] (spawning one
-/// thread per load point oversubscribes the machine on large sweeps);
-/// when the per-point engine is [`EngineKind::ParallelShards`], the cap
-/// is divided by the shard count so that `workers × shards` stays within
-/// the machine (see [`sweep_worker_budget`]).
-/// Points are handed out through a shared atomic index — no static
-/// chunking — and in *descending-load order*: the near-saturation points
-/// simulate the most cycles by far, so starting them first keeps the
-/// pool's makespan close to the single most expensive point instead of
-/// letting an expensive tail serialize behind one worker. Results are
-/// identical to the sequential sweep, in the original load order (each
-/// point has its own deterministic RNG); with `stop_at_saturation` the
-/// curve is truncated after the first saturated point post hoc, so some
-/// work beyond it is wasted in exchange for wall-clock speed.
+/// Like [`sweep`], but evaluates load points concurrently through the
+/// [`runqueue`] priority queue under a core budget of
+/// [`std::thread::available_parallelism`] (spawning one thread per load
+/// point oversubscribes the machine on large sweeps). Each point is a
+/// queue task whose *width* is the threads one run occupies — 1 for the
+/// serial engines, the shard count for [`EngineKind::ParallelShards`] —
+/// and the queue keeps the total width of concurrently running points
+/// within the budget, the `workers × shards ≤ cores` arithmetic this
+/// module used to approximate per-sweep (see [`runqueue::worker_budget`]
+/// for the uniform-width closed form).
+///
+/// Points are prioritized in *descending-load order*: the
+/// near-saturation points simulate the most cycles by far, so starting
+/// them first keeps the pool's makespan close to the single most
+/// expensive point instead of letting an expensive tail serialize behind
+/// one worker. Results are identical to the sequential sweep, in the
+/// original load order (each point has its own deterministic RNG); with
+/// `stop_at_saturation` the curve is truncated after the first saturated
+/// point post hoc, so some work beyond it is wasted in exchange for
+/// wall-clock speed.
 #[must_use]
 pub fn sweep_parallel(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoint> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
     let n = opts.loads.len();
     if n == 0 {
         return Vec::new();
@@ -157,42 +148,29 @@ pub fn sweep_parallel(base: &NetworkConfig, opts: &SweepOptions) -> Vec<LoadPoin
         .unwrap_or(base.engine)
         .threads_per_run()
         .min(base.mesh.nodes());
-    let workers = sweep_worker_budget(available, n, threads_per_run);
-    // Schedule expensive (high-load) points first, ties in index order;
-    // total_cmp keeps the comparator a total order even for NaN loads.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| opts.loads[b].total_cmp(&opts.loads[a]).then(a.cmp(&b)));
-    let next = AtomicUsize::new(0);
-    let points: Vec<LoadPoint> = std::thread::scope(|scope| {
-        let next = &next;
-        let order = &order;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= n {
-                            break mine;
-                        }
-                        let i = order[k];
-                        let cfg = opts.point_config(base, opts.loads[i]);
-                        mine.push((i, LoadPoint::from(Network::new(cfg).run())));
-                    }
-                })
-            })
-            .collect();
-        let mut slots: Vec<Option<LoadPoint>> = (0..n).map(|_| None).collect();
-        for handle in handles {
-            for (i, point) in handle.join().expect("sweep worker") {
-                slots[i] = Some(point);
-            }
-        }
-        slots
-            .into_iter()
-            .map(|p| p.expect("every load point computed"))
-            .collect()
-    });
+    let tasks: Vec<Task<usize>> = (0..n)
+        .map(|i| Task {
+            item: i,
+            width: threads_per_run,
+            // Expensive (high-load) points first; the queue breaks ties
+            // in submission (= load-axis) order.
+            priority: [opts.loads[i], 0.0],
+        })
+        .collect();
+    let slots = run_tasks(
+        tasks,
+        available,
+        &CancelToken::new(),
+        |i, _| {
+            let cfg = opts.point_config(base, opts.loads[i]);
+            LoadPoint::from(Network::new(cfg).run())
+        },
+        |_, _| {},
+    );
+    let points: Vec<LoadPoint> = slots
+        .into_iter()
+        .map(|p| p.expect("every load point computed"))
+        .collect();
     if opts.stop_at_saturation {
         let mut out = Vec::new();
         for p in points {
@@ -356,31 +334,6 @@ mod tests {
             assert_eq!(x.latency.map(f64::to_bits), z.latency.map(f64::to_bits));
             assert_eq!(x.accepted.to_bits(), z.accepted.to_bits());
             assert_eq!(x.saturated, z.saturated);
-        }
-    }
-
-    #[test]
-    fn worker_budget_caps_the_thread_product() {
-        // Serial engines: one thread per run, workers = min(cores, points).
-        assert_eq!(sweep_worker_budget(8, 10, 1), 8);
-        assert_eq!(sweep_worker_budget(8, 3, 1), 3);
-        // Parallel runs occupy `shards` threads each: workers × shards
-        // must not exceed the available parallelism.
-        assert_eq!(sweep_worker_budget(8, 10, 4), 2);
-        assert_eq!(sweep_worker_budget(8, 10, 3), 2);
-        assert_eq!(sweep_worker_budget(7, 10, 4), 1);
-        // A run wider than the machine still gets one worker.
-        assert_eq!(sweep_worker_budget(4, 10, 16), 1);
-        // Degenerate inputs stay sane.
-        assert_eq!(sweep_worker_budget(1, 1, 1), 1);
-        assert_eq!(sweep_worker_budget(8, 0, 0), 1);
-        for (avail, points, shards) in [(8, 10, 4), (16, 5, 3), (2, 9, 2), (1, 4, 7)] {
-            let w = sweep_worker_budget(avail, points, shards);
-            assert!(
-                w * shards.max(1) <= avail.max(shards.max(1)),
-                "budget blown"
-            );
-            assert!(w >= 1);
         }
     }
 

@@ -216,8 +216,20 @@ impl Mesh {
     /// per seam — a round-robin stripe of the same sizes would instead
     /// put almost every link on a shard boundary and force nearly all
     /// traffic through the mailbox exchange. Sizes are balance-aware:
-    /// they differ by at most one node, with the remainder spread evenly
-    /// across the shards instead of piled onto the last one.
+    /// the even split differs by at most one node per shard, with the
+    /// remainder spread evenly across the shards instead of piled onto
+    /// the last one.
+    ///
+    /// The even cuts are then *boundary-refined*: a cut in the middle of
+    /// a row exposes the nodes of that row on **both** sides of the seam
+    /// (the partial row's in-row links plus a second dangling column
+    /// cut), so each interior cut is snapped to the nearest row seam (a
+    /// multiple of the radix) whenever that moves it by no more than
+    /// half a row — bounding the imbalance it introduces to one row —
+    /// and keeps every shard non-empty. Refinement never *increases* the
+    /// number of cross-shard links (each snap removes a partial-row cut;
+    /// debug builds assert this via [`Mesh::cross_shard_links`]); shards
+    /// smaller than a row are left on the even cuts, where no seam fits.
     ///
     /// `shards` is clamped to `[1, nodes]`; shard counts that do not
     /// divide the node count are fine.
@@ -225,7 +237,40 @@ impl Mesh {
     pub fn shard_ranges(&self, shards: usize) -> Vec<(usize, usize)> {
         let n = self.nodes();
         let s = shards.clamp(1, n);
-        (0..s).map(|i| (i * n / s, (i + 1) * n / s)).collect()
+        let even = |i: usize| i * n / s;
+        let row = self.radix;
+        // cuts[i] is the boundary between shard i-1 and shard i.
+        let mut cuts: Vec<usize> = (0..=s).map(even).collect();
+        for i in 1..s {
+            let c = cuts[i];
+            let down = c - c % row;
+            let snapped = if c - down <= row - (c - down) {
+                down
+            } else {
+                down + row
+            };
+            // The nearest seam is by construction at most half a row
+            // away — that is what bounds the imbalance a snap can add
+            // to one row between the two adjacent shards.
+            debug_assert!(snapped.abs_diff(c) * 2 <= row);
+            // Accept the snap only when it keeps the cuts strictly
+            // monotonic: above the previous (possibly already-snapped)
+            // cut, and below the *even* position of the next cut, which
+            // the next iteration can only keep or snap to a different
+            // seam — so monotonicity survives any accept/reject mix.
+            if snapped > cuts[i - 1] && snapped < even(i + 1) {
+                cuts[i] = snapped;
+            }
+        }
+        let refined: Vec<(usize, usize)> = (0..s).map(|i| (cuts[i], cuts[i + 1])).collect();
+        debug_assert!(
+            {
+                let naive: Vec<(usize, usize)> = (0..s).map(|i| (even(i), even(i + 1))).collect();
+                self.cross_shard_links(&refined) <= self.cross_shard_links(&naive)
+            },
+            "boundary refinement must never add cross-shard links"
+        );
+        refined
     }
 
     /// The number of directed links whose endpoints live in different
@@ -375,8 +420,76 @@ mod tests {
             }
             let sizes: Vec<usize> = ranges.iter().map(|&(lo, hi)| hi - lo).collect();
             let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-            assert!(max - min <= 1, "unbalanced partition: {sizes:?}");
+            // Boundary refinement may trade up to one row of balance for
+            // seam-aligned cuts (the even split alone stays within 1).
+            assert!(
+                max - min <= m.radix().max(1),
+                "unbalanced partition: {sizes:?}"
+            );
+            assert!(sizes.iter().all(|&s| s > 0), "empty shard: {sizes:?}");
         }
+    }
+
+    #[test]
+    fn shard_cuts_snap_to_row_seams_within_one_row() {
+        let m = Mesh::paper_8x8();
+        // 64 nodes / 3 shards: even cuts 21 and 42 are mid-row; both are
+        // within half a row of a seam, so both snap (21→24, 42→40).
+        assert_eq!(m.shard_ranges(3), vec![(0, 24), (24, 40), (40, 64)]);
+        // Shards of at least a row always get seam-aligned cuts on the
+        // 8×8 mesh: every even cut is within half a row of some seam.
+        for shards in [2, 3, 4, 5, 6, 7, 8] {
+            for &(lo, _) in &m.shard_ranges(shards) {
+                assert_eq!(lo % m.radix(), 0, "{shards} shards: cut at {lo}");
+            }
+        }
+        // Shards smaller than a row (here: singletons) cannot snap
+        // without emptying a neighbor; the even cuts stand.
+        let tiny = m.shard_ranges(64);
+        assert_eq!(tiny.len(), 64);
+        assert!(tiny.iter().all(|&(lo, hi)| hi - lo == 1));
+    }
+
+    #[test]
+    fn refined_cuts_never_increase_boundary_links() {
+        // The satellite invariant, asserted through cross_shard_links:
+        // for every shard count on several topologies, the refined
+        // partition cuts no more directed links than the even split.
+        for m in [
+            Mesh::paper_8x8(),
+            Mesh::new(8, 2).into_torus(),
+            Mesh::new(4, 2),
+            Mesh::new(3, 3),
+            Mesh::new(5, 2),
+        ] {
+            for shards in 1..=m.nodes().min(12) {
+                let n = m.nodes();
+                let even: Vec<(usize, usize)> = (0..shards.clamp(1, n))
+                    .map(|i| (i * n / shards, (i + 1) * n / shards))
+                    .collect();
+                let refined = m.shard_ranges(shards);
+                assert!(
+                    m.cross_shard_links(&refined) <= m.cross_shard_links(&even),
+                    "{m}, {shards} shards: refinement added links"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_strictly_helps_on_misaligned_cuts() {
+        // 64 / 3: the even cut at 21 splits row 2 (nodes 16..24), paying
+        // the row-seam cut *plus* an in-row column cut. Snapping to 24
+        // leaves exactly two row seams per boundary.
+        let m = Mesh::paper_8x8();
+        let even = vec![(0, 21), (21, 42), (42, 64)];
+        let refined = m.shard_ranges(3);
+        assert!(m.cross_shard_links(&refined) < m.cross_shard_links(&even));
+        assert_eq!(
+            m.cross_shard_links(&refined),
+            2 * 8 * 2,
+            "two bidirectional row seams"
+        );
     }
 
     #[test]

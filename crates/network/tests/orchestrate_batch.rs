@@ -1,0 +1,253 @@
+//! Batch-level acceptance tests for the `runqueue` integration:
+//! cooperative cancellation of a live run, cancel-then-resume equality,
+//! and worker-count independence of result records.
+
+use noc_network::config::EngineKind;
+use noc_network::{CancelToken, Network, NetworkConfig, NetworkRunner, RouterKind, CANCEL_BATCH};
+use runqueue::{run_batch, JobConfig, JobSpec, JsonlSink, MemorySink, PointKey, PointRecord};
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+fn spec_vc() -> RouterKind {
+    RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    }
+}
+
+fn small(load: f64) -> NetworkConfig {
+    NetworkConfig::mesh(4, spec_vc())
+        .with_injection(load)
+        .with_warmup(100)
+        .with_sample(150)
+        .with_max_cycles(8_000)
+}
+
+fn temp_jsonl(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("orchestrate-{tag}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn pre_cancelled_run_stops_at_cycle_zero() {
+    let token = CancelToken::new();
+    token.cancel();
+    for engine in [
+        EngineKind::CycleDriven,
+        EngineKind::EventDriven,
+        EngineKind::parallel(2),
+    ] {
+        let r = Network::new(small(0.3).with_engine(engine).with_cancel(token.clone())).run();
+        assert!(r.cancelled, "{engine}");
+        assert_eq!(r.cycles, 0, "{engine}");
+        assert!(r.saturated, "a cancelled run reads as saturated");
+    }
+}
+
+#[test]
+fn live_cancellation_interrupts_a_saturated_run_at_batch_granularity() {
+    // A 200%-load run with an enormous cycle limit would grind for a
+    // long time; cancelling from another thread must stop it at a
+    // CANCEL_BATCH boundary, far short of the limit.
+    for engine in [EngineKind::EventDriven, EngineKind::parallel(2)] {
+        let token = CancelToken::new();
+        let cfg = NetworkConfig::mesh(4, spec_vc())
+            .with_injection(2.0)
+            .with_warmup(100)
+            .with_sample(1_000_000)
+            .with_max_cycles(u64::MAX / 2)
+            .with_engine(engine)
+            .with_cancel(token.clone());
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                token.cancel();
+            })
+        };
+        let r = Network::new(cfg).run();
+        canceller.join().unwrap();
+        assert!(r.cancelled, "{engine}");
+        assert!(
+            r.cycles.is_multiple_of(CANCEL_BATCH),
+            "{engine}: stopped mid-batch at cycle {}",
+            r.cycles
+        );
+        assert!(r.cycles > 0, "{engine}: ran before the cancel landed");
+    }
+}
+
+#[test]
+fn uncancelled_runs_report_not_cancelled() {
+    let token = CancelToken::new();
+    let r = Network::new(small(0.2).with_cancel(token)).run();
+    assert!(!r.cancelled);
+    assert!(!r.saturated);
+}
+
+fn jobs() -> Vec<JobSpec<NetworkConfig>> {
+    let base = NetworkConfig::mesh(4, spec_vc())
+        .with_warmup(100)
+        .with_sample(150)
+        .with_max_cycles(8_000);
+    vec![
+        JobSpec::new("specvc", base.clone(), base.seed)
+            .with_loads(vec![0.1, 0.2, 0.3])
+            .with_reps(2),
+        JobSpec::new(
+            "wh",
+            NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 })
+                .with_warmup(100)
+                .with_sample(150)
+                .with_max_cycles(8_000),
+            7,
+        )
+        .with_loads(vec![0.15, 0.25]),
+    ]
+}
+
+fn sorted(mut recs: Vec<PointRecord>) -> Vec<PointRecord> {
+    recs.sort_by_key(|r| r.key);
+    recs
+}
+
+#[test]
+fn result_records_are_identical_across_worker_counts() {
+    // The same JobSpecs under core budgets 1, 2, and 5 must produce
+    // bit-identical record sets: scheduling affects wall-clock only.
+    let jobs = jobs();
+    let run_with = |cores: usize| {
+        let mut sink = MemorySink::default();
+        let out = run_batch(
+            &jobs,
+            cores,
+            &CancelToken::new(),
+            &NetworkRunner,
+            &HashSet::new(),
+            &mut sink,
+            |_, _, _| {},
+        );
+        assert_eq!(out.completed, 8);
+        assert!(!out.cancelled);
+        sorted(sink.records)
+    };
+    let serial = run_with(1);
+    assert_eq!(serial, run_with(2));
+    assert_eq!(serial, run_with(5));
+    // And the records really carry distinct seeds per repetition.
+    let seeds: HashSet<u64> = serial
+        .iter()
+        .filter(|r| r.job == "specvc")
+        .map(|r| r.seed)
+        .collect();
+    assert_eq!(seeds.len(), 2);
+}
+
+#[test]
+fn cancelled_then_resumed_batch_equals_an_uninterrupted_run() {
+    let jobs = jobs();
+
+    // Reference: the uninterrupted batch.
+    let mut reference = MemorySink::default();
+    run_batch(
+        &jobs,
+        2,
+        &CancelToken::new(),
+        &NetworkRunner,
+        &HashSet::new(),
+        &mut reference,
+        |_, _, _| {},
+    );
+    let reference = sorted(reference.records);
+    assert_eq!(reference.len(), 8);
+
+    // Interrupted: poison the token after the second completed record.
+    let path = temp_jsonl("cancel-resume");
+    let cancel = CancelToken::new();
+    {
+        let mut sink = JsonlSink::open_append(&path).unwrap();
+        let outcome = run_batch(
+            &jobs,
+            2,
+            &cancel,
+            &NetworkRunner,
+            &HashSet::new(),
+            &mut sink,
+            |done, _, _| {
+                if done == 2 {
+                    cancel.cancel();
+                }
+            },
+        );
+        assert!(outcome.cancelled);
+        assert!(outcome.completed >= 2, "the first two records landed");
+        assert!(
+            outcome.completed < outcome.total,
+            "cancellation left work undone ({}/{})",
+            outcome.completed,
+            outcome.total
+        );
+    }
+
+    // The partial file is prefix-consistent: every line parses, every
+    // key belongs to the batch, no duplicates.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let partial: Vec<PointRecord> = text
+        .lines()
+        .map(|l| PointRecord::from_jsonl(l).expect("every written line is a complete record"))
+        .collect();
+    let mut seen = HashSet::new();
+    let expected: HashSet<PointKey> = jobs
+        .iter()
+        .flat_map(|j| {
+            let hash = j.config.config_hash();
+            j.points()
+                .into_iter()
+                .map(move |(seed, load)| PointKey::new(hash, seed, load))
+        })
+        .collect();
+    for rec in &partial {
+        assert!(expected.contains(&rec.key), "alien key in partial file");
+        assert!(seen.insert(rec.key), "duplicate key in partial file");
+    }
+
+    // Resume: reopen, skip completed keys, finish the batch.
+    {
+        let mut sink = JsonlSink::open_append(&path).unwrap();
+        let skip = sink.completed().clone();
+        assert_eq!(skip.len(), partial.len());
+        let outcome = run_batch(
+            &jobs,
+            2,
+            &CancelToken::new(),
+            &NetworkRunner,
+            &skip,
+            &mut sink,
+            |_, _, _| {},
+        );
+        assert!(!outcome.cancelled);
+        assert_eq!(outcome.skipped, partial.len());
+        assert_eq!(outcome.completed + outcome.skipped, outcome.total);
+    }
+
+    // The union equals the uninterrupted run, record for record.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let resumed: Vec<PointRecord> = text.lines().filter_map(PointRecord::from_jsonl).collect();
+    let resumed = sorted(resumed);
+    assert_eq!(resumed.len(), reference.len());
+    for (a, b) in resumed.iter().zip(&reference) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(
+            a.latency.map(f64::to_bits),
+            b.latency.map(f64::to_bits),
+            "resumed batch diverged at {:?}",
+            a.key
+        );
+        assert_eq!(a.accepted.to_bits(), b.accepted.to_bits());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!((a.p50, a.p95, a.p99), (b.p50, b.p95, b.p99));
+    }
+    let _ = std::fs::remove_file(&path);
+}

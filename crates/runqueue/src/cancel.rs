@@ -1,0 +1,70 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A poisonable cancellation token shared by a batch and every run in it.
+///
+/// Cancellation is *cooperative*: [`CancelToken::cancel`] only raises a
+/// flag; runners are expected to poll [`CancelToken::is_cancelled`] at a
+/// coarse granularity (the network simulator checks once per 1024-cycle
+/// batch — see `noc_network`) and wind down early. Once poisoned, a token
+/// never un-cancels, so late observers — queue workers about to claim a
+/// task, runs deep in their measurement phase — all converge on the same
+/// decision without further coordination.
+///
+/// Clones share the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    poisoned: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Poisons the token: every clone observes cancellation from now on.
+    pub fn cancel(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been poisoned.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clean_and_poisons_permanently() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn flag_crosses_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::spawn(move || u.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}
