@@ -4,8 +4,8 @@
 //! `BENCH_hotpath.json`.
 //!
 //! Usage: `bench-engines [--json] [--loads 0.3,0.5] [--reps N]
-//! [--baseline PATH] [--threads N] [--scale 1,2,4]` (human-readable
-//! table by default).
+//! [--baseline PATH] [--threads N] [--scale 1,2,4]
+//! [--mesh 8x8,4x4x4,16x16-torus]` (human-readable table by default).
 //!
 //! `--threads N` additionally times the sharded-parallel engine with `N`
 //! shards (verified bit-identical first, like the serial engines) and
@@ -13,6 +13,15 @@
 //! runs a thread-scaling sweep over the listed shard counts per load.
 //! The JSON records `host_parallelism` so single-core results are
 //! recognizable as overhead measurements rather than scaling claims.
+//!
+//! `--mesh` selects the topology. One spec (e.g. `--mesh 16x16`) runs
+//! the normal load sweep on that mesh; *several* specs switch to the
+//! **scale series** (the generator of `BENCH_scale.json`): each
+//! topology is driven at the same fraction of its theoretical capacity
+//! and timed under all three engines, reporting simulated cycles per
+//! wall-clock second and the cost per node-cycle so per-router overhead
+//! is comparable across node counts. A spec is `k`-ary per axis
+//! (`8x8`, `4x4x4`, `32x32`) with an optional `-torus` suffix.
 //!
 //! Every point is first checked for bit-identical results across the two
 //! engines (the same invariant `tests/engine_equivalence.rs` enforces),
@@ -28,7 +37,7 @@
 //!   current event engine over the baseline's `event_driven_ms` column.
 
 use noc_network::config::EngineKind;
-use noc_network::{Network, NetworkConfig, PhaseNanos, RouterKind};
+use noc_network::{Mesh, Network, NetworkConfig, PhaseNanos, RouterKind};
 use repro_bench::meta;
 use runqueue::{run_tasks, CancelToken, Task};
 use std::time::Instant;
@@ -68,9 +77,9 @@ impl Point {
     }
 }
 
-fn cfg(load: f64) -> NetworkConfig {
-    NetworkConfig::mesh(
-        8,
+fn cfg(mesh: Mesh, load: f64) -> NetworkConfig {
+    NetworkConfig::for_mesh(
+        mesh,
         RouterKind::SpeculativeVc {
             vcs: 2,
             buffers_per_vc: 4,
@@ -82,30 +91,31 @@ fn cfg(load: f64) -> NetworkConfig {
     .with_max_cycles(60_000)
 }
 
-fn time_engine(load: f64, engine: EngineKind, reps: u32) -> (f64, f64) {
+/// Returns `(ms per run, % of router ticks skipped, simulated cycles)`.
+fn time_engine(mesh: Mesh, load: f64, engine: EngineKind, reps: u32) -> (f64, f64, u64) {
     // Warm-up run (also produces the work counters).
-    let warm = Network::new(cfg(load).with_engine(engine)).run();
+    let warm = Network::new(cfg(mesh, load).with_engine(engine)).run();
     let start = Instant::now();
     for _ in 0..reps {
-        let r = Network::new(cfg(load).with_engine(engine)).run();
+        let r = Network::new(cfg(mesh, load).with_engine(engine)).run();
         assert_eq!(r.cycles, warm.cycles, "non-deterministic run");
     }
     let ms = start.elapsed().as_secs_f64() * 1_000.0 / f64::from(reps);
-    (ms, warm.work.skip_fraction() * 100.0)
+    (ms, warm.work.skip_fraction() * 100.0, warm.cycles)
 }
 
 /// One instrumented run for phase attribution (separate from the timed
 /// runs: the clock reads would distort them).
-fn phase_profile(load: f64, engine: EngineKind) -> PhaseNanos {
-    Network::new(cfg(load).with_engine(engine).with_phase_timing(true))
+fn phase_profile(mesh: Mesh, load: f64, engine: EngineKind) -> PhaseNanos {
+    Network::new(cfg(mesh, load).with_engine(engine).with_phase_timing(true))
         .run()
         .phases
         .expect("phase timing was enabled")
 }
 
-fn verify_equivalence(load: f64, threads: Option<usize>) {
-    let a = Network::new(cfg(load).with_engine(EngineKind::CycleDriven)).run();
-    let b = Network::new(cfg(load).with_engine(EngineKind::EventDriven)).run();
+fn verify_equivalence(mesh: Mesh, load: f64, threads: Option<usize>) {
+    let a = Network::new(cfg(mesh, load).with_engine(EngineKind::CycleDriven)).run();
+    let b = Network::new(cfg(mesh, load).with_engine(EngineKind::EventDriven)).run();
     assert_eq!(a.cycles, b.cycles, "engines diverged at load {load}");
     assert_eq!(
         a.avg_latency.map(f64::to_bits),
@@ -114,7 +124,7 @@ fn verify_equivalence(load: f64, threads: Option<usize>) {
     );
     assert_eq!(a.flits_ejected, b.flits_ejected);
     if let Some(shards) = threads {
-        let c = Network::new(cfg(load).with_engine(EngineKind::parallel(shards))).run();
+        let c = Network::new(cfg(mesh, load).with_engine(EngineKind::parallel(shards))).run();
         assert_eq!(a.cycles, c.cycles, "sharded engine diverged at load {load}");
         assert_eq!(
             a.avg_latency.map(f64::to_bits),
@@ -122,6 +132,34 @@ fn verify_equivalence(load: f64, threads: Option<usize>) {
             "sharded engine diverged at load {load}"
         );
         assert_eq!(a.flits_ejected, c.flits_ejected);
+    }
+}
+
+/// Parses a topology spec like `8x8`, `4x4x4`, or `16x16-torus`. Every
+/// axis must share one radix — the simulator models k-ary n-meshes.
+fn parse_mesh(spec: &str) -> Mesh {
+    let (base, torus) = match spec.strip_suffix("-torus") {
+        Some(b) => (b, true),
+        None => (spec, false),
+    };
+    let axes: Vec<usize> = base
+        .split('x')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad mesh spec {spec:?} (want e.g. 8x8 or 4x4x4)"))
+        })
+        .collect();
+    let k = axes[0];
+    assert!(
+        axes.iter().all(|&a| a == k),
+        "mesh spec {spec:?} must use one radix on every axis (k-ary n-mesh)"
+    );
+    let m = Mesh::new(k, axes.len());
+    if torus {
+        m.into_torus()
+    } else {
+        m
     }
 }
 
@@ -156,6 +194,9 @@ struct Options {
     /// Shard counts for the thread-scaling sweep (implies `--threads`'s
     /// verification; empty = off).
     scale: Vec<usize>,
+    /// `(spec, topology)` pairs from `--mesh`. One entry runs the load
+    /// sweep on that topology; several switch to the scale series.
+    meshes: Vec<(String, Mesh)>,
 }
 
 fn parse_args() -> Options {
@@ -166,11 +207,24 @@ fn parse_args() -> Options {
         baseline: "BENCH_baseline.json".to_string(),
         threads: None,
         scale: Vec::new(),
+        meshes: vec![("8x8".to_string(), Mesh::new(8, 2))],
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--mesh" => {
+                let list = args
+                    .next()
+                    .expect("--mesh needs a comma-separated list of specs like 8x8,4x4x4");
+                opts.meshes = list
+                    .split(',')
+                    .map(|s| {
+                        let s = s.trim();
+                        (s.to_string(), parse_mesh(s))
+                    })
+                    .collect();
+            }
             "--loads" => {
                 let list = args.next().expect("--loads needs a comma-separated list");
                 opts.loads = list
@@ -207,6 +261,7 @@ fn parse_args() -> Options {
         }
     }
     assert!(!opts.loads.is_empty(), "no loads to run");
+    assert!(!opts.meshes.is_empty(), "no topologies to run");
     if opts.threads.is_none() && !opts.scale.is_empty() {
         // A scaling sweep implies the parallel engine; default the
         // headline shard count to the largest swept.
@@ -217,17 +272,17 @@ fn parse_args() -> Options {
 
 /// Measures one load point end to end (equivalence check, serial
 /// timings, phase profile, optional sharded timings).
-fn measure_point(opts: &Options, baseline: &[(f64, f64)], load: f64) -> Point {
-    verify_equivalence(load, opts.threads);
-    let (cycle_ms, _) = time_engine(load, EngineKind::CycleDriven, opts.reps);
-    let (event_ms, skipped) = time_engine(load, EngineKind::EventDriven, opts.reps);
-    let phases = phase_profile(load, EngineKind::EventDriven);
+fn measure_point(opts: &Options, baseline: &[(f64, f64)], mesh: Mesh, load: f64) -> Point {
+    verify_equivalence(mesh, load, opts.threads);
+    let (cycle_ms, _, _) = time_engine(mesh, load, EngineKind::CycleDriven, opts.reps);
+    let (event_ms, skipped, _) = time_engine(mesh, load, EngineKind::EventDriven, opts.reps);
+    let phases = phase_profile(mesh, load, EngineKind::EventDriven);
     let parallel = opts.threads.map(|shards| {
         let scaling: Vec<(usize, f64)> = opts
             .scale
             .iter()
             .map(|&s| {
-                let (ms, _) = time_engine(load, EngineKind::parallel(s), opts.reps);
+                let (ms, _, _) = time_engine(mesh, load, EngineKind::parallel(s), opts.reps);
                 (s, ms)
             })
             .collect();
@@ -236,13 +291,13 @@ fn measure_point(opts: &Options, baseline: &[(f64, f64)], load: f64) -> Point {
         // reps × loads of wall-clock and emit two (noisy,
         // conflicting) numbers for one configuration.
         let ms = scaling.iter().find(|&&(s, _)| s == shards).map_or_else(
-            || time_engine(load, EngineKind::parallel(shards), opts.reps).0,
+            || time_engine(mesh, load, EngineKind::parallel(shards), opts.reps).0,
             |&(_, ms)| ms,
         );
         ParallelPoint {
             shards,
             ms,
-            phases: phase_profile(load, EngineKind::parallel(shards)),
+            phases: phase_profile(mesh, load, EngineKind::parallel(shards)),
             scaling,
         }
     });
@@ -265,8 +320,146 @@ fn measure_point(opts: &Options, baseline: &[(f64, f64)], load: f64) -> Point {
     }
 }
 
+/// The scale-series injection rate: the same fraction of each
+/// topology's theoretical capacity (4/k flits/node/cycle on a mesh,
+/// 8/k on a torus), so a 32×32 mesh and a 4-ary 3-cube sit at the same
+/// relative operating point and the timing differences are engine cost,
+/// not congestion.
+const SCALE_CAPACITY_FRACTION: f64 = 0.4;
+
+/// One topology of the scale series, timed under all three engines.
+struct ScalePoint {
+    label: String,
+    mesh: Mesh,
+    load: f64,
+    cycles: u64,
+    cycle_ms: f64,
+    event_ms: f64,
+    sharded_ms: f64,
+}
+
+fn run_scale_series(opts: &Options) {
+    let shards = opts.threads.unwrap_or(2);
+    let host = meta::host_parallelism();
+    let points: Vec<ScalePoint> = opts
+        .meshes
+        .iter()
+        .map(|(label, mesh)| {
+            let load = SCALE_CAPACITY_FRACTION * mesh.capacity_flits_per_node();
+            verify_equivalence(*mesh, load, Some(shards));
+            let (cycle_ms, _, cycles) =
+                time_engine(*mesh, load, EngineKind::CycleDriven, opts.reps);
+            let (event_ms, _, _) = time_engine(*mesh, load, EngineKind::EventDriven, opts.reps);
+            let (sharded_ms, _, _) =
+                time_engine(*mesh, load, EngineKind::parallel(shards), opts.reps);
+            ScalePoint {
+                label: label.clone(),
+                mesh: *mesh,
+                load,
+                cycles,
+                cycle_ms,
+                event_ms,
+                sharded_ms,
+            }
+        })
+        .collect();
+
+    if opts.json {
+        println!("{{");
+        println!("  \"recorded\": \"{}\",", meta::today_utc());
+        println!(
+            "  \"generator\": \"{}\",",
+            meta::generator_line("bench-engines")
+        );
+        println!(
+            "  \"interpretation\": \"scale series: each topology is driven at the same \
+             fraction of its theoretical capacity and timed under all three engines, with \
+             bit-identical results asserted before timing. cycles_per_sec is simulated \
+             cycles per wall-clock second; ns_per_node_cycle divides wall-clock over \
+             nodes x cycles — the per-router-tick cost that must stay flat as the network \
+             grows for the simulator to scale.\","
+        );
+        println!(
+            "  \"benchmark\": \"engine scale series, specVC 2x4, uniform traffic, \
+             load = {SCALE_CAPACITY_FRACTION} x capacity\","
+        );
+        println!(
+            "  \"config\": {{\"capacity_fraction\": {SCALE_CAPACITY_FRACTION}, \
+             \"warmup\": 300, \"sample_packets\": 400, \"reps\": {}, \"shards\": {shards}}},",
+            opts.reps
+        );
+        println!("  \"host_parallelism\": {host},");
+        if host < shards {
+            println!(
+                "  \"note\": \"host_parallelism < shards: the sharded rows measure the \
+                 engine's synchronization overhead under serialization, not multi-core \
+                 speedup; rerun on >= {shards} cores for wall-clock scaling\","
+            );
+        }
+        println!("  \"points\": [");
+        for (i, p) in points.iter().enumerate() {
+            let comma = if i + 1 < points.len() { "," } else { "" };
+            let nodes = p.mesh.nodes();
+            let engine = |ms: f64| {
+                format!(
+                    "{{\"ms\": {ms:.2}, \"cycles_per_sec\": {:.0}, \
+                     \"ns_per_node_cycle\": {:.2}}}",
+                    p.cycles as f64 / ms * 1_000.0,
+                    ms * 1e6 / (p.cycles as f64 * nodes as f64)
+                )
+            };
+            println!(
+                "    {{\"mesh\": \"{}\", \"nodes\": {nodes}, \"dims\": {}, \"torus\": {}, \
+                 \"offered_load\": {:.4}, \"cycles\": {}, \
+                 \"cycle_driven\": {}, \"event_driven\": {}, \"sharded\": {}, \
+                 \"event_speedup_vs_cycle\": {:.2}, \
+                 \"sharded_speedup_vs_event\": {:.2}}}{comma}",
+                p.label,
+                p.mesh.dims(),
+                p.mesh.is_torus(),
+                p.load,
+                p.cycles,
+                engine(p.cycle_ms),
+                engine(p.event_ms),
+                engine(p.sharded_ms),
+                p.cycle_ms / p.event_ms,
+                p.event_ms / p.sharded_ms,
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        println!(
+            "mesh         nodes   cycles   cycle-driven   event-driven   sharded({shards})   \
+             ns/node-cycle (cyc/evt/shard)"
+        );
+        for p in &points {
+            let nodes = p.mesh.nodes();
+            let per_node = |ms: f64| ms * 1e6 / (p.cycles as f64 * nodes as f64);
+            println!(
+                "{:<11}  {:5}   {:6}   {:9.2} ms   {:9.2} ms   {:9.2} ms   \
+                 {:6.2} / {:6.2} / {:6.2}",
+                p.label,
+                nodes,
+                p.cycles,
+                p.cycle_ms,
+                p.event_ms,
+                p.sharded_ms,
+                per_node(p.cycle_ms),
+                per_node(p.event_ms),
+                per_node(p.sharded_ms),
+            );
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.meshes.len() > 1 {
+        run_scale_series(&opts);
+        return;
+    }
+    let (mesh_label, mesh) = opts.meshes[0].clone();
     let baseline = baseline_event_ms(&opts.baseline);
     // The loads run through the shared run queue, like every other batch
     // consumer. Each point's width is the *whole* host: timing needs the
@@ -289,7 +482,7 @@ fn main() {
         tasks,
         host,
         &CancelToken::new(),
-        |load, _| measure_point(&opts, &baseline, load),
+        |load, _| measure_point(&opts, &baseline, mesh, load),
         |_, _| {},
     );
     let points: Vec<Point> = slots
@@ -314,7 +507,11 @@ fn main() {
              engine's wall-clock to its per-cycle phases; baseline_event_driven_ms and \
              event_speedup_vs_baseline compare against the committed baseline file.\","
         );
-        println!("  \"benchmark\": \"engine comparison, 8x8 mesh, specVC 2x4, uniform traffic\",");
+        println!(
+            "  \"benchmark\": \"engine comparison, {mesh_label} ({} nodes), specVC 2x4, \
+             uniform traffic\",",
+            mesh.nodes()
+        );
         println!(
             "  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \"reps\": {}}},",
             opts.reps

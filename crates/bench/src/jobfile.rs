@@ -26,6 +26,7 @@ pub struct Batch {
 const JOB_KEYS: &[&str] = &[
     "name",
     "mesh",
+    "dims",
     "torus",
     "router",
     "vcs",
@@ -93,6 +94,20 @@ fn build_job(index: usize, t: &Table) -> Result<JobSpec<NetworkConfig>, String> 
     if radix < 2 {
         return Err("`mesh` radix must be at least 2".into());
     }
+    // `mesh` is the per-axis radix; `dims` the number of axes (a k-ary
+    // n-mesh), so `mesh = 4, dims = 3` is a 64-node 4-ary 3-cube. The
+    // cap matches the route table's adaptive-candidate encoding and
+    // keeps `radix^dims` far from overflow.
+    let dims = get_u64(t, "dims", 2)? as usize;
+    if !(1..=8).contains(&dims) {
+        return Err("`dims` must be between 1 and 8".into());
+    }
+    let nodes = (radix as u128).pow(dims as u32);
+    if nodes > (1 << 24) {
+        return Err(format!(
+            "`mesh`^`dims` is {nodes} nodes — larger than any simulable network"
+        ));
+    }
     let vcs = get_u64(t, "vcs", 2)? as usize;
     let buffers = get_u64(t, "buffers", 4)? as usize;
     let router = match t.get("router") {
@@ -114,7 +129,7 @@ fn build_job(index: usize, t: &Table) -> Result<JobSpec<NetworkConfig>, String> 
             other => return Err(format!("unknown router `{other}` (wh|vct|vc|specvc)")),
         },
     };
-    let mut cfg = NetworkConfig::mesh(radix, router);
+    let mut cfg = NetworkConfig::for_mesh(noc_network::Mesh::new(radix, dims), router);
     if get_bool(t, "torus", false)? {
         if cfg.router.vcs() < 2 {
             return Err("a torus needs a VC router with >= 2 VCs".into());
@@ -303,6 +318,9 @@ priority = 2.5
             ("[[job]]\nloads = [0.1]\nseeds = 0\n", "seeds"),
             ("[[job]]\nloads = [0.1]\npattern = \"banana\"\n", "banana"),
             ("[[job]]\nloads = [0.1]\nmesh = 1\n", "radix"),
+            ("[[job]]\nloads = [0.1]\ndims = 0\n", "dims"),
+            ("[[job]]\nloads = [0.1]\ndims = 9\n", "dims"),
+            ("[[job]]\nloads = [0.1]\nmesh = 256\ndims = 8\n", "nodes"),
             (
                 "[[job]]\nloads = [0.1]\nrouter = \"wh\"\ntorus = true\n",
                 "torus",
@@ -333,6 +351,16 @@ priority = 2.5
         let b = build_batch(&f).unwrap();
         assert_eq!(b.jobs[0].width, 4, "clamped to the 2x2 mesh");
         assert_eq!(b.jobs[0].config.engine, EngineKind::parallel(99));
+    }
+
+    #[test]
+    fn dims_builds_a_cube() {
+        let f = spec::parse("[[job]]\nmesh = 4\ndims = 3\nloads = [0.1]\n").unwrap();
+        let b = build_batch(&f).unwrap();
+        let mesh = b.jobs[0].config.mesh;
+        assert_eq!(mesh.nodes(), 64, "4-ary 3-cube");
+        assert_eq!(mesh.dims(), 3);
+        assert_eq!(mesh.ports(), 7);
     }
 
     #[test]

@@ -174,7 +174,98 @@ pub enum RoutingAlgo {
     /// West-first turn-model minimal adaptive routing (extension;
     /// 2-D mesh only).
     WestFirstAdaptive,
+    /// Negative-first turn-model minimal adaptive routing (extension;
+    /// the Glass–Ni turn model, deadlock-free on a k-ary n-mesh of any
+    /// dimension count — the n-D generalization of minimal adaptivity).
+    NegativeFirstAdaptive,
 }
+
+impl fmt::Display for RoutingAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingAlgo::DimensionOrdered => write!(f, "dimension-ordered"),
+            RoutingAlgo::WestFirstAdaptive => write!(f, "west-first adaptive"),
+            RoutingAlgo::NegativeFirstAdaptive => write!(f, "negative-first adaptive"),
+        }
+    }
+}
+
+/// Why a [`NetworkConfig`] cannot be simulated, with enough context to
+/// fix it. Produced by [`NetworkConfig::validate`] and returned by
+/// [`crate::sim::Network::try_new`]; every variant names the offending
+/// value and the change that makes the configuration valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A torus with fewer than two VCs per port: the dateline
+    /// deadlock-avoidance scheme needs two VC classes per ring.
+    TorusNeedsDatelineVcs {
+        /// The configured VC count.
+        vcs: usize,
+    },
+    /// West-first adaptive routing outside its 2-D-mesh domain.
+    WestFirstNeedsTwoDimMesh {
+        /// The configured dimension count.
+        dims: usize,
+        /// Whether wraparound links were requested.
+        torus: bool,
+    },
+    /// A turn-model adaptive algorithm on a torus, whose wraparound
+    /// links reintroduce the channel-dependency cycles turn models
+    /// eliminate.
+    AdaptiveOnTorus {
+        /// The requested algorithm.
+        algo: RoutingAlgo,
+    },
+    /// More dimensions than the adaptive candidate encoding supports.
+    TooManyAdaptiveDims {
+        /// The configured dimension count.
+        dims: usize,
+    },
+    /// A radix beyond the route table's one-byte coordinate encoding.
+    RadixTooLarge {
+        /// The configured radix.
+        radix: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::TorusNeedsDatelineVcs { vcs } => write!(
+                f,
+                "a torus needs >= 2 VCs per port for the dateline deadlock-avoidance \
+                 classes, got {vcs}; use a VirtualChannel or SpeculativeVc router with \
+                 vcs >= 2, or drop the wraparound links (mesh)"
+            ),
+            ConfigError::WestFirstNeedsTwoDimMesh { dims, torus } => write!(
+                f,
+                "west-first adaptive routing is defined for 2-D meshes, got a {dims}-D \
+                 {}; use RoutingAlgo::NegativeFirstAdaptive for n-D meshes or \
+                 RoutingAlgo::DimensionOrdered for any topology",
+                if torus { "torus" } else { "mesh" }
+            ),
+            ConfigError::AdaptiveOnTorus { algo } => write!(
+                f,
+                "{algo} routing is defined for meshes only (wraparound links break the \
+                 turn model's deadlock freedom); use RoutingAlgo::DimensionOrdered, \
+                 whose dateline VC classes handle the torus"
+            ),
+            ConfigError::TooManyAdaptiveDims { dims } => write!(
+                f,
+                "adaptive routing supports at most {} dimensions, got {dims}; use \
+                 RoutingAlgo::DimensionOrdered for higher-dimensional meshes",
+                crate::routing::MAX_CANDIDATES
+            ),
+            ConfigError::RadixTooLarge { radix } => write!(
+                f,
+                "radix {radix} exceeds the route table's one-byte coordinate encoding \
+                 (max 256 nodes per dimension); add a dimension instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Full configuration of a network experiment.
 #[derive(Debug, Clone)]
@@ -230,8 +321,16 @@ impl NetworkConfig {
     /// [`NetworkConfig::paper_scale`] for the full protocol).
     #[must_use]
     pub fn mesh(k: usize, router: RouterKind) -> Self {
+        Self::for_mesh(Mesh::new(k, 2), router)
+    }
+
+    /// The same defaults on an arbitrary topology — any k-ary n-mesh or
+    /// torus [`Mesh`] describes (e.g. `Mesh::new(4, 3)` for a 4-ary
+    /// 3-cube with 7-port routers).
+    #[must_use]
+    pub fn for_mesh(mesh: Mesh, router: RouterKind) -> Self {
         NetworkConfig {
-            mesh: Mesh::new(k, 2),
+            mesh,
             routing: RoutingAlgo::DimensionOrdered,
             engine: EngineKind::default(),
             router,
@@ -351,41 +450,71 @@ impl NetworkConfig {
         self
     }
 
-    /// Converts the topology to a torus (wraparound links). Requires a
-    /// VC or speculative-VC router with at least two VCs per port —
+    /// Converts the topology to a torus (wraparound links). Needs a VC
+    /// or speculative-VC router with at least two VCs per port —
     /// dimension-ordered routing on a torus is made deadlock-free by the
-    /// dateline VC classes (see `routing::dateline_vc_mask`).
-    ///
-    /// # Panics
-    ///
-    /// Panics for wormhole routers or fewer than 2 VCs.
+    /// dateline VC classes (see `routing::dateline_vc_mask`). The
+    /// requirement is checked by [`NetworkConfig::validate`] when the
+    /// network is built, so builder order never matters.
     #[must_use]
     pub fn into_torus(mut self) -> Self {
-        assert!(
-            self.router.vcs() >= 2,
-            "a torus needs >= 2 VCs per port for the dateline classes \
-             (wormhole routers are not deadlock-free on a torus)"
-        );
         self.mesh = self.mesh.into_torus();
         self
     }
 
-    /// Sets the routing algorithm.
-    ///
-    /// # Panics
-    ///
-    /// Panics if west-first adaptive routing is requested on a torus or a
-    /// non-2-D mesh (the turn model is defined for 2-D meshes).
+    /// Sets the routing algorithm. Domain restrictions (west-first needs
+    /// a 2-D mesh; the turn models reject tori) are checked by
+    /// [`NetworkConfig::validate`] when the network is built, so builder
+    /// order never matters.
     #[must_use]
     pub fn with_routing(mut self, routing: RoutingAlgo) -> Self {
-        if routing == RoutingAlgo::WestFirstAdaptive {
-            assert!(
-                !self.mesh.is_torus() && self.mesh.dims() == 2,
-                "west-first adaptive routing is defined for 2-D meshes"
-            );
-        }
         self.routing = routing;
         self
+    }
+
+    /// Checks that the configuration describes a simulable network,
+    /// reporting the first violation as a [`ConfigError`] whose message
+    /// names the fix. [`crate::sim::Network::try_new`] calls this before
+    /// building anything; call it directly to validate user input early.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`] for the rejected combinations: a torus
+    /// without dateline VCs, west-first outside a 2-D mesh, a turn model
+    /// on a torus, and shapes beyond the route table's compact encoding.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.mesh.radix() > 256 {
+            return Err(ConfigError::RadixTooLarge {
+                radix: self.mesh.radix(),
+            });
+        }
+        if self.mesh.is_torus() && self.router.vcs() < 2 {
+            return Err(ConfigError::TorusNeedsDatelineVcs {
+                vcs: self.router.vcs(),
+            });
+        }
+        match self.routing {
+            RoutingAlgo::DimensionOrdered => {}
+            RoutingAlgo::WestFirstAdaptive => {
+                if self.mesh.dims() != 2 || self.mesh.is_torus() {
+                    return Err(ConfigError::WestFirstNeedsTwoDimMesh {
+                        dims: self.mesh.dims(),
+                        torus: self.mesh.is_torus(),
+                    });
+                }
+            }
+            RoutingAlgo::NegativeFirstAdaptive => {
+                if self.mesh.is_torus() {
+                    return Err(ConfigError::AdaptiveOnTorus { algo: self.routing });
+                }
+                if self.mesh.dims() > crate::routing::MAX_CANDIDATES {
+                    return Err(ConfigError::TooManyAdaptiveDims {
+                        dims: self.mesh.dims(),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The router-core configuration for this network.
@@ -467,6 +596,148 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_injection_rejected() {
         let _ = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 }).with_injection(0.0);
+    }
+
+    #[test]
+    fn for_mesh_keeps_the_topology() {
+        let cfg = NetworkConfig::for_mesh(Mesh::new(4, 3), RouterKind::Wormhole { buffers: 8 });
+        assert_eq!(cfg.mesh.nodes(), 64);
+        assert_eq!(cfg.mesh.ports(), 7);
+        assert_eq!(cfg.router_config().ports, 7, "arena sizing follows ports");
+        assert_eq!(
+            NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 }).mesh,
+            Mesh::new(4, 2),
+            "the k x k constructor still builds 2-D"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_the_supported_grid() {
+        let vc = RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        };
+        for dims in 1..=3 {
+            for radix in [2, 4, 8, 16, 32] {
+                let mesh = NetworkConfig::for_mesh(Mesh::new(radix, dims), vc);
+                assert_eq!(mesh.validate(), Ok(()), "{radix}-ary {dims}-mesh");
+                assert_eq!(
+                    mesh.clone().into_torus().validate(),
+                    Ok(()),
+                    "{radix}-ary {dims}-torus"
+                );
+                assert_eq!(
+                    mesh.with_routing(RoutingAlgo::NegativeFirstAdaptive)
+                        .validate(),
+                    Ok(()),
+                    "negative-first on {radix}-ary {dims}-mesh"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_torus_without_dateline_vcs() {
+        for router in [
+            RouterKind::Wormhole { buffers: 8 },
+            RouterKind::VirtualCutThrough { buffers: 8 },
+            RouterKind::VirtualChannel {
+                vcs: 1,
+                buffers_per_vc: 8,
+            },
+        ] {
+            let err = NetworkConfig::mesh(4, router)
+                .into_torus()
+                .validate()
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ConfigError::TorusNeedsDatelineVcs { vcs: 1 },
+                "{router}"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains(">= 2 VCs"), "unactionable: {msg}");
+            assert!(msg.contains("SpeculativeVc"), "no fix named: {msg}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_west_first_outside_two_d_meshes() {
+        let vc = RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        };
+        for (mesh, dims, torus) in [
+            (Mesh::new(4, 3), 3, false),
+            (Mesh::new(8, 1), 1, false),
+            (Mesh::new(4, 2).into_torus(), 2, true),
+        ] {
+            let err = NetworkConfig::for_mesh(mesh, vc)
+                .with_routing(RoutingAlgo::WestFirstAdaptive)
+                .validate()
+                .unwrap_err();
+            assert_eq!(err, ConfigError::WestFirstNeedsTwoDimMesh { dims, torus });
+            let msg = err.to_string();
+            assert!(msg.contains("NegativeFirstAdaptive"), "no fix named: {msg}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_negative_first_on_torus() {
+        let vc = RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        };
+        let err = NetworkConfig::for_mesh(Mesh::new(4, 3).into_torus(), vc)
+            .with_routing(RoutingAlgo::NegativeFirstAdaptive)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::AdaptiveOnTorus {
+                algo: RoutingAlgo::NegativeFirstAdaptive
+            }
+        );
+        assert!(err.to_string().contains("DimensionOrdered"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_shapes_beyond_the_table_encoding() {
+        let vc = RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        };
+        let err = NetworkConfig::for_mesh(Mesh::new(257, 1), vc)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::RadixTooLarge { radix: 257 });
+        assert!(err.to_string().contains("dimension"), "{err}");
+        let err = NetworkConfig::for_mesh(Mesh::new(2, 9), vc)
+            .with_routing(RoutingAlgo::NegativeFirstAdaptive)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::TooManyAdaptiveDims { dims: 9 });
+        assert_eq!(
+            NetworkConfig::for_mesh(Mesh::new(2, 9), vc).validate(),
+            Ok(()),
+            "dimension-ordered has no dimension cap"
+        );
+    }
+
+    #[test]
+    fn builder_order_no_longer_matters_for_torus_and_routing() {
+        // Previously into_torus()/with_routing() asserted eagerly, so a
+        // valid end state could panic mid-build; now only the end state
+        // is judged.
+        let vc = RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        };
+        let cfg = NetworkConfig::mesh(4, vc)
+            .with_routing(RoutingAlgo::WestFirstAdaptive)
+            .with_routing(RoutingAlgo::DimensionOrdered)
+            .into_torus();
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl JobConfig for NetworkConfig {
         h.u64(match self.routing {
             RoutingAlgo::DimensionOrdered => 0,
             RoutingAlgo::WestFirstAdaptive => 1,
+            RoutingAlgo::NegativeFirstAdaptive => 2,
         });
         match self.router {
             RouterKind::Wormhole { buffers } => {

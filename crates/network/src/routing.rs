@@ -6,12 +6,15 @@
 //! extension (the paper's future-work direction).
 //!
 //! The free functions here ([`dimension_ordered`], [`dateline_vc_mask`],
-//! [`west_first_candidates`]) are the *definitions*; the simulator's hot
-//! path never calls them per flit. Instead a [`RouteTable`] evaluates
-//! them once per `(node, dest)` pair at network construction and the
-//! per-flit route computation becomes two array loads (plus a modulo
-//! candidate pick for adaptive algorithms). The table is exhaustively
-//! checked against the definitions in `crates/network/tests/route_table.rs`.
+//! [`west_first_candidates`], [`negative_first_candidates`]) are the
+//! *definitions*; the simulator's hot path never calls them per flit.
+//! Instead a [`RouteTable`] evaluates them at network construction into
+//! dimension-generic tables (per-node coordinates, one k×k
+//! direction/dateline table shared by every dimension, and sign-code
+//! candidate sets for the adaptive turn models) and the per-flit route
+//! computation becomes a scan over at most `n` coordinate bytes plus one
+//! table load. The table is exhaustively checked against the definitions
+//! in `crates/network/tests/route_table.rs`.
 
 use crate::config::RoutingAlgo;
 use crate::topology::Mesh;
@@ -135,9 +138,56 @@ pub fn west_first_candidates(mesh: &Mesh, current: usize, dest: usize) -> Vec<us
     out
 }
 
-/// Up to two minimal candidates exist under the west-first turn model
-/// (east, and one of north/south), or a single forced direction.
-const MAX_CANDIDATES: usize = 2;
+/// Dimension-ordered routing with adaptive selection among negative-first
+/// candidates (extension): deadlock-free minimal adaptivity on any k-ary
+/// n-mesh, with the candidate chosen by `selector`.
+#[must_use]
+pub fn negative_first_route(mesh: &Mesh, current: usize, dest: usize, selector: u64) -> usize {
+    let candidates = negative_first_candidates(mesh, current, dest);
+    candidates[(selector as usize) % candidates.len()]
+}
+
+/// Negative-first turn-model adaptive routing (extension; the Glass–Ni
+/// turn model that generalizes to any dimension count): all
+/// negative-direction hops are taken first, adaptively among the
+/// negative-productive dimensions; only once no negative correction
+/// remains may the packet turn positive, again adaptively among the
+/// positive-productive dimensions. Prohibiting every positive→negative
+/// turn breaks all cycles, so the returned candidate list is non-empty,
+/// minimal, and deadlock-free on an n-D mesh of any radix.
+///
+/// # Panics
+///
+/// Panics on a torus: turn models reason about mesh channel-dependency
+/// graphs and the wraparound links reintroduce cycles.
+#[must_use]
+pub fn negative_first_candidates(mesh: &Mesh, current: usize, dest: usize) -> Vec<usize> {
+    assert!(!mesh.is_torus(), "negative-first is defined for meshes");
+    let mut negatives = Vec::new();
+    let mut positives = Vec::new();
+    for dim in 0..mesh.dims() {
+        let c = mesh.coord(current, dim);
+        let d = mesh.coord(dest, dim);
+        if d < c {
+            negatives.push(mesh.port(dim, false));
+        } else if d > c {
+            positives.push(mesh.port(dim, true));
+        }
+    }
+    if !negatives.is_empty() {
+        negatives
+    } else if !positives.is_empty() {
+        positives
+    } else {
+        vec![mesh.local_port()]
+    }
+}
+
+/// An adaptive candidate set holds at most one productive port per
+/// dimension (negative-first offers every productive direction of one
+/// phase), which bounds the supported dimension count for adaptive
+/// algorithms.
+pub const MAX_CANDIDATES: usize = 8;
 
 /// One precomputed adaptive candidate set.
 #[derive(Debug, Clone, Copy)]
@@ -146,26 +196,46 @@ struct CandidateSet {
     len: u8,
 }
 
-/// Precomputed routing decisions for every `(node, dest)` pair.
+/// Precomputed, dimension-generic routing decisions.
 ///
-/// Dense arrays indexed `node * nodes + dest`:
+/// Routing on a k-ary n-mesh factors through per-dimension coordinate
+/// comparisons, so instead of dense `node × dest` arrays (which would
+/// cost O(N²) — ~9 MB of masks alone at 1024 nodes) the table stores:
 ///
-/// * the output port (for adaptive algorithms, of the first candidate —
-///   see [`RouteTable::route`] for the selector-driven pick);
-/// * the permitted output-VC mask (the torus dateline classes; all-ones
-///   on a mesh);
-/// * for adaptive algorithms, the full candidate set.
+/// * every node's coordinates, one byte per dimension (`coords`);
+/// * one k×k *direction* table and one k×k *dateline-mask* table, shared
+///   by every dimension — the radix is uniform, and both the
+///   shortest-way-around direction and the dateline VC class depend only
+///   on the (current, destination) coordinate pair within the ring being
+///   corrected;
+/// * for the adaptive turn models, one candidate set per *sign code*
+///   (the base-3 digit string of per-dimension comparisons, `3ⁿ`
+///   entries) — west-first and negative-first candidates depend only on
+///   which dimensions need positive or negative correction.
 ///
-/// Entries are produced by the definitional routing functions of this
-/// module, so table lookups are bit-identical to calling them per flit —
-/// just without re-deriving coordinates, directions, and datelines on
-/// every head flit of every hop.
+/// Every entry is produced by the definitional routing functions of this
+/// module evaluated on representative node pairs, so lookups are
+/// bit-identical to calling them per flit. A [`RouteTable::route`] is a
+/// scan of at most `n` coordinate bytes plus one table load — the k×k
+/// tables stay resident in L1 at any network size, where the old dense
+/// form thrashed the cache at 1024 nodes.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
-    nodes: usize,
-    ports: Box<[u8]>,
+    dims: usize,
+    radix: usize,
+    local_port: usize,
+    all_mask: u64,
+    /// `coords[node * dims + d]` = coordinate of `node` in dimension `d`.
+    coords: Box<[u8]>,
+    /// `dir[c * radix + t]`: direction bit (0 positive, 1 negative) for a
+    /// ring hop from coordinate `c` toward `t ≠ c`; the output port in
+    /// dimension `d` is `2d + dir`.
+    dir: Box<[u8]>,
+    /// `masks[c * radix + t]`: dateline VC mask for the same ring hop
+    /// (all-ones on a mesh).
     masks: Box<[u64]>,
-    /// Candidate sets, present only for adaptive algorithms.
+    /// Candidate sets indexed by sign code, present only for adaptive
+    /// algorithms.
     candidates: Option<Box<[CandidateSet]>>,
 }
 
@@ -175,57 +245,111 @@ impl RouteTable {
     ///
     /// # Panics
     ///
-    /// Panics where the underlying routing functions would: west-first
-    /// outside a 2-D mesh, or a torus with fewer than 2 VCs.
+    /// Panics where the underlying routing functions would (west-first
+    /// outside a 2-D mesh, an adaptive turn model on a torus, a torus
+    /// with fewer than 2 VCs) and on shapes the compact encoding cannot
+    /// hold (radix > 256, or more than [`MAX_CANDIDATES`] dimensions for
+    /// an adaptive algorithm). [`crate::config::NetworkConfig::validate`]
+    /// rejects all of these with a [`crate::config::ConfigError`] before
+    /// a simulator ever reaches this constructor.
     #[must_use]
     pub fn new(mesh: &Mesh, algo: RoutingAlgo, vcs: usize) -> Self {
         let nodes = mesh.nodes();
-        let all_vcs = if vcs >= 64 {
+        let dims = mesh.dims();
+        let k = mesh.radix();
+        assert!(k <= 256, "radix {k} exceeds the u8 coordinate encoding");
+        let all_mask = if vcs >= 64 {
             u64::MAX
         } else {
             (1u64 << vcs) - 1
         };
-        let mut ports = vec![0u8; nodes * nodes].into_boxed_slice();
-        let mut masks = vec![all_vcs; nodes * nodes].into_boxed_slice();
-        let mut candidates = match algo {
+
+        let mut coords = vec![0u8; nodes * dims].into_boxed_slice();
+        for node in 0..nodes {
+            for d in 0..dims {
+                coords[node * dims + d] = mesh.coord(node, d) as u8;
+            }
+        }
+
+        // The k×k per-ring tables, evaluated on dimension-0
+        // representatives (nodes equal in every other coordinate): the
+        // radix is uniform, so the same entries govern every dimension.
+        let mut dir = vec![0u8; k * k].into_boxed_slice();
+        let mut masks = vec![all_mask; k * k].into_boxed_slice();
+        let mut rep = vec![0usize; dims];
+        for c in 0..k {
+            for t in 0..k {
+                if c == t {
+                    continue;
+                }
+                rep[0] = c;
+                let current = mesh.node_at(&rep);
+                rep[0] = t;
+                let dest = mesh.node_at(&rep);
+                let port = dimension_ordered(mesh, current, dest);
+                debug_assert!(port < 2, "representative pair must correct dim 0");
+                dir[c * k + t] = port as u8;
+                masks[c * k + t] = dateline_vc_mask(mesh, current, port, dest, vcs);
+            }
+        }
+
+        let candidates = match algo {
             RoutingAlgo::DimensionOrdered => None,
-            RoutingAlgo::WestFirstAdaptive => Some(
-                vec![
+            RoutingAlgo::WestFirstAdaptive | RoutingAlgo::NegativeFirstAdaptive => {
+                assert!(
+                    dims <= MAX_CANDIDATES,
+                    "adaptive routing supports at most {MAX_CANDIDATES} dimensions, got {dims}"
+                );
+                let mut sets = vec![
                     CandidateSet {
                         ports: [0; MAX_CANDIDATES],
                         len: 0,
                     };
-                    nodes * nodes
+                    3usize.pow(dims as u32)
                 ]
-                .into_boxed_slice(),
-            ),
-        };
-        for node in 0..nodes {
-            for dest in 0..nodes {
-                let idx = node * nodes + dest;
-                match algo {
-                    RoutingAlgo::DimensionOrdered => {
-                        let port = dimension_ordered(mesh, node, dest);
-                        ports[idx] = u8::try_from(port).expect("port fits u8");
-                        masks[idx] = dateline_vc_mask(mesh, node, port, dest, vcs);
+                .into_boxed_slice();
+                let mut cur = vec![0usize; dims];
+                let mut dst = vec![0usize; dims];
+                for (code, set) in sets.iter_mut().enumerate() {
+                    // Decode the base-3 sign code into a representative
+                    // (current, dest) pair with those comparison signs.
+                    let mut rem = code;
+                    for d in 0..dims {
+                        (cur[d], dst[d]) = match rem % 3 {
+                            0 => (0, 0), // aligned
+                            1 => (0, 1), // positive correction
+                            _ => (1, 0), // negative correction
+                        };
+                        rem /= 3;
                     }
-                    RoutingAlgo::WestFirstAdaptive => {
-                        let cands = west_first_candidates(mesh, node, dest);
-                        assert!(cands.len() <= MAX_CANDIDATES, "candidate overflow");
-                        let set = &mut candidates.as_mut().expect("adaptive table")[idx];
-                        set.len = cands.len() as u8;
-                        for (slot, &port) in set.ports.iter_mut().zip(&cands) {
-                            *slot = u8::try_from(port).expect("port fits u8");
+                    let current = mesh.node_at(&cur);
+                    let dest = mesh.node_at(&dst);
+                    let cands = match algo {
+                        RoutingAlgo::WestFirstAdaptive => {
+                            west_first_candidates(mesh, current, dest)
                         }
-                        ports[idx] = set.ports[0];
-                        // West-first is mesh-only; the mask stays all-ones.
+                        RoutingAlgo::NegativeFirstAdaptive => {
+                            negative_first_candidates(mesh, current, dest)
+                        }
+                        RoutingAlgo::DimensionOrdered => unreachable!(),
+                    };
+                    assert!(cands.len() <= MAX_CANDIDATES, "candidate overflow");
+                    set.len = cands.len() as u8;
+                    for (slot, &port) in set.ports.iter_mut().zip(&cands) {
+                        *slot = u8::try_from(port).expect("port fits u8");
                     }
                 }
+                Some(sets)
             }
-        }
+        };
+
         RouteTable {
-            nodes,
-            ports,
+            dims,
+            radix: k,
+            local_port: mesh.local_port(),
+            all_mask,
+            coords,
+            dir,
             masks,
             candidates,
         }
@@ -233,26 +357,54 @@ impl RouteTable {
 
     /// The output port for a packet at `node` heading to `dest`.
     /// `selector` picks among adaptive candidates (ignored for
-    /// deterministic algorithms) exactly like [`west_first_route`].
+    /// deterministic algorithms) exactly like [`west_first_route`] and
+    /// [`negative_first_route`].
     #[inline]
     #[must_use]
     pub fn route(&self, node: usize, dest: usize, selector: u64) -> usize {
-        let idx = node * self.nodes + dest;
+        let nc = &self.coords[node * self.dims..(node + 1) * self.dims];
+        let dc = &self.coords[dest * self.dims..(dest + 1) * self.dims];
         match &self.candidates {
-            None => self.ports[idx] as usize,
-            Some(cands) => {
-                let set = &cands[idx];
+            None => {
+                for (d, (&c, &t)) in nc.iter().zip(dc).enumerate() {
+                    if c != t {
+                        return 2 * d + self.dir[c as usize * self.radix + t as usize] as usize;
+                    }
+                }
+                self.local_port
+            }
+            Some(sets) => {
+                let mut code = 0usize;
+                let mut pow = 1usize;
+                for (&c, &t) in nc.iter().zip(dc) {
+                    code += pow
+                        * match t.cmp(&c) {
+                            std::cmp::Ordering::Equal => 0,
+                            std::cmp::Ordering::Greater => 1,
+                            std::cmp::Ordering::Less => 2,
+                        };
+                    pow *= 3;
+                }
+                let set = &sets[code];
                 set.ports[(selector as usize) % set.len as usize] as usize
             }
         }
     }
 
     /// The permitted output-VC mask at `node` for a packet to `dest`
-    /// (precomputed for the port the table itself routes to).
+    /// (precomputed for the port the table itself routes to; all-ones on
+    /// a mesh).
     #[inline]
     #[must_use]
     pub fn vc_mask(&self, node: usize, dest: usize) -> u64 {
-        self.masks[node * self.nodes + dest]
+        let nc = &self.coords[node * self.dims..(node + 1) * self.dims];
+        let dc = &self.coords[dest * self.dims..(dest + 1) * self.dims];
+        for (&c, &t) in nc.iter().zip(dc) {
+            if c != t {
+                return self.masks[c as usize * self.radix + t as usize];
+            }
+        }
+        self.all_mask
     }
 }
 

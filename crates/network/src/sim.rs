@@ -30,7 +30,7 @@
 //! over randomized configurations and asserts identical measurements.
 
 use crate::channel_load::ChannelLoad;
-use crate::config::{EngineKind, NetworkConfig, RoutingAlgo};
+use crate::config::{ConfigError, EngineKind, NetworkConfig};
 use crate::histogram::Histogram;
 use crate::routing::RouteTable;
 use crate::shard::{worker_loop, ShardCtx, ShardEnv, ShardOut, ShardSet, SpinBarrier};
@@ -223,23 +223,24 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics on a torus with wormhole routers or fewer than 2 VCs
-    /// (dimension-ordered routing would deadlock), and on west-first
-    /// routing outside a 2-D mesh.
+    /// Panics if [`NetworkConfig::validate`] rejects `cfg`, with the
+    /// [`ConfigError`] message; use [`Network::try_new`] to handle the
+    /// rejection instead.
     #[must_use]
     pub fn new(cfg: NetworkConfig) -> Self {
-        if cfg.mesh.is_torus() {
-            assert!(
-                cfg.router.vcs() >= 2,
-                "a torus needs >= 2 VCs per port for dateline deadlock avoidance"
-            );
-        }
-        if cfg.routing == RoutingAlgo::WestFirstAdaptive {
-            assert!(
-                !cfg.mesh.is_torus() && cfg.mesh.dims() == 2,
-                "west-first adaptive routing is defined for 2-D meshes"
-            );
-        }
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid network configuration: {e}"))
+    }
+
+    /// Builds and wires the network described by `cfg`, rejecting
+    /// unsimulable configurations instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`NetworkConfig::validate`] reports: a torus
+    /// without dateline VCs, a turn-model adaptive algorithm outside its
+    /// domain, or a topology beyond the route table's compact encoding.
+    pub fn try_new(cfg: NetworkConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mesh = &cfg.mesh;
         let nodes = mesh.nodes();
         let ports = mesh.ports();
@@ -285,7 +286,7 @@ impl Network {
             }
             EngineKind::CycleDriven | EngineKind::EventDriven => None,
         };
-        Network {
+        Ok(Network {
             cfg,
             routers,
             sources,
@@ -313,7 +314,7 @@ impl Network {
             },
             eject_slots: vec![(PacketId::new(0), 0); nodes * vcs],
             phases: PhaseNanos::default(),
-        }
+        })
     }
 
     /// The configuration being simulated.

@@ -192,17 +192,32 @@ impl Mesh {
         total as f64 / (n * (n - 1)) as f64
     }
 
-    /// Network capacity for uniform random traffic with dimension-ordered
-    /// routing, in flits/node/cycle: the injection rate that saturates the
-    /// center bisection channels, `4/k` for a k-ary n-mesh (`8/k` for the
-    /// torus with its doubled bisection).
+    /// Directed channels crossing the central bisection of one
+    /// dimension, per direction: one per node column, `k^(n-1)` on a
+    /// mesh and twice that on a torus (the wraparound links cross too).
+    #[must_use]
+    pub fn bisection_channels(&self) -> usize {
+        let columns = self.radix.pow(self.dims as u32 - 1);
+        if self.wraparound {
+            2 * columns
+        } else {
+            columns
+        }
+    }
+
+    /// Network capacity for uniform random traffic, in flits/node/cycle:
+    /// the injection rate that saturates the center bisection channels.
+    ///
+    /// Dimension-independent: under uniform traffic half of all `N·λ`
+    /// offered flits cross any central bisection (source and destination
+    /// fall on opposite sides with probability ½), i.e. `N·λ/4` per
+    /// direction, spread over [`Mesh::bisection_channels`] =
+    /// `k^(n-1)` channels (`2·k^(n-1)` on a torus) with `N = kⁿ` — so the
+    /// per-node capacity is `4/k` for a k-ary n-mesh and `8/k` for the
+    /// torus, whatever `n` is.
     #[must_use]
     pub fn capacity_flits_per_node(&self) -> f64 {
-        if self.wraparound {
-            8.0 / self.radix as f64
-        } else {
-            4.0 / self.radix as f64
-        }
+        self.bisection_channels() as f64 * 4.0 / self.nodes() as f64
     }
 
     /// Partitions the node index space into `shards` contiguous,
@@ -490,6 +505,83 @@ mod tests {
             2 * 8 * 2,
             "two bidirectional row seams"
         );
+    }
+
+    #[test]
+    fn capacity_is_dimension_independent() {
+        for dims in 1..=3 {
+            for radix in [2usize, 4, 8, 16, 32] {
+                let m = Mesh::new(radix, dims);
+                assert!(
+                    (m.capacity_flits_per_node() - 4.0 / radix as f64).abs() < 1e-15,
+                    "{m}"
+                );
+                let t = m.into_torus();
+                assert!(
+                    (t.capacity_flits_per_node() - 8.0 / radix as f64).abs() < 1e-15,
+                    "{t}"
+                );
+                assert_eq!(m.bisection_channels(), radix.pow(dims as u32 - 1));
+                assert_eq!(t.bisection_channels(), 2 * radix.pow(dims as u32 - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_balance_at_scale_and_in_three_dims() {
+        // The tentpole's scale check: row-seam snapping must keep shards
+        // balanced on a 1024-node 2-D mesh and on 3-D meshes, where a
+        // "row" is still one dimension-0 line of `radix` nodes.
+        for m in [
+            Mesh::new(32, 2),
+            Mesh::new(32, 2).into_torus(),
+            Mesh::new(16, 2),
+            Mesh::new(4, 3),
+            Mesh::new(8, 3),
+            Mesh::new(10, 3),
+        ] {
+            for shards in [2, 3, 4, 6, 7, 8, 16] {
+                let ranges = m.shard_ranges(shards);
+                assert_eq!(ranges.len(), shards.min(m.nodes()));
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges.last().unwrap().1, m.nodes());
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "{m}: ranges must be contiguous");
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|&(lo, hi)| hi - lo).collect();
+                let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(
+                    max - min <= m.radix(),
+                    "{m}, {shards} shards: unbalanced {sizes:?}"
+                );
+                // Shards of at least one row always land on row seams.
+                if m.nodes() / shards >= m.radix() {
+                    for &(lo, _) in &ranges {
+                        assert_eq!(lo % m.radix(), 0, "{m}, {shards} shards: cut at {lo}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_never_adds_links_at_scale() {
+        for m in [
+            Mesh::new(32, 2),
+            Mesh::new(8, 3),
+            Mesh::new(8, 3).into_torus(),
+        ] {
+            for shards in [2, 4, 7, 8] {
+                let n = m.nodes();
+                let even: Vec<(usize, usize)> = (0..shards)
+                    .map(|i| (i * n / shards, (i + 1) * n / shards))
+                    .collect();
+                assert!(
+                    m.cross_shard_links(&m.shard_ranges(shards)) <= m.cross_shard_links(&even),
+                    "{m}, {shards} shards"
+                );
+            }
+        }
     }
 
     #[test]

@@ -59,13 +59,34 @@ fn alloc_window(net: &mut Network, cycles: u64) -> u64 {
 #[test]
 fn sharded_steady_state_is_allocation_free() {
     for shards in [2, 3] {
-        let cfg = NetworkConfig::mesh(
-            4,
+        run_alloc_free_check(
+            NetworkConfig::mesh(
+                4,
+                RouterKind::SpeculativeVc {
+                    vcs: 2,
+                    buffers_per_vc: 4,
+                },
+            ),
+            shards,
+        );
+    }
+    // A 3-D mesh of 7-port routers: the generalized topology stack must
+    // preserve the zero-steady-state-allocation guarantee end to end
+    // (route table, mailboxes sized from mesh.ports(), commit paths).
+    run_alloc_free_check(
+        NetworkConfig::for_mesh(
+            noc_network::Mesh::new(3, 3),
             RouterKind::SpeculativeVc {
                 vcs: 2,
                 buffers_per_vc: 4,
             },
-        )
+        ),
+        3,
+    );
+}
+
+fn run_alloc_free_check(base: NetworkConfig, shards: usize) {
+    let cfg = base
         .with_injection(0.25)
         .with_warmup(100)
         // Never-completing sample: tagging stays active through every
@@ -73,30 +94,29 @@ fn sharded_steady_state_is_allocation_free() {
         .with_sample(u64::MAX)
         .with_max_cycles(u64::MAX)
         .with_engine(EngineKind::ParallelShards { shards });
-        let mut net = Network::new(cfg);
+    let mut net = Network::new(cfg);
 
-        // Warm-up: let every retained buffer — mailboxes, wheels, shard
-        // records, scratch, source queues — reach its high-water mark.
-        let _ = alloc_window(&mut net, 1_500);
+    // Warm-up: let every retained buffer — mailboxes, wheels, shard
+    // records, scratch, source queues — reach its high-water mark.
+    let _ = alloc_window(&mut net, 1_500);
 
-        // Take the minimum over several windows: the counter is global,
-        // so a libtest harness thread may allocate once somewhere, but an
-        // allocating engine path would show up in every window.
-        let mut min_window = u64::MAX;
-        for _ in 0..5 {
-            min_window = min_window.min(alloc_window(&mut net, 1_000));
-        }
-        assert_eq!(
-            min_window, 0,
-            "shards={shards}: every steady-state window allocated \
-             (min {min_window} per 1000 cycles)"
-        );
-        assert!(
-            net.flits_ejected() > 1_000,
-            "shards={shards}: the drive must actually move traffic \
-             ({} ejected)",
-            net.flits_ejected()
-        );
-        net.assert_flit_conservation();
+    // Take the minimum over several windows: the counter is global,
+    // so a libtest harness thread may allocate once somewhere, but an
+    // allocating engine path would show up in every window.
+    let mut min_window = u64::MAX;
+    for _ in 0..5 {
+        min_window = min_window.min(alloc_window(&mut net, 1_000));
     }
+    assert_eq!(
+        min_window, 0,
+        "shards={shards}: every steady-state window allocated \
+             (min {min_window} per 1000 cycles)"
+    );
+    assert!(
+        net.flits_ejected() > 1_000,
+        "shards={shards}: the drive must actually move traffic \
+             ({} ejected)",
+        net.flits_ejected()
+    );
+    net.assert_flit_conservation();
 }

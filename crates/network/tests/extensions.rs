@@ -1,7 +1,7 @@
 //! End-to-end tests of the future-work extensions: torus topology with
 //! dateline VC deadlock avoidance, and west-first adaptive routing.
 
-use noc_network::config::RoutingAlgo;
+use noc_network::config::{ConfigError, RoutingAlgo};
 use noc_network::{Network, NetworkConfig, RouterKind, TrafficPattern};
 
 fn run(cfg: NetworkConfig) -> noc_network::RunResult {
@@ -127,6 +127,53 @@ fn west_first_adaptive_delivers_uniform_traffic() {
     assert_eq!(r.stats.count(), 800);
 }
 
+#[test]
+fn negative_first_adaptive_delivers_on_two_and_three_d_meshes() {
+    let kind = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    for mesh in [noc_network::Mesh::new(8, 2), noc_network::Mesh::new(4, 3)] {
+        let cfg = NetworkConfig::for_mesh(mesh, kind)
+            .with_routing(RoutingAlgo::NegativeFirstAdaptive)
+            .with_injection(0.25)
+            .with_warmup(500)
+            .with_sample(800)
+            .with_max_cycles(100_000);
+        let r = run(cfg);
+        assert!(!r.saturated, "{mesh} saturated at 25% load");
+        assert_eq!(r.stats.count(), 800, "{mesh}");
+    }
+}
+
+/// Minimal adaptivity on a 3-D mesh: zero-load latency matches DOR
+/// (both route minimally; only the path spread differs).
+#[test]
+fn negative_first_zero_load_matches_dor_in_three_dims() {
+    let kind = RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    let base = |algo| {
+        NetworkConfig::for_mesh(noc_network::Mesh::new(4, 3), kind)
+            .with_routing(algo)
+            .with_injection(0.05)
+            .with_warmup(400)
+            .with_sample(500)
+            .with_max_cycles(80_000)
+    };
+    let dor = run(base(RoutingAlgo::DimensionOrdered))
+        .avg_latency
+        .unwrap();
+    let nf = run(base(RoutingAlgo::NegativeFirstAdaptive))
+        .avg_latency
+        .unwrap();
+    assert!(
+        (dor - nf).abs() < 2.0,
+        "minimal routes must give matching zero-load latency: {dor:.1} vs {nf:.1}"
+    );
+}
+
 /// Adaptive selection keeps paths minimal: zero-load latency matches DOR.
 #[test]
 fn west_first_zero_load_matches_dor() {
@@ -249,7 +296,6 @@ fn three_dimensional_torus_works() {
 }
 
 #[test]
-#[should_panic(expected = "dateline")]
 fn torus_with_one_vc_is_rejected() {
     let cfg = NetworkConfig::mesh(
         4,
@@ -257,18 +303,36 @@ fn torus_with_one_vc_is_rejected() {
             vcs: 1,
             buffers_per_vc: 4,
         },
-    );
-    let _ = cfg.into_torus();
+    )
+    .into_torus();
+    let err = Network::try_new(cfg).unwrap_err();
+    assert_eq!(err, ConfigError::TorusNeedsDatelineVcs { vcs: 1 });
+    assert!(err.to_string().contains("dateline"), "{err}");
 }
 
 #[test]
-#[should_panic(expected = "2-D meshes")]
 fn west_first_on_torus_is_rejected() {
     let kind = RouterKind::VirtualChannel {
         vcs: 2,
         buffers_per_vc: 4,
     };
-    let mut cfg = NetworkConfig::mesh(4, kind).into_torus();
-    cfg.routing = RoutingAlgo::WestFirstAdaptive;
-    let _ = Network::new(cfg);
+    let cfg = NetworkConfig::mesh(4, kind)
+        .into_torus()
+        .with_routing(RoutingAlgo::WestFirstAdaptive);
+    let err = Network::try_new(cfg).unwrap_err();
+    assert_eq!(
+        err,
+        ConfigError::WestFirstNeedsTwoDimMesh {
+            dims: 2,
+            torus: true
+        }
+    );
+    assert!(err.to_string().contains("2-D meshes"), "{err}");
+}
+
+#[test]
+#[should_panic(expected = "invalid network configuration")]
+fn infallible_constructor_panics_with_the_config_error_message() {
+    let kind = RouterKind::Wormhole { buffers: 8 };
+    let _ = Network::new(NetworkConfig::mesh(4, kind).into_torus());
 }

@@ -1,12 +1,18 @@
 //! The precomputed [`RouteTable`] must agree with the definitional
 //! routing functions on every `(node, dest)` pair — the hot path may
-//! only be *faster* than calling them per flit, never different.
+//! only be *faster* than calling them per flit, never different. The
+//! table's dimension-generic encoding (per-node coordinates + shared
+//! k×k ring tables + sign-code candidate sets) makes this a real
+//! theorem, checked here both on fixed grids and property-style over
+//! random `(radix, dims)` shapes.
 
 use noc_network::config::RoutingAlgo;
 use noc_network::routing::{
-    dateline_vc_mask, dimension_ordered, west_first_candidates, west_first_route, RouteTable,
+    dateline_vc_mask, dimension_ordered, negative_first_candidates, negative_first_route,
+    west_first_candidates, west_first_route, RouteTable,
 };
 use noc_network::Mesh;
+use proptest::prelude::*;
 
 #[test]
 fn dor_table_matches_function_on_mesh_and_torus() {
@@ -57,6 +63,93 @@ fn adaptive_table_matches_west_first_for_every_selector_class() {
             }
             // West-first is mesh-only: every VC is permitted.
             assert_eq!(table.vc_mask(node, dest), 0b11);
+        }
+    }
+}
+
+#[test]
+fn adaptive_table_matches_negative_first_in_three_dims() {
+    for mesh in [Mesh::new(3, 3), Mesh::new(4, 3), Mesh::new(5, 1)] {
+        let table = RouteTable::new(&mesh, RoutingAlgo::NegativeFirstAdaptive, 2);
+        for node in 0..mesh.nodes() {
+            for dest in 0..mesh.nodes() {
+                let cands = negative_first_candidates(&mesh, node, dest);
+                for selector in [0u64, 1, 2, 3, 4, u64::MAX] {
+                    assert_eq!(
+                        table.route(node, dest, selector),
+                        negative_first_route(&mesh, node, dest, selector),
+                        "{mesh} node {node} dest {dest} selector {selector} (cands {cands:?})"
+                    );
+                }
+                assert_eq!(table.vc_mask(node, dest), 0b11, "mesh masks are full");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The generalized table agrees with the definitional DOR function
+    /// entry by entry over random `(radix, dims, torus, vcs)` shapes —
+    /// the satellite guarantee that no shape-specific encoding bug hides
+    /// between the fixed grids above.
+    #[test]
+    fn dor_table_matches_function_over_random_shapes(
+        radix in 2usize..10,
+        dims in 1usize..4,
+        torus in any::<bool>(),
+        vcs in 2usize..5,
+    ) {
+        let mut mesh = Mesh::new(radix, dims);
+        if torus {
+            mesh = mesh.into_torus();
+        }
+        let table = RouteTable::new(&mesh, RoutingAlgo::DimensionOrdered, vcs);
+        for node in 0..mesh.nodes() {
+            for dest in 0..mesh.nodes() {
+                let port = dimension_ordered(&mesh, node, dest);
+                prop_assert_eq!(
+                    table.route(node, dest, 7),
+                    port,
+                    "{} node {} dest {}", mesh, node, dest
+                );
+                prop_assert_eq!(
+                    table.vc_mask(node, dest),
+                    dateline_vc_mask(&mesh, node, port, dest, vcs),
+                    "{} node {} dest {} mask", mesh, node, dest
+                );
+            }
+        }
+    }
+
+    /// Same entry-by-entry agreement for the adaptive turn models over
+    /// random mesh shapes (west-first where defined, negative-first
+    /// everywhere), across selector residues.
+    #[test]
+    fn adaptive_tables_match_functions_over_random_shapes(
+        radix in 2usize..8,
+        dims in 1usize..4,
+        selector in any::<u64>(),
+    ) {
+        let mesh = Mesh::new(radix, dims);
+        let nf = RouteTable::new(&mesh, RoutingAlgo::NegativeFirstAdaptive, 2);
+        let wf = (dims == 2).then(|| RouteTable::new(&mesh, RoutingAlgo::WestFirstAdaptive, 2));
+        for node in 0..mesh.nodes() {
+            for dest in 0..mesh.nodes() {
+                prop_assert_eq!(
+                    nf.route(node, dest, selector),
+                    negative_first_route(&mesh, node, dest, selector),
+                    "negative-first {} node {} dest {}", mesh, node, dest
+                );
+                if let Some(wf) = &wf {
+                    prop_assert_eq!(
+                        wf.route(node, dest, selector),
+                        west_first_route(&mesh, node, dest, selector),
+                        "west-first {} node {} dest {}", mesh, node, dest
+                    );
+                }
+            }
         }
     }
 }

@@ -7,7 +7,9 @@
 //! packet forever (the router asserts on it), and a non-productive or
 //! empty candidate set breaks minimal-routing termination.
 
-use noc_network::routing::{dateline_vc_mask, dimension_ordered, west_first_candidates};
+use noc_network::routing::{
+    dateline_vc_mask, dimension_ordered, negative_first_candidates, west_first_candidates,
+};
 use noc_network::Mesh;
 use proptest::prelude::*;
 
@@ -100,6 +102,73 @@ proptest! {
                         m.distance(next, dest) + 1,
                         m.distance(current, dest),
                         "non-minimal candidate {}->{} via port {}", current, dest, port
+                    );
+                }
+            }
+        }
+    }
+
+    /// Negative-first candidates exist for every (current, dest) pair on
+    /// a mesh of any dimension count, and every candidate makes minimal
+    /// progress — the n-D generalization of the west-first properties
+    /// above.
+    #[test]
+    fn negative_first_candidates_nonempty_and_minimal(
+        radix in 2usize..7,
+        dims in 1usize..4,
+    ) {
+        let m = Mesh::new(radix, dims);
+        for current in 0..m.nodes() {
+            for dest in 0..m.nodes() {
+                let cands = negative_first_candidates(&m, current, dest);
+                prop_assert!(!cands.is_empty(), "no candidates {current}->{dest}");
+                if current == dest {
+                    prop_assert_eq!(&cands, &vec![m.local_port()]);
+                    continue;
+                }
+                for &port in &cands {
+                    prop_assert_ne!(
+                        port, m.local_port(),
+                        "premature ejection {}->{}", current, dest
+                    );
+                    let next = m
+                        .neighbor(current, port)
+                        .expect("candidate leaves the mesh");
+                    prop_assert_eq!(
+                        m.distance(next, dest) + 1,
+                        m.distance(current, dest),
+                        "non-minimal candidate {}->{} via port {}", current, dest, port
+                    );
+                }
+            }
+        }
+    }
+
+    /// The negative-first invariant that makes the turn model
+    /// deadlock-free in any dimension count: while *any* dimension still
+    /// needs a negative correction, only negative-direction ports are
+    /// offered (no positive→negative turn can ever be needed).
+    #[test]
+    fn negative_first_exhausts_negative_hops_first(
+        radix in 2usize..7,
+        dims in 1usize..4,
+    ) {
+        let m = Mesh::new(radix, dims);
+        for current in 0..m.nodes() {
+            for dest in 0..m.nodes() {
+                let needs_negative = (0..dims)
+                    .any(|d| m.coord(dest, d) < m.coord(current, d));
+                let cands = negative_first_candidates(&m, current, dest);
+                if needs_negative {
+                    prop_assert!(
+                        cands.iter().all(|&p| p < m.local_port() && p % 2 == 1),
+                        "positive port offered while negative hops remain: \
+                         {current}->{dest} {cands:?}"
+                    );
+                } else if current != dest {
+                    prop_assert!(
+                        cands.iter().all(|&p| p < m.local_port() && p % 2 == 0),
+                        "negative port in positive phase: {current}->{dest} {cands:?}"
                     );
                 }
             }

@@ -118,6 +118,18 @@ fn steady_state_ticks_are_allocation_free() {
         RouterConfig::speculative(5, 2, 4).into_single_cycle(),
         "specVC single-cycle",
     );
+    // The 7-port shape of a 3-D mesh router: the zero-allocation
+    // guarantee must survive the dimension-generic topology stack, not
+    // just the paper's 5-port 2-D configuration.
+    assert_steady_state_tick_is_allocation_free(RouterConfig::wormhole(7, 8), "wormhole 7-port");
+    assert_steady_state_tick_is_allocation_free(
+        RouterConfig::virtual_channel(7, 2, 4),
+        "VC 7-port",
+    );
+    assert_steady_state_tick_is_allocation_free(
+        RouterConfig::speculative(7, 2, 4),
+        "specVC 7-port",
+    );
 
     // Counter sanity check (and the TraceSink gate's other half): the
     // same traffic through a router with tracing *enabled* does record —

@@ -195,6 +195,67 @@ fn engines_agree_with_adaptive_routing() {
     assert_equivalent("west-first", &cycle, &event);
 }
 
+/// The scale grid: 16×16 2-D and 4-ary 3-cube meshes and tori run
+/// bit-identically across all three engines (serial cycle-driven,
+/// serial event-driven, and sharded at 2 and 4 shards) — the new
+/// topologies the dimension-generic stack opens up get the same
+/// differential guarantee as the paper's 8×8 mesh.
+#[test]
+fn engines_agree_on_large_and_three_d_topologies() {
+    use peh_dally::noc_network::Mesh;
+    let spec = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    for (mesh, label) in [
+        (Mesh::new(16, 2), "16x16 mesh"),
+        (Mesh::new(16, 2).into_torus(), "16x16 torus"),
+        (Mesh::new(4, 3), "4-ary 3-mesh"),
+        (Mesh::new(4, 3).into_torus(), "4-ary 3-torus"),
+    ] {
+        let cfg = NetworkConfig::for_mesh(mesh, spec)
+            .with_injection(0.15)
+            .with_warmup(150)
+            .with_sample(150)
+            .with_max_cycles(40_000);
+        let (cycle, event) = run_both(cfg.clone());
+        assert_equivalent(label, &cycle, &event);
+        for shards in [2, 4] {
+            let sharded = run_sharded(cfg.clone(), shards);
+            let slabel = format!("{label} shards={shards}");
+            assert_equivalent(&slabel, &event, &sharded);
+            assert_eq!(
+                event.work.router_ticks, sharded.work.router_ticks,
+                "{slabel}: sharded engine must tick exactly the active set"
+            );
+        }
+    }
+}
+
+/// Negative-first adaptive routing (the n-D turn model) stays in
+/// lockstep on a 3-D mesh, across all three engines.
+#[test]
+fn engines_agree_with_negative_first_in_three_dims() {
+    use peh_dally::noc_network::config::RoutingAlgo;
+    use peh_dally::noc_network::Mesh;
+    let cfg = NetworkConfig::for_mesh(
+        Mesh::new(4, 3),
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_routing(RoutingAlgo::NegativeFirstAdaptive)
+    .with_injection(0.15)
+    .with_warmup(120)
+    .with_sample(100)
+    .with_max_cycles(40_000);
+    let (cycle, event) = run_both(cfg.clone());
+    assert_equivalent("negative-first 3-D", &cycle, &event);
+    let sharded = run_sharded(cfg, 3);
+    assert_equivalent("negative-first 3-D shards=3", &event, &sharded);
+}
+
 /// Whole sweeps agree point by point, and the event engine demonstrably
 /// skips work at low loads — the speedup is real, not incidental.
 #[test]
