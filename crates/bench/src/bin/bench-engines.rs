@@ -4,15 +4,19 @@
 //! `BENCH_hotpath.json`.
 //!
 //! Usage: `bench-engines [--json] [--loads 0.3,0.5] [--reps N]
-//! [--baseline PATH] [--threads N] [--scale 1,2,4]
+//! [--baseline PATH] [--threads N] [--scale 1,2,4] [--barrier spin|tree]
 //! [--mesh 8x8,4x4x4,16x16-torus]` (human-readable table by default).
 //!
 //! `--threads N` additionally times the sharded-parallel engine with `N`
 //! shards (verified bit-identical first, like the serial engines) and
-//! reports its per-phase breakdown including barrier wait; `--scale`
-//! runs a thread-scaling sweep over the listed shard counts per load.
-//! The JSON records `host_parallelism` so single-core results are
-//! recognizable as overhead measurements rather than scaling claims.
+//! reports its per-phase breakdown including barrier wait count and
+//! quiescence fast-forward; `--scale` runs a thread-scaling sweep over
+//! the listed shard counts per load; `--barrier` selects the gate
+//! implementation (central spin counter vs combining tree). The JSON
+//! records `host_parallelism` and flags each sharded row
+//! `"oversubscribed"` when the host has fewer cores than shards, so
+//! single-core results are recognizable as overhead measurements rather
+//! than scaling claims.
 //!
 //! `--mesh` selects the topology. One spec (e.g. `--mesh 16x16`) runs
 //! the normal load sweep on that mesh; *several* specs switch to the
@@ -37,7 +41,7 @@
 //!   current event engine over the baseline's `event_driven_ms` column.
 
 use noc_network::config::EngineKind;
-use noc_network::{Mesh, Network, NetworkConfig, PhaseNanos, RouterKind};
+use noc_network::{BarrierKind, Mesh, Network, NetworkConfig, PhaseNanos, RouterKind};
 use repro_bench::meta;
 use runqueue::{run_tasks, CancelToken, Task};
 use std::time::Instant;
@@ -58,6 +62,12 @@ struct ParallelPoint {
     shards: usize,
     ms: f64,
     phases: PhaseNanos,
+    /// Simulated cycles — the denominator of barrier waits per cycle.
+    cycles: u64,
+    /// True when the host has fewer cores than shards, so the timing
+    /// measures synchronization overhead under serialization, not
+    /// multi-core speedup.
+    oversubscribed: bool,
     /// `(shards, ms)` rows of the thread-scaling sweep (`--scale`).
     scaling: Vec<(usize, f64)>,
 }
@@ -77,7 +87,7 @@ impl Point {
     }
 }
 
-fn cfg(mesh: Mesh, load: f64) -> NetworkConfig {
+fn cfg(mesh: Mesh, load: f64, barrier: BarrierKind) -> NetworkConfig {
     NetworkConfig::for_mesh(
         mesh,
         RouterKind::SpeculativeVc {
@@ -89,15 +99,22 @@ fn cfg(mesh: Mesh, load: f64) -> NetworkConfig {
     .with_warmup(300)
     .with_sample(400)
     .with_max_cycles(60_000)
+    .with_barrier(barrier)
 }
 
 /// Returns `(ms per run, % of router ticks skipped, simulated cycles)`.
-fn time_engine(mesh: Mesh, load: f64, engine: EngineKind, reps: u32) -> (f64, f64, u64) {
+fn time_engine(
+    mesh: Mesh,
+    load: f64,
+    barrier: BarrierKind,
+    engine: EngineKind,
+    reps: u32,
+) -> (f64, f64, u64) {
     // Warm-up run (also produces the work counters).
-    let warm = Network::new(cfg(mesh, load).with_engine(engine)).run();
+    let warm = Network::new(cfg(mesh, load, barrier).with_engine(engine)).run();
     let start = Instant::now();
     for _ in 0..reps {
-        let r = Network::new(cfg(mesh, load).with_engine(engine)).run();
+        let r = Network::new(cfg(mesh, load, barrier).with_engine(engine)).run();
         assert_eq!(r.cycles, warm.cycles, "non-deterministic run");
     }
     let ms = start.elapsed().as_secs_f64() * 1_000.0 / f64::from(reps);
@@ -106,16 +123,20 @@ fn time_engine(mesh: Mesh, load: f64, engine: EngineKind, reps: u32) -> (f64, f6
 
 /// One instrumented run for phase attribution (separate from the timed
 /// runs: the clock reads would distort them).
-fn phase_profile(mesh: Mesh, load: f64, engine: EngineKind) -> PhaseNanos {
-    Network::new(cfg(mesh, load).with_engine(engine).with_phase_timing(true))
-        .run()
-        .phases
-        .expect("phase timing was enabled")
+fn phase_profile(mesh: Mesh, load: f64, barrier: BarrierKind, engine: EngineKind) -> PhaseNanos {
+    Network::new(
+        cfg(mesh, load, barrier)
+            .with_engine(engine)
+            .with_phase_timing(true),
+    )
+    .run()
+    .phases
+    .expect("phase timing was enabled")
 }
 
-fn verify_equivalence(mesh: Mesh, load: f64, threads: Option<usize>) {
-    let a = Network::new(cfg(mesh, load).with_engine(EngineKind::CycleDriven)).run();
-    let b = Network::new(cfg(mesh, load).with_engine(EngineKind::EventDriven)).run();
+fn verify_equivalence(mesh: Mesh, load: f64, barrier: BarrierKind, threads: Option<usize>) {
+    let a = Network::new(cfg(mesh, load, barrier).with_engine(EngineKind::CycleDriven)).run();
+    let b = Network::new(cfg(mesh, load, barrier).with_engine(EngineKind::EventDriven)).run();
     assert_eq!(a.cycles, b.cycles, "engines diverged at load {load}");
     assert_eq!(
         a.avg_latency.map(f64::to_bits),
@@ -124,7 +145,8 @@ fn verify_equivalence(mesh: Mesh, load: f64, threads: Option<usize>) {
     );
     assert_eq!(a.flits_ejected, b.flits_ejected);
     if let Some(shards) = threads {
-        let c = Network::new(cfg(mesh, load).with_engine(EngineKind::parallel(shards))).run();
+        let c =
+            Network::new(cfg(mesh, load, barrier).with_engine(EngineKind::parallel(shards))).run();
         assert_eq!(a.cycles, c.cycles, "sharded engine diverged at load {load}");
         assert_eq!(
             a.avg_latency.map(f64::to_bits),
@@ -194,6 +216,8 @@ struct Options {
     /// Shard counts for the thread-scaling sweep (implies `--threads`'s
     /// verification; empty = off).
     scale: Vec<usize>,
+    /// Gate barrier implementation for the sharded engine.
+    barrier: BarrierKind,
     /// `(spec, topology)` pairs from `--mesh`. One entry runs the load
     /// sweep on that topology; several switch to the scale series.
     meshes: Vec<(String, Mesh)>,
@@ -207,6 +231,7 @@ fn parse_args() -> Options {
         baseline: "BENCH_baseline.json".to_string(),
         threads: None,
         scale: Vec::new(),
+        barrier: BarrierKind::default(),
         meshes: vec![("8x8".to_string(), Mesh::new(8, 2))],
     };
     let mut args = std::env::args().skip(1);
@@ -257,6 +282,13 @@ fn parse_args() -> Options {
                     .map(|s| s.trim().parse().expect("bad shard count"))
                     .collect();
             }
+            "--barrier" => {
+                opts.barrier = match args.next().expect("--barrier needs spin|tree").as_str() {
+                    "spin" => BarrierKind::Spin,
+                    "tree" => BarrierKind::Tree,
+                    other => panic!("unknown barrier {other} (spin|tree)"),
+                };
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -273,16 +305,19 @@ fn parse_args() -> Options {
 /// Measures one load point end to end (equivalence check, serial
 /// timings, phase profile, optional sharded timings).
 fn measure_point(opts: &Options, baseline: &[(f64, f64)], mesh: Mesh, load: f64) -> Point {
-    verify_equivalence(mesh, load, opts.threads);
-    let (cycle_ms, _, _) = time_engine(mesh, load, EngineKind::CycleDriven, opts.reps);
-    let (event_ms, skipped, _) = time_engine(mesh, load, EngineKind::EventDriven, opts.reps);
-    let phases = phase_profile(mesh, load, EngineKind::EventDriven);
+    let barrier = opts.barrier;
+    verify_equivalence(mesh, load, barrier, opts.threads);
+    let (cycle_ms, _, _) = time_engine(mesh, load, barrier, EngineKind::CycleDriven, opts.reps);
+    let (event_ms, skipped, cycles) =
+        time_engine(mesh, load, barrier, EngineKind::EventDriven, opts.reps);
+    let phases = phase_profile(mesh, load, barrier, EngineKind::EventDriven);
     let parallel = opts.threads.map(|shards| {
         let scaling: Vec<(usize, f64)> = opts
             .scale
             .iter()
             .map(|&s| {
-                let (ms, _, _) = time_engine(mesh, load, EngineKind::parallel(s), opts.reps);
+                let (ms, _, _) =
+                    time_engine(mesh, load, barrier, EngineKind::parallel(s), opts.reps);
                 (s, ms)
             })
             .collect();
@@ -291,13 +326,24 @@ fn measure_point(opts: &Options, baseline: &[(f64, f64)], mesh: Mesh, load: f64)
         // reps × loads of wall-clock and emit two (noisy,
         // conflicting) numbers for one configuration.
         let ms = scaling.iter().find(|&&(s, _)| s == shards).map_or_else(
-            || time_engine(mesh, load, EngineKind::parallel(shards), opts.reps).0,
+            || time_engine(mesh, load, barrier, EngineKind::parallel(shards), opts.reps).0,
             |&(_, ms)| ms,
         );
+        let oversubscribed = meta::host_parallelism() < shards;
+        if oversubscribed {
+            eprintln!(
+                "warning: host has {} hardware threads but the sharded engine runs \
+                 {shards} shards — its timings measure synchronization overhead under \
+                 serialization, not multi-core speedup",
+                meta::host_parallelism()
+            );
+        }
         ParallelPoint {
             shards,
             ms,
-            phases: phase_profile(mesh, load, EngineKind::parallel(shards)),
+            phases: phase_profile(mesh, load, barrier, EngineKind::parallel(shards)),
+            cycles,
+            oversubscribed,
             scaling,
         }
     });
@@ -336,22 +382,48 @@ struct ScalePoint {
     cycle_ms: f64,
     event_ms: f64,
     sharded_ms: f64,
+    /// Instrumented sharded run: barrier waits and fast-forward counts.
+    sharded_phases: PhaseNanos,
 }
 
 fn run_scale_series(opts: &Options) {
     let shards = opts.threads.unwrap_or(2);
     let host = meta::host_parallelism();
+    let oversubscribed = host < shards;
+    if oversubscribed {
+        eprintln!(
+            "warning: host has {host} hardware threads but the sharded engine runs \
+             {shards} shards — its timings measure synchronization overhead under \
+             serialization, not multi-core speedup"
+        );
+    }
     let points: Vec<ScalePoint> = opts
         .meshes
         .iter()
         .map(|(label, mesh)| {
             let load = SCALE_CAPACITY_FRACTION * mesh.capacity_flits_per_node();
-            verify_equivalence(*mesh, load, Some(shards));
-            let (cycle_ms, _, cycles) =
-                time_engine(*mesh, load, EngineKind::CycleDriven, opts.reps);
-            let (event_ms, _, _) = time_engine(*mesh, load, EngineKind::EventDriven, opts.reps);
-            let (sharded_ms, _, _) =
-                time_engine(*mesh, load, EngineKind::parallel(shards), opts.reps);
+            verify_equivalence(*mesh, load, opts.barrier, Some(shards));
+            let (cycle_ms, _, cycles) = time_engine(
+                *mesh,
+                load,
+                opts.barrier,
+                EngineKind::CycleDriven,
+                opts.reps,
+            );
+            let (event_ms, _, _) = time_engine(
+                *mesh,
+                load,
+                opts.barrier,
+                EngineKind::EventDriven,
+                opts.reps,
+            );
+            let (sharded_ms, _, _) = time_engine(
+                *mesh,
+                load,
+                opts.barrier,
+                EngineKind::parallel(shards),
+                opts.reps,
+            );
             ScalePoint {
                 label: label.clone(),
                 mesh: *mesh,
@@ -360,6 +432,12 @@ fn run_scale_series(opts: &Options) {
                 cycle_ms,
                 event_ms,
                 sharded_ms,
+                sharded_phases: phase_profile(
+                    *mesh,
+                    load,
+                    opts.barrier,
+                    EngineKind::parallel(shards),
+                ),
             }
         })
         .collect();
@@ -385,8 +463,9 @@ fn run_scale_series(opts: &Options) {
         );
         println!(
             "  \"config\": {{\"capacity_fraction\": {SCALE_CAPACITY_FRACTION}, \
-             \"warmup\": 300, \"sample_packets\": 400, \"reps\": {}, \"shards\": {shards}}},",
-            opts.reps
+             \"warmup\": 300, \"sample_packets\": 400, \"reps\": {}, \"shards\": {shards}, \
+             \"barrier\": \"{}\"}},",
+            opts.reps, opts.barrier
         );
         println!("  \"host_parallelism\": {host},");
         if host < shards {
@@ -408,12 +487,15 @@ fn run_scale_series(opts: &Options) {
                     ms * 1e6 / (p.cycles as f64 * nodes as f64)
                 )
             };
+            let ph = &p.sharded_phases;
             println!(
                 "    {{\"mesh\": \"{}\", \"nodes\": {nodes}, \"dims\": {}, \"torus\": {}, \
                  \"offered_load\": {:.4}, \"cycles\": {}, \
                  \"cycle_driven\": {}, \"event_driven\": {}, \"sharded\": {}, \
                  \"event_speedup_vs_cycle\": {:.2}, \
-                 \"sharded_speedup_vs_event\": {:.2}}}{comma}",
+                 \"sharded_speedup_vs_event\": {:.2}, \
+                 \"oversubscribed\": {}, \"barrier_waits\": {}, \
+                 \"barrier_waits_per_cycle\": {:.3}, \"fast_forwarded_cycles\": {}}}{comma}",
                 p.label,
                 p.mesh.dims(),
                 p.mesh.is_torus(),
@@ -424,6 +506,10 @@ fn run_scale_series(opts: &Options) {
                 engine(p.sharded_ms),
                 p.cycle_ms / p.event_ms,
                 p.event_ms / p.sharded_ms,
+                oversubscribed,
+                ph.barrier_waits,
+                ph.barrier_waits as f64 / p.cycles.max(1) as f64,
+                ph.fast_forwarded,
             );
         }
         println!("  ]");
@@ -564,12 +650,20 @@ fn main() {
                 format!(
                     ", \"parallel\": {{\"shards\": {}, \"ms\": {:.2}, \
                      \"speedup_vs_event\": {:.2}{vs_baseline}, \
+                     \"oversubscribed\": {}, \"barrier\": \"{}\", \
+                     \"barrier_waits\": {}, \"barrier_waits_per_cycle\": {:.3}, \
+                     \"fast_forwarded_cycles\": {}, \
                      \"phase_pct\": {{\"delivery\": {:.1}, \"sources\": {:.1}, \
                      \"router_tick\": {:.1}, \"stats\": {:.1}, \
                      \"barrier\": {:.1}}}{scaling}}}",
                     pp.shards,
                     pp.ms,
                     p.event_ms / pp.ms,
+                    pp.oversubscribed,
+                    opts.barrier,
+                    ph.barrier_waits,
+                    ph.barrier_waits as f64 / pp.cycles.max(1) as f64,
+                    ph.fast_forwarded,
                     ph.pct(ph.delivery),
                     ph.pct(ph.sources),
                     ph.pct(ph.router),

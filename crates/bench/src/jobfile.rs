@@ -131,9 +131,8 @@ fn build_job(index: usize, t: &Table) -> Result<JobSpec<NetworkConfig>, String> 
     };
     let mut cfg = NetworkConfig::for_mesh(noc_network::Mesh::new(radix, dims), router);
     if get_bool(t, "torus", false)? {
-        if cfg.router.vcs() < 2 {
-            return Err("a torus needs a VC router with >= 2 VCs".into());
-        }
+        // A torus with < 2 VCs is rejected by the validate() backstop
+        // below (the dateline deadlock-avoidance error).
         cfg = cfg.into_torus();
     }
     let warmup = get_u64(t, "warmup", cfg.warmup_cycles)?;
@@ -175,6 +174,10 @@ fn build_job(index: usize, t: &Table) -> Result<JobSpec<NetworkConfig>, String> 
         Some(v) => v.as_num().ok_or("`priority` must be a number")?,
         None => 0.0,
     };
+    // Backstop: anything the simulator itself would reject must fail
+    // here, at parse time and naming the job — not cycles later inside
+    // a worker thread where the panic takes the whole batch down.
+    cfg.validate().map_err(|e| e.to_string())?;
     Ok(JobSpec::new(name, cfg.clone(), base_seed)
         .with_loads(loads)
         .with_reps(reps)
@@ -328,6 +331,13 @@ priority = 2.5
             (
                 "[[job]]\nloads = [0.1]\npattern = \"hotspot\"\nhotspot_node = 999\n",
                 "hotspot_node",
+            ),
+            // NetworkConfig::validate() failures surface at parse time
+            // with the job named, instead of panicking in a worker.
+            ("[[job]]\nloads = [0.1]\nmesh = 300\ndims = 1\n", "radix"),
+            (
+                "[[job]]\nloads = [0.1]\nvcs = 1\nrouter = \"vc\"\ntorus = true\n",
+                "dateline",
             ),
         ] {
             let f = spec::parse(body).expect(body);

@@ -37,6 +37,13 @@ impl ChannelLoad {
         self.cycles += 1;
     }
 
+    /// Advances the observation window by `n` cycles at once — used when
+    /// an engine fast-forwards a quiescent stretch (no flits crossed any
+    /// channel, so only the window length moves).
+    pub fn tick_n(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
     /// Cycles observed.
     #[must_use]
     pub fn cycles(&self) -> u64 {

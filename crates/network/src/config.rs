@@ -120,15 +120,17 @@ pub enum EngineKind {
     /// sweep, most routers are idle in most cycles).
     #[default]
     EventDriven,
-    /// Partition the mesh into contiguous shards and run each cycle as a
-    /// barrier-separated two-phase protocol: a parallel compute phase in
-    /// which every shard ticks its own (active-set) routers against an
-    /// immutable snapshot of cross-shard inputs, and a commit phase that
-    /// exchanges boundary flits/credits through preallocated
-    /// per-shard-pair mailboxes and merges measurement state in fixed
-    /// node order. Results are bit-identical to the serial engines for
-    /// any shard count and any thread schedule (see
-    /// [`crate::shard`]).
+    /// Partition the mesh into contiguous shards and run lockstep rounds
+    /// of **one** gate-barrier episode each: while the workers are
+    /// parked at the gate, the coordinator commits measurement state in
+    /// fixed node order and decides whether globally quiescent cycles
+    /// can be fast-forwarded (every shard votes its earliest future
+    /// work); the released round then runs delivery, sources, and router
+    /// ticks as one fused parallel phase, exchanging boundary
+    /// flits/credits through preallocated per-shard-pair mailboxes
+    /// stamped at emission time. Results are bit-identical to the serial
+    /// engines for any shard count, thread schedule, and
+    /// [`BarrierKind`] (see [`crate::shard`]).
     ParallelShards {
         /// Worker shards (≥ 1; clamped to the node count). Each shard
         /// runs on its own thread during [`crate::sim::Network::run`].
@@ -160,6 +162,35 @@ impl fmt::Display for EngineKind {
             EngineKind::CycleDriven => write!(f, "cycle-driven"),
             EngineKind::EventDriven => write!(f, "event-driven"),
             EngineKind::ParallelShards { shards } => write!(f, "parallel-shards({shards})"),
+        }
+    }
+}
+
+/// Which barrier implementation synchronizes the sharded-parallel
+/// engine's per-cycle gate. Purely a performance knob: results are
+/// bit-identical for either kind (enforced by
+/// `tests/engine_equivalence.rs`), so it is excluded from
+/// [`crate::orchestrate`]'s config hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierKind {
+    /// A single shared arrival counter with sense reversal. O(parties)
+    /// contention on one cache line per episode; fastest at small shard
+    /// counts.
+    #[default]
+    Spin,
+    /// A sense-reversing combining tree: each party spins on its own
+    /// flag and arrivals propagate up a binary tree, so no cache line is
+    /// contended by more than a constant number of parties. Wins when
+    /// shard counts grow past the point where the shared counter
+    /// serializes.
+    Tree,
+}
+
+impl fmt::Display for BarrierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BarrierKind::Spin => write!(f, "spin"),
+            BarrierKind::Tree => write!(f, "tree"),
         }
     }
 }
@@ -277,6 +308,10 @@ pub struct NetworkConfig {
     /// Simulation engine (cycle-driven reference or the event-driven
     /// active-set engine; results are identical).
     pub engine: EngineKind,
+    /// Barrier implementation for the sharded-parallel engine's
+    /// per-cycle gate (ignored by the serial engines; results are
+    /// identical for either kind).
+    pub barrier: BarrierKind,
     /// Router microarchitecture.
     pub router: RouterKind,
     /// Use single-cycle ("unit latency") routers instead of the pipelined
@@ -333,6 +368,7 @@ impl NetworkConfig {
             mesh,
             routing: RoutingAlgo::DimensionOrdered,
             engine: EngineKind::default(),
+            barrier: BarrierKind::default(),
             router,
             single_cycle: false,
             link_delay: 1,
@@ -406,6 +442,15 @@ impl NetworkConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the barrier implementation for the sharded-parallel
+    /// engine's per-cycle gate. Results do not depend on the choice (see
+    /// [`BarrierKind`]); synchronization cost does.
+    #[must_use]
+    pub fn with_barrier(mut self, barrier: BarrierKind) -> Self {
+        self.barrier = barrier;
         self
     }
 
@@ -738,6 +783,16 @@ mod tests {
             .with_routing(RoutingAlgo::DimensionOrdered)
             .into_torus();
         assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn barrier_kind_defaults_to_spin_and_builds() {
+        let cfg = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 });
+        assert_eq!(cfg.barrier, BarrierKind::Spin);
+        let cfg = cfg.with_barrier(BarrierKind::Tree);
+        assert_eq!(cfg.barrier, BarrierKind::Tree);
+        assert_eq!(BarrierKind::Spin.to_string(), "spin");
+        assert_eq!(BarrierKind::Tree.to_string(), "tree");
     }
 
     #[test]

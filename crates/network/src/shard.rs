@@ -2,66 +2,118 @@
 //!
 //! The [`crate::config::EngineKind::ParallelShards`] engine partitions the
 //! mesh's routers into contiguous per-thread shards
-//! ([`crate::topology::Mesh::shard_ranges`]) and executes every cycle as a
-//! barrier-separated protocol whose results are **bit-identical** to the
-//! serial event-driven engine for any shard count and any thread
-//! schedule:
+//! ([`crate::topology::Mesh::shard_ranges`]) and executes the simulation
+//! in lockstep rounds whose results are **bit-identical** to the serial
+//! engines for any shard count and any thread schedule. Each round is one
+//! *gate* barrier episode followed by one fused compute phase:
 //!
-//! 1. **Deliver** (parallel) — each shard drains the flit/credit pipe
-//!    deliveries due on its own wheel. Flits land in the shard's own
-//!    routers; credits whose upstream lives in another shard are staged
-//!    in a per-shard-pair mailbox instead of written cross-shard. Then
-//!    the shard steps its own sources, recording created packet ids (in
-//!    node order) for the serial commit.
-//! 2. **Tick** (parallel, after a barrier) — each shard applies the
-//!    credit mailboxes addressed to it (credit delivery commutes: it only
-//!    increments counters) and ticks its active routers in node order
-//!    against an immutable snapshot of cross-shard inputs. Departures to
-//!    a neighbor in another shard are staged in a flit mailbox; tail
-//!    ejections, channel-load events, and ejection counts are recorded
-//!    per shard in node order.
-//! 3. **Apply + commit** (after a barrier) — each shard pushes the flit
-//!    mailboxes addressed to it into its own delivery pipes (same-cycle
-//!    pushes deliver next cycle at the earliest, so ordering within the
-//!    phase is irrelevant), while the coordinating thread replays every
-//!    order-sensitive accumulation **serially in fixed node order**:
-//!    sample tagging from the created lists, then latency / histogram /
-//!    channel-load updates from the ejection records. Per-shard state is
-//!    merged in node order, never in thread-completion order, so the
-//!    floating-point accumulators see exactly the serial engine's sample
-//!    sequence.
+//! 1. **Gate** — workers arrive and block; the coordinator waits for
+//!    them, then runs the serial section alone: it commits the previous
+//!    cycle's measurement records **in fixed node order** (sample
+//!    tagging, then the floating-point latency / histogram /
+//!    channel-load accumulators — the only order-sensitive state, which
+//!    never leaves this section), evaluates the stop condition, and
+//!    decides whether the next cycles can be **fast-forwarded**: every
+//!    shard votes (via a `fetch_min` register) the earliest future cycle
+//!    at which it has any work — pending wheel deliveries, staged
+//!    boundary mail, active routers, or a source about to cross its
+//!    injection threshold — and when the minimum lies beyond the next
+//!    cycle, the skipped cycles are provably no-ops for *every* shard
+//!    and are elided exactly the way the serial event engine elides
+//!    quiescent-router ticks. The gate is either a central
+//!    sense-reversing spin barrier or a sense-reversing combining tree
+//!    ([`crate::config::BarrierKind`]); both spin briefly then yield.
+//! 2. **Fused compute** (parallel, no internal barrier) — each shard:
+//!    applies the boundary flits and credits other shards published
+//!    *last* round (flits are pushed into the shard's own delay pipes
+//!    with their original emission cycle; credits carry an absolute due
+//!    cycle and sit on a private `remote_credits` wheel until it
+//!    arrives), drains its own wheel's due deliveries, steps its sources
+//!    in node order, and ticks its active routers in node order.
+//!    Departures and credits bound for another shard are staged in
+//!    per-shard-pair mailboxes **at emission time** — tagged with enough
+//!    timing (`FlitMsg::at`, `CreditMsg::due`) that the receiver can
+//!    apply them a full round later without any mid-cycle exchange
+//!    barrier. Tail ejections, channel-load events, and created packet
+//!    ids are recorded per shard in node order for the next gate's
+//!    serial commit.
 //!
 //! Why this is bit-identical: within one cycle the serial engine's
 //! delivery operations commute (disjoint queues and counters — the same
-//! argument the event engine rests on), sources interact with nothing but
-//! their own state and their own injection pipe, and routers only
-//! interact through pipes with ≥ 1 cycle of latency. The only
-//! order-sensitive state — the global tagging counter and the
+//! argument the event engine rests on), credit application commutes
+//! (pure counter increments) and lands in the same cycle it would have
+//! under the serial engine (the staged `due` cycle *is* the serial
+//! delivery cycle), sources interact with nothing but their own state
+//! and their own injection pipe, and routers only interact through
+//! pipes with ≥ 1 cycle of latency. Fast-forwarded cycles are cycles in
+//! which no shard would deliver, inject, or tick anything — sources
+//! advance their fractional accumulators by pure repeated addition
+//! ([`Source::fast_forward`]), exactly the operations the skipped steps
+//! would have performed, so even the floating-point state is identical.
+//! The only order-sensitive state — the global tagging counter and the
 //! floating-point latency accumulators — never leaves the serial commit.
 //!
-//! Everything here is allocation-free in steady state: mailboxes, wheels,
-//! scratch buffers, and the per-cycle record vectors are retained and
-//! reach a fixed capacity after warm-up (enforced by
+//! Everything here is allocation-free in steady state: mailboxes,
+//! wheels, scratch buffers, and the per-cycle record vectors are
+//! retained and reach a fixed capacity after warm-up (enforced by
 //! `crates/network/tests/alloc_free_parallel.rs`).
 
+use crate::config::BarrierKind;
 use crate::routing::RouteTable;
 use crate::sim::{Delivery, NodeOracle};
 use crate::source::{Source, SourceStep};
 use crate::topology::Mesh;
 use crate::traffic::TrafficPattern;
 use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, TickOutput};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
-/// A reusable spin-then-yield barrier for the per-cycle phase lockstep.
+/// Cap on how far ahead one quiescence vote scans a source's injection
+/// accumulator ([`Source::quiet_horizon`]). Bounds the per-vote cost on
+/// near-zero-rate sources; a longer quiet stretch is simply covered by
+/// several consecutive fast-forwards, each re-voted after one executed
+/// cycle.
+pub(crate) const SRC_SCAN_CAP: u64 = 4096;
+
+/// The message every stalled waiter dies with when a sibling shard
+/// panics — one clear failure instead of a cascade of unrelated
+/// mutex-poisoning panics.
+const SIBLING_PANIC: &str = "a sibling shard panicked; abandoning the cycle lockstep";
+
+/// Locks a mailbox (or shard-out record), converting mutex poisoning —
+/// a sibling shard panicked while holding the lock — into the same
+/// single clear failure the barrier's poison path produces, instead of
+/// a generic `PoisonError` unwrap that buries the original panic.
+pub(crate) fn lock_mailbox<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|_| panic!("{SIBLING_PANIC}"))
+}
+
+/// Spins briefly, then yields (the yield fallback keeps oversubscribed
+/// configurations — more shards than cores — live instead of burning a
+/// core per waiter).
+#[inline]
+fn spin_or_yield(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 128 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A reusable leader-gate built on a central sense-reversing counter.
+///
+/// The protocol is asymmetric: workers [`SpinBarrier::arrive`] and
+/// block; the leader [`SpinBarrier::wait_followers`], runs its serial
+/// section while everyone is parked, then [`SpinBarrier::release`]s.
+/// One episode per simulated cycle replaces the previous engine's three
+/// symmetric barrier waits.
 ///
 /// `std::sync::Barrier` parks threads on a futex; at the microsecond
 /// cycle times of this simulator the wake-up latency would dominate the
-/// compute phase, so arrivals spin briefly before yielding (the yield
-/// fallback keeps oversubscribed configurations — more shards than
-/// cores — live instead of burning a core per waiter).
+/// compute phase, so arrivals spin briefly before yielding.
 ///
-/// The barrier is *poisonable*: a shard that panics mid-phase poisons it
+/// The gate is *poisonable*: a shard that panics mid-phase poisons it
 /// from a drop guard, and every waiter converts the poison into its own
 /// panic instead of deadlocking the lockstep.
 #[derive(Debug)]
@@ -74,7 +126,7 @@ pub(crate) struct SpinBarrier {
 
 impl SpinBarrier {
     pub(crate) fn new(parties: usize) -> Self {
-        assert!(parties >= 1, "a barrier needs at least one party");
+        assert!(parties >= 1, "a gate needs at least one party");
         SpinBarrier {
             parties,
             arrived: AtomicUsize::new(0),
@@ -83,48 +135,181 @@ impl SpinBarrier {
         }
     }
 
-    /// Marks the barrier dead; every current and future waiter panics.
-    pub(crate) fn poison(&self) {
+    fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
     }
 
     fn check_poison(&self) {
-        assert!(
-            !self.poisoned.load(Ordering::Acquire),
-            "a sibling shard panicked; abandoning the cycle lockstep"
-        );
+        assert!(!self.poisoned.load(Ordering::Acquire), "{SIBLING_PANIC}");
     }
 
-    /// Blocks until all parties have arrived at this generation.
-    pub(crate) fn wait(&self) {
+    /// Worker side: signals arrival and blocks until the leader releases
+    /// this episode.
+    fn arrive(&self) {
         self.check_poison();
         let generation = self.generation.load(Ordering::Acquire);
-        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
-            // Last arriver releases the generation; resetting `arrived`
-            // first is safe because nobody re-enters until they observe
-            // the new generation (which happens-after both stores).
-            self.arrived.store(0, Ordering::Release);
-            self.generation
-                .store(generation.wrapping_add(1), Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == generation {
-                self.check_poison();
-                spins += 1;
-                if spins < 128 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            self.check_poison();
+            spin_or_yield(&mut spins);
         }
-        self.check_poison();
+    }
+
+    /// Leader side: blocks until every worker has arrived (and parked).
+    fn wait_followers(&self) {
+        let mut spins = 0u32;
+        while self.arrived.load(Ordering::Acquire) != self.parties - 1 {
+            self.check_poison();
+            spin_or_yield(&mut spins);
+        }
+    }
+
+    /// Leader side: opens the gate. Everything the leader wrote in its
+    /// serial section happens-before the workers' post-arrive reads.
+    fn release(&self) {
+        self.arrived.store(0, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::AcqRel);
     }
 }
 
-/// Poisons the barrier if the holder unwinds, so sibling shards panic
-/// out of their waits instead of spinning forever.
-pub(crate) struct PoisonGuard<'a>(pub &'a SpinBarrier);
+/// A leader-gate built on a sense-reversing combining tree: arrivals
+/// propagate up a binary tree of per-party flags (parent of `i` is
+/// `(i − 1) / 2`; the leader, party 0, is the root), so no cache line is
+/// written by more than a constant number of parties per episode —
+/// unlike the central counter, whose single line every party contends
+/// on. Release is a single sense flag every parked worker reads.
+#[derive(Debug)]
+pub(crate) struct TreeBarrier {
+    parties: usize,
+    /// `ready[i]` is set by party `i ≥ 1` once its whole subtree has
+    /// arrived this episode; sense-encoded, so it never needs resetting.
+    ready: Vec<AtomicBool>,
+    /// Per-party local sense; `sense[i]` is written only by party `i`.
+    sense: Vec<AtomicBool>,
+    /// Global release flag, flipped to the episode's sense by the leader.
+    release: AtomicBool,
+    poisoned: AtomicBool,
+}
+
+impl TreeBarrier {
+    pub(crate) fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "a gate needs at least one party");
+        TreeBarrier {
+            parties,
+            ready: (0..parties).map(|_| AtomicBool::new(false)).collect(),
+            sense: (0..parties).map(|_| AtomicBool::new(false)).collect(),
+            release: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn check_poison(&self) {
+        assert!(!self.poisoned.load(Ordering::Acquire), "{SIBLING_PANIC}");
+    }
+
+    /// Waits until both children of `party` (if any) have posted this
+    /// episode's sense.
+    fn gather_children(&self, party: usize, episode_sense: bool) {
+        for child in [2 * party + 1, 2 * party + 2] {
+            if child >= self.parties {
+                break;
+            }
+            let mut spins = 0u32;
+            while self.ready[child].load(Ordering::Acquire) != episode_sense {
+                self.check_poison();
+                spin_or_yield(&mut spins);
+            }
+        }
+    }
+
+    /// Worker side (`party ≥ 1`): combines its subtree's arrival up the
+    /// tree, then blocks on the release flag.
+    fn arrive(&self, party: usize) {
+        self.check_poison();
+        let s = !self.sense[party].load(Ordering::Relaxed);
+        self.gather_children(party, s);
+        self.ready[party].store(s, Ordering::Release);
+        let mut spins = 0u32;
+        while self.release.load(Ordering::Acquire) != s {
+            self.check_poison();
+            spin_or_yield(&mut spins);
+        }
+        self.sense[party].store(s, Ordering::Relaxed);
+    }
+
+    /// Leader side: blocks until the root's children report their
+    /// subtrees complete — i.e. every worker has arrived.
+    fn wait_followers(&self) {
+        let s = !self.sense[0].load(Ordering::Relaxed);
+        self.gather_children(0, s);
+    }
+
+    /// Leader side: opens the gate by flipping the release sense.
+    fn release(&self) {
+        let s = !self.sense[0].load(Ordering::Relaxed);
+        self.sense[0].store(s, Ordering::Relaxed);
+        self.release.store(s, Ordering::Release);
+    }
+}
+
+/// The per-cycle gate, behind one interface so
+/// [`crate::config::BarrierKind`] can swap implementations without the
+/// engine caring.
+#[derive(Debug)]
+pub(crate) enum Gate {
+    Spin(SpinBarrier),
+    Tree(TreeBarrier),
+}
+
+impl Gate {
+    pub(crate) fn new(kind: BarrierKind, parties: usize) -> Self {
+        match kind {
+            BarrierKind::Spin => Gate::Spin(SpinBarrier::new(parties)),
+            BarrierKind::Tree => Gate::Tree(TreeBarrier::new(parties)),
+        }
+    }
+
+    /// Marks the gate dead; every current and future waiter panics.
+    pub(crate) fn poison(&self) {
+        match self {
+            Gate::Spin(b) => b.poison(),
+            Gate::Tree(b) => b.poison(),
+        }
+    }
+
+    /// Worker side: arrive and block until released.
+    pub(crate) fn arrive(&self, party: usize) {
+        match self {
+            Gate::Spin(b) => b.arrive(),
+            Gate::Tree(b) => b.arrive(party),
+        }
+    }
+
+    /// Leader side: block until all workers are parked at the gate.
+    pub(crate) fn wait_followers(&self) {
+        match self {
+            Gate::Spin(b) => b.wait_followers(),
+            Gate::Tree(b) => b.wait_followers(),
+        }
+    }
+
+    /// Leader side: open the gate.
+    pub(crate) fn release(&self) {
+        match self {
+            Gate::Spin(b) => b.release(),
+            Gate::Tree(b) => b.release(),
+        }
+    }
+}
+
+/// Poisons the gate if the holder unwinds, so sibling shards panic out
+/// of their waits instead of spinning forever.
+pub(crate) struct PoisonGuard<'a>(pub &'a Gate);
 
 impl Drop for PoisonGuard<'_> {
     fn drop(&mut self) {
@@ -134,29 +319,70 @@ impl Drop for PoisonGuard<'_> {
     }
 }
 
+/// The coordination state shared by the leader and every worker: the
+/// gate plus the broadcast (stop / fast-forward target) and gather
+/// (quiescence vote) registers around it.
+#[derive(Debug)]
+pub(crate) struct Lockstep {
+    pub(crate) gate: Gate,
+    /// Leader → workers: wind down and return.
+    pub(crate) stop: AtomicBool,
+    /// Leader → workers: the cycle to resume execution at. Equal to the
+    /// worker's own cycle counter when no fast-forward was granted;
+    /// greater when the skipped cycles should be fast-forwarded instead
+    /// of executed.
+    pub(crate) skip_to: AtomicU64,
+    /// Workers → leader: `fetch_min` of every shard's earliest future
+    /// cycle with work. Read and reset by the leader at the gate.
+    pub(crate) next_work: AtomicU64,
+}
+
+impl Lockstep {
+    pub(crate) fn new(kind: BarrierKind, parties: usize, start: u64) -> Self {
+        Lockstep {
+            gate: Gate::new(kind, parties),
+            stop: AtomicBool::new(false),
+            skip_to: AtomicU64::new(start),
+            next_work: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Leader side: takes the round's combined vote and resets the
+    /// register for the next one.
+    pub(crate) fn take_vote(&self) -> u64 {
+        self.next_work.swap(u64::MAX, Ordering::AcqRel)
+    }
+}
+
 /// A flit crossing a shard boundary: deliver `flit` into input
-/// `(node, port)` of the receiving shard.
+/// `(node, port)` of the receiving shard, emitted during cycle `at`
+/// (the receiver pushes it into its own delay pipe with that original
+/// timestamp, so it arrives at `at + 1 + link_delay` exactly as a
+/// same-shard departure would).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FlitMsg {
     pub node: u32,
     pub port: u8,
     pub flit: Flit,
+    pub at: u64,
 }
 
 /// A credit crossing a shard boundary: return one credit for output
-/// `(node, port)`, VC `vc`, of the receiving shard.
+/// `(node, port)`, VC `vc`, of the receiving shard at cycle `due` — the
+/// same cycle the serial engine's credit pipe would have delivered it.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct CreditMsg {
     pub node: u32,
     pub port: u8,
     pub vc: u32,
+    pub due: u64,
 }
 
-/// Preallocated per-shard-pair mailboxes. Slot `(from, to)` is written by
-/// shard `from` at the end of its compute phase and drained by shard `to`
-/// in the following phase; the barrier between the two keeps every lock
-/// uncontended, and the retained `Vec`s make the exchange allocation-free
-/// once capacities plateau.
+/// Preallocated per-shard-pair mailboxes. Slot `(from, to)` is written
+/// by shard `from` at the end of its fused compute phase and drained by
+/// shard `to` at the start of its next one; the gate between rounds
+/// keeps every lock uncontended, and the retained `Vec`s make the
+/// exchange allocation-free once capacities plateau.
 #[derive(Debug)]
 pub(crate) struct Mailboxes {
     shards: usize,
@@ -179,6 +405,16 @@ impl Mailboxes {
 
     pub(crate) fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Boundary flits currently staged (emitted but not yet applied by
+    /// their receiving shard). They live here across a cycle boundary,
+    /// so flit conservation must count them as in flight.
+    pub(crate) fn staged_flits(&self) -> u64 {
+        self.flits
+            .iter()
+            .map(|m| lock_mailbox(m).len() as u64)
+            .sum()
     }
 
     fn flit_slot(&self, from: usize, to: usize) -> &Mutex<Vec<FlitMsg>> {
@@ -213,12 +449,24 @@ pub(crate) struct ShardOut {
 pub(crate) struct ShardAux {
     /// Scheduled pipe deliveries for this shard's nodes.
     pub wheel: EventWheel<Delivery>,
+    /// Cross-shard credits received by mail, parked until their due
+    /// cycle (the wheel indexes them by `CreditMsg::due`).
+    pub remote_credits: EventWheel<CreditMsg>,
     /// Reused router tick output buffer.
     pub tick_buf: TickOutput,
     /// Reused source step buffer.
     pub step_buf: SourceStep,
     /// Router ticks executed by this shard (work accounting).
     pub router_ticks: u64,
+    /// Cached earliest cycle at which one of this shard's sources can
+    /// cross its injection threshold; valid until reached (a quiet
+    /// source's crossing schedule is pure accumulator arithmetic, so it
+    /// cannot move earlier). Recomputed lazily by [`ShardCtx::vote`].
+    src_next: u64,
+    /// Whether this cycle's tick left any router active.
+    busy: bool,
+    /// Whether this cycle staged any outbound boundary mail.
+    sent_mail: bool,
     /// Outbound flit staging, one buffer per destination shard.
     out_flits: Vec<Vec<FlitMsg>>,
     /// Outbound credit staging, one buffer per destination shard.
@@ -229,9 +477,13 @@ impl ShardAux {
     pub(crate) fn new(shards: usize, horizon: u64) -> Self {
         ShardAux {
             wheel: EventWheel::new(horizon),
+            remote_credits: EventWheel::new(horizon),
             tick_buf: TickOutput::default(),
             step_buf: SourceStep::default(),
             router_ticks: 0,
+            src_next: 0,
+            busy: false,
+            sent_mail: false,
             out_flits: (0..shards).map(|_| Vec::new()).collect(),
             out_credits: (0..shards).map(|_| Vec::new()).collect(),
         }
@@ -311,10 +563,53 @@ pub(crate) struct ShardCtx<'a> {
 }
 
 impl ShardCtx<'_> {
+    /// Phase 0: applies the boundary mail other shards published last
+    /// round. Flits are pushed into this shard's own delay pipes with
+    /// their original emission cycle (`FlitMsg::at`), so they deliver at
+    /// exactly the cycle a same-shard departure would have; credits are
+    /// parked on the `remote_credits` wheel by their absolute due cycle,
+    /// and the ones due *this* cycle are applied (pure commuting counter
+    /// increments — the serial engine applies them in its delivery
+    /// phase of the same cycle).
+    pub(crate) fn begin_cycle(&mut self, env: &ShardEnv<'_>, now: u64) {
+        for from in 0..env.mail.shards() {
+            if from == self.idx {
+                continue;
+            }
+            let mut slot = lock_mailbox(env.mail.flit_slot(from, self.idx));
+            for m in slot.drain(..) {
+                let i = m.node as usize - self.lo;
+                self.flit_in[i][m.port as usize].push(m.at, m.flit);
+                self.aux.wheel.schedule(
+                    m.at + 1 + env.link_delay,
+                    Delivery {
+                        node: m.node,
+                        port: m.port,
+                        credit: false,
+                    },
+                );
+            }
+            let mut slot = lock_mailbox(env.mail.credit_slot(from, self.idx));
+            for m in slot.drain(..) {
+                self.aux.remote_credits.schedule(m.due, m);
+            }
+        }
+        let mut due = self.aux.remote_credits.take_due(now);
+        for m in due.drain(..) {
+            self.routers[m.node as usize - self.lo].accept_credit(
+                m.port as usize,
+                m.vc as usize,
+                now,
+            );
+        }
+        self.aux.remote_credits.restore(now, due);
+    }
+
     /// Phase 1a: drains every pipe delivery due at `now` on this shard's
-    /// wheel. Mirrors the serial engines' delivery phase; credits whose
-    /// upstream lives in another shard are staged for that shard's
-    /// mailbox (flushed here, applied by the owner before it ticks).
+    /// wheel. Mirrors the serial engines' delivery phase. Every credit
+    /// pipe drained here has a same-shard upstream (or the local
+    /// source) — cross-shard credits travel by mailbox at emission time
+    /// and never enter these pipes.
     pub(crate) fn phase_deliver(&mut self, env: &ShardEnv<'_>, now: u64) {
         let mesh = env.mesh;
         let local = mesh.local_port();
@@ -331,17 +626,15 @@ impl ShardCtx<'_> {
                         let upstream = mesh
                             .neighbor(node, port)
                             .expect("credit on an unwired port");
-                        let out_port = mesh.opposite(port);
-                        let owner = env.node_shard[upstream] as usize;
-                        if owner == self.idx {
-                            self.routers[upstream - self.lo].accept_credit(out_port, vc, now);
-                        } else {
-                            self.aux.out_credits[owner].push(CreditMsg {
-                                node: upstream as u32,
-                                port: out_port as u8,
-                                vc: vc as u32,
-                            });
-                        }
+                        debug_assert_eq!(
+                            env.node_shard[upstream] as usize, self.idx,
+                            "cross-shard credit leaked into a credit pipe"
+                        );
+                        self.routers[upstream - self.lo].accept_credit(
+                            mesh.opposite(port),
+                            vc,
+                            now,
+                        );
                     }
                 }
             } else {
@@ -352,18 +645,6 @@ impl ShardCtx<'_> {
             }
         }
         self.aux.wheel.restore(now, due);
-
-        // Publish staged credits for the owning shards' tick phase.
-        for to in 0..env.mail.shards() {
-            if to != self.idx && !self.aux.out_credits[to].is_empty() {
-                let mut slot = env
-                    .mail
-                    .credit_slot(self.idx, to)
-                    .lock()
-                    .expect("mailbox poisoned");
-                slot.extend(self.aux.out_credits[to].drain(..));
-            }
-        }
     }
 
     /// Phase 1b: steps this shard's sources in node order, recording the
@@ -372,7 +653,7 @@ impl ShardCtx<'_> {
         let mesh = env.mesh;
         let local = mesh.local_port();
         let mut step = std::mem::take(&mut self.aux.step_buf);
-        let mut out = env.outs[self.idx].lock().expect("shard out poisoned");
+        let mut out = lock_mailbox(&env.outs[self.idx]);
         for i in 0..self.sources.len() {
             self.sources[i].step_into(now, &mesh, env.pattern, &mut step);
             out.created.extend_from_slice(&step.created);
@@ -392,37 +673,18 @@ impl ShardCtx<'_> {
         self.aux.step_buf = step;
     }
 
-    /// Phase 2: applies inbound credit mailboxes, then ticks this shard's
-    /// active routers in node order. Cross-shard departures are staged in
-    /// the flit mailboxes; ejections and channel-load events are recorded
-    /// for the serial commit.
+    /// Phase 2: ticks this shard's active routers in node order.
+    /// Cross-shard departures and credits are staged in the mailboxes at
+    /// emission time (tagged with their emission/due cycle); ejections
+    /// and channel-load events are recorded for the serial commit.
     pub(crate) fn phase_tick(&mut self, env: &ShardEnv<'_>, now: u64) {
         let mesh = env.mesh;
         let local = mesh.local_port();
-
-        // Credits staged by other shards during their delivery phase.
-        // Application order is irrelevant (pure counter increments), but
-        // iterate in shard order anyway for a deterministic trace.
-        for from in 0..env.mail.shards() {
-            if from == self.idx {
-                continue;
-            }
-            let mut slot = env
-                .mail
-                .credit_slot(from, self.idx)
-                .lock()
-                .expect("mailbox poisoned");
-            for m in slot.drain(..) {
-                self.routers[m.node as usize - self.lo].accept_credit(
-                    m.port as usize,
-                    m.vc as usize,
-                    now,
-                );
-            }
-        }
+        self.aux.busy = false;
+        self.aux.sent_mail = false;
 
         let mut buf = std::mem::take(&mut self.aux.tick_buf);
-        let mut out = env.outs[self.idx].lock().expect("shard out poisoned");
+        let mut out = lock_mailbox(&env.outs[self.idx]);
         for i in 0..self.routers.len() {
             if !self.active[i] {
                 continue;
@@ -459,70 +721,114 @@ impl ShardCtx<'_> {
                             node: next as u32,
                             port: in_port as u8,
                             flit: dep.flit,
+                            at: now,
                         });
                     }
                 }
             }
             for c in buf.credits.drain(..) {
-                self.credit_back[i][c.in_port].push(now, c.vc);
-                self.aux.wheel.schedule(
-                    now + 1 + env.credit_latency,
-                    Delivery {
-                        node: node as u32,
-                        port: c.in_port as u8,
-                        credit: true,
-                    },
-                );
+                let upstream = (c.in_port != local).then(|| {
+                    mesh.neighbor(node, c.in_port)
+                        .expect("credit on an unwired port")
+                });
+                let owner = upstream.map_or(self.idx, |up| env.node_shard[up] as usize);
+                if owner == self.idx {
+                    self.credit_back[i][c.in_port].push(now, c.vc);
+                    self.aux.wheel.schedule(
+                        now + 1 + env.credit_latency,
+                        Delivery {
+                            node: node as u32,
+                            port: c.in_port as u8,
+                            credit: true,
+                        },
+                    );
+                } else {
+                    self.aux.out_credits[owner].push(CreditMsg {
+                        node: upstream.expect("cross-shard credit has an upstream") as u32,
+                        port: mesh.opposite(c.in_port) as u8,
+                        vc: c.vc as u32,
+                        due: now + 1 + env.credit_latency,
+                    });
+                }
             }
             if self.routers[i].is_quiescent() {
                 self.active[i] = false;
+            } else {
+                self.aux.busy = true;
             }
         }
         drop(out);
         self.aux.tick_buf = buf;
 
-        // Publish staged boundary flits for the owners' apply phase.
+        // Publish staged boundary mail for the owners' next begin phase.
         for to in 0..env.mail.shards() {
-            if to != self.idx && !self.aux.out_flits[to].is_empty() {
-                let mut slot = env
-                    .mail
-                    .flit_slot(self.idx, to)
-                    .lock()
-                    .expect("mailbox poisoned");
+            if to == self.idx {
+                continue;
+            }
+            if !self.aux.out_flits[to].is_empty() {
+                let mut slot = lock_mailbox(env.mail.flit_slot(self.idx, to));
                 slot.extend(self.aux.out_flits[to].drain(..));
+                self.aux.sent_mail = true;
+            }
+            if !self.aux.out_credits[to].is_empty() {
+                let mut slot = lock_mailbox(env.mail.credit_slot(self.idx, to));
+                slot.extend(self.aux.out_credits[to].drain(..));
+                self.aux.sent_mail = true;
             }
         }
     }
 
-    /// Phase 3: applies inbound flit mailboxes — pushes every boundary
-    /// flit into this shard's own delivery pipes with the emission cycle
-    /// `now`, exactly as a same-shard departure would have been pushed.
-    /// A push at `now` delivers at `now + 1 + link_delay` at the
-    /// earliest, so nothing in this phase affects the cycle being
-    /// committed.
-    pub(crate) fn phase_apply(&mut self, env: &ShardEnv<'_>, now: u64) {
-        for from in 0..env.mail.shards() {
-            if from == self.idx {
-                continue;
+    /// Casts this shard's quiescence vote after executing cycle `now`:
+    /// the earliest future cycle at which it has any work. A busy shard
+    /// (active routers, or mail published this cycle that the receiver
+    /// must apply next round) votes `now + 1`; an idle one votes the
+    /// earliest of its pending wheel deliveries, parked remote credits,
+    /// and the next possible source-injection crossing (cached — a quiet
+    /// source's crossing schedule is fixed arithmetic, so the cache
+    /// stays valid until reached).
+    pub(crate) fn vote(&mut self, lockstep: &Lockstep, now: u64) {
+        let next = if self.aux.busy || self.aux.sent_mail {
+            now + 1
+        } else {
+            let mut v = self.aux.wheel.next_due().unwrap_or(u64::MAX);
+            v = v.min(self.aux.remote_credits.next_due().unwrap_or(u64::MAX));
+            if now + 1 >= self.aux.src_next {
+                let mut s = u64::MAX;
+                for src in self.sources.iter() {
+                    let q = src.quiet_horizon(SRC_SCAN_CAP);
+                    s = s.min(now + 1 + q);
+                    if q == 0 {
+                        break; // cannot vote earlier than now + 1
+                    }
+                }
+                self.aux.src_next = s;
             }
-            let mut slot = env
-                .mail
-                .flit_slot(from, self.idx)
-                .lock()
-                .expect("mailbox poisoned");
-            for m in slot.drain(..) {
-                let i = m.node as usize - self.lo;
-                self.flit_in[i][m.port as usize].push(now, m.flit);
-                self.aux.wheel.schedule(
-                    now + 1 + env.link_delay,
-                    Delivery {
-                        node: m.node,
-                        port: m.port,
-                        credit: false,
-                    },
-                );
-            }
+            v.min(self.aux.src_next)
+        };
+        lockstep.next_work.fetch_min(next, Ordering::AcqRel);
+    }
+
+    /// Executes one full cycle (the fused compute phase) and votes.
+    pub(crate) fn run_cycle(&mut self, env: &ShardEnv<'_>, lockstep: &Lockstep, now: u64) {
+        self.begin_cycle(env, now);
+        self.phase_deliver(env, now);
+        self.phase_sources(env, now);
+        self.phase_tick(env, now);
+        self.vote(lockstep, now);
+    }
+
+    /// Fast-forwards this shard over the quiescent cycles
+    /// `[now, target)`: sources advance their accumulators by pure
+    /// repeated addition (bit-identical to stepping them through cycles
+    /// that inject nothing), and the wheels skip ahead (debug-asserting
+    /// that no pending delivery is jumped — the vote guarantees it).
+    pub(crate) fn fast_forward(&mut self, now: u64, target: u64) {
+        debug_assert!(target > now, "fast-forward must move forward");
+        for src in self.sources.iter_mut() {
+            src.fast_forward(target - now);
         }
+        self.aux.wheel.advance_to(target - 1);
+        self.aux.remote_credits.advance_to(target - 1);
     }
 
     /// Consumes an ejected flit at its destination — the shard-local half
@@ -554,88 +860,144 @@ impl ShardCtx<'_> {
     }
 }
 
-/// The worker-thread loop: one cycle per barrier generation, mirroring
-/// the coordinating thread's phase sequence in
-/// [`crate::sim::Network::run`] exactly (three waits per cycle).
+/// The worker-thread loop: one gate episode per round, mirroring the
+/// coordinating thread's sequence in [`crate::sim::Network::run`]
+/// exactly. A round either executes one cycle (fused compute phase) or
+/// fast-forwards a granted quiescent stretch.
 pub(crate) fn worker_loop(
     mut ctx: ShardCtx<'_>,
     env: &ShardEnv<'_>,
-    barrier: &SpinBarrier,
-    stop: &AtomicBool,
+    lockstep: &Lockstep,
     mut now: u64,
 ) {
-    let _guard = PoisonGuard(barrier);
+    let party = ctx.idx;
+    let _guard = PoisonGuard(&lockstep.gate);
     loop {
-        barrier.wait();
-        if stop.load(Ordering::Acquire) {
+        lockstep.gate.arrive(party);
+        if lockstep.stop.load(Ordering::Acquire) {
             return;
         }
-        ctx.phase_deliver(env, now);
-        ctx.phase_sources(env, now);
-        barrier.wait();
-        ctx.phase_tick(env, now);
-        barrier.wait();
-        ctx.phase_apply(env, now);
-        now += 1;
+        let target = lockstep.skip_to.load(Ordering::Acquire);
+        if target > now {
+            ctx.fast_forward(now, target);
+            now = target;
+        } else {
+            ctx.run_cycle(env, lockstep, now);
+            now += 1;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
 
-    #[test]
-    fn spin_barrier_synchronizes_phases() {
-        let barrier = SpinBarrier::new(4);
+    /// Drives the leader-gate protocol: workers increment then arrive,
+    /// the leader must observe exactly one increment per worker per
+    /// round while it holds the serial section.
+    fn gate_round_trips(kind: BarrierKind, parties: usize) {
+        let gate = Gate::new(kind, parties);
         let counter = AtomicU64::new(0);
+        let rounds = 200u64;
         std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| {
-                    for round in 0..100u64 {
+            for p in 1..parties {
+                let (gate, counter) = (&gate, &counter);
+                scope.spawn(move || {
+                    for _ in 0..rounds {
                         counter.fetch_add(1, Ordering::AcqRel);
-                        barrier.wait();
-                        // Everyone incremented before anyone proceeds.
-                        assert!(counter.load(Ordering::Acquire) >= (round + 1) * 4);
-                        barrier.wait();
+                        gate.arrive(p);
                     }
                 });
             }
+            for round in 0..rounds {
+                gate.wait_followers();
+                // Serial section: every worker has arrived this round and
+                // none has started the next one.
+                assert_eq!(
+                    counter.load(Ordering::Acquire),
+                    (round + 1) * (parties as u64 - 1)
+                );
+                gate.release();
+            }
         });
-        assert_eq!(counter.load(Ordering::Acquire), 400);
     }
 
     #[test]
-    fn single_party_barrier_never_blocks() {
-        let barrier = SpinBarrier::new(1);
-        for _ in 0..10 {
-            barrier.wait();
+    fn spin_gate_synchronizes_rounds() {
+        gate_round_trips(BarrierKind::Spin, 4);
+    }
+
+    #[test]
+    fn tree_gate_synchronizes_rounds() {
+        // 7 parties exercises a two-level tree with an incomplete last
+        // row; 2 exercises the single-child root.
+        gate_round_trips(BarrierKind::Tree, 7);
+        gate_round_trips(BarrierKind::Tree, 2);
+    }
+
+    #[test]
+    fn single_party_gate_never_blocks() {
+        for kind in [BarrierKind::Spin, BarrierKind::Tree] {
+            let gate = Gate::new(kind, 1);
+            for _ in 0..10 {
+                gate.wait_followers();
+                gate.release();
+            }
         }
     }
 
     #[test]
     #[should_panic(expected = "sibling shard panicked")]
-    fn poisoned_barrier_panics_waiters() {
-        let barrier = SpinBarrier::new(2);
-        barrier.poison();
-        barrier.wait();
+    fn poisoned_gate_panics_waiters() {
+        let gate = Gate::new(BarrierKind::Spin, 2);
+        gate.poison();
+        gate.arrive(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sibling shard panicked")]
+    fn poisoned_tree_gate_panics_waiters() {
+        let gate = Gate::new(BarrierKind::Tree, 2);
+        gate.poison();
+        gate.arrive(1);
     }
 
     #[test]
     fn poison_guard_fires_only_on_unwind() {
-        let barrier = SpinBarrier::new(1);
+        let gate = Gate::new(BarrierKind::Spin, 1);
         {
-            let _guard = PoisonGuard(&barrier);
+            let _guard = PoisonGuard(&gate);
         }
-        barrier.wait(); // not poisoned by a clean drop
+        gate.wait_followers(); // not poisoned by a clean drop
+        gate.release();
 
-        let barrier = std::sync::Arc::new(SpinBarrier::new(2));
-        let b = std::sync::Arc::clone(&barrier);
+        let gate = std::sync::Arc::new(Gate::new(BarrierKind::Spin, 2));
+        let g = std::sync::Arc::clone(&gate);
         let worker = std::thread::spawn(move || {
-            let _guard = PoisonGuard(&b);
+            let _guard = PoisonGuard(&g);
             panic!("boom");
         });
         assert!(worker.join().is_err());
-        assert!(std::panic::catch_unwind(|| barrier.wait()).is_err());
+        assert!(std::panic::catch_unwind(|| gate.arrive(1)).is_err());
+    }
+
+    #[test]
+    fn mailbox_poison_reports_the_sibling_panic() {
+        // A shard that panics while holding a mailbox lock poisons the
+        // mutex; the sibling must die with the one clear lockstep
+        // message, not a generic PoisonError unwrap.
+        let mail = std::sync::Arc::new(Mutex::new(Vec::<u32>::new()));
+        let m = std::sync::Arc::clone(&mail);
+        let worker = std::thread::spawn(move || {
+            let _guard = m.lock().unwrap();
+            panic!("original failure");
+        });
+        assert!(worker.join().is_err());
+        let err = std::panic::catch_unwind(|| {
+            drop(lock_mailbox(&mail));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("sibling shard panicked"), "got: {msg}");
     }
 }

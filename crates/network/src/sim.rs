@@ -33,13 +33,15 @@ use crate::channel_load::ChannelLoad;
 use crate::config::{ConfigError, EngineKind, NetworkConfig};
 use crate::histogram::Histogram;
 use crate::routing::RouteTable;
-use crate::shard::{worker_loop, ShardCtx, ShardEnv, ShardOut, ShardSet, SpinBarrier};
+use crate::shard::{
+    worker_loop, Lockstep, PoisonGuard, ShardCtx, ShardEnv, ShardOut, ShardSet, SRC_SCAN_CAP,
+};
 use crate::source::{packet_seq, packet_source, Source, SourceStep};
 use crate::stats::{EngineWork, LatencyStats, PhaseNanos};
 use crate::topology::Mesh;
 use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, RoutingOracle, TickOutput};
 use runqueue::CancelToken;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -143,6 +145,12 @@ pub struct Network {
     source_step_buf: SourceStep,
     /// Router ticks executed (work accounting).
     router_ticks: u64,
+    /// Cached earliest cycle at which a source can cross its injection
+    /// threshold (the serial event engine's half of the quiescence
+    /// fast-forward; the sharded engine keeps per-shard caches instead).
+    /// Valid until reached — a quiet source's crossing schedule is pure
+    /// accumulator arithmetic and cannot move earlier.
+    src_next: u64,
     /// Sharded-parallel engine state (present only under
     /// [`EngineKind::ParallelShards`]; see [`crate::shard`]).
     shards: Option<ShardSet>,
@@ -300,6 +308,7 @@ impl Network {
             tick_buf: TickOutput::default(),
             source_step_buf: SourceStep::default(),
             router_ticks: 0,
+            src_next: 0,
             shards,
             meas: Measurement {
                 tagged_ranges: vec![(0, 0); nodes],
@@ -597,13 +606,15 @@ impl Network {
     /// calling thread: every shard runs each phase in index order, so the
     /// result is identical to the threaded [`Network::run`] loop by
     /// construction (cross-shard interaction happens only through the
-    /// phase-separated mailboxes either way). This is what [`Network::step`]
-    /// uses — the worker pool only pays off amortized over a whole run.
+    /// round-separated mailboxes either way; quiescence fast-forward is a
+    /// run-loop optimization and never fires here, where callers expect
+    /// cycle granularity). This is what [`Network::step`] uses — the
+    /// worker pool only pays off amortized over a whole run.
     fn step_parallel_inline(&mut self) {
         let mut set = self.shards.take().expect("parallel engine state");
         let now = self.now;
         let vcs = self.cfg.router.vcs();
-        let mut stamps = self.cfg.phase_timing.then(|| [Instant::now(); 8]);
+        let mut stamps = self.cfg.phase_timing.then(|| [Instant::now(); 5]);
         {
             let env = ShardEnv {
                 mesh: self.cfg.mesh,
@@ -637,28 +648,26 @@ impl Network {
             }
             let shards = set.ranges.len();
             for s in 0..shards {
-                ctx!(s).phase_deliver(&env, now);
+                let mut c = ctx!(s);
+                c.begin_cycle(&env, now);
+                c.phase_deliver(&env, now);
             }
             mark(&mut stamps, 1);
             for s in 0..shards {
                 ctx!(s).phase_sources(&env, now);
             }
             mark(&mut stamps, 2);
-            mark(&mut stamps, 3); // no barrier inline
             for s in 0..shards {
                 ctx!(s).phase_tick(&env, now);
             }
-            mark(&mut stamps, 4);
-            mark(&mut stamps, 5);
-            for s in 0..shards {
-                ctx!(s).phase_apply(&env, now);
-            }
-            mark(&mut stamps, 6);
+            mark(&mut stamps, 3);
         }
         self.committer().commit(now, &set.outs);
-        mark(&mut stamps, 7);
+        mark(&mut stamps, 4);
         if let Some(t) = stamps {
-            self.phases.accumulate_parallel(&t);
+            // Same shape as the serial engines: delivery, sources,
+            // router, stats — there is no barrier on the inline path.
+            self.phases.accumulate(t[0], t[1], t[2], t[3], t[4]);
         }
         self.now = now + 1;
         self.shards = Some(set);
@@ -674,13 +683,19 @@ impl Network {
 
     /// The threaded sharded-parallel loop: a persistent scoped worker
     /// pool (one thread per shard beyond the coordinator, which doubles
-    /// as shard 0's worker), reusable spin barriers between phases, and
-    /// the serial measurement commit on the coordinator. Advances the
-    /// network until the sample completes, `max_cycles` is hit, or the
-    /// cancellation token (polled every [`CANCEL_BATCH`] cycles on the
-    /// coordinator) is poisoned — the return value is true for that last
-    /// case. The workers need no cancellation plumbing of their own: the
-    /// coordinator folds it into the existing per-cycle `stop` broadcast.
+    /// as shard 0's worker) in lockstep rounds of **one gate barrier
+    /// episode each**. At the gate the coordinator — while every worker
+    /// is parked — commits the previous cycle's measurement records in
+    /// node order, then either stops, grants a quiescence fast-forward
+    /// (all shards voted their next work later than the coming cycle;
+    /// the skipped cycles execute no phases and wait at no barrier,
+    /// composing the event engine's idle-skipping with sharding), or
+    /// releases the workers into the next fused compute phase. Advances
+    /// the network until the sample completes, `max_cycles` is hit, or
+    /// the cancellation token (polled every [`CANCEL_BATCH`] cycles on
+    /// the coordinator; fast-forwards are clamped to batch boundaries so
+    /// no poll is skipped) is poisoned — the return value is true for
+    /// that last case.
     fn run_parallel(&mut self) -> bool {
         let mut set = self.shards.take().expect("parallel engine state");
         let vcs = self.cfg.router.vcs();
@@ -688,8 +703,7 @@ impl Network {
         let max_cycles = self.cfg.max_cycles;
         let cancel = self.cfg.cancel.clone();
         let start_now = self.now;
-        let barrier = SpinBarrier::new(set.ranges.len());
-        let stop = AtomicBool::new(false);
+        let lockstep = Lockstep::new(self.cfg.barrier, set.ranges.len(), start_now);
 
         let env = ShardEnv {
             mesh: self.cfg.mesh,
@@ -724,45 +738,71 @@ impl Network {
             let mut ctx_iter = ctxs.into_iter();
             let mut ctx0 = ctx_iter.next().expect("at least one shard");
             for ctx in ctx_iter {
-                let (env, barrier, stop) = (&env, &barrier, &stop);
-                scope.spawn(move || worker_loop(ctx, env, barrier, stop, start_now));
+                let (env, lockstep) = (&env, &lockstep);
+                scope.spawn(move || worker_loop(ctx, env, lockstep, start_now));
             }
             // The coordinator is shard 0's worker; if it panics (e.g. a
             // conservation assert), poison the lockstep so the workers
-            // panic out of their barrier waits instead of deadlocking.
-            let _guard = crate::shard::PoisonGuard(&barrier);
+            // panic out of their gate waits instead of spinning forever.
+            let _guard = PoisonGuard(&lockstep.gate);
             let mut now = start_now;
+            // No cycle has executed yet: nothing to commit, no votes to
+            // read, and the first round must run (not skip).
+            let mut executed = false;
+            let mut pending_commit = start_now;
+            let mut quiet_until = start_now;
             let cancelled = loop {
+                let t0 = timing.then(Instant::now);
+                lockstep.gate.wait_followers();
+                let t1 = timing.then(Instant::now);
+                // ---- serial section: every worker is parked ----
+                if executed {
+                    committer.commit(pending_commit, env.outs);
+                    quiet_until = lockstep.take_vote();
+                }
                 let finished = now >= max_cycles || committer.sample_complete();
                 let cancel_due = !finished
                     && now.is_multiple_of(CANCEL_BATCH)
                     && cancel.as_ref().is_some_and(CancelToken::is_cancelled);
-                let done = finished || cancel_due;
-                stop.store(done, Ordering::Release);
-                barrier.wait();
-                if done {
+                if finished || cancel_due {
+                    lockstep.stop.store(true, Ordering::Release);
+                    lockstep.gate.release();
                     break cancel_due;
                 }
-                let mut stamps = timing.then(|| [Instant::now(); 8]);
+                let mut target = quiet_until.min(max_cycles);
+                if cancel.is_some() {
+                    // Never jump a cancellation poll point.
+                    target = target.min((now / CANCEL_BATCH + 1) * CANCEL_BATCH);
+                }
+                if target > now {
+                    // Fast-forward round: cycles [now, target) are
+                    // provably no-ops for every shard. The only global
+                    // per-cycle effect is the channel-load window.
+                    let skipped = target - now;
+                    committer.meas.channel_load.tick_n(skipped);
+                    phases.fast_forwarded += skipped;
+                    lockstep.skip_to.store(target, Ordering::Release);
+                    executed = false;
+                    lockstep.gate.release();
+                    ctx0.fast_forward(now, target);
+                    now = target;
+                    continue;
+                }
+                lockstep.skip_to.store(now, Ordering::Release);
+                executed = true;
+                pending_commit = now;
+                lockstep.gate.release();
+                // ---- fused compute phase, shard 0's share ----
+                let t2 = timing.then(Instant::now);
+                ctx0.begin_cycle(&env, now);
                 ctx0.phase_deliver(&env, now);
-                mark(&mut stamps, 1);
+                let t3 = timing.then(Instant::now);
                 ctx0.phase_sources(&env, now);
-                mark(&mut stamps, 2);
-                barrier.wait();
-                mark(&mut stamps, 3);
+                let t4 = timing.then(Instant::now);
                 ctx0.phase_tick(&env, now);
-                mark(&mut stamps, 4);
-                barrier.wait();
-                mark(&mut stamps, 5);
-                ctx0.phase_apply(&env, now);
-                mark(&mut stamps, 6);
-                // Workers run their own phase_apply concurrently; the
-                // commit touches only coordinator-owned measurement state
-                // and the phase-separated ShardOut records.
-                committer.commit(now, env.outs);
-                mark(&mut stamps, 7);
-                if let Some(t) = stamps {
-                    phases.accumulate_parallel(&t);
+                ctx0.vote(&lockstep, now);
+                if let (Some(t0), Some(t1), Some(t2), Some(t3), Some(t4)) = (t0, t1, t2, t3, t4) {
+                    phases.accumulate_parallel(&[t0, t1, t2, t3, t4, Instant::now()]);
                 }
                 now += 1;
             };
@@ -771,6 +811,58 @@ impl Network {
         self.now = final_now;
         self.shards = Some(set);
         cancelled
+    }
+
+    /// Fast-forwards the serial event engine over cycles in which
+    /// provably nothing happens: no router is active, no delivery is due
+    /// before the next wheel event, and no source can cross its
+    /// injection threshold. The skipped cycles' only effects — one
+    /// accumulator addition per source and the channel-load window — are
+    /// applied in bulk, bit-identically to stepping through them (the
+    /// sharded engine does the same globally when every shard votes
+    /// quiescent; the cycle-driven engine never skips, which is what
+    /// makes it the reference that proves these skips correct).
+    fn maybe_fast_forward(&mut self) {
+        debug_assert_eq!(self.cfg.engine, EngineKind::EventDriven);
+        if self.router_active.iter().any(|&a| a) {
+            return;
+        }
+        let now = self.now;
+        // About to execute cycle `now`: a quiet source's step at `now`
+        // has not happened yet, so its first possible crossing is at
+        // `now + quiet_horizon`.
+        if now >= self.src_next {
+            let mut s = u64::MAX;
+            for src in &self.sources {
+                let q = src.quiet_horizon(SRC_SCAN_CAP);
+                s = s.min(now + q);
+                if q == 0 {
+                    break;
+                }
+            }
+            self.src_next = s;
+        }
+        let mut target = self
+            .wheel
+            .next_due()
+            .unwrap_or(u64::MAX)
+            .min(self.src_next)
+            .min(self.cfg.max_cycles);
+        if self.cfg.cancel.is_some() {
+            // Never jump a cancellation poll point.
+            target = target.min((now / CANCEL_BATCH + 1) * CANCEL_BATCH);
+        }
+        if target <= now {
+            return;
+        }
+        let skipped = target - now;
+        for src in &mut self.sources {
+            src.fast_forward(skipped);
+        }
+        self.wheel.advance_to(target - 1);
+        self.meas.channel_load.tick_n(skipped);
+        self.phases.fast_forwarded += skipped;
+        self.now = target;
     }
 
     /// Whether the tagged sample has been fully created and received.
@@ -803,11 +895,16 @@ impl Network {
     /// delivered).
     #[must_use]
     pub fn flits_in_flight(&self) -> u64 {
-        self.flit_in
+        let piped: u64 = self
+            .flit_in
             .iter()
             .flat_map(|ports| ports.iter())
             .map(|pipe| pipe.len() as u64)
-            .sum()
+            .sum();
+        // Boundary flits can sit in a shard mailbox across a cycle
+        // boundary (published at emission, applied by the receiver at
+        // the start of its next round) — they are on the wire too.
+        piped + self.shards.as_ref().map_or(0, |s| s.mail.staged_flits())
     }
 
     /// Flits currently buffered inside routers.
@@ -851,6 +948,7 @@ impl Network {
             self.run_parallel()
         } else {
             let cancel = self.cfg.cancel.clone();
+            let event_driven = self.cfg.engine == EngineKind::EventDriven;
             let mut cancelled = false;
             while self.now < self.cfg.max_cycles && !self.sample_complete() {
                 if self.now.is_multiple_of(CANCEL_BATCH)
@@ -858,6 +956,15 @@ impl Network {
                 {
                     cancelled = true;
                     break;
+                }
+                if event_driven {
+                    let before = self.now;
+                    self.maybe_fast_forward();
+                    if self.now != before {
+                        // Re-check the cycle limit, the sample, and the
+                        // cancellation poll point before executing.
+                        continue;
+                    }
                 }
                 self.step();
             }
@@ -899,7 +1006,7 @@ impl Network {
 /// Records a phase-boundary timestamp when phase timing is enabled
 /// (no clock read otherwise).
 #[inline]
-fn mark(stamps: &mut Option<[Instant; 8]>, i: usize) {
+fn mark<const N: usize>(stamps: &mut Option<[Instant; N]>, i: usize) {
     if let Some(t) = stamps.as_mut() {
         t[i] = Instant::now();
     }

@@ -212,6 +212,55 @@ impl Source {
             out.injected = Some(flit);
         }
     }
+
+    /// How many consecutive future cycles (up to `cap`) are guaranteed to
+    /// take [`Source::step_into`]'s pure-accumulation fast path: the
+    /// source has nothing queued or mid-injection and the rate
+    /// accumulator cannot cross 1.0 within that many further additions.
+    ///
+    /// Returns 0 if the very next step might do work. The count is exact
+    /// up to `cap` because it replays the same `accum + rate` additions
+    /// the fast path performs — the prediction and the execution are the
+    /// same floating-point sequence, which is what lets an engine skip
+    /// those cycles without perturbing bit-identical results. Crossing
+    /// cycles are never included: the slow path consumes RNG state (even
+    /// for permutation fixed points), so the horizon stops strictly
+    /// before the first possible crossing.
+    #[must_use]
+    pub fn quiet_horizon(&self, cap: u64) -> u64 {
+        if self.queue.is_empty() && self.slots.iter().all(Option::is_none) {
+            let mut accum = self.accum;
+            let mut quiet = 0;
+            // A denormal-small rate can make `accum + rate == accum`,
+            // so bound the scan by `cap` rather than by progress.
+            while quiet < cap && accum + self.rate < 1.0 {
+                accum += self.rate;
+                quiet += 1;
+            }
+            quiet
+        } else {
+            0
+        }
+    }
+
+    /// Replays `cycles` pure-accumulation steps at once — the engine-side
+    /// half of [`Source::quiet_horizon`]. Each skipped cycle performs the
+    /// identical `accum += rate` addition the fast path would have, so
+    /// the accumulator lands on the bit-exact same value.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that every skipped step really was a fast-path step;
+    /// callers must not skip past the horizon.
+    pub fn fast_forward(&mut self, cycles: u64) {
+        debug_assert!(
+            cycles <= self.quiet_horizon(cycles),
+            "fast-forwarding {cycles} cycles past the quiet horizon"
+        );
+        for _ in 0..cycles {
+            self.accum += self.rate;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +407,48 @@ mod tests {
             .sum();
         assert_eq!(created, 100, "full configured rate off the diagonal");
         assert!(s.flits_injected > 0);
+    }
+
+    #[test]
+    fn quiet_horizon_matches_stepped_execution() {
+        // The horizon must name exactly the cycles the fast path would
+        // take: replaying that many accumulations and then stepping must
+        // land on the same state as stepping cycle by cycle.
+        for rate in [0.0, 0.01, 0.24999, 0.3, 0.9] {
+            let mut stepped = Source::new(3, rate, 5, 2, 100, 42);
+            let mut skipped = stepped.clone();
+            let mut now = 0u64;
+            for _ in 0..5 {
+                let quiet = skipped.quiet_horizon(10_000);
+                if rate == 0.0 {
+                    assert_eq!(quiet, 10_000, "zero rate is quiet forever");
+                    return;
+                }
+                for _ in 0..quiet {
+                    let step = stepped.step(now, &mesh(), &TrafficPattern::Uniform);
+                    assert!(step.created.is_empty(), "horizon overshot a crossing");
+                    now += 1;
+                }
+                skipped.fast_forward(quiet);
+                assert_eq!(skipped.accum.to_bits(), stepped.accum.to_bits());
+                // The next cycle crosses: both paths take the slow step.
+                assert_eq!(skipped.quiet_horizon(10_000), 0);
+                let a = stepped.step(now, &mesh(), &TrafficPattern::Uniform);
+                let b = skipped.step(now, &mesh(), &TrafficPattern::Uniform);
+                assert_eq!(a.created, b.created);
+                now += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_horizon_is_zero_while_draining() {
+        let mut s = Source::new(0, 0.5, 3, 1, 100, 1);
+        // Force a crossing so a packet occupies a slot.
+        while s.backlog() == 0 {
+            let _ = s.step(0, &mesh(), &TrafficPattern::Uniform);
+        }
+        assert_eq!(s.quiet_horizon(1000), 0, "mid-injection is never quiet");
     }
 
     #[test]

@@ -23,10 +23,19 @@ pub struct PhaseNanos {
     /// under the sharded-parallel engine: the serial node-order commit of
     /// tagging, latency, and channel-load state).
     pub stats: u64,
-    /// Time the coordinating thread spent waiting at the phase barriers
-    /// of the sharded-parallel engine — straggler imbalance plus
+    /// Time the coordinating thread spent waiting at the per-cycle gate
+    /// barrier of the sharded-parallel engine — straggler imbalance plus
     /// synchronization cost. Always zero for the serial engines.
     pub barrier: u64,
+    /// Barrier wait *episodes* the coordinating thread entered. Divided
+    /// by the executed cycle count this gives barrier waits per cycle —
+    /// the fused-phase protocol holds it at one per executed cycle where
+    /// the original three-phase protocol paid three.
+    pub barrier_waits: u64,
+    /// Cycles skipped by quiescence fast-forward (all shards idle until
+    /// the next wheel event), which execute no phases and wait at no
+    /// barrier.
+    pub fast_forwarded: u64,
 }
 
 impl PhaseNanos {
@@ -41,16 +50,18 @@ impl PhaseNanos {
 
     /// Adds one sharded-parallel cycle measured on the coordinating
     /// thread, whose shard is representative of the (balanced) others:
-    /// `t[0]..t[1]` pipe drains, `t[1]..t[2]` sources, `t[2]..t[3]`
-    /// barrier wait, `t[3]..t[4]` router ticks, `t[4]..t[5]` barrier
-    /// wait, `t[5]..t[6]` mailbox application, `t[6]..t[7]` the serial
-    /// measurement commit.
-    pub fn accumulate_parallel(&mut self, t: &[Instant; 8]) {
-        self.delivery += (t[1] - t[0]).as_nanos() as u64 + (t[6] - t[5]).as_nanos() as u64;
-        self.sources += (t[2] - t[1]).as_nanos() as u64;
-        self.barrier += (t[3] - t[2]).as_nanos() as u64 + (t[5] - t[4]).as_nanos() as u64;
-        self.router += (t[4] - t[3]).as_nanos() as u64;
-        self.stats += (t[7] - t[6]).as_nanos() as u64;
+    /// `t[0]..t[1]` the gate wait for follower shards plus the skip
+    /// decision, `t[1]..t[2]` the serial measurement commit, `t[2]..t[3]`
+    /// cycle-begin mail application plus wheel delivery, `t[3]..t[4]`
+    /// source injection, `t[4]..t[5]` router ticks (the fused compute
+    /// phase runs `t[2]..t[5]` with no internal barrier).
+    pub fn accumulate_parallel(&mut self, t: &[Instant; 6]) {
+        self.barrier += (t[1] - t[0]).as_nanos() as u64;
+        self.barrier_waits += 1;
+        self.stats += (t[2] - t[1]).as_nanos() as u64;
+        self.delivery += (t[3] - t[2]).as_nanos() as u64;
+        self.sources += (t[4] - t[3]).as_nanos() as u64;
+        self.router += (t[5] - t[4]).as_nanos() as u64;
     }
 
     /// Total attributed nanoseconds.
@@ -82,7 +93,15 @@ impl fmt::Display for PhaseNanos {
             self.pct(self.stats)
         )?;
         if self.barrier > 0 {
-            write!(f, " | barrier {:.1}%", self.pct(self.barrier))?;
+            write!(
+                f,
+                " | barrier {:.1}% ({} waits)",
+                self.pct(self.barrier),
+                self.barrier_waits
+            )?;
+        }
+        if self.fast_forwarded > 0 {
+            write!(f, " | {} cycles fast-forwarded", self.fast_forwarded)?;
         }
         Ok(())
     }

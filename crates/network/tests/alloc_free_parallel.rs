@@ -85,6 +85,40 @@ fn sharded_steady_state_is_allocation_free() {
     );
 }
 
+/// The fused compute path at near-quiescent load: most cycles deliver
+/// nothing, inject nothing, and tick no routers, so the per-cycle cost
+/// is mailbox checks, wheel cursor moves, and vote bookkeeping — all of
+/// which must run out of retained buffers too. (The inline step path
+/// never fast-forwards, so every one of these idle cycles actually
+/// executes the fused phases.)
+#[test]
+fn sharded_quiescent_cycles_are_allocation_free() {
+    let cfg = NetworkConfig::mesh(
+        4,
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_injection(0.02)
+    .with_warmup(100)
+    .with_sample(u64::MAX)
+    .with_max_cycles(u64::MAX)
+    .with_engine(EngineKind::ParallelShards { shards: 3 });
+    let mut net = Network::new(cfg);
+    let _ = alloc_window(&mut net, 1_500);
+    let mut min_window = u64::MAX;
+    for _ in 0..5 {
+        min_window = min_window.min(alloc_window(&mut net, 1_000));
+    }
+    assert_eq!(
+        min_window, 0,
+        "every quiescent steady-state window allocated \
+         (min {min_window} per 1000 cycles)"
+    );
+    net.assert_flit_conservation();
+}
+
 fn run_alloc_free_check(base: NetworkConfig, shards: usize) {
     let cfg = base
         .with_injection(0.25)

@@ -192,6 +192,44 @@ impl<T> EventWheel<T> {
     pub fn pending(&self) -> usize {
         self.slots.iter().map(Vec::len).sum()
     }
+
+    /// The earliest cycle with an item scheduled, or `None` if the wheel
+    /// is empty. Every pending item lives within `horizon` cycles of the
+    /// drain cursor, so one pass over the ring suffices — this is what
+    /// lets a quiescent engine ask "when is the next event?" and
+    /// fast-forward to it instead of draining empty slots cycle by cycle.
+    #[must_use]
+    pub fn next_due(&self) -> Option<u64> {
+        let horizon = self.horizon();
+        match self.cursor {
+            Some(cursor) => (1..=horizon)
+                .map(|dt| cursor + dt)
+                .find(|at| !self.slots[(at % horizon) as usize].is_empty()),
+            // Before the first drain every schedule lands below the
+            // horizon, so the slot index *is* the cycle.
+            None => (0..horizon).find(|at| !self.slots[*at as usize].is_empty()),
+        }
+    }
+
+    /// Advances the drain cursor as if [`EventWheel::take_due`] had been
+    /// called for every cycle through `now` and found nothing — the
+    /// fast-forward primitive for quiescent stretches.
+    ///
+    /// The caller must know the skipped cycles were empty (i.e. `now` is
+    /// below [`EventWheel::next_due`]); this is debug-asserted, because a
+    /// violation would silently drop scheduled deliveries.
+    pub fn advance_to(&mut self, now: u64) {
+        debug_assert!(
+            self.next_due().is_none_or(|due| due > now),
+            "advance_to({now}) would skip a delivery due at {:?}",
+            self.next_due()
+        );
+        debug_assert!(
+            self.cursor.is_none_or(|c| now >= c),
+            "advance_to({now}) moves the cursor backwards"
+        );
+        self.cursor = Some(now);
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +342,44 @@ mod tests {
         let b = w.take_due(5);
         w.restore(5, b);
         w.schedule(10, ());
+    }
+
+    #[test]
+    fn next_due_reports_earliest_pending_cycle() {
+        let mut w: EventWheel<u32> = EventWheel::new(4);
+        assert_eq!(w.next_due(), None);
+        w.schedule(2, 1); // before any drain: slot index == cycle
+        assert_eq!(w.next_due(), Some(2));
+        let b = w.take_due(2);
+        w.restore(2, b);
+        assert_eq!(w.next_due(), None);
+        w.schedule(5, 2);
+        w.schedule(4, 3);
+        assert_eq!(w.next_due(), Some(4));
+    }
+
+    #[test]
+    fn advance_to_skips_empty_cycles() {
+        let mut w: EventWheel<u32> = EventWheel::new(4);
+        let b = w.take_due(0);
+        w.restore(0, b);
+        w.schedule(3, 7);
+        // Cycles 1 and 2 are provably empty; jump the cursor past them.
+        w.advance_to(2);
+        assert_eq!(w.next_due(), Some(3));
+        w.schedule(6, 8); // in range of the advanced cursor
+        assert_eq!(w.take_due(3), vec![7]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "would skip a delivery")]
+    fn advance_past_a_pending_delivery_is_rejected() {
+        let mut w: EventWheel<u32> = EventWheel::new(4);
+        let b = w.take_due(0);
+        w.restore(0, b);
+        w.schedule(2, 9);
+        w.advance_to(2);
     }
 
     #[test]

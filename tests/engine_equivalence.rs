@@ -403,6 +403,113 @@ fn sharded_inline_step_matches_threaded_run() {
     assert_eq!(net.router_ticks(), threaded.work.router_ticks);
 }
 
+/// Very low load forces long quiescent stretches between injections —
+/// the regime where the sharded engine's quiescence fast-forward skips
+/// whole cycle ranges instead of executing (and paying a gate barrier
+/// for) each one. Shard counts {1, 2, 4, 7} × both barrier kinds must
+/// stay bit-identical to the serial event engine, with *exact*
+/// router-tick equality: a fast-forwarded cycle ticks nothing, exactly
+/// like the cycles the serial event engine skips.
+#[test]
+fn sharded_fast_forward_stays_bit_identical_across_barriers() {
+    use peh_dally::noc_network::BarrierKind;
+    let cfg = small(RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    })
+    .with_injection(0.01)
+    .with_warmup(400)
+    .with_sample(60)
+    .with_max_cycles(200_000)
+    .with_phase_timing(true);
+    // The serial engines must agree first: the event engine's
+    // fast-forward is the reference the sharded skip is measured
+    // against.
+    let (cycle, event) = run_both(cfg.clone());
+    assert_equivalent("low-load serial", &cycle, &event);
+    for barrier in [BarrierKind::Spin, BarrierKind::Tree] {
+        for shards in [1usize, 2, 4, 7] {
+            let label = format!("low-load barrier={barrier} shards={shards}");
+            let sharded = Network::new(
+                cfg.clone()
+                    .with_barrier(barrier)
+                    .with_engine(EngineKind::ParallelShards { shards }),
+            )
+            .run();
+            assert_equivalent(&label, &event, &sharded);
+            assert_eq!(
+                event.work.router_ticks, sharded.work.router_ticks,
+                "{label}: fast-forwarded cycles must tick nothing"
+            );
+            let phases = sharded.phases.expect("phase timing enabled");
+            assert!(
+                phases.fast_forwarded > 0,
+                "{label}: a 1% load run must hit the quiescence \
+                 fast-forward at least once"
+            );
+            assert!(
+                phases.barrier_waits + phases.fast_forwarded <= sharded.cycles,
+                "{label}: executed cycles ({} waits) plus skipped cycles \
+                 ({}) cannot exceed simulated cycles ({})",
+                phases.barrier_waits,
+                phases.fast_forwarded,
+                sharded.cycles
+            );
+            assert!(
+                phases.barrier_waits < sharded.cycles,
+                "{label}: the fused one-gate protocol plus fast-forward \
+                 must wait fewer times ({}) than it simulates cycles ({})",
+                phases.barrier_waits,
+                sharded.cycles
+            );
+        }
+    }
+}
+
+/// Nearest-neighbor traffic on contiguous shard ranges leaves interior
+/// shards with (almost) no boundary traffic — the mailbox exchange runs
+/// empty while routers stay busy. The engines must agree even when the
+/// cross-shard staging path is cold and the vote path is hot.
+#[test]
+fn sharded_engine_matches_with_quiet_shard_boundaries() {
+    let cfg = small(RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    })
+    .with_injection(0.2)
+    .with_pattern(TrafficPattern::NearestNeighbor);
+    let event = Network::new(cfg.clone().with_engine(EngineKind::EventDriven)).run();
+    for shards in [2, 4, 7] {
+        let label = format!("nearest-neighbor shards={shards}");
+        let sharded = run_sharded(cfg.clone(), shards);
+        assert_equivalent(&label, &event, &sharded);
+        assert_eq!(
+            event.work.router_ticks, sharded.work.router_ticks,
+            "{label}: sharded engine must tick exactly the active set"
+        );
+    }
+}
+
+/// A run whose sample completes long before `max_cycles` ends with a
+/// drain: injection at the tail is pure quiescence bounded only by
+/// wheel events. Both the serial event engine and the sharded engine
+/// fast-forward across it and still stop on the same cycle with the
+/// same measurements.
+#[test]
+fn engines_agree_across_a_long_drain_tail() {
+    let cfg = small(RouterKind::Wormhole { buffers: 8 })
+        .with_injection(0.02)
+        .with_warmup(100)
+        .with_sample(40)
+        .with_max_cycles(150_000);
+    let (cycle, event) = run_both(cfg.clone());
+    assert_equivalent("drain tail serial", &cycle, &event);
+    for shards in [2, 7] {
+        let sharded = run_sharded(cfg.clone(), shards);
+        assert_equivalent(&format!("drain tail shards={shards}"), &event, &sharded);
+    }
+}
+
 fn kind_strategy() -> impl Strategy<Value = RouterKind> {
     prop_oneof![
         (2usize..10).prop_map(|b| RouterKind::Wormhole { buffers: b }),
