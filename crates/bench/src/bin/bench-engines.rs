@@ -4,19 +4,34 @@
 //! `BENCH_hotpath.json`.
 //!
 //! Usage: `bench-engines [--json] [--loads 0.3,0.5] [--reps N]
-//! [--baseline PATH] [--threads N] [--scale 1,2,4] [--barrier spin|tree]
+//! [--baseline PATH] [--shards N|auto] [--scale 1,2,4]
+//! [--barrier spin|tree] [--rebalance EPOCH,THRESHOLD]
+//! [--pattern uniform,transpose,hotspot]
 //! [--mesh 8x8,4x4x4,16x16-torus]` (human-readable table by default).
 //!
-//! `--threads N` additionally times the sharded-parallel engine with `N`
-//! shards (verified bit-identical first, like the serial engines) and
-//! reports its per-phase breakdown including barrier wait count and
-//! quiescence fast-forward; `--scale` runs a thread-scaling sweep over
-//! the listed shard counts per load; `--barrier` selects the gate
-//! implementation (central spin counter vs combining tree). The JSON
-//! records `host_parallelism` and flags each sharded row
-//! `"oversubscribed"` when the host has fewer cores than shards, so
-//! single-core results are recognizable as overhead measurements rather
-//! than scaling claims.
+//! `--shards N` (alias: `--threads N`; `auto` picks the host's hardware
+//! parallelism clamped to the node count) additionally times the
+//! sharded-parallel engine with `N` shards (verified bit-identical
+//! first, like the serial engines) and reports its per-phase breakdown
+//! including barrier wait count and quiescence fast-forward; `--scale`
+//! runs a thread-scaling sweep over the listed shard counts per load;
+//! `--barrier` selects the gate implementation (central spin counter vs
+//! combining tree). The JSON records `host_parallelism` and flags each
+//! sharded row `"oversubscribed"` when the host has fewer cores than
+//! shards, so single-core results are recognizable as overhead
+//! measurements rather than scaling claims.
+//!
+//! `--rebalance EPOCH,THRESHOLD` turns on work-metered dynamic shard
+//! rebalancing for the sharded rows (timed *with* the knob on, and
+//! still verified bit-identical against the serial engines — partition
+//! choice never affects results). Each sharded row then reports the
+//! migration counters plus `work_imbalance` (mean max/mean shard work
+//! per epoch) next to `work_imbalance_off`, the same metric from an
+//! instrumented run whose threshold is infinite (meters, never
+//! migrates) — the before/after pair that shows what rebalancing
+//! bought. `--pattern` sweeps the load grid across traffic patterns
+//! (`hotspot` targets node `nodes - 5` at hotness 0.5, a skew that
+//! reliably unbalances a row partition).
 //!
 //! `--mesh` selects the topology. One spec (e.g. `--mesh 16x16`) runs
 //! the normal load sweep on that mesh; *several* specs switch to the
@@ -41,13 +56,16 @@
 //!   current event engine over the baseline's `event_driven_ms` column.
 
 use noc_network::config::EngineKind;
-use noc_network::{BarrierKind, Mesh, Network, NetworkConfig, PhaseNanos, RouterKind};
+use noc_network::{
+    BarrierKind, Mesh, Network, NetworkConfig, PhaseNanos, RouterKind, TrafficPattern,
+};
 use repro_bench::meta;
 use runqueue::{run_tasks, CancelToken, Task};
 use std::time::Instant;
 
 struct Point {
     load: f64,
+    pattern: TrafficPattern,
     cycle_ms: f64,
     event_ms: f64,
     speedup: f64,
@@ -70,6 +88,22 @@ struct ParallelPoint {
     oversubscribed: bool,
     /// `(shards, ms)` rows of the thread-scaling sweep (`--scale`).
     scaling: Vec<(usize, f64)>,
+    /// Work-metered rebalancing counters (`--rebalance`).
+    rebalance: Option<RebalanceStats>,
+}
+
+/// What rebalancing did at one point, from instrumented runs: the
+/// migration counters plus the metered imbalance with the knob live
+/// (`work_imbalance`) and with an infinite threshold
+/// (`work_imbalance_off` — same meters, no migrations), so the JSON
+/// carries its own before/after comparison.
+struct RebalanceStats {
+    epoch: u64,
+    threshold: f64,
+    rebalances: u64,
+    migrated_nodes: u64,
+    work_imbalance: f64,
+    work_imbalance_off: f64,
 }
 
 impl Point {
@@ -87,34 +121,45 @@ impl Point {
     }
 }
 
-fn cfg(mesh: Mesh, load: f64, barrier: BarrierKind) -> NetworkConfig {
-    NetworkConfig::for_mesh(
-        mesh,
+/// One measurement point's full simulator configuration. The rebalance
+/// knob applies only when the engine is sharded (serial engines ignore
+/// it; results are bit-identical either way).
+#[derive(Clone)]
+struct PointCfg {
+    mesh: Mesh,
+    load: f64,
+    barrier: BarrierKind,
+    pattern: TrafficPattern,
+    rebalance: Option<(u64, f64)>,
+}
+
+fn cfg(pc: &PointCfg) -> NetworkConfig {
+    let mut c = NetworkConfig::for_mesh(
+        pc.mesh,
         RouterKind::SpeculativeVc {
             vcs: 2,
             buffers_per_vc: 4,
         },
     )
-    .with_injection(load)
+    .with_injection(pc.load)
     .with_warmup(300)
     .with_sample(400)
     .with_max_cycles(60_000)
-    .with_barrier(barrier)
+    .with_barrier(pc.barrier)
+    .with_pattern(pc.pattern.clone());
+    if let Some((epoch, threshold)) = pc.rebalance {
+        c = c.with_rebalance(epoch, threshold);
+    }
+    c
 }
 
 /// Returns `(ms per run, % of router ticks skipped, simulated cycles)`.
-fn time_engine(
-    mesh: Mesh,
-    load: f64,
-    barrier: BarrierKind,
-    engine: EngineKind,
-    reps: u32,
-) -> (f64, f64, u64) {
+fn time_engine(pc: &PointCfg, engine: EngineKind, reps: u32) -> (f64, f64, u64) {
     // Warm-up run (also produces the work counters).
-    let warm = Network::new(cfg(mesh, load, barrier).with_engine(engine)).run();
+    let warm = Network::new(cfg(pc).with_engine(engine)).run();
     let start = Instant::now();
     for _ in 0..reps {
-        let r = Network::new(cfg(mesh, load, barrier).with_engine(engine)).run();
+        let r = Network::new(cfg(pc).with_engine(engine)).run();
         assert_eq!(r.cycles, warm.cycles, "non-deterministic run");
     }
     let ms = start.elapsed().as_secs_f64() * 1_000.0 / f64::from(reps);
@@ -123,20 +168,17 @@ fn time_engine(
 
 /// One instrumented run for phase attribution (separate from the timed
 /// runs: the clock reads would distort them).
-fn phase_profile(mesh: Mesh, load: f64, barrier: BarrierKind, engine: EngineKind) -> PhaseNanos {
-    Network::new(
-        cfg(mesh, load, barrier)
-            .with_engine(engine)
-            .with_phase_timing(true),
-    )
-    .run()
-    .phases
-    .expect("phase timing was enabled")
+fn phase_profile(pc: &PointCfg, engine: EngineKind) -> PhaseNanos {
+    Network::new(cfg(pc).with_engine(engine).with_phase_timing(true))
+        .run()
+        .phases
+        .expect("phase timing was enabled")
 }
 
-fn verify_equivalence(mesh: Mesh, load: f64, barrier: BarrierKind, threads: Option<usize>) {
-    let a = Network::new(cfg(mesh, load, barrier).with_engine(EngineKind::CycleDriven)).run();
-    let b = Network::new(cfg(mesh, load, barrier).with_engine(EngineKind::EventDriven)).run();
+fn verify_equivalence(pc: &PointCfg, threads: Option<usize>) {
+    let load = pc.load;
+    let a = Network::new(cfg(pc).with_engine(EngineKind::CycleDriven)).run();
+    let b = Network::new(cfg(pc).with_engine(EngineKind::EventDriven)).run();
     assert_eq!(a.cycles, b.cycles, "engines diverged at load {load}");
     assert_eq!(
         a.avg_latency.map(f64::to_bits),
@@ -145,8 +187,9 @@ fn verify_equivalence(mesh: Mesh, load: f64, barrier: BarrierKind, threads: Opti
     );
     assert_eq!(a.flits_ejected, b.flits_ejected);
     if let Some(shards) = threads {
-        let c =
-            Network::new(cfg(mesh, load, barrier).with_engine(EngineKind::parallel(shards))).run();
+        // The sharded run keeps the rebalance knob exactly as it will be
+        // timed: the bit-identity contract covers live migrations too.
+        let c = Network::new(cfg(pc).with_engine(EngineKind::parallel(shards))).run();
         assert_eq!(a.cycles, c.cycles, "sharded engine diverged at load {load}");
         assert_eq!(
             a.avg_latency.map(f64::to_bits),
@@ -154,6 +197,27 @@ fn verify_equivalence(mesh: Mesh, load: f64, barrier: BarrierKind, threads: Opti
             "sharded engine diverged at load {load}"
         );
         assert_eq!(a.flits_ejected, c.flits_ejected);
+    }
+}
+
+/// Resolves a `--pattern` name against the swept topology. The hotspot
+/// target sits off-center (`nodes - 5`, hotness 0.5): on an 8x8 mesh
+/// that is node 59 in the top row, a skew measured to push a row
+/// partition's work imbalance well past typical rebalance thresholds.
+fn resolve_pattern(name: &str, mesh: Mesh) -> TrafficPattern {
+    match name {
+        "uniform" => TrafficPattern::Uniform,
+        "transpose" => TrafficPattern::Transpose,
+        "bitcomplement" => TrafficPattern::BitComplement,
+        "tornado" => TrafficPattern::Tornado,
+        "neighbor" => TrafficPattern::NearestNeighbor,
+        "hotspot" => TrafficPattern::Hotspot {
+            hotspot: mesh.nodes().saturating_sub(5),
+            hotness: 0.5,
+        },
+        other => panic!(
+            "unknown pattern {other} (uniform|transpose|bitcomplement|tornado|neighbor|hotspot)"
+        ),
     }
 }
 
@@ -213,11 +277,19 @@ struct Options {
     baseline: String,
     /// Shard count for the sharded-parallel engine timing, if requested.
     threads: Option<usize>,
-    /// Shard counts for the thread-scaling sweep (implies `--threads`'s
+    /// `--shards auto`: resolve the shard count from the host's
+    /// parallelism (clamped to the node count) once the mesh is known.
+    shards_auto: bool,
+    /// Shard counts for the thread-scaling sweep (implies `--shards`'s
     /// verification; empty = off).
     scale: Vec<usize>,
     /// Gate barrier implementation for the sharded engine.
     barrier: BarrierKind,
+    /// `(epoch, threshold)` of `--rebalance`, applied to the sharded
+    /// rows of the load sweep.
+    rebalance: Option<(u64, f64)>,
+    /// `--pattern` names, resolved per mesh by [`resolve_pattern`].
+    patterns: Vec<String>,
     /// `(spec, topology)` pairs from `--mesh`. One entry runs the load
     /// sweep on that topology; several switch to the scale series.
     meshes: Vec<(String, Mesh)>,
@@ -230,8 +302,11 @@ fn parse_args() -> Options {
         reps: 3,
         baseline: "BENCH_baseline.json".to_string(),
         threads: None,
+        shards_auto: false,
         scale: Vec::new(),
         barrier: BarrierKind::default(),
+        rebalance: None,
+        patterns: vec!["uniform".to_string()],
         meshes: vec![("8x8".to_string(), Mesh::new(8, 2))],
     };
     let mut args = std::env::args().skip(1);
@@ -267,13 +342,27 @@ fn parse_args() -> Options {
             "--baseline" => {
                 opts.baseline = args.next().expect("--baseline needs a path");
             }
-            "--threads" => {
-                opts.threads = Some(
-                    args.next()
-                        .expect("--threads needs a shard count")
-                        .parse()
-                        .expect("bad shard count"),
-                );
+            "--threads" | "--shards" => {
+                let v = args.next().expect("--shards needs a count or `auto`");
+                if v == "auto" {
+                    opts.shards_auto = true;
+                } else {
+                    opts.threads = Some(v.parse().expect("bad shard count"));
+                }
+            }
+            "--rebalance" => {
+                let v = args.next().expect("--rebalance needs EPOCH,THRESHOLD");
+                let (epoch, threshold) = v
+                    .split_once(',')
+                    .expect("--rebalance needs EPOCH,THRESHOLD (e.g. 50,1.1)");
+                opts.rebalance = Some((
+                    epoch.trim().parse().expect("bad rebalance epoch"),
+                    threshold.trim().parse().expect("bad rebalance threshold"),
+                ));
+            }
+            "--pattern" => {
+                let list = args.next().expect("--pattern needs a comma-separated list");
+                opts.patterns = list.split(',').map(|s| s.trim().to_string()).collect();
             }
             "--scale" => {
                 let list = args.next().expect("--scale needs a comma-separated list");
@@ -294,30 +383,51 @@ fn parse_args() -> Options {
     }
     assert!(!opts.loads.is_empty(), "no loads to run");
     assert!(!opts.meshes.is_empty(), "no topologies to run");
+    assert!(!opts.patterns.is_empty(), "no patterns to run");
+    if opts.shards_auto {
+        // `--shards auto`: the host's hardware parallelism, clamped to
+        // the (smallest swept) node count — more shards than nodes can
+        // never help.
+        let nodes = opts.meshes.iter().map(|(_, m)| m.nodes()).min().unwrap();
+        opts.threads = Some(meta::host_parallelism().clamp(1, nodes));
+    }
     if opts.threads.is_none() && !opts.scale.is_empty() {
         // A scaling sweep implies the parallel engine; default the
         // headline shard count to the largest swept.
         opts.threads = opts.scale.iter().max().copied();
     }
+    if opts.rebalance.is_some() && opts.threads.is_none() {
+        panic!("--rebalance only applies to the sharded engine; add --shards");
+    }
     opts
 }
 
-/// Measures one load point end to end (equivalence check, serial
-/// timings, phase profile, optional sharded timings).
-fn measure_point(opts: &Options, baseline: &[(f64, f64)], mesh: Mesh, load: f64) -> Point {
-    let barrier = opts.barrier;
-    verify_equivalence(mesh, load, barrier, opts.threads);
-    let (cycle_ms, _, _) = time_engine(mesh, load, barrier, EngineKind::CycleDriven, opts.reps);
-    let (event_ms, skipped, cycles) =
-        time_engine(mesh, load, barrier, EngineKind::EventDriven, opts.reps);
-    let phases = phase_profile(mesh, load, barrier, EngineKind::EventDriven);
+/// Measures one (load, pattern) point end to end (equivalence check,
+/// serial timings, phase profile, optional sharded timings).
+fn measure_point(
+    opts: &Options,
+    baseline: &[(f64, f64)],
+    mesh: Mesh,
+    load: f64,
+    pattern: TrafficPattern,
+) -> Point {
+    let pc = PointCfg {
+        mesh,
+        load,
+        barrier: opts.barrier,
+        pattern,
+        rebalance: opts.rebalance,
+    };
+    verify_equivalence(&pc, opts.threads);
+    let (cycle_ms, _, _) = time_engine(&pc, EngineKind::CycleDriven, opts.reps);
+    let (event_ms, skipped, cycles) = time_engine(&pc, EngineKind::EventDriven, opts.reps);
+    let phases = phase_profile(&pc, EngineKind::EventDriven);
     let parallel = opts.threads.map(|shards| {
         let scaling: Vec<(usize, f64)> = opts
             .scale
             .iter()
             .map(|&s| {
-                let (ms, _, _) =
-                    time_engine(mesh, load, barrier, EngineKind::parallel(s), opts.reps);
+                let (ms, _, _) = time_engine(&pc, EngineKind::parallel(s), opts.reps);
                 (s, ms)
             })
             .collect();
@@ -326,7 +436,7 @@ fn measure_point(opts: &Options, baseline: &[(f64, f64)], mesh: Mesh, load: f64)
         // reps × loads of wall-clock and emit two (noisy,
         // conflicting) numbers for one configuration.
         let ms = scaling.iter().find(|&&(s, _)| s == shards).map_or_else(
-            || time_engine(mesh, load, barrier, EngineKind::parallel(shards), opts.reps).0,
+            || time_engine(&pc, EngineKind::parallel(shards), opts.reps).0,
             |&(_, ms)| ms,
         );
         let oversubscribed = meta::host_parallelism() < shards;
@@ -338,24 +448,49 @@ fn measure_point(opts: &Options, baseline: &[(f64, f64)], mesh: Mesh, load: f64)
                 meta::host_parallelism()
             );
         }
+        let sharded_phases = phase_profile(&pc, EngineKind::parallel(shards));
+        let rebalance = opts.rebalance.map(|(epoch, threshold)| {
+            // The "off" comparison keeps the meters running (same
+            // epoch) but can never migrate: an infinite threshold.
+            let off = PointCfg {
+                rebalance: Some((epoch, f64::INFINITY)),
+                ..pc.clone()
+            };
+            RebalanceStats {
+                epoch,
+                threshold,
+                rebalances: sharded_phases.rebalances,
+                migrated_nodes: sharded_phases.migrated_nodes,
+                work_imbalance: sharded_phases.work_imbalance(),
+                work_imbalance_off: phase_profile(&off, EngineKind::parallel(shards))
+                    .work_imbalance(),
+            }
+        });
         ParallelPoint {
             shards,
             ms,
-            phases: phase_profile(mesh, load, barrier, EngineKind::parallel(shards)),
+            phases: sharded_phases,
             cycles,
             oversubscribed,
             scaling,
+            rebalance,
         }
     });
     // Baseline files serialize offered_load rounded to 2 decimals
     // (the {:.2} in the JSON emitter), so match with half that
-    // resolution.
-    let baseline_event = baseline
-        .iter()
-        .find(|(l, _)| (l - load).abs() < 5e-3)
-        .map(|&(_, ms)| ms);
+    // resolution. Committed baselines are uniform-traffic sweeps, so
+    // only uniform rows may be compared against them.
+    let baseline_event = (pc.pattern == TrafficPattern::Uniform)
+        .then(|| {
+            baseline
+                .iter()
+                .find(|(l, _)| (l - load).abs() < 5e-3)
+                .map(|&(_, ms)| ms)
+        })
+        .flatten();
     Point {
         load,
+        pattern: pc.pattern.clone(),
         cycle_ms,
         event_ms,
         speedup: cycle_ms / event_ms,
@@ -402,28 +537,21 @@ fn run_scale_series(opts: &Options) {
         .iter()
         .map(|(label, mesh)| {
             let load = SCALE_CAPACITY_FRACTION * mesh.capacity_flits_per_node();
-            verify_equivalence(*mesh, load, opts.barrier, Some(shards));
-            let (cycle_ms, _, cycles) = time_engine(
-                *mesh,
+            // The scale series stays a uniform-traffic, fixed-partition
+            // measurement: its point is per-router engine cost across
+            // node counts, which rebalancing (a skew response) would
+            // only blur.
+            let pc = PointCfg {
+                mesh: *mesh,
                 load,
-                opts.barrier,
-                EngineKind::CycleDriven,
-                opts.reps,
-            );
-            let (event_ms, _, _) = time_engine(
-                *mesh,
-                load,
-                opts.barrier,
-                EngineKind::EventDriven,
-                opts.reps,
-            );
-            let (sharded_ms, _, _) = time_engine(
-                *mesh,
-                load,
-                opts.barrier,
-                EngineKind::parallel(shards),
-                opts.reps,
-            );
+                barrier: opts.barrier,
+                pattern: TrafficPattern::Uniform,
+                rebalance: None,
+            };
+            verify_equivalence(&pc, Some(shards));
+            let (cycle_ms, _, cycles) = time_engine(&pc, EngineKind::CycleDriven, opts.reps);
+            let (event_ms, _, _) = time_engine(&pc, EngineKind::EventDriven, opts.reps);
+            let (sharded_ms, _, _) = time_engine(&pc, EngineKind::parallel(shards), opts.reps);
             ScalePoint {
                 label: label.clone(),
                 mesh: *mesh,
@@ -432,12 +560,7 @@ fn run_scale_series(opts: &Options) {
                 cycle_ms,
                 event_ms,
                 sharded_ms,
-                sharded_phases: phase_profile(
-                    *mesh,
-                    load,
-                    opts.barrier,
-                    EngineKind::parallel(shards),
-                ),
+                sharded_phases: phase_profile(&pc, EngineKind::parallel(shards)),
             }
         })
         .collect();
@@ -547,19 +670,27 @@ fn main() {
     }
     let (mesh_label, mesh) = opts.meshes[0].clone();
     let baseline = baseline_event_ms(&opts.baseline);
-    // The loads run through the shared run queue, like every other batch
-    // consumer. Each point's width is the *whole* host: timing needs the
-    // machine to itself (concurrent timed runs would perturb each
-    // other), so the queue — which keeps the width-sum within the budget
-    // — degenerates to serial execution in priority order, and the
-    // descending-index priority makes that exactly the input order.
+    // The (pattern, load) grid runs through the shared run queue, like
+    // every other batch consumer. Each point's width is the *whole*
+    // host: timing needs the machine to itself (concurrent timed runs
+    // would perturb each other), so the queue — which keeps the
+    // width-sum within the budget — degenerates to serial execution in
+    // priority order, and the descending-index priority makes that
+    // exactly the input order.
     let host = meta::host_parallelism();
-    let tasks: Vec<Task<f64>> = opts
-        .loads
+    let grid: Vec<(f64, TrafficPattern)> = opts
+        .patterns
         .iter()
+        .flat_map(|name| {
+            let pattern = resolve_pattern(name, mesh);
+            opts.loads.iter().map(move |&l| (l, pattern.clone()))
+        })
+        .collect();
+    let tasks: Vec<Task<(f64, TrafficPattern)>> = grid
+        .into_iter()
         .enumerate()
-        .map(|(i, &load)| Task {
-            item: load,
+        .map(|(i, item)| Task {
+            item,
             width: host,
             priority: [-(i as f64), 0.0],
         })
@@ -568,12 +699,12 @@ fn main() {
         tasks,
         host,
         &CancelToken::new(),
-        |load, _| measure_point(&opts, &baseline, mesh, load),
+        |(load, pattern), _| measure_point(&opts, &baseline, mesh, load, pattern),
         |_, _| {},
     );
     let points: Vec<Point> = slots
         .into_iter()
-        .map(|p| p.expect("every load measured"))
+        .map(|p| p.expect("every point measured"))
         .collect();
 
     if opts.json {
@@ -595,11 +726,16 @@ fn main() {
         );
         println!(
             "  \"benchmark\": \"engine comparison, {mesh_label} ({} nodes), specVC 2x4, \
-             uniform traffic\",",
-            mesh.nodes()
+             patterns: {}\",",
+            mesh.nodes(),
+            opts.patterns.join(",")
         );
+        let rebalance_cfg = opts.rebalance.map_or_else(String::new, |(e, t)| {
+            format!(", \"rebalance_epoch\": {e}, \"rebalance_threshold\": {t}")
+        });
         println!(
-            "  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \"reps\": {}}},",
+            "  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \
+             \"reps\": {}{rebalance_cfg}}},",
             opts.reps
         );
         println!("  \"host_parallelism\": {host},");
@@ -647,6 +783,19 @@ fn main() {
                         .collect();
                     format!(", \"thread_scaling\": [{}]", rows.join(", "))
                 };
+                let rebalance = pp.rebalance.as_ref().map_or_else(String::new, |rb| {
+                    format!(
+                        ", \"rebalance\": {{\"epoch\": {}, \"threshold\": {}, \
+                         \"rebalances\": {}, \"migrated_nodes\": {}, \
+                         \"work_imbalance\": {:.3}, \"work_imbalance_off\": {:.3}}}",
+                        rb.epoch,
+                        rb.threshold,
+                        rb.rebalances,
+                        rb.migrated_nodes,
+                        rb.work_imbalance,
+                        rb.work_imbalance_off,
+                    )
+                });
                 format!(
                     ", \"parallel\": {{\"shards\": {}, \"ms\": {:.2}, \
                      \"speedup_vs_event\": {:.2}{vs_baseline}, \
@@ -655,7 +804,7 @@ fn main() {
                      \"fast_forwarded_cycles\": {}, \
                      \"phase_pct\": {{\"delivery\": {:.1}, \"sources\": {:.1}, \
                      \"router_tick\": {:.1}, \"stats\": {:.1}, \
-                     \"barrier\": {:.1}}}{scaling}}}",
+                     \"barrier\": {:.1}}}{rebalance}{scaling}}}",
                     pp.shards,
                     pp.ms,
                     p.event_ms / pp.ms,
@@ -673,13 +822,15 @@ fn main() {
             });
             let ph = &p.phases;
             println!(
-                "    {{\"offered_load\": {:.2}, \"cycle_driven_ms\": {:.2}, \
+                "    {{\"offered_load\": {:.2}, \"pattern\": \"{}\", \
+                 \"cycle_driven_ms\": {:.2}, \
                  \"event_driven_ms\": {:.2}, \"speedup\": {:.2}, \
                  \"router_ticks_skipped_pct\": {:.1}, \
                  \"phase_pct\": {{\"delivery\": {:.1}, \"sources\": {:.1}, \
                  \"router_tick\": {:.1}, \"stats\": {:.1}}}\
                  {baseline_fields}{parallel_fields}}}{comma}",
                 p.load,
+                p.pattern,
                 p.cycle_ms,
                 p.event_ms,
                 p.speedup,
@@ -694,15 +845,23 @@ fn main() {
         println!("}}");
     } else {
         println!(
-            "load   cycle-driven   event-driven   speedup   ticks skipped   vs baseline   phases"
+            "load   pattern            cycle-driven   event-driven   speedup   \
+             ticks skipped   vs baseline   phases"
         );
         for p in &points {
             let vs = p
                 .speedup_vs_baseline()
                 .map_or_else(|| "    n/a".to_string(), |s| format!("{s:6.2}x"));
             println!(
-                "{:4.2}   {:9.2} ms   {:9.2} ms   {:6.2}x   {:6.1}%        {}   [{}]",
-                p.load, p.cycle_ms, p.event_ms, p.speedup, p.ticks_skipped_pct, vs, p.phases
+                "{:4.2}   {:<16}   {:9.2} ms   {:9.2} ms   {:6.2}x   {:6.1}%        {}   [{}]",
+                p.load,
+                p.pattern.to_string(),
+                p.cycle_ms,
+                p.event_ms,
+                p.speedup,
+                p.ticks_skipped_pct,
+                vs,
+                p.phases
             );
             if let Some(pp) = &p.parallel {
                 println!(
@@ -712,6 +871,18 @@ fn main() {
                     p.event_ms / pp.ms,
                     pp.phases
                 );
+                if let Some(rb) = &pp.rebalance {
+                    println!(
+                        "         rebalance(epoch {}, threshold {}): {} migrations, \
+                         {} nodes moved, imbalance {:.3} (off: {:.3})",
+                        rb.epoch,
+                        rb.threshold,
+                        rb.rebalances,
+                        rb.migrated_nodes,
+                        rb.work_imbalance,
+                        rb.work_imbalance_off,
+                    );
+                }
                 for &(s, ms) in &pp.scaling {
                     println!(
                         "         scale {s:2} shards: {ms:9.2} ms   {:6.2}x vs event",

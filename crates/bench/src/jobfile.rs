@@ -40,6 +40,8 @@ const JOB_KEYS: &[&str] = &[
     "seeds",
     "seed",
     "shards",
+    "rebalance_epoch",
+    "rebalance_threshold",
     "priority",
     "warmup",
     "sample",
@@ -152,6 +154,18 @@ fn build_job(index: usize, t: &Table) -> Result<JobSpec<NetworkConfig>, String> 
     let shards = get_u64(t, "shards", 1)? as usize;
     if shards > 1 {
         cfg = cfg.with_engine(EngineKind::parallel(shards));
+    }
+    // Work-metered shard rebalancing: either key opts in, and the
+    // validate() backstop below rejects epoch 0 / threshold < 1 with the
+    // job named — so `rebalance_threshold` without an epoch fails loudly
+    // (the epoch defaults to 0) instead of silently metering nothing.
+    if t.contains_key("rebalance_epoch") || t.contains_key("rebalance_threshold") {
+        let epoch = get_u64(t, "rebalance_epoch", 0)?;
+        let threshold = match t.get("rebalance_threshold") {
+            Some(v) => v.as_num().ok_or("`rebalance_threshold` must be a number")?,
+            None => 1.25,
+        };
+        cfg = cfg.with_rebalance(epoch, threshold);
     }
     let loads = t
         .get("loads")
@@ -371,6 +385,50 @@ priority = 2.5
         assert_eq!(mesh.nodes(), 64, "4-ary 3-cube");
         assert_eq!(mesh.dims(), 3);
         assert_eq!(mesh.ports(), 7);
+    }
+
+    #[test]
+    fn rebalance_keys_parse_and_validate() {
+        let f = spec::parse(
+            "[[job]]\nmesh = 4\nloads = [0.1]\nshards = 4\nrebalance_epoch = 200\nrebalance_threshold = 1.5\n",
+        )
+        .unwrap();
+        let b = build_batch(&f).unwrap();
+        let rb = b.jobs[0].config.rebalance.expect("rebalance set");
+        assert_eq!(rb.epoch, 200);
+        assert!((rb.threshold - 1.5).abs() < 1e-12);
+
+        // Omitted threshold picks the documented default.
+        let f = spec::parse("[[job]]\nloads = [0.1]\nrebalance_epoch = 64\n").unwrap();
+        let rb = build_batch(&f).unwrap().jobs[0]
+            .config
+            .rebalance
+            .expect("rebalance set");
+        assert!((rb.threshold - 1.25).abs() < 1e-12);
+
+        // Omitting both keys leaves the knob off.
+        let f = spec::parse("[[job]]\nloads = [0.1]\nshards = 2\n").unwrap();
+        assert_eq!(build_batch(&f).unwrap().jobs[0].config.rebalance, None);
+
+        // Out-of-range values fail at parse time, naming the job.
+        for (body, what) in [
+            ("[[job]]\nloads = [0.1]\nrebalance_epoch = 0\n", "epoch"),
+            (
+                "[[job]]\nloads = [0.1]\nrebalance_epoch = 50\nrebalance_threshold = 0.5\n",
+                "threshold",
+            ),
+            // A threshold without an epoch means the epoch defaults to
+            // 0 — rejected rather than silently metering nothing.
+            (
+                "[[job]]\nloads = [0.1]\nrebalance_threshold = 2.0\n",
+                "epoch",
+            ),
+        ] {
+            let f = spec::parse(body).expect(body);
+            let err = build_batch(&f).expect_err(body);
+            assert!(err.contains("job #1"), "{err}");
+            assert!(err.contains(what), "{body} -> {err}");
+        }
     }
 
     #[test]

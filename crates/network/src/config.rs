@@ -257,6 +257,13 @@ pub enum ConfigError {
         /// The configured radix.
         radix: usize,
     },
+    /// A zero-cycle rebalance epoch: the work meter needs at least one
+    /// executed cycle per decision window.
+    RebalanceEpochZero,
+    /// A rebalance threshold below 1.0 (or NaN): the trigger is a
+    /// `work_max / work_mean` ratio, whose floor is 1.0 at perfect
+    /// balance, so any lower threshold would fire on every epoch.
+    RebalanceThresholdBelowOne,
 }
 
 impl fmt::Display for ConfigError {
@@ -292,11 +299,43 @@ impl fmt::Display for ConfigError {
                 "radix {radix} exceeds the route table's one-byte coordinate encoding \
                  (max 256 nodes per dimension); add a dimension instead"
             ),
+            ConfigError::RebalanceEpochZero => write!(
+                f,
+                "rebalance epoch is 0; the work meter needs at least one executed \
+                 cycle per decision window — use with_rebalance(epoch >= 1, ..) or \
+                 drop the rebalance knob"
+            ),
+            ConfigError::RebalanceThresholdBelowOne => write!(
+                f,
+                "rebalance threshold must be a work_max/work_mean ratio >= 1.0 \
+                 (1.0 = repartition on any imbalance; f64::INFINITY = meter but \
+                 never repartition); got a value below 1.0 or NaN"
+            ),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Work-metered dynamic shard rebalancing for
+/// [`EngineKind::ParallelShards`] (see `shard.rs` for the mechanism).
+/// Every `epoch` *executed* cycles the engine folds per-node work
+/// counters into EWMAs; when the per-shard `work_max / work_mean` ratio
+/// exceeds `threshold`, the partition is re-cut along weighted row seams
+/// and in-flight state migrates to the new owners. All inputs are pure
+/// functions of simulation state, so results stay bit-identical to the
+/// serial engines — the knob trades wall-clock, never correctness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Decision window in executed cycles (≥ 1). Executed cycles — not
+    /// simulated cycles — so quiescence fast-forwards do not starve the
+    /// meter, and the count is identical for every shard layout.
+    pub epoch: u64,
+    /// Imbalance trigger: repartition when `work_max / work_mean`
+    /// exceeds this ratio (≥ 1.0). `f64::INFINITY` meters the imbalance
+    /// without ever repartitioning — the "before" measurement.
+    pub threshold: f64,
+}
 
 /// Full configuration of a network experiment.
 #[derive(Debug, Clone)]
@@ -349,6 +388,11 @@ pub struct NetworkConfig {
     /// is poisoned (marking the result
     /// [`crate::sim::RunResult::cancelled`]); `None` costs nothing.
     pub cancel: Option<CancelToken>,
+    /// Work-metered dynamic shard rebalancing for the sharded-parallel
+    /// engine (ignored by the serial engines; results are identical
+    /// either way). `None` (the default) keeps the static row-seam
+    /// partition.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl NetworkConfig {
@@ -383,6 +427,7 @@ impl NetworkConfig {
             seed: 0x5EED,
             phase_timing: false,
             cancel: None,
+            rebalance: None,
         }
     }
 
@@ -474,6 +519,20 @@ impl NetworkConfig {
         self
     }
 
+    /// Enables work-metered dynamic shard rebalancing for the
+    /// sharded-parallel engine: every `epoch` executed cycles, if the
+    /// per-shard `work_max / work_mean` ratio exceeds `threshold`, the
+    /// partition is re-cut along weighted row seams. Results do not
+    /// depend on the knob (see [`RebalanceConfig`]); wall-clock under
+    /// non-uniform traffic does. Bounds (`epoch >= 1`,
+    /// `threshold >= 1.0`) are checked by [`NetworkConfig::validate`]
+    /// when the network is built, so builder order never matters.
+    #[must_use]
+    pub fn with_rebalance(mut self, epoch: u64, threshold: f64) -> Self {
+        self.rebalance = Some(RebalanceConfig { epoch, threshold });
+        self
+    }
+
     /// Sets the credit propagation delay (Figure 18 sensitivity study).
     #[must_use]
     pub fn with_credit_prop_delay(mut self, cycles: u64) -> Self {
@@ -557,6 +616,16 @@ impl NetworkConfig {
                         dims: self.mesh.dims(),
                     });
                 }
+            }
+        }
+        if let Some(rb) = self.rebalance {
+            if rb.epoch == 0 {
+                return Err(ConfigError::RebalanceEpochZero);
+            }
+            // NaN must be rejected explicitly: a plain `< 1.0` check
+            // would let it through and poison every later comparison.
+            if rb.threshold.is_nan() || rb.threshold < 1.0 {
+                return Err(ConfigError::RebalanceThresholdBelowOne);
             }
         }
         Ok(())
@@ -744,6 +813,35 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("DimensionOrdered"), "{err}");
+    }
+
+    #[test]
+    fn validate_bounds_the_rebalance_knob() {
+        let base = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 });
+        assert_eq!(base.validate(), Ok(()), "knob off is always valid");
+        assert_eq!(
+            base.clone().with_rebalance(0, 1.5).validate(),
+            Err(ConfigError::RebalanceEpochZero)
+        );
+        for bad in [0.99, 0.0, -3.0, f64::NAN] {
+            assert_eq!(
+                base.clone().with_rebalance(64, bad).validate(),
+                Err(ConfigError::RebalanceThresholdBelowOne),
+                "threshold {bad}"
+            );
+        }
+        for ok in [1.0, 1.5, f64::INFINITY] {
+            assert_eq!(
+                base.clone().with_rebalance(1, ok).validate(),
+                Ok(()),
+                "threshold {ok}"
+            );
+        }
+        let msg = ConfigError::RebalanceThresholdBelowOne.to_string();
+        assert!(msg.contains("work_max/work_mean"), "message names the fix");
+        assert!(ConfigError::RebalanceEpochZero
+            .to_string()
+            .contains("epoch"));
     }
 
     #[test]

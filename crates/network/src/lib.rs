@@ -42,7 +42,9 @@ pub mod topology;
 pub mod traffic;
 
 pub use channel_load::ChannelLoad;
-pub use config::{BarrierKind, ConfigError, NetworkConfig, RouterKind, RoutingAlgo};
+pub use config::{
+    BarrierKind, ConfigError, NetworkConfig, RebalanceConfig, RouterKind, RoutingAlgo,
+};
 pub use histogram::{Histogram, Percentiles};
 pub use orchestrate::NetworkRunner;
 pub use routing::RouteTable;

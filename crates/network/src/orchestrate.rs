@@ -39,8 +39,9 @@ impl JobConfig for NetworkConfig {
     /// seed and the offered load (the other two components of a
     /// [`PointKey`]). Deliberately excluded, so dedup-resume recognizes
     /// reruns across result-neutral knobs: the engine (all engines are
-    /// bit-identical by contract), phase timing (instrumentation only),
-    /// and the cancellation token.
+    /// bit-identical by contract), the shard-rebalancing knob (partition
+    /// choice never affects results, by the same contract), phase timing
+    /// (instrumentation only), and the cancellation token.
     fn config_hash(&self) -> u64 {
         let mut h = Fnv::new();
         h.u64(self.mesh.radix() as u64);
@@ -199,6 +200,11 @@ mod tests {
             "load is in the key"
         );
         assert_eq!(h, base().with_phase_timing(true).config_hash());
+        assert_eq!(
+            h,
+            base().with_rebalance(64, 1.2).config_hash(),
+            "rebalancing never changes results, so the hash ignores it"
+        );
         assert_eq!(h, base().with_cancel(CancelToken::new()).config_hash());
     }
 

@@ -57,11 +57,41 @@
 //! wheels, scratch buffers, and the per-cycle record vectors are
 //! retained and reach a fixed capacity after warm-up (enforced by
 //! `crates/network/tests/alloc_free_parallel.rs`).
+//!
+//! # Work-metered dynamic rebalancing
+//!
+//! Contiguous even cuts balance *nodes*, not *work*: under a hotspot
+//! pattern the shard holding the hot column does most of the ticking
+//! while its siblings spin at the gate. When
+//! [`crate::config::NetworkConfig::with_rebalance`] is set, every node
+//! accrues a work meter (weighted router ticks, pipe deliveries, and
+//! departures — all pure functions of simulation state, so the meter is
+//! identical for every partition and thread schedule), folded into a
+//! per-node EWMA at the end of every `epoch` *executed* cycles. Each
+//! shard folds its own slice and publishes its shard total through
+//! [`Lockstep::shard_work`]; at the next gate the leader reads the
+//! totals and, when `work_max / work_mean` exceeds the configured
+//! threshold, recuts the partition along the EWMA curve
+//! ([`crate::topology::Mesh::weighted_shard_ranges_into`] — still
+//! contiguous and row-seam-snapped) and **migrates**: every wheel is
+//! drained with its due cycles intact, staged boundary mail and parked
+//! remote credits are re-homed onto the new owners' wheels, and credit
+//! pipes whose upstream consumer moved across a new seam are converted
+//! to mailbox-style credits (same due cycle) on the consumer's wheel.
+//! No new barrier is added — the decision rides the existing gate, and
+//! the migration happens between worker-pool *eras* while no worker
+//! holds a shard view. Because the meter, the epoch boundaries (counted
+//! in executed cycles, which every shard executes in lockstep), and the
+//! cut computation are all deterministic, the partition *sequence* is
+//! deterministic — and since no partition choice ever affects results
+//! (the serial commit owns all order-sensitive state), rebalanced runs
+//! stay bit-identical to the serial engines.
 
-use crate::config::BarrierKind;
+use crate::config::{BarrierKind, RebalanceConfig};
 use crate::routing::RouteTable;
 use crate::sim::{Delivery, NodeOracle};
 use crate::source::{Source, SourceStep};
+use crate::stats::PhaseNanos;
 use crate::topology::Mesh;
 use crate::traffic::TrafficPattern;
 use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, TickOutput};
@@ -74,6 +104,19 @@ use std::sync::{Mutex, MutexGuard};
 /// several consecutive fast-forwards, each re-voted after one executed
 /// cycle.
 pub(crate) const SRC_SCAN_CAP: u64 = 4096;
+
+/// Work-meter weight of one router tick relative to one pipe delivery
+/// or departure. A tick runs route computation, VC and switch
+/// allocation, and the crossbar pass — several times the cost of
+/// popping one flit off a pipe — so the meter weights it accordingly.
+/// Only the *ratios* between per-node meters matter to the cuts.
+const W_TICK: u64 = 4;
+
+/// Stride-doubling cap for no-op rebalance decisions: once a steady
+/// imbalance keeps triggering decisions whose cuts do not change, the
+/// decision interval backs off exponentially to this many epochs so the
+/// engine is not respawning its worker pool for nothing.
+const MAX_DECISION_STRIDE: u64 = 1 << 10;
 
 /// The message every stalled waiter dies with when a sibling shard
 /// panics — one clear failure instead of a cascade of unrelated
@@ -335,6 +378,12 @@ pub(crate) struct Lockstep {
     /// Workers → leader: `fetch_min` of every shard's earliest future
     /// cycle with work. Read and reset by the leader at the gate.
     pub(crate) next_work: AtomicU64,
+    /// Workers → leader: each shard's work-EWMA total, published at the
+    /// end of every rebalance epoch (the worker folds its own slice of
+    /// the per-node meters — the leader cannot read worker-borrowed
+    /// state — and the gate's happens-before makes the totals visible
+    /// in the next serial section). Unused when rebalancing is off.
+    pub(crate) shard_work: Vec<AtomicU64>,
 }
 
 impl Lockstep {
@@ -344,6 +393,7 @@ impl Lockstep {
             stop: AtomicBool::new(false),
             skip_to: AtomicU64::new(start),
             next_work: AtomicU64::new(u64::MAX),
+            shard_work: (0..parties).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -417,6 +467,19 @@ impl Mailboxes {
             .sum()
     }
 
+    /// Drains every staged message into the migration scratch (the
+    /// timing tags — `FlitMsg::at`, `CreditMsg::due` — carry everything
+    /// needed to re-home them onto the new owners' wheels). Called only
+    /// between eras, when no shard holds a mailbox lock.
+    pub(crate) fn drain_all(&self, flits: &mut Vec<FlitMsg>, credits: &mut Vec<(u64, CreditMsg)>) {
+        for slot in &self.flits {
+            flits.extend(lock_mailbox(slot).drain(..));
+        }
+        for slot in &self.credits {
+            credits.extend(lock_mailbox(slot).drain(..).map(|m| (m.due, m)));
+        }
+    }
+
     fn flit_slot(&self, from: usize, to: usize) -> &Mutex<Vec<FlitMsg>> {
         &self.flits[from * self.shards + to]
     }
@@ -458,6 +521,12 @@ pub(crate) struct ShardAux {
     pub step_buf: SourceStep,
     /// Router ticks executed by this shard (work accounting).
     pub router_ticks: u64,
+    /// Cycles this shard has *executed* (fast-forwarded cycles are not
+    /// counted — no work can happen in them). Every shard executes the
+    /// same cycles in lockstep, so this counter is identical across
+    /// shards and partition-independent; rebalance epoch boundaries are
+    /// measured against it.
+    pub(crate) executed: u64,
     /// Cached earliest cycle at which one of this shard's sources can
     /// cross its injection threshold; valid until reached (a quiet
     /// source's crossing schedule is pure accumulator arithmetic, so it
@@ -481,6 +550,7 @@ impl ShardAux {
             tick_buf: TickOutput::default(),
             step_buf: SourceStep::default(),
             router_ticks: 0,
+            executed: 0,
             src_next: 0,
             busy: false,
             sent_mail: false,
@@ -504,10 +574,121 @@ pub(crate) struct ShardSet {
     pub mail: Mailboxes,
     /// Per-shard commit records.
     pub outs: Vec<Mutex<ShardOut>>,
+    /// Per-node work accrued this epoch (node-indexed, so it survives
+    /// migration untouched; each shard writes only its own slice).
+    pub work_epoch: Vec<u64>,
+    /// Per-node work EWMA across epochs — the weight vector the cuts
+    /// are computed from.
+    pub work_ewma: Vec<u64>,
+    /// Decision state and preallocated migration scratch.
+    pub rebal: RebalanceState,
+}
+
+/// Rebalance decision state plus the preallocated scratch a migration
+/// drains into — sized up front (when the knob is on) so even the first
+/// migration allocates nothing.
+#[derive(Debug)]
+pub(crate) struct RebalanceState {
+    /// Earliest executed-cycle count at which the next migration
+    /// decision may fire (imbalance is *metered* every epoch either
+    /// way). Starts at 0: the first epoch may decide.
+    next_decision: u64,
+    /// Current decision backoff, in epochs (see [`MAX_DECISION_STRIDE`]).
+    stride: u64,
+    /// The leader's snapshot of [`Lockstep::shard_work`], one slot per
+    /// shard.
+    pub(crate) epoch_totals: Vec<u64>,
+    /// Wheel deliveries drained with their due cycles.
+    deliveries: Vec<(u64, Delivery)>,
+    /// Parked and staged cross-shard credits, keyed by due cycle.
+    credits: Vec<(u64, CreditMsg)>,
+    /// Staged boundary flits.
+    flits: Vec<FlitMsg>,
+    /// One credit pipe's contents, mid-conversion: `(due, vc)`.
+    pipe_credits: Vec<(u64, usize)>,
+    /// Row prefix-sum scratch for the weighted cut.
+    pub(crate) prefix: Vec<u128>,
+    /// The candidate partition the cut computes into.
+    pub(crate) new_ranges: Vec<(usize, usize)>,
+}
+
+impl RebalanceState {
+    fn new(enabled: bool, shards: usize, mesh: &Mesh, horizon: u64) -> Self {
+        // Worst-case pending volume: every pipe can hold one item per
+        // cycle of the wheel horizon, each with one scheduled delivery.
+        let slots = if enabled {
+            mesh.nodes() * mesh.ports() * (horizon as usize + 1)
+        } else {
+            0
+        };
+        let rows = mesh.nodes() / mesh.radix();
+        RebalanceState {
+            next_decision: 0,
+            stride: 1,
+            epoch_totals: vec![0; if enabled { shards } else { 0 }],
+            deliveries: Vec::with_capacity(slots),
+            credits: Vec::with_capacity(slots),
+            // One staged flit per mailbox slot is the hard ceiling (one
+            // emission per (node, port) per cycle).
+            flits: Vec::with_capacity(if enabled {
+                mesh.nodes() * mesh.ports()
+            } else {
+                0
+            }),
+            pipe_credits: Vec::with_capacity(if enabled { horizon as usize + 1 } else { 0 }),
+            prefix: Vec::with_capacity(if enabled { rows + 1 } else { 0 }),
+            new_ranges: Vec::with_capacity(if enabled { shards } else { 0 }),
+        }
+    }
+
+    /// Meters one epoch's imbalance from the published shard totals and
+    /// reports whether a migration decision should fire: the decision
+    /// backoff has elapsed and `work_max / work_mean` exceeds
+    /// `threshold` (compared multiplied out — no division, so the
+    /// trigger is exact and deterministic). An all-idle epoch meters as
+    /// perfectly balanced and never triggers.
+    pub(crate) fn record_epoch(
+        &mut self,
+        phases: &mut PhaseNanos,
+        executed: u64,
+        threshold: f64,
+    ) -> bool {
+        let s = self.epoch_totals.len() as u64;
+        let total: u64 = self.epoch_totals.iter().sum();
+        let max = self.epoch_totals.iter().copied().max().unwrap_or(0);
+        let milli = if total == 0 {
+            1000
+        } else {
+            (u128::from(max) * 1000 * u128::from(s) / u128::from(total)) as u64
+        };
+        phases.imbalance_milli_sum += milli;
+        phases.imbalance_epochs += 1;
+        total > 0
+            && executed >= self.next_decision
+            && (max as f64) * (s as f64) > threshold * (total as f64)
+    }
+
+    /// Applies the decision backoff: a migration resets the stride (the
+    /// new cuts may need refinement soon); a no-op decision — the
+    /// weighted cut reproduced the current partition — doubles it, so a
+    /// steady already-balanced imbalance stops respawning the pool.
+    pub(crate) fn after_decision(&mut self, migrated: bool, executed: u64, epoch: u64) {
+        if migrated {
+            self.stride = 1;
+        } else {
+            self.stride = (self.stride * 2).min(MAX_DECISION_STRIDE);
+        }
+        self.next_decision = executed + epoch.saturating_mul(self.stride);
+    }
 }
 
 impl ShardSet {
-    pub(crate) fn new(mesh: &Mesh, shards: usize, horizon: u64) -> Self {
+    pub(crate) fn new(
+        mesh: &Mesh,
+        shards: usize,
+        horizon: u64,
+        rebalance: Option<RebalanceConfig>,
+    ) -> Self {
         let ranges = mesh.shard_ranges(shards);
         let s = ranges.len();
         let mut node_shard = vec![0u32; mesh.nodes()];
@@ -522,12 +703,121 @@ impl ShardSet {
             aux: (0..s).map(|_| ShardAux::new(s, horizon)).collect(),
             mail: Mailboxes::new(s),
             outs: (0..s).map(|_| Mutex::new(ShardOut::default())).collect(),
+            work_epoch: vec![0; mesh.nodes()],
+            work_ewma: vec![0; mesh.nodes()],
+            rebal: RebalanceState::new(rebalance.is_some(), s, mesh, horizon),
         }
     }
 
     /// Router ticks executed across all shards.
     pub(crate) fn router_ticks(&self) -> u64 {
         self.aux.iter().map(|a| a.router_ticks).sum()
+    }
+
+    /// Repartitions the flat per-node state along `rebal.new_ranges`,
+    /// re-homing every in-flight artifact onto its new owner. Runs
+    /// between eras — no worker holds a shard view — right after an
+    /// executed cycle `N`, which pins the timing invariants: every
+    /// wheel's cursor is at `N`, every pending delivery/credit is due in
+    /// `(N, N + horizon]`, and staged mailbox flits carry `at == N` — so
+    /// every re-schedule below satisfies the wheels' horizon asserts.
+    ///
+    /// The one subtle case is a **credit pipe crossing a new seam**:
+    /// `credit_back[node][port]`'s consumer is the *upstream* router,
+    /// so if the new cut separates `node` from its upstream the pending
+    /// pipe contents are converted — due cycles intact — into
+    /// mailbox-style [`CreditMsg`]s on the consumer's `remote_credits`
+    /// wheel (exactly where an emission-time cross-shard credit would
+    /// have gone), and the pipe's deliveries are dropped with the
+    /// emptied pipe. Local-port credits never convert: their consumer
+    /// is the node's own source. Returns how many nodes changed owner.
+    pub(crate) fn migrate(
+        &mut self,
+        mesh: &Mesh,
+        flit_in: &mut [Vec<DelayPipe<Flit>>],
+        credit_back: &mut [Vec<DelayPipe<usize>>],
+        link_delay: u64,
+    ) -> u64 {
+        let rebal = &mut self.rebal;
+        debug_assert_eq!(rebal.new_ranges.len(), self.ranges.len());
+        // 1. Strip every shard's event state into the scratch, due
+        //    cycles intact. The cached source horizons are partition
+        //    scoped only in the sense that a new owner re-votes them;
+        //    reset forces that re-vote.
+        rebal.deliveries.clear();
+        rebal.credits.clear();
+        rebal.flits.clear();
+        for aux in &mut self.aux {
+            aux.wheel.drain_pending_into(&mut rebal.deliveries);
+            aux.remote_credits.drain_pending_into(&mut rebal.credits);
+            aux.src_next = 0;
+        }
+        // 2. Staged boundary mail (published during cycle N, not yet
+        //    applied by its receivers).
+        self.mail.drain_all(&mut rebal.flits, &mut rebal.credits);
+        // 3. Install the new partition.
+        let mut moved = 0u64;
+        self.ranges.copy_from_slice(&rebal.new_ranges);
+        for (i, &(lo, hi)) in self.ranges.iter().enumerate() {
+            for slot in &mut self.node_shard[lo..hi] {
+                if *slot != i as u32 {
+                    moved += 1;
+                    *slot = i as u32;
+                }
+            }
+        }
+        // 4. Re-home everything onto the new owners.
+        let local = mesh.local_port();
+        for &(at, d) in &rebal.deliveries {
+            let node = d.node as usize;
+            let owner = self.node_shard[node] as usize;
+            let port = d.port as usize;
+            let seam_upstream = (d.credit && port != local)
+                .then(|| {
+                    mesh.neighbor(node, port)
+                        .expect("credit on an unwired port")
+                })
+                .filter(|&up| self.node_shard[up] as usize != owner);
+            if let Some(up) = seam_upstream {
+                // Convert the pipe's pending credits for the moved
+                // consumer; a later delivery for the same (now empty)
+                // pipe converts nothing and is likewise dropped.
+                rebal.pipe_credits.clear();
+                credit_back[node][port].drain_all_into(&mut rebal.pipe_credits);
+                let up_owner = self.node_shard[up] as usize;
+                for &(due, vc) in &rebal.pipe_credits {
+                    self.aux[up_owner].remote_credits.schedule(
+                        due,
+                        CreditMsg {
+                            node: up as u32,
+                            port: mesh.opposite(port) as u8,
+                            vc: vc as u32,
+                            due,
+                        },
+                    );
+                }
+            } else {
+                self.aux[owner].wheel.schedule(at, d);
+            }
+        }
+        for &(due, m) in &rebal.credits {
+            let owner = self.node_shard[m.node as usize] as usize;
+            self.aux[owner].remote_credits.schedule(due, m);
+        }
+        for m in &rebal.flits {
+            let node = m.node as usize;
+            let owner = self.node_shard[node] as usize;
+            flit_in[node][m.port as usize].push(m.at, m.flit);
+            self.aux[owner].wheel.schedule(
+                m.at + 1 + link_delay,
+                Delivery {
+                    node: m.node,
+                    port: m.port,
+                    credit: false,
+                },
+            );
+        }
+        moved
     }
 }
 
@@ -543,6 +833,9 @@ pub(crate) struct ShardEnv<'a> {
     pub vcs: usize,
     pub mail: &'a Mailboxes,
     pub outs: &'a [Mutex<ShardOut>],
+    /// Rebalance epoch length in executed cycles; `0` disables metering
+    /// entirely (the per-event counter writes are skipped).
+    pub rebalance_epoch: u64,
 }
 
 /// One shard's disjoint mutable view of the network: slices of the flat
@@ -560,6 +853,10 @@ pub(crate) struct ShardCtx<'a> {
     pub eject_slots: &'a mut [(PacketId, u32)],
     pub active: &'a mut [bool],
     pub aux: &'a mut ShardAux,
+    /// This shard's slice of the per-node work meters (current epoch).
+    pub work_epoch: &'a mut [u64],
+    /// This shard's slice of the per-node work EWMAs.
+    pub work_ewma: &'a mut [u64],
 }
 
 impl ShardCtx<'_> {
@@ -613,6 +910,7 @@ impl ShardCtx<'_> {
     pub(crate) fn phase_deliver(&mut self, env: &ShardEnv<'_>, now: u64) {
         let mesh = env.mesh;
         let local = mesh.local_port();
+        let metering = env.rebalance_epoch != 0;
         let mut due = self.aux.wheel.take_due(now);
         for d in due.drain(..) {
             let node = d.node as usize;
@@ -638,9 +936,14 @@ impl ShardCtx<'_> {
                     }
                 }
             } else {
+                let mut popped = 0u64;
                 while let Some(flit) = self.flit_in[i][port].pop_ready(now) {
                     self.routers[i].accept_flit(port, flit, now);
                     self.active[i] = true;
+                    popped += 1;
+                }
+                if metering {
+                    self.work_epoch[i] += popped;
                 }
             }
         }
@@ -680,6 +983,7 @@ impl ShardCtx<'_> {
     pub(crate) fn phase_tick(&mut self, env: &ShardEnv<'_>, now: u64) {
         let mesh = env.mesh;
         let local = mesh.local_port();
+        let metering = env.rebalance_epoch != 0;
         self.aux.busy = false;
         self.aux.sent_mail = false;
 
@@ -696,6 +1000,9 @@ impl ShardCtx<'_> {
             };
             self.routers[i].tick_into(now, &oracle, &mut buf);
             self.aux.router_ticks += 1;
+            if metering {
+                self.work_epoch[i] += W_TICK + buf.departures.len() as u64;
+            }
             for dep in buf.departures.drain(..) {
                 out.loads.push((node as u32, dep.out_port as u8));
                 if dep.out_port == local {
@@ -808,12 +1115,43 @@ impl ShardCtx<'_> {
         lockstep.next_work.fetch_min(next, Ordering::AcqRel);
     }
 
+    /// Counts the just-executed cycle against the rebalance epoch; at an
+    /// epoch boundary, folds this shard's slice of the work meters into
+    /// the per-node EWMAs (`ewma ← (3·ewma + epoch) / 4`, integer — the
+    /// fold is per node, so it is identical under every partition) and
+    /// returns the shard's EWMA total. No-op when metering is off.
+    pub(crate) fn end_cycle(&mut self, epoch: u64) -> Option<u64> {
+        if epoch == 0 {
+            return None;
+        }
+        self.aux.executed += 1;
+        if !self.aux.executed.is_multiple_of(epoch) {
+            return None;
+        }
+        let mut total = 0u64;
+        for (w, e) in self.work_ewma.iter_mut().zip(self.work_epoch.iter_mut()) {
+            *w = (*w * 3 + *e) / 4;
+            total += *w;
+            *e = 0;
+        }
+        Some(total)
+    }
+
+    /// [`ShardCtx::end_cycle`] for the threaded run: publishes the epoch
+    /// total for the leader's next serial section.
+    pub(crate) fn finish_cycle(&mut self, env: &ShardEnv<'_>, lockstep: &Lockstep) {
+        if let Some(total) = self.end_cycle(env.rebalance_epoch) {
+            lockstep.shard_work[self.idx].store(total, Ordering::Release);
+        }
+    }
+
     /// Executes one full cycle (the fused compute phase) and votes.
     pub(crate) fn run_cycle(&mut self, env: &ShardEnv<'_>, lockstep: &Lockstep, now: u64) {
         self.begin_cycle(env, now);
         self.phase_deliver(env, now);
         self.phase_sources(env, now);
         self.phase_tick(env, now);
+        self.finish_cycle(env, lockstep);
         self.vote(lockstep, now);
     }
 

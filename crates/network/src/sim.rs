@@ -290,7 +290,7 @@ impl Network {
         let vcs = cfg.router.vcs();
         let shards = match cfg.engine {
             EngineKind::ParallelShards { shards } => {
-                Some(ShardSet::new(&cfg.mesh, shards, horizon))
+                Some(ShardSet::new(&cfg.mesh, shards, horizon, cfg.rebalance))
             }
             EngineKind::CycleDriven | EngineKind::EventDriven => None,
         };
@@ -349,6 +349,15 @@ impl Network {
     #[must_use]
     pub fn total_backlog(&self) -> usize {
         self.sources.iter().map(Source::backlog).sum()
+    }
+
+    /// Shard migrations performed so far (nonzero only under
+    /// [`EngineKind::ParallelShards`] with
+    /// [`NetworkConfig::with_rebalance`] set and an imbalance above its
+    /// threshold).
+    #[must_use]
+    pub fn rebalances(&self) -> u64 {
+        self.phases.rebalances
     }
 
     /// Advances the network one cycle with the configured engine.
@@ -614,6 +623,7 @@ impl Network {
         let mut set = self.shards.take().expect("parallel engine state");
         let now = self.now;
         let vcs = self.cfg.router.vcs();
+        let rb_epoch = self.cfg.rebalance.map_or(0, |rb| rb.epoch);
         let mut stamps = self.cfg.phase_timing.then(|| [Instant::now(); 5]);
         {
             let env = ShardEnv {
@@ -627,6 +637,7 @@ impl Network {
                 vcs,
                 mail: &set.mail,
                 outs: &set.outs,
+                rebalance_epoch: rb_epoch,
             };
             // A shard's disjoint view, re-borrowed per phase call (the
             // macro keeps the borrows field-granular).
@@ -643,6 +654,8 @@ impl Network {
                         eject_slots: &mut self.eject_slots[lo * vcs..hi * vcs],
                         active: &mut self.router_active[lo..hi],
                         aux: &mut set.aux[$s],
+                        work_epoch: &mut set.work_epoch[lo..hi],
+                        work_ewma: &mut set.work_ewma[lo..hi],
                     }
                 }};
             }
@@ -661,8 +674,16 @@ impl Network {
                 ctx!(s).phase_tick(&env, now);
             }
             mark(&mut stamps, 3);
+            if rb_epoch != 0 {
+                for s in 0..shards {
+                    if let Some(total) = ctx!(s).end_cycle(rb_epoch) {
+                        set.rebal.epoch_totals[s] = total;
+                    }
+                }
+            }
         }
         self.committer().commit(now, &set.outs);
+        self.maybe_rebalance_inline(&mut set);
         mark(&mut stamps, 4);
         if let Some(t) = stamps {
             // Same shape as the serial engines: delivery, sources,
@@ -673,6 +694,44 @@ impl Network {
         self.shards = Some(set);
     }
 
+    /// The inline path's rebalance decision, mirroring the threaded
+    /// leader's serial section: at an epoch boundary, meter the shards'
+    /// published work totals; above the threshold, recut the partition
+    /// along the per-node EWMAs and migrate. (The threaded run reaches
+    /// the same state by ending its worker-pool era first — migration
+    /// needs the whole flat state, which the workers' shard views
+    /// borrow.)
+    fn maybe_rebalance_inline(&mut self, set: &mut ShardSet) {
+        let Some(rb) = self.cfg.rebalance else { return };
+        let exec = set.aux[0].executed;
+        if exec == 0 || !exec.is_multiple_of(rb.epoch) {
+            return;
+        }
+        if !set.rebal.record_epoch(&mut self.phases, exec, rb.threshold) {
+            return;
+        }
+        let shards = set.ranges.len();
+        let ok = self.cfg.mesh.weighted_shard_ranges_into(
+            &set.work_ewma,
+            shards,
+            &mut set.rebal.prefix,
+            &mut set.rebal.new_ranges,
+        );
+        let mut migrated = false;
+        if ok && set.rebal.new_ranges != set.ranges {
+            let moved = set.migrate(
+                &self.cfg.mesh,
+                &mut self.flit_in,
+                &mut self.credit_back,
+                self.cfg.link_delay,
+            );
+            self.phases.rebalances += 1;
+            self.phases.migrated_nodes += moved;
+            migrated = true;
+        }
+        set.rebal.after_decision(migrated, exec, rb.epoch);
+    }
+
     /// The serial measurement commit over this network's global state.
     fn committer(&mut self) -> Committer<'_> {
         Committer {
@@ -681,134 +740,208 @@ impl Network {
         }
     }
 
-    /// The threaded sharded-parallel loop: a persistent scoped worker
-    /// pool (one thread per shard beyond the coordinator, which doubles
-    /// as shard 0's worker) in lockstep rounds of **one gate barrier
-    /// episode each**. At the gate the coordinator — while every worker
-    /// is parked — commits the previous cycle's measurement records in
+    /// The threaded sharded-parallel loop: a scoped worker pool (one
+    /// thread per shard beyond the coordinator, which doubles as shard
+    /// 0's worker) in lockstep rounds of **one gate barrier episode
+    /// each**. At the gate the coordinator — while every worker is
+    /// parked — commits the previous cycle's measurement records in
     /// node order, then either stops, grants a quiescence fast-forward
     /// (all shards voted their next work later than the coming cycle;
     /// the skipped cycles execute no phases and wait at no barrier,
     /// composing the event engine's idle-skipping with sharding), or
-    /// releases the workers into the next fused compute phase. Advances
-    /// the network until the sample completes, `max_cycles` is hit, or
-    /// the cancellation token (polled every [`CANCEL_BATCH`] cycles on
-    /// the coordinator; fast-forwards are clamped to batch boundaries so
-    /// no poll is skipped) is poisoned — the return value is true for
-    /// that last case.
+    /// releases the workers into the next fused compute phase.
+    ///
+    /// The pool runs in **eras**: when a rebalance decision fires at an
+    /// epoch gate (see [`crate::shard::RebalanceState`]), the era ends —
+    /// workers return, their borrowed shard views die, the coordinator
+    /// migrates the flat state onto the new partition, and a fresh pool
+    /// is spawned. A new era's first round always executes (never
+    /// skips): re-running a possibly quiescent cycle is exactly what the
+    /// serial reference would do, so nothing is lost but a round.
+    ///
+    /// Advances the network until the sample completes, `max_cycles` is
+    /// hit, or the cancellation token (polled every [`CANCEL_BATCH`]
+    /// cycles on the coordinator; fast-forwards are clamped to batch
+    /// boundaries so no poll is skipped) is poisoned — the return value
+    /// is true for that last case.
     fn run_parallel(&mut self) -> bool {
         let mut set = self.shards.take().expect("parallel engine state");
         let vcs = self.cfg.router.vcs();
         let timing = self.cfg.phase_timing;
         let max_cycles = self.cfg.max_cycles;
         let cancel = self.cfg.cancel.clone();
-        let start_now = self.now;
-        let lockstep = Lockstep::new(self.cfg.barrier, set.ranges.len(), start_now);
+        let rebalance = self.cfg.rebalance;
+        // Epoch boundaries a leader decision has already consumed — a
+        // post-fast-forward gate sees the same executed count again and
+        // must not re-decide it.
+        let mut epoch_handled = 0u64;
 
-        let env = ShardEnv {
-            mesh: self.cfg.mesh,
-            pattern: &self.cfg.pattern,
-            route_table: &self.route_table,
-            node_shard: &set.node_shard,
-            link_delay: self.cfg.link_delay,
-            credit_latency: self.credit_latency,
-            packet_len: self.cfg.packet_len,
-            vcs,
-            mail: &set.mail,
-            outs: &set.outs,
-        };
-        let ctxs = split_shards(
-            &set.ranges,
-            vcs,
-            &mut self.routers,
-            &mut self.sources,
-            &mut self.flit_in,
-            &mut self.credit_back,
-            &mut self.eject_slots,
-            &mut self.router_active,
-            &mut set.aux,
-        );
-        let mut committer = Committer {
-            cfg: &self.cfg,
-            meas: &mut self.meas,
-        };
-        let phases = &mut self.phases;
-
-        let (final_now, cancelled) = std::thread::scope(|scope| {
-            let mut ctx_iter = ctxs.into_iter();
-            let mut ctx0 = ctx_iter.next().expect("at least one shard");
-            for ctx in ctx_iter {
-                let (env, lockstep) = (&env, &lockstep);
-                scope.spawn(move || worker_loop(ctx, env, lockstep, start_now));
-            }
-            // The coordinator is shard 0's worker; if it panics (e.g. a
-            // conservation assert), poison the lockstep so the workers
-            // panic out of their gate waits instead of spinning forever.
-            let _guard = PoisonGuard(&lockstep.gate);
-            let mut now = start_now;
-            // No cycle has executed yet: nothing to commit, no votes to
-            // read, and the first round must run (not skip).
-            let mut executed = false;
-            let mut pending_commit = start_now;
-            let mut quiet_until = start_now;
-            let cancelled = loop {
-                let t0 = timing.then(Instant::now);
-                lockstep.gate.wait_followers();
-                let t1 = timing.then(Instant::now);
-                // ---- serial section: every worker is parked ----
-                if executed {
-                    committer.commit(pending_commit, env.outs);
-                    quiet_until = lockstep.take_vote();
-                }
-                let finished = now >= max_cycles || committer.sample_complete();
-                let cancel_due = !finished
-                    && now.is_multiple_of(CANCEL_BATCH)
-                    && cancel.as_ref().is_some_and(CancelToken::is_cancelled);
-                if finished || cancel_due {
-                    lockstep.stop.store(true, Ordering::Release);
-                    lockstep.gate.release();
-                    break cancel_due;
-                }
-                let mut target = quiet_until.min(max_cycles);
-                if cancel.is_some() {
-                    // Never jump a cancellation poll point.
-                    target = target.min((now / CANCEL_BATCH + 1) * CANCEL_BATCH);
-                }
-                if target > now {
-                    // Fast-forward round: cycles [now, target) are
-                    // provably no-ops for every shard. The only global
-                    // per-cycle effect is the channel-load window.
-                    let skipped = target - now;
-                    committer.meas.channel_load.tick_n(skipped);
-                    phases.fast_forwarded += skipped;
-                    lockstep.skip_to.store(target, Ordering::Release);
-                    executed = false;
-                    lockstep.gate.release();
-                    ctx0.fast_forward(now, target);
-                    now = target;
-                    continue;
-                }
-                lockstep.skip_to.store(now, Ordering::Release);
-                executed = true;
-                pending_commit = now;
-                lockstep.gate.release();
-                // ---- fused compute phase, shard 0's share ----
-                let t2 = timing.then(Instant::now);
-                ctx0.begin_cycle(&env, now);
-                ctx0.phase_deliver(&env, now);
-                let t3 = timing.then(Instant::now);
-                ctx0.phase_sources(&env, now);
-                let t4 = timing.then(Instant::now);
-                ctx0.phase_tick(&env, now);
-                ctx0.vote(&lockstep, now);
-                if let (Some(t0), Some(t1), Some(t2), Some(t3), Some(t4)) = (t0, t1, t2, t3, t4) {
-                    phases.accumulate_parallel(&[t0, t1, t2, t3, t4, Instant::now()]);
-                }
-                now += 1;
+        let cancelled = loop {
+            let start_now = self.now;
+            let lockstep = Lockstep::new(self.cfg.barrier, set.ranges.len(), start_now);
+            let env = ShardEnv {
+                mesh: self.cfg.mesh,
+                pattern: &self.cfg.pattern,
+                route_table: &self.route_table,
+                node_shard: &set.node_shard,
+                link_delay: self.cfg.link_delay,
+                credit_latency: self.credit_latency,
+                packet_len: self.cfg.packet_len,
+                vcs,
+                mail: &set.mail,
+                outs: &set.outs,
+                rebalance_epoch: rebalance.map_or(0, |rb| rb.epoch),
             };
-            (now, cancelled)
-        });
-        self.now = final_now;
+            let ctxs = split_shards(
+                &set.ranges,
+                vcs,
+                &mut self.routers,
+                &mut self.sources,
+                &mut self.flit_in,
+                &mut self.credit_back,
+                &mut self.eject_slots,
+                &mut self.router_active,
+                &mut set.aux,
+                &mut set.work_epoch,
+                &mut set.work_ewma,
+            );
+            let mut committer = Committer {
+                cfg: &self.cfg,
+                meas: &mut self.meas,
+            };
+            let phases = &mut self.phases;
+            let rebal = &mut set.rebal;
+            let epoch_handled = &mut epoch_handled;
+
+            let (final_now, end) = std::thread::scope(|scope| {
+                let mut ctx_iter = ctxs.into_iter();
+                let mut ctx0 = ctx_iter.next().expect("at least one shard");
+                for ctx in ctx_iter {
+                    let (env, lockstep) = (&env, &lockstep);
+                    scope.spawn(move || worker_loop(ctx, env, lockstep, start_now));
+                }
+                // The coordinator is shard 0's worker; if it panics (e.g.
+                // a conservation assert), poison the lockstep so the
+                // workers panic out of their gate waits instead of
+                // spinning forever.
+                let _guard = PoisonGuard(&lockstep.gate);
+                let mut now = start_now;
+                // No cycle has executed yet this era: nothing to commit,
+                // no votes to read, and the first round must run (not
+                // skip).
+                let mut executed = false;
+                let mut pending_commit = start_now;
+                let mut quiet_until = start_now;
+                let end = loop {
+                    let t0 = timing.then(Instant::now);
+                    lockstep.gate.wait_followers();
+                    let t1 = timing.then(Instant::now);
+                    // ---- serial section: every worker is parked ----
+                    if executed {
+                        committer.commit(pending_commit, env.outs);
+                        quiet_until = lockstep.take_vote();
+                    }
+                    let finished = now >= max_cycles || committer.sample_complete();
+                    let cancel_due = !finished
+                        && now.is_multiple_of(CANCEL_BATCH)
+                        && cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+                    if finished || cancel_due {
+                        lockstep.stop.store(true, Ordering::Release);
+                        lockstep.gate.release();
+                        break EraEnd::Done {
+                            cancelled: cancel_due,
+                        };
+                    }
+                    if executed {
+                        if let Some(rb) = rebalance {
+                            let exec = ctx0.aux.executed;
+                            if exec > *epoch_handled && exec.is_multiple_of(rb.epoch) {
+                                *epoch_handled = exec;
+                                let totals = rebal.epoch_totals.iter_mut();
+                                for (t, w) in totals.zip(&lockstep.shard_work) {
+                                    *t = w.load(Ordering::Acquire);
+                                }
+                                if rebal.record_epoch(phases, exec, rb.threshold) {
+                                    // End the era: the migration needs
+                                    // the flat state the workers' shard
+                                    // views currently borrow.
+                                    lockstep.stop.store(true, Ordering::Release);
+                                    lockstep.gate.release();
+                                    break EraEnd::Rebalance { executed: exec };
+                                }
+                            }
+                        }
+                    }
+                    let mut target = quiet_until.min(max_cycles);
+                    if cancel.is_some() {
+                        // Never jump a cancellation poll point.
+                        target = target.min((now / CANCEL_BATCH + 1) * CANCEL_BATCH);
+                    }
+                    if target > now {
+                        // Fast-forward round: cycles [now, target) are
+                        // provably no-ops for every shard. The only
+                        // global per-cycle effect is the channel-load
+                        // window.
+                        let skipped = target - now;
+                        committer.meas.channel_load.tick_n(skipped);
+                        phases.fast_forwarded += skipped;
+                        lockstep.skip_to.store(target, Ordering::Release);
+                        executed = false;
+                        lockstep.gate.release();
+                        ctx0.fast_forward(now, target);
+                        now = target;
+                        continue;
+                    }
+                    lockstep.skip_to.store(now, Ordering::Release);
+                    executed = true;
+                    pending_commit = now;
+                    lockstep.gate.release();
+                    // ---- fused compute phase, shard 0's share ----
+                    let t2 = timing.then(Instant::now);
+                    ctx0.begin_cycle(&env, now);
+                    ctx0.phase_deliver(&env, now);
+                    let t3 = timing.then(Instant::now);
+                    ctx0.phase_sources(&env, now);
+                    let t4 = timing.then(Instant::now);
+                    ctx0.phase_tick(&env, now);
+                    ctx0.finish_cycle(&env, &lockstep);
+                    ctx0.vote(&lockstep, now);
+                    if let (Some(t0), Some(t1), Some(t2), Some(t3), Some(t4)) = (t0, t1, t2, t3, t4)
+                    {
+                        phases.accumulate_parallel(&[t0, t1, t2, t3, t4, Instant::now()]);
+                    }
+                    now += 1;
+                };
+                (now, end)
+            });
+            self.now = final_now;
+            match end {
+                EraEnd::Done { cancelled } => break cancelled,
+                EraEnd::Rebalance { executed } => {
+                    let rb = rebalance.expect("rebalance era requires the knob");
+                    let shards = set.ranges.len();
+                    let ok = self.cfg.mesh.weighted_shard_ranges_into(
+                        &set.work_ewma,
+                        shards,
+                        &mut set.rebal.prefix,
+                        &mut set.rebal.new_ranges,
+                    );
+                    let mut migrated = false;
+                    if ok && set.rebal.new_ranges != set.ranges {
+                        let moved = set.migrate(
+                            &self.cfg.mesh,
+                            &mut self.flit_in,
+                            &mut self.credit_back,
+                            self.cfg.link_delay,
+                        );
+                        self.phases.rebalances += 1;
+                        self.phases.migrated_nodes += moved;
+                        migrated = true;
+                    }
+                    set.rebal.after_decision(migrated, executed, rb.epoch);
+                }
+            }
+        };
         self.shards = Some(set);
         cancelled
     }
@@ -1003,6 +1136,15 @@ impl Network {
     }
 }
 
+/// Why one worker-pool era of the threaded sharded run ended.
+enum EraEnd {
+    /// The run is over (cycle limit, sample drained, or cancellation).
+    Done { cancelled: bool },
+    /// A rebalance decision fired at this executed-cycle count; the
+    /// coordinator migrates and spawns a fresh pool.
+    Rebalance { executed: u64 },
+}
+
 /// Records a phase-boundary timestamp when phase timing is enabled
 /// (no clock read otherwise).
 #[inline]
@@ -1025,6 +1167,8 @@ fn split_shards<'a>(
     mut eject_slots: &'a mut [(PacketId, u32)],
     mut active: &'a mut [bool],
     aux: &'a mut [crate::shard::ShardAux],
+    mut work_epoch: &'a mut [u64],
+    mut work_ewma: &'a mut [u64],
 ) -> Vec<ShardCtx<'a>> {
     let mut ctxs = Vec::with_capacity(ranges.len());
     let mut aux_iter = aux.iter_mut();
@@ -1042,6 +1186,10 @@ fn split_shards<'a>(
         eject_slots = rest;
         let (a, rest) = std::mem::take(&mut active).split_at_mut(n);
         active = rest;
+        let (we, rest) = std::mem::take(&mut work_epoch).split_at_mut(n);
+        work_epoch = rest;
+        let (ww, rest) = std::mem::take(&mut work_ewma).split_at_mut(n);
+        work_ewma = rest;
         ctxs.push(ShardCtx {
             idx,
             lo,
@@ -1052,6 +1200,8 @@ fn split_shards<'a>(
             eject_slots: e,
             active: a,
             aux: aux_iter.next().expect("one aux per shard"),
+            work_epoch: we,
+            work_ewma: ww,
         });
     }
     ctxs

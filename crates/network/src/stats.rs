@@ -36,6 +36,19 @@ pub struct PhaseNanos {
     /// the next wheel event), which execute no phases and wait at no
     /// barrier.
     pub fast_forwarded: u64,
+    /// Shard repartitions performed by the work-metered rebalancer
+    /// (zero for the serial engines and with the knob off).
+    pub rebalances: u64,
+    /// Nodes whose owning shard changed, summed over all rebalances.
+    pub migrated_nodes: u64,
+    /// Sum over metered epochs of the per-shard `work_max / work_mean`
+    /// ratio in milli-units (1000 = perfect balance). Kept as an integer
+    /// so `PhaseNanos` stays `Eq`; read it through
+    /// [`PhaseNanos::work_imbalance`].
+    pub imbalance_milli_sum: u64,
+    /// Number of rebalance epochs metered (the denominator of
+    /// [`PhaseNanos::work_imbalance`]).
+    pub imbalance_epochs: u64,
 }
 
 impl PhaseNanos {
@@ -80,6 +93,19 @@ impl PhaseNanos {
             part as f64 * 100.0 / total as f64
         }
     }
+
+    /// Mean per-shard `work_max / work_mean` ratio over the metered
+    /// rebalance epochs: 1.0 is perfect balance, 2.0 means the busiest
+    /// shard carried twice the mean. 0.0 when no epoch was metered
+    /// (serial engines, knob off, or a run shorter than one epoch).
+    #[must_use]
+    pub fn work_imbalance(&self) -> f64 {
+        if self.imbalance_epochs == 0 {
+            0.0
+        } else {
+            self.imbalance_milli_sum as f64 / 1000.0 / self.imbalance_epochs as f64
+        }
+    }
 }
 
 impl fmt::Display for PhaseNanos {
@@ -102,6 +128,15 @@ impl fmt::Display for PhaseNanos {
         }
         if self.fast_forwarded > 0 {
             write!(f, " | {} cycles fast-forwarded", self.fast_forwarded)?;
+        }
+        if self.imbalance_epochs > 0 {
+            write!(
+                f,
+                " | work imbalance {:.2} ({} rebalances, {} nodes moved)",
+                self.work_imbalance(),
+                self.rebalances,
+                self.migrated_nodes
+            )?;
         }
         Ok(())
     }
@@ -311,6 +346,21 @@ mod tests {
         let mut s = LatencyStats::new();
         s.record(42);
         assert!(s.to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn work_imbalance_averages_metered_epochs() {
+        let mut p = PhaseNanos::default();
+        assert_eq!(p.work_imbalance(), 0.0, "no epochs metered");
+        // Two epochs: ratios 1.5 and 2.5 → mean 2.0.
+        p.imbalance_milli_sum = 1500 + 2500;
+        p.imbalance_epochs = 2;
+        assert!((p.work_imbalance() - 2.0).abs() < 1e-12);
+        p.rebalances = 1;
+        p.migrated_nodes = 16;
+        let s = p.to_string();
+        assert!(s.contains("work imbalance 2.00"), "{s}");
+        assert!(s.contains("1 rebalances"), "{s}");
     }
 
     #[test]

@@ -288,6 +288,105 @@ impl Mesh {
         refined
     }
 
+    /// A work-weighted generalization of [`Mesh::shard_ranges`]: splits
+    /// the nodes into `shards` contiguous ranges whose *weight* sums (one
+    /// `u64` weight per node) are as even as the row structure allows,
+    /// with every cut on a row seam.
+    ///
+    /// The split is row-level: rows (`radix` consecutive nodes,
+    /// dimension-0-fastest numbering) are the indivisible unit, so every
+    /// cut is seam-snapped *by construction* — the property the sharded
+    /// engine's mailbox traffic depends on — and each shard gets at
+    /// least one whole row. Cut `i` is placed at the row seam whose
+    /// weight prefix sum is closest to `total * i / shards` (ties to the
+    /// earlier seam), constrained to leave at least one row for every
+    /// remaining shard; the cuts are therefore contiguous, covering, and
+    /// strictly monotonic for any weight vector, and the whole
+    /// computation is a pure function of `(weights, shards)` — the
+    /// determinism the rebalancer's bit-identity argument rests on.
+    ///
+    /// Falls back to the unweighted [`Mesh::shard_ranges`] when the
+    /// weights are missing/mismatched, all zero, or there are more
+    /// shards than rows (no seam-snapped split can keep every shard
+    /// non-empty).
+    #[must_use]
+    pub fn weighted_shard_ranges(&self, weights: &[u64], shards: usize) -> Vec<(usize, usize)> {
+        let mut prefix = Vec::new();
+        let mut out = Vec::new();
+        if self.weighted_shard_ranges_into(weights, shards, &mut prefix, &mut out) {
+            out
+        } else {
+            self.shard_ranges(shards)
+        }
+    }
+
+    /// Allocation-reusing core of [`Mesh::weighted_shard_ranges`]: fills
+    /// `out` with the weighted row-level ranges using `prefix` as
+    /// scratch, or returns `false` when the caller must fall back to the
+    /// unweighted split (weights missing/all-zero, or more shards than
+    /// rows). The rebalancer calls this with retained buffers so an
+    /// epoch decision allocates nothing after warmup.
+    pub fn weighted_shard_ranges_into(
+        &self,
+        weights: &[u64],
+        shards: usize,
+        prefix: &mut Vec<u128>,
+        out: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        let n = self.nodes();
+        let s = shards.clamp(1, n);
+        let row = self.radix;
+        let rows = n / row;
+        if weights.len() != n || s > rows {
+            return false;
+        }
+        // prefix[j] = total weight of rows [0, j); u128 so even a
+        // pathological all-u64::MAX weight vector cannot overflow.
+        prefix.clear();
+        prefix.push(0);
+        for r in 0..rows {
+            let w: u128 = weights[r * row..(r + 1) * row]
+                .iter()
+                .map(|&w| u128::from(w))
+                .sum();
+            prefix.push(prefix[r] + w);
+        }
+        let total = prefix[rows];
+        if total == 0 {
+            return false;
+        }
+        out.clear();
+        let mut lo_row = 0usize;
+        for i in 1..=s {
+            let cut_row = if i == s {
+                rows
+            } else {
+                let ideal = total * i as u128 / s as u128;
+                // Candidate seams: past the previous cut, leaving a row
+                // for each remaining shard. The prefix is non-decreasing,
+                // so once it passes `ideal` the distance only grows.
+                let lo = lo_row + 1;
+                let hi = rows - (s - i);
+                let mut best = lo;
+                let mut best_d = prefix[lo].abs_diff(ideal);
+                for (j, &p) in prefix.iter().enumerate().take(hi + 1).skip(lo + 1) {
+                    let d = p.abs_diff(ideal);
+                    if d < best_d {
+                        best = j;
+                        best_d = d;
+                    }
+                    if p >= ideal {
+                        break;
+                    }
+                }
+                best
+            };
+            out.push((lo_row * row, cut_row * row));
+            lo_row = cut_row;
+        }
+        true
+    }
+
     /// The number of directed links whose endpoints live in different
     /// shards of `ranges` (diagnostic for partition quality; mailbox
     /// traffic under the sharded-parallel engine is proportional to the
@@ -606,5 +705,73 @@ mod tests {
         // worst contiguous layout: every node its own shard.
         let singletons: Vec<(usize, usize)> = (0..m.nodes()).map(|i| (i, i + 1)).collect();
         assert!(block_cut < m.cross_shard_links(&singletons));
+    }
+
+    #[test]
+    fn weighted_split_shrinks_the_hot_shard() {
+        // 8×8 mesh, all the work piled on row 0: the weighted split gives
+        // the hot row a shard of its own and spreads the cold rows over
+        // the rest, where the unweighted split hands shard 0 two rows.
+        let m = Mesh::paper_8x8();
+        let mut weights = vec![1u64; m.nodes()];
+        for w in weights.iter_mut().take(8) {
+            *w = 100;
+        }
+        let ranges = m.weighted_shard_ranges(&weights, 4);
+        assert_eq!(ranges[0], (0, 8), "the hot row is isolated");
+        // Contiguous, covering, seam-snapped.
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[3].1, m.nodes());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        for &(lo, hi) in &ranges {
+            assert_eq!(lo % 8, 0);
+            assert!(hi > lo);
+        }
+    }
+
+    #[test]
+    fn weighted_split_matches_even_cuts_under_uniform_weights() {
+        let m = Mesh::paper_8x8();
+        let weights = vec![7u64; m.nodes()];
+        for shards in [1, 2, 4, 8] {
+            assert_eq!(
+                m.weighted_shard_ranges(&weights, shards),
+                m.shard_ranges(shards),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_split_falls_back_when_it_cannot_be_seam_snapped() {
+        let m = Mesh::new(4, 2); // 4 rows
+        let weights = vec![1u64; m.nodes()];
+        // More shards than rows: no seam-snapped split keeps every shard
+        // non-empty, so the unweighted cuts are used as-is.
+        assert_eq!(m.weighted_shard_ranges(&weights, 7), m.shard_ranges(7));
+        // All-zero weights carry no signal.
+        assert_eq!(
+            m.weighted_shard_ranges(&vec![0u64; m.nodes()], 3),
+            m.shard_ranges(3)
+        );
+        // A mismatched weight vector is ignored rather than trusted.
+        assert_eq!(m.weighted_shard_ranges(&[1, 2, 3], 2), m.shard_ranges(2));
+    }
+
+    #[test]
+    fn weighted_split_into_reuses_buffers_and_reports_fallback() {
+        let m = Mesh::new(4, 2);
+        let mut prefix = Vec::new();
+        let mut out = Vec::new();
+        let weights = vec![1u64; m.nodes()];
+        assert!(m.weighted_shard_ranges_into(&weights, 3, &mut prefix, &mut out));
+        assert_eq!(out, m.weighted_shard_ranges(&weights, 3));
+        let cap = (prefix.capacity(), out.capacity());
+        // A second call with the buffers warm reallocates nothing.
+        assert!(m.weighted_shard_ranges_into(&weights, 2, &mut prefix, &mut out));
+        assert!(prefix.capacity() == cap.0 && out.capacity() <= cap.1.max(out.len()));
+        assert!(!m.weighted_shard_ranges_into(&weights, 7, &mut prefix, &mut out));
     }
 }

@@ -77,6 +77,16 @@ impl<T> DelayPipe<T> {
         out
     }
 
+    /// Drains every in-flight item with its delivery cycle, regardless
+    /// of the current cycle (the shard-migration primitive: a pipe whose
+    /// consumer moved to another shard is emptied and its contents
+    /// re-expressed as timed cross-shard messages). The push-order
+    /// cursor is preserved, so the pipe keeps accepting pushes in cycle
+    /// order afterwards.
+    pub fn drain_all_into(&mut self, into: &mut Vec<(u64, T)>) {
+        into.extend(self.queue.drain(..));
+    }
+
     /// Number of items in flight.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -211,6 +221,28 @@ impl<T> EventWheel<T> {
         }
     }
 
+    /// Drains every pending item into `into` as `(due_cycle, item)` pairs,
+    /// leaving the wheel empty (cursor and slot capacities intact).
+    ///
+    /// Each slot holds items for exactly one cycle of the horizon window,
+    /// so the due cycle is recoverable from the slot index: after a drain
+    /// at `cursor` the slot for offset `dt ∈ [1, horizon]` is
+    /// `(cursor + dt) % horizon`; before any drain the slot index *is*
+    /// the cycle. This is the migration primitive that lets pending
+    /// events be re-scheduled onto a different wheel with the same
+    /// cursor.
+    pub fn drain_pending_into(&mut self, into: &mut Vec<(u64, T)>) {
+        let horizon = self.horizon();
+        let base = self.cursor.map_or(0, |c| c + 1);
+        for dt in 0..horizon {
+            let at = base + dt;
+            let idx = (at % horizon) as usize;
+            for item in self.slots[idx].drain(..) {
+                into.push((at, item));
+            }
+        }
+    }
+
     /// Advances the drain cursor as if [`EventWheel::take_due`] had been
     /// called for every cycle through `now` and found nothing — the
     /// fast-forward primitive for quiescent stretches.
@@ -262,6 +294,19 @@ mod tests {
         }
         assert_eq!(pipe.drain_ready(3), vec!['a']);
         assert_eq!(pipe.drain_ready(5), vec!['b', 'c']);
+    }
+
+    #[test]
+    fn drain_all_preserves_delivery_cycles() {
+        let mut pipe = DelayPipe::new(1);
+        pipe.push(3, 'a');
+        pipe.push(5, 'b');
+        let mut out = Vec::new();
+        pipe.drain_all_into(&mut out);
+        assert_eq!(out, vec![(5, 'a'), (7, 'b')]);
+        assert!(pipe.is_empty());
+        pipe.push(5, 'c'); // cycle-order cursor survives the drain
+        assert_eq!(pipe.pop_ready(7), Some('c'));
     }
 
     #[test]
@@ -380,6 +425,38 @@ mod tests {
         w.restore(0, b);
         w.schedule(2, 9);
         w.advance_to(2);
+    }
+
+    #[test]
+    fn drain_pending_recovers_due_cycles_and_empties_the_wheel() {
+        let mut w: EventWheel<u32> = EventWheel::new(4);
+        let b = w.take_due(10);
+        w.restore(10, b);
+        w.schedule(11, 1);
+        w.schedule(14, 2); // full-horizon lookahead
+        w.schedule(11, 3);
+        let mut out = Vec::new();
+        w.drain_pending_into(&mut out);
+        assert_eq!(out, vec![(11, 1), (11, 3), (14, 2)]);
+        assert_eq!(w.pending(), 0);
+        // Entries can be re-scheduled onto a wheel with the same cursor.
+        let mut w2: EventWheel<u32> = EventWheel::new(4);
+        let b = w2.take_due(10);
+        w2.restore(10, b);
+        for (at, x) in out {
+            w2.schedule(at, x);
+        }
+        assert_eq!(w2.take_due(11), vec![1, 3]);
+    }
+
+    #[test]
+    fn drain_pending_before_first_drain_uses_slot_index_cycles() {
+        let mut w: EventWheel<u32> = EventWheel::new(4);
+        w.schedule(0, 5);
+        w.schedule(3, 6);
+        let mut out = Vec::new();
+        w.drain_pending_into(&mut out);
+        assert_eq!(out, vec![(0, 5), (3, 6)]);
     }
 
     #[test]

@@ -510,6 +510,128 @@ fn engines_agree_across_a_long_drain_tail() {
     }
 }
 
+/// Work-metered rebalancing is a pure partition optimization: a hotspot
+/// run that migrates shards mid-flight must stay bit-identical to the
+/// serial event engine — same measurements, same *exact* router-tick
+/// count — for every shard count and both barrier kinds. On the skewed
+/// patterns (an 8×8 mesh so even 7 shards have row-seam slack) the
+/// imbalance must actually trigger migrations at the counts where the
+/// hot rows provably overload one shard.
+#[test]
+fn rebalancing_stays_bit_identical_and_fires_under_skewed_load() {
+    use peh_dally::noc_network::BarrierKind;
+    let spec = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    for (pname, pattern) in [
+        // A far-corner hotspot takes half the traffic: saturating, with
+        // the congestion tree concentrated in the top rows.
+        (
+            "hotspot",
+            TrafficPattern::Hotspot {
+                hotspot: 59,
+                hotness: 0.5,
+            },
+        ),
+        // A milder mixed load: 40% to the opposite corner, 60% uniform
+        // background — skewed the other way, still above threshold.
+        (
+            "mixed",
+            TrafficPattern::Hotspot {
+                hotspot: 0,
+                hotness: 0.4,
+            },
+        ),
+    ] {
+        let cfg = NetworkConfig::mesh(8, spec)
+            .with_injection(0.1)
+            .with_pattern(pattern)
+            .with_warmup(200)
+            .with_sample(200)
+            .with_max_cycles(8_000)
+            .with_rebalance(50, 1.1)
+            .with_phase_timing(true);
+        // Serial engines never rebalance — the knob is engine state, not
+        // simulation state — and remain the reference.
+        let (cycle, event) = run_both(cfg.clone());
+        assert_equivalent(&format!("{pname} serial"), &cycle, &event);
+        for barrier in [BarrierKind::Spin, BarrierKind::Tree] {
+            for shards in [2usize, 4, 7] {
+                let label = format!("{pname} barrier={barrier} shards={shards} rebalancing");
+                let sharded = Network::new(
+                    cfg.clone()
+                        .with_barrier(barrier)
+                        .with_engine(EngineKind::ParallelShards { shards }),
+                )
+                .run();
+                assert_equivalent(&label, &event, &sharded);
+                assert_eq!(
+                    event.work.router_ticks, sharded.work.router_ticks,
+                    "{label}: a migrated partition must tick exactly the active set"
+                );
+                let phases = sharded.phases.expect("phase timing enabled");
+                assert!(
+                    phases.imbalance_epochs > 0,
+                    "{label}: epochs must be metered"
+                );
+                if shards <= 4 {
+                    // At 2 and 4 shards the hot rows land inside one
+                    // even-cut shard, so the imbalance provably crosses
+                    // the 1.1 threshold and must migrate; 7 shards may
+                    // or may not find a better seam-snapped cut.
+                    assert!(
+                        phases.rebalances >= 1,
+                        "{label}: skewed load must trigger at least one \
+                         migration (imbalance {:.2})",
+                        phases.work_imbalance()
+                    );
+                    assert!(
+                        phases.migrated_nodes > 0,
+                        "{label}: a migration moves at least one node"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The inline `step()` path runs the same metering, decisions, and
+/// migrations as the threaded path (it never fast-forwards, so its
+/// epoch clock can differ — but partition choice never affects
+/// results). Totals must land exactly where the threaded run does, with
+/// flit conservation holding across migration boundaries.
+#[test]
+fn rebalanced_inline_step_matches_threaded_run() {
+    let cfg = small(RouterKind::VirtualChannel {
+        vcs: 2,
+        buffers_per_vc: 4,
+    })
+    .with_injection(0.1)
+    .with_pattern(TrafficPattern::Hotspot {
+        hotspot: 5,
+        hotness: 0.6,
+    })
+    .with_rebalance(40, 1.05)
+    .with_engine(EngineKind::ParallelShards { shards: 3 });
+    let threaded = Network::new(cfg.clone()).run();
+    let mut net = Network::new(cfg);
+    while net.cycle() < threaded.cycles {
+        net.step();
+        if net.cycle().is_multiple_of(97) {
+            net.assert_flit_conservation();
+        }
+    }
+    net.assert_flit_conservation();
+    assert!(net.sample_complete(), "same stopping point");
+    assert_eq!(net.flits_ejected(), threaded.flits_ejected);
+    assert_eq!(net.router_ticks(), threaded.work.router_ticks);
+    assert!(
+        net.rebalances() >= 1,
+        "inline hotspot run must migrate at least once"
+    );
+}
+
 fn kind_strategy() -> impl Strategy<Value = RouterKind> {
     prop_oneof![
         (2usize..10).prop_map(|b| RouterKind::Wormhole { buffers: b }),

@@ -1,0 +1,117 @@
+//! Property tests for the work-weighted shard cut
+//! ([`Mesh::weighted_shard_ranges`]): whatever weight vector the work
+//! meters produce, the partition the rebalancer installs must keep the
+//! invariants the sharded engine's slicing depends on — contiguous,
+//! covering, row-seam-snapped, nonempty ranges — and degrade to the
+//! even cut (never a panic) when the weights cannot be honored.
+
+use peh_dally::noc_network::Mesh;
+use proptest::prelude::*;
+
+/// Asserts the slicing invariants `split_shards` and the migration rely
+/// on: ranges tile `[0, nodes)` in order, every cut lands on a row seam,
+/// and no shard is empty.
+fn assert_valid_partition(label: &str, mesh: &Mesh, ranges: &[(usize, usize)], shards: usize) {
+    assert!(!ranges.is_empty(), "{label}: no ranges");
+    assert!(ranges.len() <= shards, "{label}: more ranges than shards");
+    let mut expect = 0usize;
+    for &(lo, hi) in ranges {
+        assert_eq!(lo, expect, "{label}: gap or overlap at {lo}");
+        assert!(hi > lo, "{label}: empty shard [{lo}, {hi})");
+        assert_eq!(lo % mesh.radix(), 0, "{label}: cut off a row seam at {lo}");
+        expect = hi;
+    }
+    assert_eq!(
+        expect,
+        mesh.nodes(),
+        "{label}: ranges do not cover the mesh"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random weight vectors (including zeros and large skews) over
+    /// random 2-D meshes yield valid partitions for every shard count
+    /// the weighted split supports (at most one shard per row; beyond
+    /// that it falls back to the even cut, covered below).
+    #[test]
+    fn weighted_cuts_are_contiguous_covering_and_seam_snapped(
+        radix in 2usize..10,
+        shards_raw in 1usize..10,
+        seed in any::<u64>(),
+        scale in prop_oneof![Just(1u64), Just(1000), Just(u64::MAX / (1 << 20))],
+    ) {
+        let shards = shards_raw.min(radix); // rows == radix on a 2-D mesh
+        let mesh = Mesh::new(radix, 2);
+        // A cheap deterministic weight generator (xorshift) so the case
+        // is reproducible from the proptest seed alone.
+        let mut state = seed | 1;
+        let mut weights: Vec<u64> = (0..mesh.nodes())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 17) * scale
+            })
+            .collect();
+        if weights.iter().all(|&w| w == 0) {
+            weights[0] = 1; // all-zero is the fallback path, covered below
+        }
+        let label = format!("radix={radix} shards={shards} seed={seed} scale={scale}");
+        let ranges = mesh.weighted_shard_ranges(&weights, shards);
+        assert_valid_partition(&label, &mesh, &ranges, shards);
+    }
+
+    /// Degenerate weights — all zero, or too few rows for the shard
+    /// count — fall back to the even cut instead of panicking, and the
+    /// fallback is itself a valid partition.
+    #[test]
+    fn degenerate_weights_fall_back_to_the_even_cut(
+        radix in 2usize..8,
+        shards in 1usize..12,
+    ) {
+        let mesh = Mesh::new(radix, 2);
+        let zeros = vec![0u64; mesh.nodes()];
+        let ranges = mesh.weighted_shard_ranges(&zeros, shards);
+        assert_eq!(
+            ranges,
+            mesh.shard_ranges(shards),
+            "all-zero weights must reproduce the even cut"
+        );
+        let wrong_len = vec![1u64; mesh.nodes() + 1];
+        let ranges = mesh.weighted_shard_ranges(&wrong_len, shards);
+        assert_eq!(
+            ranges,
+            mesh.shard_ranges(shards),
+            "mismatched weight length must reproduce the even cut"
+        );
+    }
+
+    /// Heavier prefixes pull cuts earlier: with all the weight on row 0,
+    /// the first shard must be exactly one row (the minimum the seam and
+    /// nonemptiness constraints allow) whenever more than one shard
+    /// shares more than one row.
+    #[test]
+    fn weight_skew_shrinks_the_heavy_shard(
+        radix in 2usize..10,
+        shards_raw in 2usize..6,
+    ) {
+        let shards = shards_raw.min(radix); // rows == radix on a 2-D mesh
+        let mesh = Mesh::new(radix, 2);
+        let mut weights = vec![0u64; mesh.nodes()];
+        for w in weights.iter_mut().take(radix) {
+            *w = 1_000_000;
+        }
+        for w in weights.iter_mut().skip(radix) {
+            *w = 1;
+        }
+        let ranges = mesh.weighted_shard_ranges(&weights, shards);
+        assert_valid_partition("skew", &mesh, &ranges, shards);
+        assert_eq!(
+            ranges[0],
+            (0, radix),
+            "the shard holding the hot row must shrink to it"
+        );
+    }
+}
