@@ -6,7 +6,7 @@
 //! Usage: `bench-engines [--json] [--loads 0.3,0.5] [--reps N]
 //! [--baseline PATH] [--shards N|auto] [--scale 1,2,4]
 //! [--barrier spin|tree] [--rebalance EPOCH,THRESHOLD]
-//! [--pattern uniform,transpose,hotspot]
+//! [--pattern uniform,transpose,hotspot] [--faults SPEC]
 //! [--mesh 8x8,4x4x4,16x16-torus]` (human-readable table by default).
 //!
 //! `--shards N` (alias: `--threads N`; `auto` picks the host's hardware
@@ -33,6 +33,16 @@
 //! (`hotspot` targets node `nodes - 5` at hotness 0.5, a skew that
 //! reliably unbalances a row partition).
 //!
+//! `--faults SPEC` (the [`noc_network::parse_faults`] grammar, e.g.
+//! `'link:27:0:flaky@64/16'`) appends one degraded-network companion
+//! row per load: the first swept pattern rerun under the fault plan,
+//! still verified bit-identical across all three engines first. Those
+//! rows carry `faults`, `delivered_ratio`, `dropped_flits`/
+//! `dropped_packets` with a per-reason breakdown, and
+//! `unreachable_pairs`; every row (healthy or degraded) reports the
+//! latency percentiles `p50`/`p95`/`p99`, so the file shows the tail
+//! shift a degraded fabric causes next to the healthy baseline.
+//!
 //! `--mesh` selects the topology. One spec (e.g. `--mesh 16x16`) runs
 //! the normal load sweep on that mesh; *several* specs switch to the
 //! **scale series** (the generator of `BENCH_scale.json`): each
@@ -57,7 +67,8 @@
 
 use noc_network::config::EngineKind;
 use noc_network::{
-    BarrierKind, Mesh, Network, NetworkConfig, PhaseNanos, RouterKind, TrafficPattern,
+    parse_faults, BarrierKind, DropReason, DropStats, FaultSpec, Mesh, Network, NetworkConfig,
+    PhaseNanos, RouterKind, RunResult, TrafficPattern,
 };
 use repro_bench::meta;
 use runqueue::{run_tasks, CancelToken, Task};
@@ -73,6 +84,24 @@ struct Point {
     phases: PhaseNanos,
     baseline_event_ms: Option<f64>,
     parallel: Option<ParallelPoint>,
+    /// Latency percentile upper bounds of the (verified-identical)
+    /// reference run, so degraded rows show their tail shift against
+    /// the healthy ones.
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    /// Fault accounting when this row ran under `--faults`.
+    degraded: Option<Degraded>,
+}
+
+/// What the fault plan cost one degraded row, from the reference run
+/// (every engine is asserted to agree on these numbers first).
+struct Degraded {
+    delivered_ratio: f64,
+    dropped_flits: u64,
+    dropped_packets: u64,
+    unreachable_pairs: u64,
+    drops: DropStats,
 }
 
 /// The sharded-parallel engine's timing at one load.
@@ -131,6 +160,8 @@ struct PointCfg {
     barrier: BarrierKind,
     pattern: TrafficPattern,
     rebalance: Option<(u64, f64)>,
+    /// Fault plan for degraded rows (empty = healthy network).
+    faults: Vec<FaultSpec>,
 }
 
 fn cfg(pc: &PointCfg) -> NetworkConfig {
@@ -149,6 +180,9 @@ fn cfg(pc: &PointCfg) -> NetworkConfig {
     .with_pattern(pc.pattern.clone());
     if let Some((epoch, threshold)) = pc.rebalance {
         c = c.with_rebalance(epoch, threshold);
+    }
+    if !pc.faults.is_empty() {
+        c = c.with_faults(pc.faults.clone());
     }
     c
 }
@@ -175,29 +209,39 @@ fn phase_profile(pc: &PointCfg, engine: EngineKind) -> PhaseNanos {
         .expect("phase timing was enabled")
 }
 
-fn verify_equivalence(pc: &PointCfg, threads: Option<usize>) {
+/// Verifies bit-identity across the engines and returns the reference
+/// (cycle-driven) run, whose measurements every timed row reports.
+fn verify_equivalence(pc: &PointCfg, threads: Option<usize>) -> RunResult {
     let load = pc.load;
     let a = Network::new(cfg(pc).with_engine(EngineKind::CycleDriven)).run();
     let b = Network::new(cfg(pc).with_engine(EngineKind::EventDriven)).run();
-    assert_eq!(a.cycles, b.cycles, "engines diverged at load {load}");
-    assert_eq!(
-        a.avg_latency.map(f64::to_bits),
-        b.avg_latency.map(f64::to_bits),
-        "engines diverged at load {load}"
-    );
-    assert_eq!(a.flits_ejected, b.flits_ejected);
+    let same = |x: &RunResult, what: &str| {
+        assert_eq!(a.cycles, x.cycles, "{what} diverged at load {load}");
+        assert_eq!(
+            a.avg_latency.map(f64::to_bits),
+            x.avg_latency.map(f64::to_bits),
+            "{what} diverged at load {load}"
+        );
+        assert_eq!(a.flits_ejected, x.flits_ejected);
+        // The fault-accounting columns are part of the bit-identity
+        // contract too (all zero on a healthy network).
+        assert_eq!(a.dropped_flits, x.dropped_flits, "{what} at load {load}");
+        assert_eq!(
+            a.dropped_packets, x.dropped_packets,
+            "{what} at load {load}"
+        );
+        assert_eq!(a.drops, x.drops, "{what} at load {load}");
+        assert_eq!(a.unreachable_pairs, x.unreachable_pairs);
+        assert_eq!(a.delivered_ratio.to_bits(), x.delivered_ratio.to_bits());
+    };
+    same(&b, "event engine");
     if let Some(shards) = threads {
         // The sharded run keeps the rebalance knob exactly as it will be
         // timed: the bit-identity contract covers live migrations too.
         let c = Network::new(cfg(pc).with_engine(EngineKind::parallel(shards))).run();
-        assert_eq!(a.cycles, c.cycles, "sharded engine diverged at load {load}");
-        assert_eq!(
-            a.avg_latency.map(f64::to_bits),
-            c.avg_latency.map(f64::to_bits),
-            "sharded engine diverged at load {load}"
-        );
-        assert_eq!(a.flits_ejected, c.flits_ejected);
+        same(&c, "sharded engine");
     }
+    a
 }
 
 /// Resolves a `--pattern` name against the swept topology. The hotspot
@@ -290,6 +334,10 @@ struct Options {
     rebalance: Option<(u64, f64)>,
     /// `--pattern` names, resolved per mesh by [`resolve_pattern`].
     patterns: Vec<String>,
+    /// `--faults`: the plan behind the degraded companion rows (empty =
+    /// none), plus the spec string verbatim for the JSON rows.
+    faults: Vec<FaultSpec>,
+    faults_spec: String,
     /// `(spec, topology)` pairs from `--mesh`. One entry runs the load
     /// sweep on that topology; several switch to the scale series.
     meshes: Vec<(String, Mesh)>,
@@ -307,6 +355,8 @@ fn parse_args() -> Options {
         barrier: BarrierKind::default(),
         rebalance: None,
         patterns: vec!["uniform".to_string()],
+        faults: Vec::new(),
+        faults_spec: String::new(),
         meshes: vec![("8x8".to_string(), Mesh::new(8, 2))],
     };
     let mut args = std::env::args().skip(1);
@@ -364,6 +414,14 @@ fn parse_args() -> Options {
                 let list = args.next().expect("--pattern needs a comma-separated list");
                 opts.patterns = list.split(',').map(|s| s.trim().to_string()).collect();
             }
+            "--faults" => {
+                let spec = args
+                    .next()
+                    .expect("--faults needs a spec like 'link:27:0:flaky@64/16'");
+                opts.faults = parse_faults(&spec).unwrap_or_else(|e| panic!("--faults: {e}"));
+                assert!(!opts.faults.is_empty(), "--faults spec names no faults");
+                opts.faults_spec = spec;
+            }
             "--scale" => {
                 let list = args.next().expect("--scale needs a comma-separated list");
                 opts.scale = list
@@ -410,6 +468,7 @@ fn measure_point(
     mesh: Mesh,
     load: f64,
     pattern: TrafficPattern,
+    faulted: bool,
 ) -> Point {
     let pc = PointCfg {
         mesh,
@@ -417,8 +476,13 @@ fn measure_point(
         barrier: opts.barrier,
         pattern,
         rebalance: opts.rebalance,
+        faults: if faulted {
+            opts.faults.clone()
+        } else {
+            Vec::new()
+        },
     };
-    verify_equivalence(&pc, opts.threads);
+    let reference = verify_equivalence(&pc, opts.threads);
     let (cycle_ms, _, _) = time_engine(&pc, EngineKind::CycleDriven, opts.reps);
     let (event_ms, skipped, cycles) = time_engine(&pc, EngineKind::EventDriven, opts.reps);
     let phases = phase_profile(&pc, EngineKind::EventDriven);
@@ -480,7 +544,9 @@ fn measure_point(
     // (the {:.2} in the JSON emitter), so match with half that
     // resolution. Committed baselines are uniform-traffic sweeps, so
     // only uniform rows may be compared against them.
-    let baseline_event = (pc.pattern == TrafficPattern::Uniform)
+    // Committed baselines are healthy-network sweeps, so degraded rows
+    // never compare against them.
+    let baseline_event = (pc.pattern == TrafficPattern::Uniform && !faulted)
         .then(|| {
             baseline
                 .iter()
@@ -488,6 +554,7 @@ fn measure_point(
                 .map(|&(_, ms)| ms)
         })
         .flatten();
+    let pct = reference.histogram.percentiles();
     Point {
         load,
         pattern: pc.pattern.clone(),
@@ -498,6 +565,16 @@ fn measure_point(
         phases,
         baseline_event_ms: baseline_event,
         parallel,
+        p50: pct.p50.unwrap_or(0),
+        p95: pct.p95.unwrap_or(0),
+        p99: pct.p99.unwrap_or(0),
+        degraded: faulted.then_some(Degraded {
+            delivered_ratio: reference.delivered_ratio,
+            dropped_flits: reference.dropped_flits,
+            dropped_packets: reference.dropped_packets,
+            unreachable_pairs: reference.unreachable_pairs,
+            drops: reference.drops,
+        }),
     }
 }
 
@@ -547,6 +624,7 @@ fn run_scale_series(opts: &Options) {
                 barrier: opts.barrier,
                 pattern: TrafficPattern::Uniform,
                 rebalance: None,
+                faults: Vec::new(),
             };
             verify_equivalence(&pc, Some(shards));
             let (cycle_ms, _, cycles) = time_engine(&pc, EngineKind::CycleDriven, opts.reps);
@@ -678,15 +756,22 @@ fn main() {
     // priority order, and the descending-index priority makes that
     // exactly the input order.
     let host = meta::host_parallelism();
-    let grid: Vec<(f64, TrafficPattern)> = opts
+    let mut grid: Vec<(f64, TrafficPattern, bool)> = opts
         .patterns
         .iter()
         .flat_map(|name| {
             let pattern = resolve_pattern(name, mesh);
-            opts.loads.iter().map(move |&l| (l, pattern.clone()))
+            opts.loads.iter().map(move |&l| (l, pattern.clone(), false))
         })
         .collect();
-    let tasks: Vec<Task<(f64, TrafficPattern)>> = grid
+    if !opts.faults.is_empty() {
+        // Degraded companion rows: the first swept pattern rerun under
+        // the fault plan at every load, appended after the healthy grid
+        // so readers see the baseline first.
+        let pattern = resolve_pattern(&opts.patterns[0], mesh);
+        grid.extend(opts.loads.iter().map(|&l| (l, pattern.clone(), true)));
+    }
+    let tasks: Vec<Task<(f64, TrafficPattern, bool)>> = grid
         .into_iter()
         .enumerate()
         .map(|(i, item)| Task {
@@ -699,7 +784,7 @@ fn main() {
         tasks,
         host,
         &CancelToken::new(),
-        |(load, pattern), _| measure_point(&opts, &baseline, mesh, load, pattern),
+        |(load, pattern, faulted), _| measure_point(&opts, &baseline, mesh, load, pattern, faulted),
         |_, _| {},
     );
     let points: Vec<Point> = slots
@@ -733,9 +818,14 @@ fn main() {
         let rebalance_cfg = opts.rebalance.map_or_else(String::new, |(e, t)| {
             format!(", \"rebalance_epoch\": {e}, \"rebalance_threshold\": {t}")
         });
+        let faults_cfg = if opts.faults.is_empty() {
+            String::new()
+        } else {
+            format!(", \"faults\": \"{}\"", opts.faults_spec)
+        };
         println!(
             "  \"config\": {{\"warmup\": 300, \"sample_packets\": 400, \
-             \"reps\": {}{rebalance_cfg}}},",
+             \"reps\": {}{rebalance_cfg}{faults_cfg}}},",
             opts.reps
         );
         println!("  \"host_parallelism\": {host},");
@@ -820,21 +910,50 @@ fn main() {
                     ph.pct(ph.barrier),
                 )
             });
+            let degraded_fields = p.degraded.as_ref().map_or_else(String::new, |d| {
+                let by_reason: Vec<String> = DropReason::ALL
+                    .iter()
+                    .filter(|&&r| d.drops.flits[r as usize] > 0)
+                    .map(|&r| {
+                        format!(
+                            "\"{}\": {{\"flits\": {}, \"packets\": {}}}",
+                            r.label(),
+                            d.drops.flits[r as usize],
+                            d.drops.packets[r as usize]
+                        )
+                    })
+                    .collect();
+                format!(
+                    ", \"faults\": \"{}\", \"delivered_ratio\": {:.4}, \
+                     \"dropped_flits\": {}, \"dropped_packets\": {}, \
+                     \"unreachable_pairs\": {}, \"dropped_by_reason\": {{{}}}",
+                    opts.faults_spec,
+                    d.delivered_ratio,
+                    d.dropped_flits,
+                    d.dropped_packets,
+                    d.unreachable_pairs,
+                    by_reason.join(", ")
+                )
+            });
             let ph = &p.phases;
             println!(
                 "    {{\"offered_load\": {:.2}, \"pattern\": \"{}\", \
                  \"cycle_driven_ms\": {:.2}, \
                  \"event_driven_ms\": {:.2}, \"speedup\": {:.2}, \
                  \"router_ticks_skipped_pct\": {:.1}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \
                  \"phase_pct\": {{\"delivery\": {:.1}, \"sources\": {:.1}, \
                  \"router_tick\": {:.1}, \"stats\": {:.1}}}\
-                 {baseline_fields}{parallel_fields}}}{comma}",
+                 {degraded_fields}{baseline_fields}{parallel_fields}}}{comma}",
                 p.load,
                 p.pattern,
                 p.cycle_ms,
                 p.event_ms,
                 p.speedup,
                 p.ticks_skipped_pct,
+                p.p50,
+                p.p95,
+                p.p99,
                 ph.pct(ph.delivery),
                 ph.pct(ph.sources),
                 ph.pct(ph.router),
@@ -863,6 +982,20 @@ fn main() {
                 vs,
                 p.phases
             );
+            if let Some(d) = &p.degraded {
+                println!(
+                    "       degraded({}): delivered {:.4}, dropped {} flits / {} packets, \
+                     {} unreachable pairs, p50/p95/p99 {}/{}/{}",
+                    opts.faults_spec,
+                    d.delivered_ratio,
+                    d.dropped_flits,
+                    d.dropped_packets,
+                    d.unreachable_pairs,
+                    p.p50,
+                    p.p95,
+                    p.p99,
+                );
+            }
             if let Some(pp) = &p.parallel {
                 println!(
                     "       parallel({} shards): {:9.2} ms   {:6.2}x vs event   [{}]",

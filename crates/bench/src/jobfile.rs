@@ -8,7 +8,7 @@
 //! `priority`.
 
 use noc_network::config::EngineKind;
-use noc_network::{NetworkConfig, RouterKind, TrafficPattern};
+use noc_network::{FaultSpec, NetworkConfig, RouterKind, TrafficPattern};
 use runqueue::spec::{JobFile, Table};
 use runqueue::JobSpec;
 
@@ -42,6 +42,7 @@ const JOB_KEYS: &[&str] = &[
     "shards",
     "rebalance_epoch",
     "rebalance_threshold",
+    "faults",
     "priority",
     "warmup",
     "sample",
@@ -166,6 +167,19 @@ fn build_job(index: usize, t: &Table) -> Result<JobSpec<NetworkConfig>, String> 
             None => 1.25,
         };
         cfg = cfg.with_rebalance(epoch, threshold);
+    }
+    // A fault plan degrades the network deliberately; each spec string
+    // parses (and range-checks, via the validate() backstop below) at
+    // parse time so a bad cycle range or off-mesh link id names the job.
+    if let Some(v) = t.get("faults") {
+        let specs = v
+            .as_str_list()
+            .ok_or("`faults` must be an array of strings")?;
+        let faults: Vec<FaultSpec> = specs
+            .iter()
+            .map(|s| FaultSpec::parse(s).map_err(|e| format!("`faults`: {e}")))
+            .collect::<Result<_, _>>()?;
+        cfg = cfg.with_faults(faults);
     }
     let loads = t
         .get("loads")
@@ -422,6 +436,54 @@ priority = 2.5
             (
                 "[[job]]\nloads = [0.1]\nrebalance_threshold = 2.0\n",
                 "epoch",
+            ),
+        ] {
+            let f = spec::parse(body).expect(body);
+            let err = build_batch(&f).expect_err(body);
+            assert!(err.contains("job #1"), "{err}");
+            assert!(err.contains(what), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn faults_key_parses_and_validates() {
+        let f = spec::parse(
+            "[[job]]\nmesh = 4\nloads = [0.1]\nfaults = [\"link:5:0:dead@100\", \"router:3:flaky@40/10\"]\n",
+        )
+        .unwrap();
+        let b = build_batch(&f).unwrap();
+        assert_eq!(b.jobs[0].config.faults.len(), 2);
+        assert_eq!(
+            b.jobs[0].config.faults[0],
+            FaultSpec::parse("link:5:0:dead@100").unwrap()
+        );
+
+        // Omitting the key leaves the network healthy.
+        let f = spec::parse("[[job]]\nloads = [0.1]\n").unwrap();
+        assert!(build_batch(&f).unwrap().jobs[0].config.faults.is_empty());
+
+        // Bad plans fail at parse time, naming the job: wrong value
+        // type, unparseable spec, off-mesh node, missing edge link, and
+        // a degenerate duty cycle (the validate() backstop).
+        for (body, what) in [
+            ("[[job]]\nloads = [0.1]\nfaults = [0.1]\n", "strings"),
+            (
+                "[[job]]\nloads = [0.1]\nfaults = [\"quantum\"]\n",
+                "quantum",
+            ),
+            (
+                "[[job]]\nmesh = 4\nloads = [0.1]\nfaults = [\"link:99:0:dead@1\"]\n",
+                "node 99",
+            ),
+            (
+                // Node 3 is the 4x4 mesh's east edge: port 0 (x+) has no
+                // link behind it.
+                "[[job]]\nmesh = 4\nloads = [0.1]\nfaults = [\"link:3:0:dead@1\"]\n",
+                "unwired",
+            ),
+            (
+                "[[job]]\nmesh = 4\nloads = [0.1]\nfaults = [\"link:5:0:flaky@10/10\"]\n",
+                "duty",
             ),
         ] {
             let f = spec::parse(body).expect(body);

@@ -264,6 +264,57 @@ pub enum ConfigError {
     /// `work_max / work_mean` ratio, whose floor is 1.0 at perfect
     /// balance, so any lower threshold would fire on every epoch.
     RebalanceThresholdBelowOne,
+    /// A fault targeting a node the mesh does not have.
+    FaultNodeOutOfRange {
+        /// Index of the offending spec in [`NetworkConfig::faults`].
+        index: usize,
+        /// The out-of-range node id.
+        node: usize,
+        /// Nodes in the configured mesh.
+        nodes: usize,
+    },
+    /// A link fault naming a port the routers do not have.
+    FaultPortOutOfRange {
+        /// Index of the offending spec in [`NetworkConfig::faults`].
+        index: usize,
+        /// The out-of-range port.
+        port: usize,
+        /// Ports per router in the configured mesh (local included).
+        ports: usize,
+    },
+    /// A link fault on a mesh-edge port with no link behind it.
+    FaultLinkMissing {
+        /// Index of the offending spec in [`NetworkConfig::faults`].
+        index: usize,
+        /// Upstream node of the named link.
+        node: usize,
+        /// The unwired port.
+        port: usize,
+    },
+    /// A flaky fault whose duty cycle is degenerate: the constraint is
+    /// `1 <= down < period` and `phase < period`, so the link is down
+    /// for part of every period and up for the rest.
+    FaultFlakyDuty {
+        /// Index of the offending spec in [`NetworkConfig::faults`].
+        index: usize,
+        /// The configured period.
+        period: u32,
+        /// The configured down window.
+        down: u32,
+        /// The configured phase offset.
+        phase: u32,
+    },
+    /// A lossy fault whose probability is not a finite value in [0, 1].
+    FaultLossProbInvalid {
+        /// Index of the offending spec in [`NetworkConfig::faults`].
+        index: usize,
+    },
+    /// Two flaky (or two lossy) faults landing on the same directed
+    /// link, whose merge semantics would be ambiguous.
+    FaultDuplicate {
+        /// Index of the *second* spec in [`NetworkConfig::faults`].
+        index: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -311,6 +362,49 @@ impl fmt::Display for ConfigError {
                  (1.0 = repartition on any imbalance; f64::INFINITY = meter but \
                  never repartition); got a value below 1.0 or NaN"
             ),
+            ConfigError::FaultNodeOutOfRange { index, node, nodes } => write!(
+                f,
+                "faults[{index}] targets node {node}, but the mesh has nodes \
+                 0..{nodes}; fix the node id or grow the mesh"
+            ),
+            ConfigError::FaultPortOutOfRange { index, port, ports } => write!(
+                f,
+                "faults[{index}] targets port {port}, but routers have ports \
+                 0..{ports} (port 2d = dimension d positive, 2d+1 negative, \
+                 {} = local/ejection)",
+                ports - 1
+            ),
+            ConfigError::FaultLinkMissing { index, node, port } => write!(
+                f,
+                "faults[{index}] targets the link out of node {node} through \
+                 port {port}, but that port is unwired (mesh edge); pick an \
+                 interior link or switch to a torus"
+            ),
+            ConfigError::FaultFlakyDuty {
+                index,
+                period,
+                down,
+                phase,
+            } => write!(
+                f,
+                "faults[{index}] has a degenerate flaky duty cycle \
+                 period={period} down={down} phase={phase}; the constraint is \
+                 1 <= down < period and phase < period (use dead@CYCLE for an \
+                 always-down link)"
+            ),
+            ConfigError::FaultLossProbInvalid { index } => write!(
+                f,
+                "faults[{index}] has a loss probability outside [0, 1] (or \
+                 NaN/inf); use 1.0 to drop everything or dead@CYCLE to kill \
+                 the link"
+            ),
+            ConfigError::FaultDuplicate { index } => write!(
+                f,
+                "faults[{index}] lands a second flaky (or lossy) fault on a \
+                 directed link that already has one — the merge would be \
+                 ambiguous; combine them into one spec (dead faults may \
+                 overlap freely: the earliest kill wins)"
+            ),
         }
     }
 }
@@ -335,6 +429,201 @@ pub struct RebalanceConfig {
     /// exceeds this ratio (≥ 1.0). `f64::INFINITY` meters the imbalance
     /// without ever repartitioning — the "before" measurement.
     pub threshold: f64,
+}
+
+/// When and how a scheduled fault manifests. Every kind is a pure
+/// function of (configuration, seed, cycle) — no runtime randomness —
+/// so faulted runs stay bit-identical across all three engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Permanently dead from cycle `at` onward.
+    Dead {
+        /// First cycle the target is down (inclusive).
+        at: u64,
+    },
+    /// Transient flapping: within each `period`-cycle window, the
+    /// `down` cycles starting at offset `phase` are down
+    /// (`(cycle - phase) mod period < down`), the rest are up.
+    Flaky {
+        /// Duty-cycle period in cycles (≥ 2).
+        period: u32,
+        /// Down cycles per period (`1 ≤ down < period`).
+        down: u32,
+        /// Offset of the down window within the period (`< period`).
+        phase: u32,
+    },
+    /// The link stays up but drops each *packet* crossing it with
+    /// probability `prob`, decided by a seeded hash of the packet id —
+    /// deterministic, engine- and schedule-independent.
+    Lossy {
+        /// Per-packet drop probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+/// What a [`FaultSpec`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The directed link *out of* `node` through `port` (the reverse
+    /// direction is a separate link: `Link { neighbor, opposite }`).
+    /// `port == mesh.local_port()` names the node's ejection channel.
+    Link {
+        /// Upstream node of the directed link.
+        node: usize,
+        /// Output port the link hangs off.
+        port: usize,
+    },
+    /// The whole router at `node`: the fault applies to every link
+    /// incident to it, in both directions, including injection and
+    /// ejection.
+    Router {
+        /// The faulted node.
+        node: usize,
+    },
+}
+
+/// One scheduled fault: a target and a kind. Build directly or parse
+/// from the spec grammar with [`FaultSpec::parse`] /
+/// [`parse_faults`]:
+///
+/// ```text
+/// link:NODE:PORT:dead@CYCLE
+/// link:NODE:PORT:flaky@PERIOD/DOWN[/PHASE]
+/// link:NODE:PORT:loss@PROB
+/// router:NODE:dead@CYCLE           (flaky/loss work on routers too)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// The link or router the fault applies to.
+    pub target: FaultTarget,
+    /// When and how it manifests.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Parses one fault from the spec grammar (see [`FaultSpec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the expected grammar on any syntax
+    /// error. Range checks (node/port bounds, duty cycles, probability
+    /// domain) are [`NetworkConfig::validate`]'s job, so a parsed spec
+    /// still needs a mesh to be judged against.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let s = s.trim();
+        let mut parts = s.split(':');
+        let scope = parts.next().unwrap_or("");
+        let usize_field = |v: Option<&str>, what: &str| -> Result<usize, String> {
+            v.ok_or_else(|| format!("fault `{s}`: missing {what}"))?
+                .parse::<usize>()
+                .map_err(|_| format!("fault `{s}`: {what} must be a non-negative integer"))
+        };
+        let target = match scope {
+            "link" => FaultTarget::Link {
+                node: usize_field(parts.next(), "node")?,
+                port: usize_field(parts.next(), "port")?,
+            },
+            "router" => FaultTarget::Router {
+                node: usize_field(parts.next(), "node")?,
+            },
+            _ => {
+                return Err(format!(
+                    "fault `{s}`: expected `link:NODE:PORT:KIND@ARGS` or \
+                     `router:NODE:KIND@ARGS`"
+                ))
+            }
+        };
+        let kind_str = parts.next().ok_or_else(|| {
+            format!("fault `{s}`: missing KIND@ARGS (dead@C, flaky@P/D[/PH], loss@PROB)")
+        })?;
+        if let Some(extra) = parts.next() {
+            return Err(format!("fault `{s}`: unexpected trailing `:{extra}`"));
+        }
+        let (name, args) = kind_str
+            .split_once('@')
+            .ok_or_else(|| format!("fault `{s}`: kind `{kind_str}` needs `@ARGS`"))?;
+        let kind = match name {
+            "dead" => FaultKind::Dead {
+                at: args
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault `{s}`: dead@CYCLE needs an integer cycle"))?,
+            },
+            "flaky" => {
+                let mut nums = args.split('/');
+                let mut field = |what: &str| -> Result<u32, String> {
+                    nums.next()
+                        .ok_or_else(|| {
+                            format!("fault `{s}`: flaky@PERIOD/DOWN[/PHASE] missing {what}")
+                        })?
+                        .parse::<u32>()
+                        .map_err(|_| format!("fault `{s}`: flaky {what} must be an integer"))
+                };
+                let period = field("PERIOD")?;
+                let down = field("DOWN")?;
+                let phase = match nums.next() {
+                    Some(p) => p
+                        .parse::<u32>()
+                        .map_err(|_| format!("fault `{s}`: flaky PHASE must be an integer"))?,
+                    None => 0,
+                };
+                if nums.next().is_some() {
+                    return Err(format!(
+                        "fault `{s}`: flaky takes at most PERIOD/DOWN/PHASE"
+                    ));
+                }
+                FaultKind::Flaky {
+                    period,
+                    down,
+                    phase,
+                }
+            }
+            "loss" => FaultKind::Lossy {
+                prob: args
+                    .parse::<f64>()
+                    .map_err(|_| format!("fault `{s}`: loss@PROB needs a probability"))?,
+            },
+            _ => {
+                return Err(format!(
+                    "fault `{s}`: unknown kind `{name}` (expected dead, flaky, or loss)"
+                ))
+            }
+        };
+        Ok(FaultSpec { target, kind })
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    /// The canonical spec-grammar form, parseable by [`FaultSpec::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.target {
+            FaultTarget::Link { node, port } => write!(f, "link:{node}:{port}:")?,
+            FaultTarget::Router { node } => write!(f, "router:{node}:")?,
+        }
+        match self.kind {
+            FaultKind::Dead { at } => write!(f, "dead@{at}"),
+            FaultKind::Flaky {
+                period,
+                down,
+                phase,
+            } => write!(f, "flaky@{period}/{down}/{phase}"),
+            FaultKind::Lossy { prob } => write!(f, "loss@{prob}"),
+        }
+    }
+}
+
+/// Parses a comma- or semicolon-separated fault list, e.g.
+/// `"router:27:dead@500,link:28:2:flaky@64/16"`. Empty items are
+/// ignored, so trailing separators are fine.
+///
+/// # Errors
+///
+/// The first syntactically invalid item's [`FaultSpec::parse`] message.
+pub fn parse_faults(s: &str) -> Result<Vec<FaultSpec>, String> {
+    s.split([',', ';'])
+        .map(str::trim)
+        .filter(|item| !item.is_empty())
+        .map(FaultSpec::parse)
+        .collect()
 }
 
 /// Full configuration of a network experiment.
@@ -393,6 +682,13 @@ pub struct NetworkConfig {
     /// either way). `None` (the default) keeps the static row-seam
     /// partition.
     pub rebalance: Option<RebalanceConfig>,
+    /// Scheduled link/router faults (see [`FaultSpec`]). Empty (the
+    /// default) reproduces a healthy network bit for bit; a non-empty
+    /// plan is still a pure function of (config, seed, cycle), so all
+    /// three engines stay bit-identical under it. Unlike the engine
+    /// knobs, faults *do* change results and are folded into the
+    /// orchestration config hash.
+    pub faults: Vec<FaultSpec>,
 }
 
 impl NetworkConfig {
@@ -428,6 +724,7 @@ impl NetworkConfig {
             phase_timing: false,
             cancel: None,
             rebalance: None,
+            faults: Vec::new(),
         }
     }
 
@@ -533,6 +830,16 @@ impl NetworkConfig {
         self
     }
 
+    /// Schedules link/router faults (replacing any earlier plan). Bounds
+    /// and duty cycles are checked by [`NetworkConfig::validate`] when
+    /// the network is built, so builder order never matters. An empty
+    /// plan reproduces the healthy network bit for bit.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Sets the credit propagation delay (Figure 18 sensitivity study).
     #[must_use]
     pub fn with_credit_prop_delay(mut self, cycles: u64) -> Self {
@@ -626,6 +933,87 @@ impl NetworkConfig {
             // would let it through and poison every later comparison.
             if rb.threshold.is_nan() || rb.threshold < 1.0 {
                 return Err(ConfigError::RebalanceThresholdBelowOne);
+            }
+        }
+        self.validate_faults()
+    }
+
+    /// The fault-plan half of [`NetworkConfig::validate`]: bounds, duty
+    /// cycles, probability domains, and per-link kind uniqueness.
+    fn validate_faults(&self) -> Result<(), ConfigError> {
+        if self.faults.is_empty() {
+            return Ok(());
+        }
+        let nodes = self.mesh.nodes();
+        let ports = self.mesh.ports();
+        let local = self.mesh.local_port();
+        // Directed-link occupancy for the flaky/lossy ambiguity check:
+        // key = node * (ports + 1) + port, with one pseudo-port past the
+        // real ones for a node's injection channel (reachable only
+        // through router-wide targets). Dead faults may overlap freely
+        // (the earliest kill wins), so they claim nothing.
+        let mut flaky_links = vec![false; nodes * (ports + 1)];
+        let mut lossy_links = vec![false; nodes * (ports + 1)];
+        for (index, spec) in self.faults.iter().enumerate() {
+            let node = match spec.target {
+                FaultTarget::Link { node, .. } | FaultTarget::Router { node } => node,
+            };
+            if node >= nodes {
+                return Err(ConfigError::FaultNodeOutOfRange { index, node, nodes });
+            }
+            if let FaultTarget::Link { port, .. } = spec.target {
+                if port >= ports {
+                    return Err(ConfigError::FaultPortOutOfRange { index, port, ports });
+                }
+                if port != local && self.mesh.neighbor(node, port).is_none() {
+                    return Err(ConfigError::FaultLinkMissing { index, node, port });
+                }
+            }
+            let occupancy = match spec.kind {
+                FaultKind::Dead { .. } => None,
+                FaultKind::Flaky {
+                    period,
+                    down,
+                    phase,
+                } => {
+                    if down == 0 || down >= period || phase >= period {
+                        return Err(ConfigError::FaultFlakyDuty {
+                            index,
+                            period,
+                            down,
+                            phase,
+                        });
+                    }
+                    Some(&mut flaky_links)
+                }
+                FaultKind::Lossy { prob } => {
+                    if !prob.is_finite() || !(0.0..=1.0).contains(&prob) {
+                        return Err(ConfigError::FaultLossProbInvalid { index });
+                    }
+                    Some(&mut lossy_links)
+                }
+            };
+            let Some(occupied) = occupancy else { continue };
+            let mut claim = |key: usize| {
+                if occupied[key] {
+                    return Err(ConfigError::FaultDuplicate { index });
+                }
+                occupied[key] = true;
+                Ok(())
+            };
+            match spec.target {
+                FaultTarget::Link { node, port } => claim(node * (ports + 1) + port)?,
+                FaultTarget::Router { node } => {
+                    for port in 0..ports {
+                        if port == local {
+                            claim(node * (ports + 1) + port)?;
+                        } else if let Some(n) = self.mesh.neighbor(node, port) {
+                            claim(node * (ports + 1) + port)?;
+                            claim(n * (ports + 1) + (port ^ 1))?;
+                        }
+                    }
+                    claim(node * (ports + 1) + ports)?; // injection channel
+                }
             }
         }
         Ok(())
@@ -881,6 +1269,223 @@ mod tests {
             .with_routing(RoutingAlgo::DimensionOrdered)
             .into_torus();
         assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fault_spec_grammar_round_trips() {
+        for (s, spec) in [
+            (
+                "link:28:2:dead@500",
+                FaultSpec {
+                    target: FaultTarget::Link { node: 28, port: 2 },
+                    kind: FaultKind::Dead { at: 500 },
+                },
+            ),
+            (
+                "link:3:1:flaky@64/16/8",
+                FaultSpec {
+                    target: FaultTarget::Link { node: 3, port: 1 },
+                    kind: FaultKind::Flaky {
+                        period: 64,
+                        down: 16,
+                        phase: 8,
+                    },
+                },
+            ),
+            (
+                "link:0:0:loss@0.25",
+                FaultSpec {
+                    target: FaultTarget::Link { node: 0, port: 0 },
+                    kind: FaultKind::Lossy { prob: 0.25 },
+                },
+            ),
+            (
+                "router:27:dead@500",
+                FaultSpec {
+                    target: FaultTarget::Router { node: 27 },
+                    kind: FaultKind::Dead { at: 500 },
+                },
+            ),
+        ] {
+            assert_eq!(FaultSpec::parse(s), Ok(spec), "{s}");
+            assert_eq!(
+                FaultSpec::parse(&spec.to_string()),
+                Ok(spec),
+                "display round-trip of {s}"
+            );
+        }
+        // Phase defaults to 0.
+        assert_eq!(
+            FaultSpec::parse("link:1:0:flaky@8/2"),
+            Ok(FaultSpec {
+                target: FaultTarget::Link { node: 1, port: 0 },
+                kind: FaultKind::Flaky {
+                    period: 8,
+                    down: 2,
+                    phase: 0
+                },
+            })
+        );
+    }
+
+    #[test]
+    fn fault_spec_parse_errors_name_the_grammar() {
+        for bad in [
+            "switch:1:dead@5",
+            "link:1:dead@5",
+            "link:a:0:dead@5",
+            "link:1:0:dead",
+            "link:1:0:dead@x",
+            "link:1:0:flaky@64",
+            "link:1:0:flaky@64/8/1/2",
+            "link:1:0:gone@5",
+            "router:1:dead@5:extra",
+            "",
+        ] {
+            let err = FaultSpec::parse(bad).unwrap_err();
+            assert!(err.contains("fault"), "{bad}: {err}");
+        }
+        let list = parse_faults("router:27:dead@500, link:28:2:flaky@64/16;").unwrap();
+        assert_eq!(list.len(), 2);
+        assert!(parse_faults("router:27:dead@500,bogus").is_err());
+        assert_eq!(parse_faults(""), Ok(vec![]));
+    }
+
+    #[test]
+    fn validate_bounds_the_fault_plan() {
+        let base = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 });
+        let fault = |s: &str| FaultSpec::parse(s).unwrap();
+        assert_eq!(
+            base.clone()
+                .with_faults(vec![fault("router:5:dead@100")])
+                .validate(),
+            Ok(())
+        );
+        assert_eq!(
+            base.clone()
+                .with_faults(vec![fault("router:16:dead@100")])
+                .validate(),
+            Err(ConfigError::FaultNodeOutOfRange {
+                index: 0,
+                node: 16,
+                nodes: 16
+            })
+        );
+        assert_eq!(
+            base.clone()
+                .with_faults(vec![fault("link:5:7:dead@100")])
+                .validate(),
+            Err(ConfigError::FaultPortOutOfRange {
+                index: 0,
+                port: 7,
+                ports: 5
+            })
+        );
+        // Node 0 sits at the mesh corner: port 1 (x-negative) is unwired.
+        assert_eq!(
+            base.clone()
+                .with_faults(vec![fault("link:0:1:dead@100")])
+                .validate(),
+            Err(ConfigError::FaultLinkMissing {
+                index: 0,
+                node: 0,
+                port: 1
+            })
+        );
+        // ...but on a torus the wrap link exists. (Torus needs VCs.)
+        let torus = NetworkConfig::mesh(
+            4,
+            RouterKind::VirtualChannel {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .into_torus();
+        assert_eq!(
+            torus
+                .with_faults(vec![fault("link:0:1:dead@100")])
+                .validate(),
+            Ok(())
+        );
+        for bad in ["flaky@8/0", "flaky@8/8", "flaky@8/2/8", "flaky@0/0"] {
+            let err = base
+                .clone()
+                .with_faults(vec![fault(&format!("link:5:0:{bad}"))])
+                .validate()
+                .unwrap_err();
+            assert!(
+                matches!(err, ConfigError::FaultFlakyDuty { index: 0, .. }),
+                "{bad}: {err}"
+            );
+            assert!(err.to_string().contains("1 <= down < period"), "{err}");
+        }
+        for bad in ["loss@1.5", "loss@-0.1", "loss@NaN", "loss@inf"] {
+            assert_eq!(
+                base.clone()
+                    .with_faults(vec![fault(&format!("link:5:0:{bad}"))])
+                    .validate(),
+                Err(ConfigError::FaultLossProbInvalid { index: 0 }),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_ambiguous_fault_merges() {
+        let base = NetworkConfig::mesh(4, RouterKind::Wormhole { buffers: 8 });
+        let fault = |s: &str| FaultSpec::parse(s).unwrap();
+        // Two flaky faults on the same directed link: ambiguous.
+        assert_eq!(
+            base.clone()
+                .with_faults(vec![
+                    fault("link:5:0:flaky@8/2"),
+                    fault("link:5:0:flaky@16/4"),
+                ])
+                .validate(),
+            Err(ConfigError::FaultDuplicate { index: 1 })
+        );
+        // A router-wide flaky fault claims the incident links too.
+        assert_eq!(
+            base.clone()
+                .with_faults(vec![
+                    fault("router:5:flaky@8/2"),
+                    fault("link:5:0:flaky@16/4"),
+                ])
+                .validate(),
+            Err(ConfigError::FaultDuplicate { index: 1 })
+        );
+        // ...including the *incoming* direction from the neighbor.
+        assert_eq!(
+            base.clone()
+                .with_faults(vec![
+                    fault("router:5:flaky@8/2"),
+                    fault("link:6:1:flaky@16/4"),
+                ])
+                .validate(),
+            Err(ConfigError::FaultDuplicate { index: 1 })
+        );
+        // Dead faults overlap freely (earliest kill wins), and a dead
+        // plus a flaky on one link is a valid combination.
+        assert_eq!(
+            base.clone()
+                .with_faults(vec![
+                    fault("router:5:dead@200"),
+                    fault("link:5:0:dead@100"),
+                    fault("link:5:0:flaky@8/2"),
+                    fault("link:5:0:loss@0.1"),
+                ])
+                .validate(),
+            Ok(())
+        );
+        // Different directed links never collide.
+        assert_eq!(
+            base.with_faults(vec![
+                fault("link:5:0:flaky@8/2"),
+                fault("link:5:1:flaky@8/2"),
+            ])
+            .validate(),
+            Ok(())
+        );
     }
 
     #[test]

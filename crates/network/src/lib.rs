@@ -30,6 +30,7 @@
 
 pub mod channel_load;
 pub mod config;
+pub mod fault;
 pub mod histogram;
 pub mod orchestrate;
 pub mod routing;
@@ -43,8 +44,10 @@ pub mod traffic;
 
 pub use channel_load::ChannelLoad;
 pub use config::{
-    BarrierKind, ConfigError, NetworkConfig, RebalanceConfig, RouterKind, RoutingAlgo,
+    parse_faults, BarrierKind, ConfigError, FaultKind, FaultSpec, FaultTarget, NetworkConfig,
+    RebalanceConfig, RouterKind, RoutingAlgo,
 };
+pub use fault::{DropReason, DropStats, FaultModel};
 pub use histogram::{Histogram, Percentiles};
 pub use orchestrate::NetworkRunner;
 pub use routing::RouteTable;

@@ -9,7 +9,7 @@
 //! cancellation, dedup-resume, sinks) lives in `runqueue` and is shared
 //! with any other workload.
 
-use crate::config::{NetworkConfig, RouterKind, RoutingAlgo};
+use crate::config::{FaultKind, FaultTarget, NetworkConfig, RouterKind, RoutingAlgo};
 use crate::sim::Network;
 use crate::sweep::LoadPoint;
 use crate::traffic::TrafficPattern;
@@ -98,6 +98,48 @@ impl JobConfig for NetworkConfig {
         h.u64(self.warmup_cycles);
         h.u64(self.sample_packets);
         h.u64(self.max_cycles);
+        // Folded only when present, so every pre-fault hash — and any
+        // record produced by one — stays valid: a healthy config keeps
+        // hashing to exactly what it always did. A degraded network is
+        // a different experiment, so dedup-resume must never conflate
+        // it with a healthy run of the same knobs.
+        if !self.faults.is_empty() {
+            h.u64(0xFA17); // domain tag for the fault block
+            h.u64(self.faults.len() as u64);
+            for f in &self.faults {
+                match f.target {
+                    FaultTarget::Link { node, port } => {
+                        h.u64(1);
+                        h.u64(node as u64);
+                        h.u64(port as u64);
+                    }
+                    FaultTarget::Router { node } => {
+                        h.u64(2);
+                        h.u64(node as u64);
+                    }
+                }
+                match f.kind {
+                    FaultKind::Dead { at } => {
+                        h.u64(1);
+                        h.u64(at);
+                    }
+                    FaultKind::Flaky {
+                        period,
+                        down,
+                        phase,
+                    } => {
+                        h.u64(2);
+                        h.u64(u64::from(period));
+                        h.u64(u64::from(down));
+                        h.u64(u64::from(phase));
+                    }
+                    FaultKind::Lossy { prob } => {
+                        h.u64(3);
+                        h.f64(prob);
+                    }
+                }
+            }
+        }
         h.0
     }
 }
@@ -240,6 +282,25 @@ mod tests {
         .with_sample(150)
         .with_max_cycles(8_000);
         assert_ne!(h, vc.config_hash());
+        // Faults change results, so every distinct plan hashes apart —
+        // from healthy, and from each other (kind and parameters).
+        let faulted = |s: &str| {
+            base()
+                .with_faults(crate::config::parse_faults(s).expect("test spec"))
+                .config_hash()
+        };
+        let dead = faulted("link:5:0:dead@100");
+        assert_ne!(h, dead, "a degraded run is a different experiment");
+        assert_ne!(dead, faulted("link:5:0:dead@200"));
+        assert_ne!(dead, faulted("link:5:1:dead@100"));
+        assert_ne!(dead, faulted("router:5:dead@100"));
+        assert_ne!(dead, faulted("link:5:0:flaky@40/10"));
+        assert_ne!(dead, faulted("link:5:0:loss@0.1"));
+        assert_eq!(
+            h,
+            base().with_faults(vec![]).config_hash(),
+            "an empty plan is the healthy hash"
+        );
     }
 
     #[test]

@@ -391,6 +391,54 @@ impl RouteTable {
         }
     }
 
+    /// Writes the base (fault-free) candidate output ports for a packet
+    /// at `node` heading to `dest` into `out`, returning the count —
+    /// exactly the set [`RouteTable::route`] selects from (a single
+    /// entry for deterministic algorithms, the local port at the
+    /// destination). The fault overlay filters this set, so a filtered
+    /// choice is always a subset of the healthy turn-model set and
+    /// inherits its deadlock freedom.
+    #[inline]
+    #[must_use]
+    pub fn candidates_into(
+        &self,
+        node: usize,
+        dest: usize,
+        out: &mut [u8; MAX_CANDIDATES],
+    ) -> usize {
+        let nc = &self.coords[node * self.dims..(node + 1) * self.dims];
+        let dc = &self.coords[dest * self.dims..(dest + 1) * self.dims];
+        match &self.candidates {
+            None => {
+                for (d, (&c, &t)) in nc.iter().zip(dc).enumerate() {
+                    if c != t {
+                        out[0] = 2 * d as u8 + self.dir[c as usize * self.radix + t as usize];
+                        return 1;
+                    }
+                }
+                out[0] = self.local_port as u8;
+                1
+            }
+            Some(sets) => {
+                let mut code = 0usize;
+                let mut pow = 1usize;
+                for (&c, &t) in nc.iter().zip(dc) {
+                    code += pow
+                        * match t.cmp(&c) {
+                            std::cmp::Ordering::Equal => 0,
+                            std::cmp::Ordering::Greater => 1,
+                            std::cmp::Ordering::Less => 2,
+                        };
+                    pow *= 3;
+                }
+                let set = &sets[code];
+                let len = set.len as usize;
+                out[..len].copy_from_slice(&set.ports[..len]);
+                len
+            }
+        }
+    }
+
     /// The permitted output-VC mask at `node` for a packet to `dest`
     /// (precomputed for the port the table itself routes to; all-ones on
     /// a mesh).

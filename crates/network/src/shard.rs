@@ -88,6 +88,7 @@
 //! stay bit-identical to the serial engines.
 
 use crate::config::{BarrierKind, RebalanceConfig};
+use crate::fault::{clip, ClipSlot, DropReason, DropStats, FaultModel};
 use crate::routing::RouteTable;
 use crate::sim::{Delivery, NodeOracle};
 use crate::source::{Source, SourceStep};
@@ -504,6 +505,9 @@ pub(crate) struct ShardOut {
     pub loads: Vec<(u32, u8)>,
     /// Flits ejected this cycle.
     pub ejected: u64,
+    /// Packets whose head the fault layer dropped this cycle, in node
+    /// order — resolved against the tagged sample at the serial commit.
+    pub drops: Vec<PacketId>,
 }
 
 /// Per-shard state that persists across cycles (the shard's half of the
@@ -826,6 +830,10 @@ pub(crate) struct ShardEnv<'a> {
     pub mesh: Mesh,
     pub pattern: &'a TrafficPattern,
     pub route_table: &'a RouteTable,
+    /// The compiled fault plan, when the run has one. Shared read-only;
+    /// every fault decision is a pure function of (plan, seed, cycle),
+    /// so shards need no coordination to agree on it.
+    pub fault: Option<&'a FaultModel>,
     pub node_shard: &'a [u32],
     pub link_delay: u64,
     pub credit_latency: u64,
@@ -851,6 +859,15 @@ pub(crate) struct ShardCtx<'a> {
     pub credit_back: &'a mut [Vec<DelayPipe<usize>>],
     /// Reassembly slots of this shard's nodes (`(hi - lo) * vcs` entries).
     pub eject_slots: &'a mut [(PacketId, u32)],
+    /// Clip-at-head slots of this shard's nodes' output links
+    /// (`(hi - lo) * ports * vcs` entries).
+    pub clip_out: &'a mut [ClipSlot],
+    /// Clip-at-head slots of this shard's nodes' injection channels
+    /// (`(hi - lo) * vcs` entries — sources interleave packets across
+    /// their injection VCs).
+    pub clip_in: &'a mut [ClipSlot],
+    /// Per-node drop counters of this shard's nodes.
+    pub drops: &'a mut [DropStats],
     pub active: &'a mut [bool],
     pub aux: &'a mut ShardAux,
     /// This shard's slice of the per-node work meters (current epoch).
@@ -961,6 +978,21 @@ impl ShardCtx<'_> {
             self.sources[i].step_into(now, &mesh, env.pattern, &mut step);
             out.created.extend_from_slice(&step.created);
             if let Some(flit) = step.injected {
+                let reason = env.fault.and_then(|fm| {
+                    clip(&mut self.clip_in[i * env.vcs + flit.vc], &flit, || {
+                        fm.injection_drop(self.lo + i, flit.dest, now, flit.packet)
+                    })
+                });
+                if let Some(reason) = reason {
+                    // Mirror of the serial engines' injection clip:
+                    // bounce the credit, account the drop.
+                    self.sources[i].credit(flit.vc);
+                    self.drops[i].count(reason, flit.kind.is_head());
+                    if flit.kind.is_head() {
+                        out.drops.push(flit.packet);
+                    }
+                    continue;
+                }
                 self.flit_in[i][local].push(now, flit);
                 self.aux.wheel.schedule(
                     now + 1 + env.link_delay,
@@ -997,6 +1029,7 @@ impl ShardCtx<'_> {
             let oracle = NodeOracle {
                 table: env.route_table,
                 node,
+                fault: env.fault.map(|f| (f, f.epoch_at(now))),
             };
             self.routers[i].tick_into(now, &oracle, &mut buf);
             self.aux.router_ticks += 1;
@@ -1005,6 +1038,11 @@ impl ShardCtx<'_> {
             }
             for dep in buf.departures.drain(..) {
                 out.loads.push((node as u32, dep.out_port as u8));
+                if env.fault.is_some()
+                    && self.clip_departure(env, now, node, dep.out_port, &dep.flit, &mut out)
+                {
+                    continue;
+                }
                 if dep.out_port == local {
                     self.eject(env, node, dep.flit, &mut out);
                 } else {
@@ -1167,6 +1205,46 @@ impl ShardCtx<'_> {
         }
         self.aux.wheel.advance_to(target - 1);
         self.aux.remote_credits.advance_to(target - 1);
+    }
+
+    /// The shard-local mirror of the serial engines' departure clip
+    /// (see [`crate::sim::Network`]): same slot indexing relative to the
+    /// shard's base node, same synchronous credit reclaim — the reclaim
+    /// touches only this shard's own router, so no mail is needed and
+    /// the result is identical under every partition.
+    fn clip_departure(
+        &mut self,
+        env: &ShardEnv<'_>,
+        now: u64,
+        node: usize,
+        out_port: usize,
+        flit: &Flit,
+        out: &mut ShardOut,
+    ) -> bool {
+        let Some(fm) = env.fault else {
+            return false;
+        };
+        let local = env.mesh.local_port();
+        let i = node - self.lo;
+        let reason = if out_port == local && flit.dest != node {
+            Some(DropReason::Stranded)
+        } else {
+            let slot = &mut self.clip_out[(i * env.mesh.ports() + out_port) * env.vcs + flit.vc];
+            clip(slot, flit, || {
+                fm.link_drop(node, out_port, now, flit.packet)
+            })
+        };
+        let Some(reason) = reason else {
+            return false;
+        };
+        if out_port != local {
+            self.routers[i].accept_credit(out_port, flit.vc, now);
+        }
+        self.drops[i].count(reason, flit.kind.is_head());
+        if flit.kind.is_head() {
+            out.drops.push(flit.packet);
+        }
+        true
     }
 
     /// Consumes an ejected flit at its destination — the shard-local half

@@ -31,6 +31,7 @@
 
 use crate::channel_load::ChannelLoad;
 use crate::config::{ConfigError, EngineKind, NetworkConfig};
+use crate::fault::{clip, ClipSlot, DropReason, DropStats, FaultModel};
 use crate::histogram::Histogram;
 use crate::routing::RouteTable;
 use crate::shard::{
@@ -58,11 +59,21 @@ pub const CANCEL_BATCH: u64 = 1024;
 pub(crate) struct NodeOracle<'a> {
     pub(crate) table: &'a RouteTable,
     pub(crate) node: usize,
+    /// The fault model and the kill epoch in force at the tick being
+    /// routed, when the run has a fault plan. Routing runs once per
+    /// packet per router at the same cycle in every engine, so the
+    /// epoch — and therefore the choice — is engine-invariant.
+    pub(crate) fault: Option<(&'a FaultModel, usize)>,
 }
 
 impl RoutingOracle for NodeOracle<'_> {
     fn output_port(&self, flit: &Flit) -> usize {
-        self.table.route(self.node, flit.dest, flit.packet.value())
+        match self.fault {
+            None => self.table.route(self.node, flit.dest, flit.packet.value()),
+            Some((fm, epoch)) => {
+                fm.route(self.table, epoch, self.node, flit.dest, flit.packet.value())
+            }
+        }
     }
 
     fn vc_mask(&self, flit: &Flit, _out_port: usize) -> u64 {
@@ -106,6 +117,20 @@ pub struct RunResult {
     /// since the sample never drained) and must be discarded, not
     /// recorded.
     pub cancelled: bool,
+    /// Flits dropped by the fault layer over the whole run (0 on a
+    /// healthy network).
+    pub dropped_flits: u64,
+    /// Packets dropped by the fault layer (counted at the head flit).
+    pub dropped_packets: u64,
+    /// Drop counters broken down by [`DropReason`].
+    pub drops: DropStats,
+    /// Ordered (src, dst) pairs unreachable under the kill epoch in
+    /// force when the run ended (0 without permanent kills).
+    pub unreachable_pairs: u64,
+    /// Delivered-vs-offered ratio: ejected flits over injected flits
+    /// (1.0 when nothing was injected — an empty run delivered
+    /// everything it was offered).
+    pub delivered_ratio: f64,
 }
 
 /// A wake-up notice scheduled on the event wheel: "pipe `(node, port)`
@@ -169,6 +194,21 @@ pub struct Network {
     /// Per-phase wall-clock attribution (accumulated only when
     /// `cfg.phase_timing` is set).
     phases: PhaseNanos,
+    /// The compiled fault plan (`None` on a healthy network — every
+    /// fault hook below is behind this option, so an empty plan runs
+    /// exactly today's code).
+    fault: Option<FaultModel>,
+    /// Clip-at-head state per (node, output port, VC) — the fate a head
+    /// flit decided at a link, held until its tail passes. Node-indexed
+    /// (shard-split; untouched by rebalancing migration, which only
+    /// re-homes due-cycle state).
+    clip_out: Vec<ClipSlot>,
+    /// Clip-at-head state per (node, injection VC) — a source holds one
+    /// packet per VC but interleaves packets across its VCs.
+    clip_in: Vec<ClipSlot>,
+    /// Per-node drop counters by reason (node = where the drop
+    /// happened; shard-split, order-independent sums).
+    drops: Vec<DropStats>,
 }
 
 /// Measurement state. All of it is index-addressed — no hash structure
@@ -224,6 +264,18 @@ impl Measurement {
             self.histogram.record(now - created);
         }
     }
+
+    /// Resolves a tagged packet whose head the fault layer dropped: the
+    /// sample must not wait for a tail that will never eject. Counts the
+    /// packet done without contributing a latency observation.
+    #[inline]
+    fn record_dropped(&mut self, packet: PacketId) {
+        let (lo, hi) = self.tagged_ranges[packet_source(packet)];
+        let seq = packet_seq(packet);
+        if (lo..hi).contains(&seq) {
+            self.tagged_done += 1;
+        }
+    }
 }
 
 impl Network {
@@ -275,6 +327,7 @@ impl Network {
             .collect();
 
         let route_table = RouteTable::new(mesh, cfg.routing, rcfg.vcs);
+        let fault = FaultModel::new(&cfg, &route_table);
         let credit_latency = cfg.credit_prop_delay + cfg.credit_proc_delay - 1;
         let flit_in = (0..nodes)
             .map(|_| (0..ports).map(|_| DelayPipe::new(cfg.link_delay)).collect())
@@ -323,6 +376,12 @@ impl Network {
             },
             eject_slots: vec![(PacketId::new(0), 0); nodes * vcs],
             phases: PhaseNanos::default(),
+            fault,
+            // Always allocated (cheap, and keeps the shard split uniform
+            // whether or not a fault plan is present).
+            clip_out: vec![ClipSlot::default(); nodes * ports * vcs],
+            clip_in: vec![ClipSlot::default(); nodes * vcs],
+            drops: vec![DropStats::default(); nodes],
         })
     }
 
@@ -514,6 +573,22 @@ impl Network {
                 }
             }
             if let Some(flit) = step.injected {
+                let vcs = self.cfg.router.vcs();
+                let reason = self.fault.as_ref().and_then(|fm| {
+                    clip(&mut self.clip_in[node * vcs + flit.vc], &flit, || {
+                        fm.injection_drop(node, flit.dest, now, flit.packet)
+                    })
+                });
+                if let Some(reason) = reason {
+                    // The flit never enters the network: bounce the
+                    // credit the source consumed and account the drop.
+                    self.sources[node].credit(flit.vc);
+                    self.drops[node].count(reason, flit.kind.is_head());
+                    if flit.kind.is_head() {
+                        self.meas.record_dropped(flit.packet);
+                    }
+                    continue;
+                }
                 self.flit_in[node][local].push(now, flit);
                 if event_driven {
                     self.wheel.schedule(
@@ -530,6 +605,46 @@ impl Network {
         self.source_step_buf = step;
     }
 
+    /// Applies the fault layer to a departure leaving `node` through
+    /// `out_port` at `now`, returning `true` when the flit is dropped
+    /// (the caller then skips forwarding it). The head flit decides the
+    /// packet's fate at each link; bodies and tails follow it via the
+    /// clip slot, so wormhole packets are never torn. Credits the
+    /// crossbar grant consumed are reclaimed synchronously — dead links
+    /// must not leak VC buffers.
+    fn clip_departure(&mut self, now: u64, node: usize, out_port: usize, flit: &Flit) -> bool {
+        let Some(fm) = self.fault.as_ref() else {
+            return false;
+        };
+        let mesh = self.cfg.mesh;
+        let local = mesh.local_port();
+        let vcs = self.cfg.router.vcs();
+        let reason = if out_port == local && flit.dest != node {
+            // Stranded: adaptive routing found no live candidate and
+            // resolved to the sink. The whole packet routes there, so
+            // the per-flit check is consistent without a clip slot.
+            Some(DropReason::Stranded)
+        } else {
+            let slot = &mut self.clip_out[(node * mesh.ports() + out_port) * vcs + flit.vc];
+            clip(slot, flit, || {
+                fm.link_drop(node, out_port, now, flit.packet)
+            })
+        };
+        let Some(reason) = reason else {
+            return false;
+        };
+        if out_port != local {
+            // The flit never reaches the downstream buffer; return the
+            // credit so the VC refills. Ejection consumes no credit.
+            self.routers[node].accept_credit(out_port, flit.vc, now);
+        }
+        self.drops[node].count(reason, flit.kind.is_head());
+        if flit.kind.is_head() {
+            self.meas.record_dropped(flit.packet);
+        }
+        true
+    }
+
     /// Ticks router `node`, forwarding its departures and credits (and,
     /// under the event engine, scheduling the wake-ups they imply).
     fn tick_router(&mut self, now: u64, mesh: &Mesh, node: usize) {
@@ -538,12 +653,16 @@ impl Network {
         let oracle = NodeOracle {
             table: &self.route_table,
             node,
+            fault: self.fault.as_ref().map(|f| (f, f.epoch_at(now))),
         };
         let mut out = std::mem::take(&mut self.tick_buf);
         self.routers[node].tick_into(now, &oracle, &mut out);
         self.router_ticks += 1;
         for dep in out.departures.drain(..) {
             self.meas.channel_load.record(node, dep.out_port);
+            if self.fault.is_some() && self.clip_departure(now, node, dep.out_port, &dep.flit) {
+                continue;
+            }
             if dep.out_port == local {
                 self.eject(node, dep.flit);
             } else {
@@ -626,10 +745,12 @@ impl Network {
         let rb_epoch = self.cfg.rebalance.map_or(0, |rb| rb.epoch);
         let mut stamps = self.cfg.phase_timing.then(|| [Instant::now(); 5]);
         {
+            let pv = self.cfg.mesh.ports() * vcs;
             let env = ShardEnv {
                 mesh: self.cfg.mesh,
                 pattern: &self.cfg.pattern,
                 route_table: &self.route_table,
+                fault: self.fault.as_ref(),
                 node_shard: &set.node_shard,
                 link_delay: self.cfg.link_delay,
                 credit_latency: self.credit_latency,
@@ -652,6 +773,9 @@ impl Network {
                         flit_in: &mut self.flit_in[lo..hi],
                         credit_back: &mut self.credit_back[lo..hi],
                         eject_slots: &mut self.eject_slots[lo * vcs..hi * vcs],
+                        clip_out: &mut self.clip_out[lo * pv..hi * pv],
+                        clip_in: &mut self.clip_in[lo * vcs..hi * vcs],
+                        drops: &mut self.drops[lo..hi],
                         active: &mut self.router_active[lo..hi],
                         aux: &mut set.aux[$s],
                         work_epoch: &mut set.work_epoch[lo..hi],
@@ -767,6 +891,7 @@ impl Network {
     fn run_parallel(&mut self) -> bool {
         let mut set = self.shards.take().expect("parallel engine state");
         let vcs = self.cfg.router.vcs();
+        let pv = self.cfg.mesh.ports() * vcs;
         let timing = self.cfg.phase_timing;
         let max_cycles = self.cfg.max_cycles;
         let cancel = self.cfg.cancel.clone();
@@ -779,10 +904,12 @@ impl Network {
         let cancelled = loop {
             let start_now = self.now;
             let lockstep = Lockstep::new(self.cfg.barrier, set.ranges.len(), start_now);
+            let fault = self.fault.as_ref();
             let env = ShardEnv {
                 mesh: self.cfg.mesh,
                 pattern: &self.cfg.pattern,
                 route_table: &self.route_table,
+                fault,
                 node_shard: &set.node_shard,
                 link_delay: self.cfg.link_delay,
                 credit_latency: self.credit_latency,
@@ -795,11 +922,15 @@ impl Network {
             let ctxs = split_shards(
                 &set.ranges,
                 vcs,
+                pv,
                 &mut self.routers,
                 &mut self.sources,
                 &mut self.flit_in,
                 &mut self.credit_back,
                 &mut self.eject_slots,
+                &mut self.clip_out,
+                &mut self.clip_in,
+                &mut self.drops,
                 &mut self.router_active,
                 &mut set.aux,
                 &mut set.work_epoch,
@@ -873,6 +1004,12 @@ impl Network {
                         }
                     }
                     let mut target = quiet_until.min(max_cycles);
+                    if let Some(fm) = fault {
+                        // A scheduled fault is a wake-up event: never
+                        // jump over a kill or a flaky edge, whose cycle
+                        // changes what in-flight traffic would do.
+                        target = target.min(fm.next_transition_at_or_after(now));
+                    }
                     if cancel.is_some() {
                         // Never jump a cancellation poll point.
                         target = target.min((now / CANCEL_BATCH + 1) * CANCEL_BATCH);
@@ -981,6 +1118,11 @@ impl Network {
             .unwrap_or(u64::MAX)
             .min(self.src_next)
             .min(self.cfg.max_cycles);
+        if let Some(fm) = self.fault.as_ref() {
+            // A scheduled fault is a wake-up event: never jump over a
+            // kill or a flaky edge.
+            target = target.min(fm.next_transition_at_or_after(now));
+        }
         if self.cfg.cancel.is_some() {
             // Never jump a cancellation poll point.
             target = target.min((now / CANCEL_BATCH + 1) * CANCEL_BATCH);
@@ -1046,11 +1188,29 @@ impl Network {
         self.routers.iter().map(|r| r.buffered_flits() as u64).sum()
     }
 
+    /// Total flits dropped by the fault layer so far (0 on a healthy
+    /// network).
+    #[must_use]
+    pub fn flits_dropped(&self) -> u64 {
+        self.drops.iter().map(DropStats::total_flits).sum()
+    }
+
+    /// Drop counters by reason, aggregated over all nodes.
+    #[must_use]
+    pub fn drop_stats(&self) -> DropStats {
+        let mut total = DropStats::default();
+        for d in &self.drops {
+            total.merge(d);
+        }
+        total
+    }
+
     /// Asserts the flit-conservation invariant: every flit a source
-    /// injected is either ejected at its destination, on a wire, or
-    /// buffered in a router — nothing is duplicated or dropped. Holds at
-    /// every cycle boundary; [`Network::run`] checks it once at the end
-    /// of every run.
+    /// injected is either ejected at its destination, on a wire,
+    /// buffered in a router, or was dropped by the fault layer (with
+    /// its credit reclaimed) — nothing is duplicated or silently lost.
+    /// Holds at every cycle boundary; [`Network::run`] checks it once
+    /// at the end of every run.
     ///
     /// # Panics
     ///
@@ -1060,11 +1220,13 @@ impl Network {
         let ejected = self.flits_ejected();
         let in_flight = self.flits_in_flight();
         let buffered = self.flits_buffered();
+        let dropped = self.flits_dropped();
         assert_eq!(
             injected,
-            ejected + in_flight + buffered,
+            ejected + in_flight + buffered + dropped,
             "flit conservation violated at cycle {}: injected {injected} != \
-             ejected {ejected} + in-flight {in_flight} + buffered {buffered}",
+             ejected {ejected} + in-flight {in_flight} + buffered {buffered} \
+             + dropped {dropped}",
             self.now
         );
     }
@@ -1115,6 +1277,13 @@ impl Network {
         for r in &self.routers {
             router_stats.merge(r.stats());
         }
+        let drops = self.drop_stats();
+        let injected = self.flits_injected();
+        let delivered_ratio = if injected == 0 {
+            1.0
+        } else {
+            self.meas.flits_ejected as f64 / injected as f64
+        };
         RunResult {
             offered: self.cfg.injection_fraction,
             avg_latency: self.meas.latency.mean(),
@@ -1132,6 +1301,14 @@ impl Network {
             },
             phases: self.cfg.phase_timing.then_some(self.phases),
             cancelled,
+            dropped_flits: drops.total_flits(),
+            dropped_packets: drops.total_packets(),
+            drops,
+            unreachable_pairs: self
+                .fault
+                .as_ref()
+                .map_or(0, |f| f.unreachable_pairs(self.now)),
+            delivered_ratio,
         }
     }
 }
@@ -1160,11 +1337,15 @@ fn mark<const N: usize>(stamps: &mut Option<[Instant; N]>, i: usize) {
 fn split_shards<'a>(
     ranges: &[(usize, usize)],
     vcs: usize,
+    pv: usize,
     mut routers: &'a mut [Router],
     mut sources: &'a mut [Source],
     mut flit_in: &'a mut [Vec<DelayPipe<Flit>>],
     mut credit_back: &'a mut [Vec<DelayPipe<usize>>],
     mut eject_slots: &'a mut [(PacketId, u32)],
+    mut clip_out: &'a mut [ClipSlot],
+    mut clip_in: &'a mut [ClipSlot],
+    mut drops: &'a mut [DropStats],
     mut active: &'a mut [bool],
     aux: &'a mut [crate::shard::ShardAux],
     mut work_epoch: &'a mut [u64],
@@ -1184,6 +1365,12 @@ fn split_shards<'a>(
         credit_back = rest;
         let (e, rest) = std::mem::take(&mut eject_slots).split_at_mut(n * vcs);
         eject_slots = rest;
+        let (co, rest) = std::mem::take(&mut clip_out).split_at_mut(n * pv);
+        clip_out = rest;
+        let (ci, rest) = std::mem::take(&mut clip_in).split_at_mut(n * vcs);
+        clip_in = rest;
+        let (d, rest) = std::mem::take(&mut drops).split_at_mut(n);
+        drops = rest;
         let (a, rest) = std::mem::take(&mut active).split_at_mut(n);
         active = rest;
         let (we, rest) = std::mem::take(&mut work_epoch).split_at_mut(n);
@@ -1198,6 +1385,9 @@ fn split_shards<'a>(
             flit_in: f,
             credit_back: c,
             eject_slots: e,
+            clip_out: co,
+            clip_in: ci,
+            drops: d,
             active: a,
             aux: aux_iter.next().expect("one aux per shard"),
             work_epoch: we,
@@ -1253,6 +1443,13 @@ impl Committer<'_> {
             }
             for (packet, created) in o.tails.drain(..) {
                 self.meas.record_tail(packet, created, now);
+            }
+            // Dropped tagged packets resolve here, after tagging above
+            // (a packet clipped at injection the cycle it was created
+            // is tagged first, exactly like the serial engines). Only a
+            // counter — order against tails is immaterial.
+            for packet in o.drops.drain(..) {
+                self.meas.record_dropped(packet);
             }
         }
         self.meas.channel_load.tick();

@@ -7,10 +7,12 @@
 //! packet forever (the router asserts on it), and a non-productive or
 //! empty candidate set breaks minimal-routing termination.
 
+use noc_network::config::RoutingAlgo;
 use noc_network::routing::{
     dateline_vc_mask, dimension_ordered, negative_first_candidates, west_first_candidates,
+    MAX_CANDIDATES,
 };
-use noc_network::Mesh;
+use noc_network::{parse_faults, FaultModel, Mesh, NetworkConfig, RouteTable, RouterKind};
 use proptest::prelude::*;
 
 /// The mask of all `vcs` VCs (what "no restriction" looks like).
@@ -191,6 +193,171 @@ proptest! {
                         "{} -> {}", current, dest
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Builds a [`FaultModel`] over a 2-D mesh from dead-link picks,
+/// returning the model, the route table, and the set of killed
+/// directed links. Picks that point off the mesh edge are discarded;
+/// a guaranteed center-link kill keeps the plan non-empty.
+fn dead_link_model(
+    mesh: Mesh,
+    algo: RoutingAlgo,
+    picks: &[(usize, usize, u64)],
+) -> (
+    FaultModel,
+    RouteTable,
+    std::collections::HashSet<(usize, usize)>,
+) {
+    let mut specs = Vec::new();
+    let mut dead = std::collections::HashSet::new();
+    for &(n, p, c) in picks {
+        let node = n % mesh.nodes();
+        if mesh.neighbor(node, p).is_some() && dead.insert((node, p)) {
+            specs.push(format!("link:{node}:{p}:dead@{c}"));
+        }
+    }
+    if specs.is_empty() {
+        let center = mesh.radix() + 1; // (1, 1): all four dim ports wired
+        specs.push(format!("link:{center}:0:dead@100"));
+        dead.insert((center, 0));
+    }
+    let cfg = NetworkConfig::for_mesh(
+        mesh,
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_routing(algo)
+    .with_faults(parse_faults(&specs.join(",")).expect("generated specs parse"));
+    cfg.validate().expect("generated fault plan validates");
+    let table = RouteTable::new(&mesh, algo, 2);
+    let fm = FaultModel::new(&cfg, &table).expect("non-empty plan compiles");
+    (fm, table, dead)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under a random set of permanent link kills, fault-aware routing
+    /// keeps every still-connected pair deliverable and every
+    /// disconnected pair refused — never spun on. Walking the filtered
+    /// route function from any source must (a) reach a reachable
+    /// destination in minimal hops without ever entering a dead link,
+    /// staying inside the base turn-model candidate set (the
+    /// deadlock-freedom argument: a subset of an acyclic turn set is
+    /// acyclic); and (b) immediately resolve to the local port for an
+    /// unreachable destination. Epoch 0 — before any kill fires — must
+    /// match the healthy table decision for decision.
+    #[test]
+    fn dead_fault_sets_reroute_or_refuse_never_spin(
+        radix in 3usize..6,
+        algo_idx in 0usize..3,
+        picks in proptest::collection::vec((0usize..36, 0usize..4, 1u64..2000), 1..4),
+        selector in 0u64..6,
+    ) {
+        let algo = [
+            RoutingAlgo::DimensionOrdered,
+            RoutingAlgo::WestFirstAdaptive,
+            RoutingAlgo::NegativeFirstAdaptive,
+        ][algo_idx];
+        let mesh = Mesh::new(radix, 2);
+        let nodes = mesh.nodes();
+        let local = mesh.local_port();
+        let (fm, table, dead) = dead_link_model(mesh, algo, &picks);
+        let last = fm.epochs() - 1;
+        let mut cands = [0u8; MAX_CANDIDATES];
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                prop_assert_eq!(
+                    fm.route(&table, 0, src, dst, selector),
+                    table.route(src, dst, selector),
+                    "epoch 0 diverges from the healthy table {}->{}", src, dst
+                );
+                if !fm.reachable(last, src, dst) {
+                    prop_assert_eq!(
+                        fm.route(&table, last, src, dst, selector), local,
+                        "unreachable pair {}->{} must refuse, not wander", src, dst
+                    );
+                    continue;
+                }
+                let mut cur = src;
+                let mut hops = 0u64;
+                while cur != dst {
+                    let port = fm.route(&table, last, cur, dst, selector + hops);
+                    prop_assert_ne!(
+                        port, local,
+                        "stranded a reachable pair {}->{} at {}", src, dst, cur
+                    );
+                    prop_assert!(
+                        !dead.contains(&(cur, port)),
+                        "routed into dead link ({cur}, {port}) on {src}->{dst}"
+                    );
+                    let n = table.candidates_into(cur, dst, &mut cands);
+                    prop_assert!(
+                        cands[..n].contains(&(port as u8)),
+                        "filtered route left the turn-model set at {cur} on {src}->{dst}"
+                    );
+                    let next = mesh.neighbor(cur, port).expect("route off the mesh");
+                    prop_assert_eq!(
+                        mesh.distance(next, dst) + 1,
+                        mesh.distance(cur, dst),
+                        "non-minimal hop at {} on {}->{}", cur, src, dst
+                    );
+                    cur = next;
+                    hops += 1;
+                    prop_assert!(hops <= nodes as u64, "routing loop {}->{}", src, dst);
+                }
+            }
+        }
+        // The per-run counter agrees with the reachability bitset.
+        let mut expect = 0u64;
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s != d && !fm.reachable(last, s, d) {
+                    expect += 1;
+                }
+            }
+        }
+        prop_assert_eq!(fm.unreachable_pairs(u64::MAX), expect);
+    }
+
+    /// Flaky and lossy links are data-plane faults only: they never
+    /// create a kill epoch, so the routing overlay stays empty and
+    /// every decision matches the healthy table bit for bit.
+    #[test]
+    fn transient_faults_never_change_routing(
+        radix in 3usize..6,
+        node in 0usize..25,
+        port in 0usize..4,
+        selector in 0u64..6,
+    ) {
+        let mesh = Mesh::new(radix, 2);
+        let mut node = node % mesh.nodes();
+        if mesh.neighbor(node, port).is_none() {
+            node = mesh.radix() + 1; // (1, 1): all four dim ports wired
+        }
+        let cfg = NetworkConfig::for_mesh(
+            mesh,
+            RouterKind::SpeculativeVc { vcs: 2, buffers_per_vc: 4 },
+        )
+        .with_faults(
+            parse_faults(&format!("link:{node}:{port}:flaky@50/10, link:{node}:{port}:loss@0.3"))
+                .expect("specs parse"),
+        );
+        let table = RouteTable::new(&mesh, cfg.routing, 2);
+        let fm = FaultModel::new(&cfg, &table).expect("non-empty plan");
+        prop_assert_eq!(fm.epochs(), 1, "no kills, no epochs");
+        prop_assert_eq!(fm.unreachable_pairs(u64::MAX), 0);
+        for src in 0..mesh.nodes() {
+            for dst in 0..mesh.nodes() {
+                prop_assert_eq!(
+                    fm.route(&table, 0, src, dst, selector),
+                    table.route(src, dst, selector)
+                );
             }
         }
     }

@@ -42,6 +42,8 @@ pub enum Value {
     Str(String),
     /// A flat array of numbers.
     List(Vec<f64>),
+    /// A flat array of double-quoted strings.
+    StrList(Vec<String>),
 }
 
 impl Value {
@@ -89,6 +91,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as a string list.
+    #[must_use]
+    pub fn as_str_list(&self) -> Option<&[String]> {
+        match self {
+            Value::StrList(v) => Some(v),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -98,6 +109,7 @@ impl fmt::Display for Value {
             Value::Bool(b) => write!(f, "{b}"),
             Value::Str(s) => write!(f, "\"{s}\""),
             Value::List(v) => write!(f, "{v:?}"),
+            Value::StrList(v) => write!(f, "{v:?}"),
         }
     }
 }
@@ -211,6 +223,23 @@ fn parse_value(s: &str) -> Option<Value> {
         if inner.is_empty() {
             return Some(Value::List(Vec::new()));
         }
+        // A leading quote makes it a string list; strings may contain
+        // commas, so split on `","` boundaries rather than bare commas.
+        if inner.starts_with('"') {
+            let inner = inner.strip_suffix('"')?;
+            let items: Option<Vec<String>> = inner
+                .split("\",")
+                .map(|item| {
+                    let item = item.trim().strip_prefix('"')?;
+                    let item = item.strip_suffix('"').unwrap_or(item);
+                    if item.contains('"') {
+                        return None;
+                    }
+                    Some(item.to_string())
+                })
+                .collect();
+            return items.map(Value::StrList);
+        }
         let items: Option<Vec<f64>> = inner
             .split(',')
             .map(|item| item.trim().parse::<f64>().ok())
@@ -285,6 +314,34 @@ seeds = 2
     fn hash_inside_string_is_not_a_comment() {
         let f = parse("name = \"a#b\"\n").unwrap();
         assert_eq!(f.defaults["name"].as_str(), Some("a#b"));
+    }
+
+    #[test]
+    fn string_lists_parse() {
+        let f = parse("faults = [\"link:5:0:dead@100\", \"router:3:flaky@40/10\"]\n").unwrap();
+        assert_eq!(
+            f.defaults["faults"].as_str_list(),
+            Some(
+                &[
+                    "link:5:0:dead@100".to_string(),
+                    "router:3:flaky@40/10".to_string()
+                ][..]
+            )
+        );
+        // Items may contain commas and `#` without confusing the parser.
+        let f = parse("xs = [\"a,b\", \"c#d\"]\n").unwrap();
+        assert_eq!(
+            f.defaults["xs"].as_str_list(),
+            Some(&["a,b".to_string(), "c#d".to_string()][..])
+        );
+        assert_eq!(f.defaults["xs"].as_list(), None, "not a numeric list");
+        for bad in [
+            "xs = [\"a\", 1]\n", // mixed
+            "xs = [\"a]\n",      // unterminated string
+            "xs = [\"a\"b\"]\n", // stray quote inside an item
+        ] {
+            assert!(parse(bad).expect_err(bad).contains("bad value"), "{bad}");
+        }
     }
 
     #[test]

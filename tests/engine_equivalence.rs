@@ -61,6 +61,28 @@ fn assert_equivalent(label: &str, cycle: &RunResult, event: &RunResult) {
         cycle.router_stats, event.router_stats,
         "{label}: router stats"
     );
+    // The fault layer's books must agree flit for flit, reason by
+    // reason (all zero on a healthy network).
+    assert_eq!(
+        cycle.dropped_flits, event.dropped_flits,
+        "{label}: dropped flits"
+    );
+    assert_eq!(
+        cycle.dropped_packets, event.dropped_packets,
+        "{label}: dropped packets"
+    );
+    assert_eq!(cycle.drops, event.drops, "{label}: drop breakdown");
+    assert_eq!(
+        cycle.unreachable_pairs, event.unreachable_pairs,
+        "{label}: unreachable pairs"
+    );
+    assert_eq!(
+        cycle.delivered_ratio.to_bits(),
+        event.delivered_ratio.to_bits(),
+        "{label}: delivered ratio ({} vs {})",
+        cycle.delivered_ratio,
+        event.delivered_ratio
+    );
     // The derived sweep point must agree too.
     let a: LoadPoint = LoadPoint::from(cycle.clone());
     let b: LoadPoint = LoadPoint::from(event.clone());
@@ -630,6 +652,137 @@ fn rebalanced_inline_step_matches_threaded_run() {
         net.rebalances() >= 1,
         "inline hotspot run must migrate at least once"
     );
+}
+
+/// The faulted grid: every fault kind (permanent link kill, router
+/// kill, flaky duty-cycle, lossy, and a mixed plan) × both topologies ×
+/// shard counts {1, 2, 4} × both barrier kinds. Fault decisions are
+/// pure functions of (config, seed, cycle), so dropped-flit counts,
+/// drop-reason breakdowns, and delivered ratios must stay bit-identical
+/// across all three engines — the same contract the healthy network
+/// gets.
+#[test]
+fn engines_agree_under_faults() {
+    use peh_dally::noc_network::{parse_faults, BarrierKind};
+    let spec = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    for (fname, faults) in [
+        ("dead-link", "link:5:0:dead@150"),
+        ("dead-router", "router:5:dead@150"),
+        ("flaky", "link:5:0:flaky@40/10"),
+        ("lossy", "link:5:0:loss@0.2"),
+        (
+            "mixed",
+            "link:5:0:flaky@40/10; router:10:dead@180; link:9:2:loss@0.1",
+        ),
+    ] {
+        for torus in [false, true] {
+            let mut cfg = small(spec)
+                .with_injection(0.15)
+                .with_faults(parse_faults(faults).expect("grid fault spec"));
+            if torus {
+                cfg = cfg.into_torus();
+            }
+            let label = format!("faults={fname} torus={torus}");
+            let (cycle, event) = run_both(cfg.clone());
+            assert_equivalent(&label, &cycle, &event);
+            assert!(
+                cycle.dropped_flits > 0,
+                "{label}: a faulted run must actually drop something"
+            );
+            assert!(
+                cycle.delivered_ratio < 1.0,
+                "{label}: delivered ratio must reflect the drops"
+            );
+            if fname.starts_with("dead") {
+                assert!(
+                    cycle.unreachable_pairs > 0,
+                    "{label}: a kill must disconnect some pairs"
+                );
+            }
+            for barrier in [BarrierKind::Spin, BarrierKind::Tree] {
+                for shards in [1usize, 2, 4] {
+                    let slabel = format!("{label} barrier={barrier} shards={shards}");
+                    let sharded = Network::new(
+                        cfg.clone()
+                            .with_barrier(barrier)
+                            .with_engine(EngineKind::ParallelShards { shards }),
+                    )
+                    .run();
+                    assert_equivalent(&slabel, &event, &sharded);
+                }
+            }
+        }
+    }
+}
+
+/// Faults and live rebalancing compose: a skewed faulted run that
+/// migrates shards mid-flight keeps the same books as the serial
+/// reference — the node-indexed clip and drop state is partition-
+/// independent by construction.
+#[test]
+fn faulted_rebalancing_run_stays_bit_identical() {
+    use peh_dally::noc_network::parse_faults;
+    let spec = RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    };
+    let cfg = NetworkConfig::mesh(8, spec)
+        .with_injection(0.1)
+        .with_pattern(TrafficPattern::Hotspot {
+            hotspot: 59,
+            hotness: 0.5,
+        })
+        .with_warmup(200)
+        .with_sample(200)
+        .with_max_cycles(8_000)
+        .with_rebalance(50, 1.1)
+        .with_phase_timing(true)
+        .with_faults(parse_faults("link:27:0:flaky@64/16, router:36:dead@400").unwrap());
+    let (cycle, event) = run_both(cfg.clone());
+    assert_equivalent("faulted rebalance serial", &cycle, &event);
+    for shards in [2usize, 4] {
+        let label = format!("faulted rebalance shards={shards}");
+        let sharded = Network::new(
+            cfg.clone()
+                .with_engine(EngineKind::ParallelShards { shards }),
+        )
+        .run();
+        assert_equivalent(&label, &event, &sharded);
+        let phases = sharded.phases.expect("phase timing enabled");
+        assert!(phases.imbalance_epochs > 0, "{label}: epochs metered");
+    }
+}
+
+/// An empty fault plan — and a plan whose only fault fires after the
+/// run can possibly end — must reproduce the healthy network bit for
+/// bit: the fault layer's hooks are all behind the compiled plan, and
+/// a pre-kill epoch filters no candidates.
+#[test]
+fn inert_fault_plans_reproduce_healthy_runs_bit_for_bit() {
+    use peh_dally::noc_network::parse_faults;
+    let base = small(RouterKind::SpeculativeVc {
+        vcs: 2,
+        buffers_per_vc: 4,
+    })
+    .with_injection(0.2);
+    let healthy = Network::new(base.clone().with_engine(EngineKind::CycleDriven)).run();
+    for (label, faults) in [
+        ("empty plan", vec![]),
+        (
+            "never-firing kill",
+            parse_faults("link:5:0:dead@9999999").unwrap(),
+        ),
+    ] {
+        let cfg = base.clone().with_faults(faults);
+        let (cycle, event) = run_both(cfg);
+        assert_equivalent(&format!("{label} cycle"), &healthy, &cycle);
+        assert_equivalent(&format!("{label} event"), &healthy, &event);
+        assert_eq!(cycle.dropped_flits, 0, "{label}: nothing to drop");
+        assert_eq!(cycle.unreachable_pairs, 0, "{label}: nothing cut off");
+    }
 }
 
 fn kind_strategy() -> impl Strategy<Value = RouterKind> {

@@ -134,6 +134,75 @@ fn flits_are_conserved_on_torus() {
     }
 }
 
+/// Under faults the books gain a fourth column: injected = ejected +
+/// in-flight + buffered + dropped, at *every* cycle boundary — a killed
+/// center link must neither leak flits (credits reclaimed, buffers
+/// drained) nor double-count drops, before, during, and after the kill
+/// fires.
+#[test]
+fn flits_are_conserved_every_cycle_with_a_killed_center_link() {
+    use peh_dally::noc_network::parse_faults;
+    for engine in [EngineKind::CycleDriven, EngineKind::EventDriven] {
+        let cfg = NetworkConfig::mesh(
+            4,
+            RouterKind::SpeculativeVc {
+                vcs: 2,
+                buffers_per_vc: 4,
+            },
+        )
+        .with_injection(0.4)
+        .with_warmup(100)
+        .with_engine(engine)
+        // Node 5 → 6 dies mid-run; a flaky return link and the
+        // opposite direction's lossy twin keep dropping throughout.
+        .with_faults(
+            parse_faults("link:5:0:dead@800, link:6:1:flaky@50/12, link:9:2:loss@0.1").unwrap(),
+        );
+        let mut net = Network::new(cfg);
+        for _ in 0..3_000 {
+            net.step();
+            net.assert_flit_conservation();
+        }
+        assert!(
+            net.flits_ejected() > 0,
+            "{engine}: the run must actually move traffic"
+        );
+        assert!(
+            net.flits_dropped() > 0,
+            "{engine}: the faults must actually drop flits"
+        );
+        let drops = net.drop_stats();
+        assert!(
+            drops.total_packets() > 0 && drops.total_packets() <= drops.total_flits(),
+            "{engine}: packet drops counted once per packet"
+        );
+    }
+}
+
+/// The same per-cycle books hold for the sharded engine's inline step
+/// path across a router kill (dead-router drainage spans shards).
+#[test]
+fn sharded_step_conserves_flits_across_a_router_kill() {
+    use peh_dally::noc_network::parse_faults;
+    let cfg = NetworkConfig::mesh(
+        4,
+        RouterKind::VirtualChannel {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_injection(0.3)
+    .with_warmup(100)
+    .with_engine(EngineKind::ParallelShards { shards: 3 })
+    .with_faults(parse_faults("router:5:dead@700").unwrap());
+    let mut net = Network::new(cfg);
+    for _ in 0..2_000 {
+        net.step();
+        net.assert_flit_conservation();
+    }
+    assert!(net.flits_dropped() > 0, "the kill must drop something");
+}
+
 /// Larger meshes and non-square dimensionality work end to end.
 #[test]
 fn bigger_and_odd_meshes_work() {
