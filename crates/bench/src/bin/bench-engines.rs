@@ -7,7 +7,8 @@
 //! [--baseline PATH] [--shards N|auto] [--scale 1,2,4]
 //! [--barrier spin|tree] [--rebalance EPOCH,THRESHOLD]
 //! [--pattern uniform,transpose,hotspot] [--faults SPEC]
-//! [--mesh 8x8,4x4x4,16x16-torus]` (human-readable table by default).
+//! [--mesh 8x8,4x4x4,16x16-torus] [--metrics-out PATH]
+//! [--trace-out PATH]` (human-readable table by default).
 //!
 //! `--shards N` (alias: `--threads N`; `auto` picks the host's hardware
 //! parallelism clamped to the node count) additionally times the
@@ -43,6 +44,17 @@
 //! latency percentiles `p50`/`p95`/`p99`, so the file shows the tail
 //! shift a degraded fabric causes next to the healthy baseline.
 //!
+//! `--metrics-out PATH` streams epoch-boundary metrics snapshots (one
+//! JSON object per line — the [`noc_network::JsonlTap`] format) from one
+//! extra instrumented run of the first grid point; `--trace-out PATH`
+//! writes that run's per-shard phase spans as a Chrome
+//! trace-event/Perfetto JSON file (open in `ui.perfetto.dev`). The
+//! instrumented run is separate from the timed runs, which stay
+//! telemetry-free; the equivalence check, however, always runs *with*
+//! telemetry and asserts the cycle-keyed counter stream is bit-identical
+//! across all engines, so the exported snapshots are engine-independent
+//! by construction.
+//!
 //! `--mesh` selects the topology. One spec (e.g. `--mesh 16x16`) runs
 //! the normal load sweep on that mesh; *several* specs switch to the
 //! **scale series** (the generator of `BENCH_scale.json`): each
@@ -67,8 +79,8 @@
 
 use noc_network::config::EngineKind;
 use noc_network::{
-    parse_faults, BarrierKind, DropReason, DropStats, FaultSpec, Mesh, Network, NetworkConfig,
-    PhaseNanos, RouterKind, RunResult, TrafficPattern,
+    parse_faults, BarrierKind, DropReason, DropStats, FaultSpec, JsonlTap, Mesh, Network,
+    NetworkConfig, PhaseNanos, RouterKind, RunResult, TrafficPattern,
 };
 use repro_bench::meta;
 use runqueue::{run_tasks, CancelToken, Task};
@@ -90,6 +102,13 @@ struct Point {
     p50: u64,
     p95: u64,
     p99: u64,
+    /// Source→destination flows that delivered tagged packets, and the
+    /// worst flow's percentiles — from the telemetry-carrying
+    /// verification run (worst = max by (p99, p95, p50)).
+    flows: u64,
+    flow_p50: u64,
+    flow_p95: u64,
+    flow_p99: u64,
     /// Fault accounting when this row ran under `--faults`.
     degraded: Option<Degraded>,
 }
@@ -209,12 +228,24 @@ fn phase_profile(pc: &PointCfg, engine: EngineKind) -> PhaseNanos {
         .expect("phase timing was enabled")
 }
 
+/// Telemetry epoch of the verification and export runs: short enough
+/// that a 60k-cycle run streams a couple hundred snapshots, so the
+/// cross-engine identity assertion exercises many boundaries.
+const TELEMETRY_EPOCH: u64 = 256;
+
 /// Verifies bit-identity across the engines and returns the reference
 /// (cycle-driven) run, whose measurements every timed row reports.
+///
+/// Verification runs carry telemetry (the timed runs stay free of it),
+/// so the contract extends to the observability layer: the cycle-keyed
+/// counter snapshot stream, the per-flow latency accumulators, and the
+/// per-node drop attribution must all be bit-identical too.
 fn verify_equivalence(pc: &PointCfg, threads: Option<usize>) -> RunResult {
     let load = pc.load;
-    let a = Network::new(cfg(pc).with_engine(EngineKind::CycleDriven)).run();
-    let b = Network::new(cfg(pc).with_engine(EngineKind::EventDriven)).run();
+    let instrumented =
+        |engine| Network::new(cfg(pc).with_engine(engine).with_telemetry(TELEMETRY_EPOCH)).run();
+    let a = instrumented(EngineKind::CycleDriven);
+    let b = instrumented(EngineKind::EventDriven);
     let same = |x: &RunResult, what: &str| {
         assert_eq!(a.cycles, x.cycles, "{what} diverged at load {load}");
         assert_eq!(
@@ -233,12 +264,25 @@ fn verify_equivalence(pc: &PointCfg, threads: Option<usize>) -> RunResult {
         assert_eq!(a.drops, x.drops, "{what} at load {load}");
         assert_eq!(a.unreachable_pairs, x.unreachable_pairs);
         assert_eq!(a.delivered_ratio.to_bits(), x.delivered_ratio.to_bits());
+        assert_eq!(
+            a.metrics.as_ref().map(|m| m.identity()),
+            x.metrics.as_ref().map(|m| m.identity()),
+            "{what} telemetry stream diverged at load {load}"
+        );
+        assert_eq!(
+            a.flow_stats, x.flow_stats,
+            "{what} flow latencies diverged at load {load}"
+        );
+        assert_eq!(
+            a.node_drops, x.node_drops,
+            "{what} drop attribution diverged at load {load}"
+        );
     };
     same(&b, "event engine");
     if let Some(shards) = threads {
         // The sharded run keeps the rebalance knob exactly as it will be
         // timed: the bit-identity contract covers live migrations too.
-        let c = Network::new(cfg(pc).with_engine(EngineKind::parallel(shards))).run();
+        let c = instrumented(EngineKind::parallel(shards));
         same(&c, "sharded engine");
     }
     a
@@ -341,6 +385,12 @@ struct Options {
     /// `(spec, topology)` pairs from `--mesh`. One entry runs the load
     /// sweep on that topology; several switch to the scale series.
     meshes: Vec<(String, Mesh)>,
+    /// `--metrics-out`: stream epoch snapshots of one instrumented run
+    /// of the first grid point to this JSONL file.
+    metrics_out: Option<String>,
+    /// `--trace-out`: write that run's phase spans as Chrome
+    /// trace-event JSON to this file.
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -358,6 +408,8 @@ fn parse_args() -> Options {
         faults: Vec::new(),
         faults_spec: String::new(),
         meshes: vec![("8x8".to_string(), Mesh::new(8, 2))],
+        metrics_out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -428,6 +480,12 @@ fn parse_args() -> Options {
                     .split(',')
                     .map(|s| s.trim().parse().expect("bad shard count"))
                     .collect();
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().expect("--trace-out needs a path"));
             }
             "--barrier" => {
                 opts.barrier = match args.next().expect("--barrier needs spin|tree").as_str() {
@@ -555,6 +613,7 @@ fn measure_point(
         })
         .flatten();
     let pct = reference.histogram.percentiles();
+    let worst = reference.flow_stats.as_ref().and_then(|f| f.worst());
     Point {
         load,
         pattern: pc.pattern.clone(),
@@ -568,6 +627,10 @@ fn measure_point(
         p50: pct.p50.unwrap_or(0),
         p95: pct.p95.unwrap_or(0),
         p99: pct.p99.unwrap_or(0),
+        flows: reference.flow_stats.as_ref().map_or(0, |f| f.flows()),
+        flow_p50: worst.map_or(0, |(_, _, p)| p.p50),
+        flow_p95: worst.map_or(0, |(_, _, p)| p.p95),
+        flow_p99: worst.map_or(0, |(_, _, p)| p.p99),
         degraded: faulted.then_some(Degraded {
             delivered_ratio: reference.delivered_ratio,
             dropped_flits: reference.dropped_flits,
@@ -575,6 +638,58 @@ fn measure_point(
             unreachable_pairs: reference.unreachable_pairs,
             drops: reference.drops,
         }),
+    }
+}
+
+/// One instrumented export run for `--metrics-out` / `--trace-out`: the
+/// first grid point (first pattern, first load, the fault plan applied
+/// when given), run with telemetry and phase timing on the same engine
+/// the sweep verifies (sharded when `--shards` is set, event-driven
+/// otherwise). Separate from the timed runs, which stay telemetry-free.
+fn export_telemetry(opts: &Options, mesh: Mesh) {
+    let pc = PointCfg {
+        mesh,
+        load: opts.loads[0],
+        barrier: opts.barrier,
+        pattern: resolve_pattern(&opts.patterns[0], mesh),
+        rebalance: opts.rebalance,
+        faults: opts.faults.clone(),
+    };
+    let engine = opts
+        .threads
+        .map_or(EngineKind::EventDriven, EngineKind::parallel);
+    let mut net = Network::new(
+        cfg(&pc)
+            .with_engine(engine)
+            .with_telemetry(TELEMETRY_EPOCH)
+            .with_phase_timing(true),
+    );
+    if let Some(path) = &opts.metrics_out {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {path}: {e}"));
+        net.set_metrics_tap(Box::new(JsonlTap::new(std::io::BufWriter::new(file))));
+    }
+    let r = net.run();
+    if let Some(path) = &opts.metrics_out {
+        let worst = r.flow_stats.as_ref().and_then(|f| f.worst());
+        eprintln!(
+            "bench-engines: {} epoch snapshot(s) -> {path} (worst flow p99: {} cycles)",
+            r.metrics.as_ref().map_or(0, |m| m.len()),
+            worst.map_or(0, |(_, _, p)| p.p99),
+        );
+    }
+    if let Some(path) = &opts.trace_out {
+        let trace = r
+            .trace
+            .as_ref()
+            .expect("phase timing and telemetry were on");
+        let file = std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {path}: {e}"));
+        trace
+            .write_chrome_trace(&mut std::io::BufWriter::new(file))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(
+            "bench-engines: {} phase span(s) -> {path} (open in ui.perfetto.dev)",
+            trace.spans().len()
+        );
     }
 }
 
@@ -748,6 +863,9 @@ fn main() {
     }
     let (mesh_label, mesh) = opts.meshes[0].clone();
     let baseline = baseline_event_ms(&opts.baseline);
+    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
+        export_telemetry(&opts, mesh);
+    }
     // The (pattern, load) grid runs through the shared run queue, like
     // every other batch consumer. Each point's width is the *whole*
     // host: timing needs the machine to itself (concurrent timed runs
@@ -942,6 +1060,7 @@ fn main() {
                  \"event_driven_ms\": {:.2}, \"speedup\": {:.2}, \
                  \"router_ticks_skipped_pct\": {:.1}, \
                  \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+                 \"flows\": {}, \"flow_p50\": {}, \"flow_p95\": {}, \"flow_p99\": {}, \
                  \"phase_pct\": {{\"delivery\": {:.1}, \"sources\": {:.1}, \
                  \"router_tick\": {:.1}, \"stats\": {:.1}}}\
                  {degraded_fields}{baseline_fields}{parallel_fields}}}{comma}",
@@ -954,6 +1073,10 @@ fn main() {
                 p.p50,
                 p.p95,
                 p.p99,
+                p.flows,
+                p.flow_p50,
+                p.flow_p95,
+                p.flow_p99,
                 ph.pct(ph.delivery),
                 ph.pct(ph.sources),
                 ph.pct(ph.router),
@@ -981,6 +1104,10 @@ fn main() {
                 p.ticks_skipped_pct,
                 vs,
                 p.phases
+            );
+            println!(
+                "       flows: {} measured, worst p50/p95/p99 {}/{}/{} cycles",
+                p.flows, p.flow_p50, p.flow_p95, p.flow_p99
             );
             if let Some(d) = &p.degraded {
                 println!(

@@ -22,6 +22,16 @@
 
 use repro_bench::{jobfile, meta};
 use runqueue::{run_batch, CancelToken, JsonlSink, PointRecord};
+use telemetry::ProgressMeter;
+
+/// Compact ETA rendering: seconds under two minutes, minutes after.
+fn fmt_eta(secs: u64) -> String {
+    if secs < 120 {
+        format!("{secs}s")
+    } else {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    }
+}
 
 struct Options {
     jobfile: String,
@@ -121,6 +131,10 @@ fn run() -> Result<(), String> {
         );
     }
     let cancel = CancelToken::new();
+    // The live progress line derives its rate and ETA from the same
+    // metrics-tap machinery the engines stream through: one snapshot per
+    // completed point, rated over a trailing window.
+    let mut meter = ProgressMeter::new();
     let outcome = run_batch(
         &batch.jobs,
         cores,
@@ -129,8 +143,15 @@ fn run() -> Result<(), String> {
         &skip,
         &mut sink,
         |done, remaining, rec: &PointRecord| {
+            let p = meter.tick();
+            let pace = match p.eta_secs((remaining - done) as u64) {
+                Some(eta) if p.per_sec > 0.0 => {
+                    format!(" [{:.2} pt/s, eta {}]", p.per_sec, fmt_eta(eta))
+                }
+                _ => String::new(),
+            };
             eprintln!(
-                "[{done:>4}/{remaining}] {} seed {} load {:.3} -> {}{}",
+                "[{done:>4}/{remaining}] {} seed {} load {:.3} -> {}{}{pace}",
                 rec.job,
                 rec.seed,
                 rec.load,

@@ -260,6 +260,9 @@ pub enum ConfigError {
     /// A zero-cycle rebalance epoch: the work meter needs at least one
     /// executed cycle per decision window.
     RebalanceEpochZero,
+    /// A zero-cycle telemetry epoch: snapshots are taken at multiples
+    /// of the epoch, so it must cover at least one cycle.
+    TelemetryEpochZero,
     /// A rebalance threshold below 1.0 (or NaN): the trigger is a
     /// `work_max / work_mean` ratio, whose floor is 1.0 at perfect
     /// balance, so any lower threshold would fire on every epoch.
@@ -362,6 +365,11 @@ impl fmt::Display for ConfigError {
                  (1.0 = repartition on any imbalance; f64::INFINITY = meter but \
                  never repartition); got a value below 1.0 or NaN"
             ),
+            ConfigError::TelemetryEpochZero => write!(
+                f,
+                "telemetry epoch is 0; snapshots are taken every `epoch` simulated \
+                 cycles — use with_telemetry(epoch >= 1) or drop the telemetry knob"
+            ),
             ConfigError::FaultNodeOutOfRange { index, node, nodes } => write!(
                 f,
                 "faults[{index}] targets node {node}, but the mesh has nodes \
@@ -429,6 +437,22 @@ pub struct RebalanceConfig {
     /// exceeds this ratio (≥ 1.0). `f64::INFINITY` meters the imbalance
     /// without ever repartitioning — the "before" measurement.
     pub threshold: f64,
+}
+
+/// Epoch-streaming telemetry for every engine (see `sim.rs` for the
+/// wiring). Every `epoch` simulated cycles the engine snapshots its
+/// metrics registry into the run's taps and records per-flow latency
+/// samples as they complete. All counter inputs are pure functions of
+/// simulation state and snapshots are assembled in fixed shard order,
+/// so the counter stream is bit-identical across engine kinds, shard
+/// counts, thread schedules, and barrier kinds — and the knob itself
+/// never changes simulation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Snapshot period in simulated cycles (≥ 1). Simulated — not
+    /// executed — cycles, so the boundary set is identical whether an
+    /// engine fast-forwards through quiescence or steps through it.
+    pub epoch: u64,
 }
 
 /// When and how a scheduled fault manifests. Every kind is a pure
@@ -682,6 +706,12 @@ pub struct NetworkConfig {
     /// either way). `None` (the default) keeps the static row-seam
     /// partition.
     pub rebalance: Option<RebalanceConfig>,
+    /// Epoch-streaming telemetry (see [`TelemetryConfig`]): metric
+    /// snapshots, per-flow latency percentiles, and — together with
+    /// `phase_timing` — span traces. `None` (the default) allocates no
+    /// registry and costs nothing; `Some` never changes simulation
+    /// results, it only observes them.
+    pub telemetry: Option<TelemetryConfig>,
     /// Scheduled link/router faults (see [`FaultSpec`]). Empty (the
     /// default) reproduces a healthy network bit for bit; a non-empty
     /// plan is still a pure function of (config, seed, cycle), so all
@@ -724,6 +754,7 @@ impl NetworkConfig {
             phase_timing: false,
             cancel: None,
             rebalance: None,
+            telemetry: None,
             faults: Vec::new(),
         }
     }
@@ -830,6 +861,21 @@ impl NetworkConfig {
         self
     }
 
+    /// Enables epoch-streaming telemetry: every `epoch` simulated
+    /// cycles the run snapshots its metrics registry, and tagged
+    /// packets feed per-flow latency percentiles
+    /// ([`crate::sim::RunResult::flow_stats`]). Results do not depend
+    /// on the knob (see [`TelemetryConfig`]); with `phase_timing` also
+    /// on, the run additionally collects a span trace
+    /// ([`crate::sim::RunResult::trace`]). The bound (`epoch >= 1`) is
+    /// checked by [`NetworkConfig::validate`] when the network is
+    /// built, so builder order never matters.
+    #[must_use]
+    pub fn with_telemetry(mut self, epoch: u64) -> Self {
+        self.telemetry = Some(TelemetryConfig { epoch });
+        self
+    }
+
     /// Schedules link/router faults (replacing any earlier plan). Bounds
     /// and duty cycles are checked by [`NetworkConfig::validate`] when
     /// the network is built, so builder order never matters. An empty
@@ -933,6 +979,11 @@ impl NetworkConfig {
             // would let it through and poison every later comparison.
             if rb.threshold.is_nan() || rb.threshold < 1.0 {
                 return Err(ConfigError::RebalanceThresholdBelowOne);
+            }
+        }
+        if let Some(t) = self.telemetry {
+            if t.epoch == 0 {
+                return Err(ConfigError::TelemetryEpochZero);
             }
         }
         self.validate_faults()

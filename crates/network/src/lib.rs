@@ -39,13 +39,14 @@ pub mod sim;
 pub mod source;
 pub mod stats;
 pub mod sweep;
+pub(crate) mod tap;
 pub mod topology;
 pub mod traffic;
 
 pub use channel_load::ChannelLoad;
 pub use config::{
     parse_faults, BarrierKind, ConfigError, FaultKind, FaultSpec, FaultTarget, NetworkConfig,
-    RebalanceConfig, RouterKind, RoutingAlgo,
+    RebalanceConfig, RouterKind, RoutingAlgo, TelemetryConfig,
 };
 pub use fault::{DropReason, DropStats, FaultModel};
 pub use histogram::{Histogram, Percentiles};
@@ -55,6 +56,11 @@ pub use routing::RouteTable;
 pub use runqueue::CancelToken;
 pub use sim::{Network, RunResult, CANCEL_BATCH};
 pub use stats::{LatencyStats, PhaseNanos};
+// The observability vocabulary the engines speak, re-exported so
+// downstream crates need no direct `telemetry` dependency.
 pub use sweep::{sweep, sweep_parallel, LoadPoint, SweepOptions};
+pub use telemetry::{
+    FlowPercentiles, FlowStats, JsonlTap, MemoryTap, MetricsLog, MetricsTap, TraceLog,
+};
 pub use topology::{Mesh, LOCAL_PORT};
 pub use traffic::TrafficPattern;

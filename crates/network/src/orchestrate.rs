@@ -13,7 +13,7 @@ use crate::config::{FaultKind, FaultTarget, NetworkConfig, RouterKind, RoutingAl
 use crate::sim::Network;
 use crate::sweep::LoadPoint;
 use crate::traffic::TrafficPattern;
-use runqueue::{CancelToken, JobConfig, PointKey, PointRecord, PointRunner};
+use runqueue::{CancelToken, JobConfig, NodeDrops, PointKey, PointRecord, PointRunner};
 
 /// FNV-1a, folded a word at a time.
 struct Fnv(u64);
@@ -41,7 +41,8 @@ impl JobConfig for NetworkConfig {
     /// reruns across result-neutral knobs: the engine (all engines are
     /// bit-identical by contract), the shard-rebalancing knob (partition
     /// choice never affects results, by the same contract), phase timing
-    /// (instrumentation only), and the cancellation token.
+    /// and the telemetry epoch (instrumentation only — snapshots observe
+    /// the run without perturbing it), and the cancellation token.
     fn config_hash(&self) -> u64 {
         let mut h = Fnv::new();
         h.u64(self.mesh.radix() as u64);
@@ -168,6 +169,10 @@ impl PointRunner<NetworkConfig> for NetworkRunner {
             .clone()
             .with_injection(load)
             .with_seed(seed)
+            // Telemetry observes without perturbing (it is excluded from
+            // the config hash for the same reason), so every batch point
+            // carries flow percentiles and per-node drop attribution.
+            .with_telemetry(1024)
             .with_cancel(cancel.clone());
         let r = Network::new(cfg).run();
         if r.cancelled {
@@ -175,6 +180,22 @@ impl PointRunner<NetworkConfig> for NetworkRunner {
         }
         let cycles = r.cycles;
         let pct = r.histogram.percentiles();
+        let unreachable_pairs = r.unreachable_pairs;
+        let flows = r.flow_stats.as_ref().map_or(0, |f| f.flows());
+        let worst = r.flow_stats.as_ref().and_then(|f| f.worst());
+        // Only nodes that dropped something land in the record; node
+        // order (ascending) keys the entries stably across engines.
+        let node_drops = r
+            .node_drops
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.total_flits() > 0 || d.total_packets() > 0)
+            .map(|(node, d)| NodeDrops {
+                node: node as u32,
+                flits: d.flits.to_vec(),
+                packets: d.packets.to_vec(),
+            })
+            .collect();
         // LoadPoint owns the saturation semantics (undelivered sample or
         // collapsed throughput); reuse it so `runq` and `sweep` can never
         // disagree on what "saturated" means.
@@ -191,6 +212,12 @@ impl PointRunner<NetworkConfig> for NetworkRunner {
             p50: pct.p50,
             p95: pct.p95,
             p99: pct.p99,
+            unreachable_pairs,
+            node_drops,
+            flows,
+            flow_p50: worst.map(|(_, _, p)| p.p50),
+            flow_p95: worst.map(|(_, _, p)| p.p95),
+            flow_p99: worst.map(|(_, _, p)| p.p99),
         })
     }
 }
@@ -242,6 +269,11 @@ mod tests {
             "load is in the key"
         );
         assert_eq!(h, base().with_phase_timing(true).config_hash());
+        assert_eq!(
+            h,
+            base().with_telemetry(4096).config_hash(),
+            "snapshots observe the run without perturbing it"
+        );
         assert_eq!(
             h,
             base().with_rebalance(64, 1.2).config_hash(),
@@ -319,6 +351,11 @@ mod tests {
         let point = LoadPoint::from(direct);
         assert_eq!(rec.accepted.to_bits(), point.accepted.to_bits());
         assert_eq!(rec.saturated, point.saturated);
+        // The runner switches telemetry on; the direct run above ran
+        // with it off — bit-equal results are the neutrality proof.
+        assert!(rec.flows > 0, "tagged flows were attributed");
+        assert!(rec.flow_p99.expect("flows measured") > 0);
+        assert!(rec.node_drops.is_empty(), "healthy run drops nothing");
     }
 
     #[test]

@@ -499,8 +499,8 @@ pub(crate) struct ShardOut {
     /// Packets created this cycle, in node order.
     pub created: Vec<PacketId>,
     /// Tail-flit ejections this cycle, in node order: `(packet,
-    /// creation cycle)`.
-    pub tails: Vec<(PacketId, u64)>,
+    /// creation cycle, destination node)`.
+    pub tails: Vec<(PacketId, u64, u32)>,
     /// Channel-load events this cycle: `(node, out_port)`.
     pub loads: Vec<(u32, u8)>,
     /// Flits ejected this cycle.
@@ -508,6 +508,21 @@ pub(crate) struct ShardOut {
     /// Packets whose head the fault layer dropped this cycle, in node
     /// order — resolved against the tagged sample at the serial commit.
     pub drops: Vec<PacketId>,
+    /// Flits handed to the injection stage this cycle (pre-clip, so the
+    /// telemetry counter matches the sources' own accounting).
+    pub injected: u64,
+    /// Router ticks executed this cycle (telemetry gauge delta).
+    pub ticks: u64,
+    /// Cross-shard flits staged into mailboxes this cycle.
+    pub mail_flits: u64,
+    /// Cross-shard credits staged into mailboxes this cycle.
+    pub mail_credits: u64,
+    /// Per-reason drop deltas this cycle, absorbed by the telemetry
+    /// registry at the serial commit (in fixed shard order).
+    pub drop_stats: DropStats,
+    /// Wall-clock nanoseconds this cycle spent in the fused phases
+    /// `[delivery, sources, router]` — stamped only when tracing is on.
+    pub span_nanos: [u64; 3],
 }
 
 /// Per-shard state that persists across cycles (the shard's half of the
@@ -844,6 +859,10 @@ pub(crate) struct ShardEnv<'a> {
     /// Rebalance epoch length in executed cycles; `0` disables metering
     /// entirely (the per-event counter writes are skipped).
     pub rebalance_epoch: u64,
+    /// Whether phase spans are being collected (telemetry + phase
+    /// timing): shards stamp wall-clock phase durations into their
+    /// `ShardOut` each cycle.
+    pub trace: bool,
 }
 
 /// One shard's disjoint mutable view of the network: slices of the flat
@@ -978,6 +997,7 @@ impl ShardCtx<'_> {
             self.sources[i].step_into(now, &mesh, env.pattern, &mut step);
             out.created.extend_from_slice(&step.created);
             if let Some(flit) = step.injected {
+                out.injected += 1;
                 let reason = env.fault.and_then(|fm| {
                     clip(&mut self.clip_in[i * env.vcs + flit.vc], &flit, || {
                         fm.injection_drop(self.lo + i, flit.dest, now, flit.packet)
@@ -988,6 +1008,7 @@ impl ShardCtx<'_> {
                     // bounce the credit, account the drop.
                     self.sources[i].credit(flit.vc);
                     self.drops[i].count(reason, flit.kind.is_head());
+                    out.drop_stats.count(reason, flit.kind.is_head());
                     if flit.kind.is_head() {
                         out.drops.push(flit.packet);
                     }
@@ -1033,6 +1054,7 @@ impl ShardCtx<'_> {
             };
             self.routers[i].tick_into(now, &oracle, &mut buf);
             self.aux.router_ticks += 1;
+            out.ticks += 1;
             if metering {
                 self.work_epoch[i] += W_TICK + buf.departures.len() as u64;
             }
@@ -1062,6 +1084,7 @@ impl ShardCtx<'_> {
                             },
                         );
                     } else {
+                        out.mail_flits += 1;
                         self.aux.out_flits[owner].push(FlitMsg {
                             node: next as u32,
                             port: in_port as u8,
@@ -1088,6 +1111,7 @@ impl ShardCtx<'_> {
                         },
                     );
                 } else {
+                    out.mail_credits += 1;
                     self.aux.out_credits[owner].push(CreditMsg {
                         node: upstream.expect("cross-shard credit has an upstream") as u32,
                         port: mesh.opposite(c.in_port) as u8,
@@ -1184,11 +1208,31 @@ impl ShardCtx<'_> {
     }
 
     /// Executes one full cycle (the fused compute phase) and votes.
+    /// With tracing on, the wall-clock duration of each fused phase is
+    /// accumulated into this shard's `ShardOut` for the leader's span
+    /// log.
     pub(crate) fn run_cycle(&mut self, env: &ShardEnv<'_>, lockstep: &Lockstep, now: u64) {
-        self.begin_cycle(env, now);
-        self.phase_deliver(env, now);
-        self.phase_sources(env, now);
-        self.phase_tick(env, now);
+        if env.trace {
+            let t0 = std::time::Instant::now();
+            self.begin_cycle(env, now);
+            self.phase_deliver(env, now);
+            let t1 = std::time::Instant::now();
+            self.phase_sources(env, now);
+            let t2 = std::time::Instant::now();
+            self.phase_tick(env, now);
+            let t3 = std::time::Instant::now();
+            let deltas = [t1 - t0, t2 - t1, t3 - t2].map(|d| d.as_nanos() as u64);
+            let mut out = lock_mailbox(&env.outs[self.idx]);
+            for (slot, d) in out.span_nanos.iter_mut().zip(deltas) {
+                *slot += d;
+            }
+            drop(out);
+        } else {
+            self.begin_cycle(env, now);
+            self.phase_deliver(env, now);
+            self.phase_sources(env, now);
+            self.phase_tick(env, now);
+        }
         self.finish_cycle(env, lockstep);
         self.vote(lockstep, now);
     }
@@ -1241,6 +1285,7 @@ impl ShardCtx<'_> {
             self.routers[i].accept_credit(out_port, flit.vc, now);
         }
         self.drops[i].count(reason, flit.kind.is_head());
+        out.drop_stats.count(reason, flit.kind.is_head());
         if flit.kind.is_head() {
             out.drops.push(flit.packet);
         }
@@ -1271,7 +1316,7 @@ impl ShardCtx<'_> {
                 received, env.packet_len,
                 "tail ejected before the whole packet arrived"
             );
-            out.tails.push((flit.packet, flit.created));
+            out.tails.push((flit.packet, flit.created, node as u32));
         }
     }
 }

@@ -39,12 +39,14 @@ use crate::shard::{
 };
 use crate::source::{packet_seq, packet_source, Source, SourceStep};
 use crate::stats::{EngineWork, LatencyStats, PhaseNanos};
+use crate::tap::{BoundaryCounts, EngineView, TelemetryState};
 use crate::topology::Mesh;
 use router_core::{DelayPipe, EventWheel, Flit, PacketId, Router, RoutingOracle, TickOutput};
 use runqueue::CancelToken;
 use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 use std::time::Instant;
+use telemetry::{FlowStats, MetricsLog, MetricsTap, TraceLog};
 
 /// How often a run polls its cancellation token, in cycles. Cooperative
 /// cancellation is checked at cycle-*batch* granularity: one relaxed
@@ -131,6 +133,23 @@ pub struct RunResult {
     /// (1.0 when nothing was injected — an empty run delivered
     /// everything it was offered).
     pub delivered_ratio: f64,
+    /// Per-node drop counters by reason, indexed by node id (always
+    /// populated; all-zero on a healthy network).
+    pub node_drops: Vec<DropStats>,
+    /// Per-(source → dest) latency accumulators of the tagged sample,
+    /// present when [`NetworkConfig::with_telemetry`] was set.
+    /// Bit-identical across engine kinds, shard counts, and schedules.
+    pub flow_stats: Option<FlowStats>,
+    /// The retained epoch-snapshot stream, present when telemetry was
+    /// on. Its counter section ([`MetricsLog::identity`]) is
+    /// bit-identical across engine kinds, shard counts, thread
+    /// schedules, and barrier kinds; gauges are engine diagnostics.
+    pub metrics: Option<MetricsLog>,
+    /// Per-epoch phase spans, present when both telemetry and
+    /// [`NetworkConfig::with_phase_timing`] were on (wall-clock
+    /// measurements — no identity guarantee). Export with
+    /// [`TraceLog::write_chrome_trace`].
+    pub trace: Option<TraceLog>,
 }
 
 /// A wake-up notice scheduled on the event wheel: "pipe `(node, port)`
@@ -229,6 +248,12 @@ struct Measurement {
     flits_ejected: u64,
     measured_flits: u64,
     measure_start: Option<u64>,
+    /// Telemetry state, allocated only when
+    /// [`NetworkConfig::with_telemetry`] is set. Lives inside
+    /// `Measurement` because every mutation happens at serially-ordered
+    /// points: the serial engines' own steps, or the sharded engine's
+    /// leader-only commit.
+    telemetry: Option<Box<TelemetryState>>,
 }
 
 impl Measurement {
@@ -253,15 +278,19 @@ impl Measurement {
     }
 
     /// Records a tail ejection at cycle `now` of a packet created at
-    /// `created`, if it belongs to the tagged sample.
+    /// `created` and delivered to `dest`, if it belongs to the tagged
+    /// sample.
     #[inline]
-    fn record_tail(&mut self, packet: PacketId, created: u64, now: u64) {
+    fn record_tail(&mut self, packet: PacketId, created: u64, now: u64, dest: usize) {
         let (lo, hi) = self.tagged_ranges[packet_source(packet)];
         let seq = packet_seq(packet);
         if (lo..hi).contains(&seq) {
             self.tagged_done += 1;
             self.latency.record(now - created);
             self.histogram.record(now - created);
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.flows.record(packet_source(packet), dest, now - created);
+            }
         }
     }
 
@@ -347,6 +376,12 @@ impl Network {
             }
             EngineKind::CycleDriven | EngineKind::EventDriven => None,
         };
+        // One trace lane per effective shard (the partition may clamp
+        // below the requested count); the serial engines use lane 0.
+        let lanes = shards.as_ref().map_or(1, |s| s.ranges.len());
+        let telemetry = cfg
+            .telemetry
+            .map(|t| Box::new(TelemetryState::new(t.epoch, nodes, lanes, cfg.phase_timing)));
         Ok(Network {
             cfg,
             routers,
@@ -373,6 +408,7 @@ impl Network {
                 flits_ejected: 0,
                 measured_flits: 0,
                 measure_start: None,
+                telemetry,
             },
             eject_slots: vec![(PacketId::new(0), 0); nodes * vcs],
             phases: PhaseNanos::default(),
@@ -473,6 +509,7 @@ impl Network {
         if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
             self.phases.accumulate(t0, t1, t2, t3, Instant::now());
         }
+        self.telemetry_boundary();
     }
 
     /// The event-driven engine: drain only the pipes with a delivery due
@@ -526,6 +563,46 @@ impl Network {
         if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
             self.phases.accumulate(t0, t1, t2, t3, Instant::now());
         }
+        self.telemetry_boundary();
+    }
+
+    /// Emits the epoch snapshot if this engine has just *arrived* at the
+    /// telemetry boundary (every path that advances `self.now` — a step
+    /// or a clamped fast-forward — calls this). No-op without telemetry
+    /// or away from the boundary.
+    fn telemetry_boundary(&mut self) {
+        let Some(t) = self.meas.telemetry.as_deref() else {
+            return;
+        };
+        if self.now != t.next {
+            return;
+        }
+        let cycle = self.now;
+        let unreachable = self
+            .fault
+            .as_ref()
+            .map_or(0, |f| f.unreachable_pairs(cycle));
+        let view = if matches!(self.cfg.engine, EngineKind::ParallelShards { .. }) {
+            EngineView::Sharded
+        } else {
+            EngineView::Serial {
+                router_ticks: self.router_ticks,
+                wheel_pending: self.wheel.pending() as u64,
+            }
+        };
+        let meas = &mut self.meas;
+        let counts = BoundaryCounts {
+            flits_ejected: meas.flits_ejected,
+            tagged_created: meas.tagged_created,
+            tagged_done: meas.tagged_done,
+            unreachable_pairs: unreachable,
+        };
+        meas.telemetry.as_deref_mut().expect("checked above").emit(
+            cycle,
+            counts,
+            &self.phases,
+            view,
+        );
     }
 
     /// Delivers every flit due by `now` on `flit_in[node][port]`, waking
@@ -574,6 +651,9 @@ impl Network {
             }
             if let Some(flit) = step.injected {
                 let vcs = self.cfg.router.vcs();
+                if let Some(t) = self.meas.telemetry.as_deref_mut() {
+                    t.count_injected();
+                }
                 let reason = self.fault.as_ref().and_then(|fm| {
                     clip(&mut self.clip_in[node * vcs + flit.vc], &flit, || {
                         fm.injection_drop(node, flit.dest, now, flit.packet)
@@ -584,6 +664,9 @@ impl Network {
                     // credit the source consumed and account the drop.
                     self.sources[node].credit(flit.vc);
                     self.drops[node].count(reason, flit.kind.is_head());
+                    if let Some(t) = self.meas.telemetry.as_deref_mut() {
+                        t.count_drop(reason, flit.kind.is_head());
+                    }
                     if flit.kind.is_head() {
                         self.meas.record_dropped(flit.packet);
                     }
@@ -639,6 +722,9 @@ impl Network {
             self.routers[node].accept_credit(out_port, flit.vc, now);
         }
         self.drops[node].count(reason, flit.kind.is_head());
+        if let Some(t) = self.meas.telemetry.as_deref_mut() {
+            t.count_drop(reason, flit.kind.is_head());
+        }
         if flit.kind.is_head() {
             self.meas.record_dropped(flit.packet);
         }
@@ -726,7 +812,8 @@ impl Network {
                 received, self.cfg.packet_len,
                 "tail ejected before the whole packet arrived"
             );
-            self.meas.record_tail(flit.packet, flit.created, self.now);
+            self.meas
+                .record_tail(flit.packet, flit.created, self.now, node);
         }
     }
 
@@ -759,6 +846,10 @@ impl Network {
                 mail: &set.mail,
                 outs: &set.outs,
                 rebalance_epoch: rb_epoch,
+                // The inline path runs no `run_cycle`, so per-shard span
+                // stamping never happens here; spans come from the
+                // threaded run loop only.
+                trace: false,
             };
             // A shard's disjoint view, re-borrowed per phase call (the
             // macro keeps the borrows field-granular).
@@ -815,6 +906,7 @@ impl Network {
             self.phases.accumulate(t[0], t[1], t[2], t[3], t[4]);
         }
         self.now = now + 1;
+        self.telemetry_boundary();
         self.shards = Some(set);
     }
 
@@ -896,6 +988,10 @@ impl Network {
         let max_cycles = self.cfg.max_cycles;
         let cancel = self.cfg.cancel.clone();
         let rebalance = self.cfg.rebalance;
+        // Span tracing: shards stamp phase durations only when both the
+        // clock reads (phase timing) and somewhere to put them
+        // (telemetry) exist.
+        let tracing = timing && self.meas.telemetry.is_some();
         // Epoch boundaries a leader decision has already consumed — a
         // post-fast-forward gate sees the same executed count again and
         // must not re-decide it.
@@ -918,6 +1014,7 @@ impl Network {
                 mail: &set.mail,
                 outs: &set.outs,
                 rebalance_epoch: rebalance.map_or(0, |rb| rb.epoch),
+                trace: tracing,
             };
             let ctxs = split_shards(
                 &set.ranges,
@@ -971,6 +1068,9 @@ impl Network {
                     if executed {
                         committer.commit(pending_commit, env.outs);
                         quiet_until = lockstep.take_vote();
+                        // The commit completed cycle `pending_commit`,
+                        // so the stream boundary is the cycle after it.
+                        committer.telemetry_boundary(pending_commit + 1, fault, phases);
                     }
                     let finished = now >= max_cycles || committer.sample_complete();
                     let cancel_due = !finished
@@ -1014,6 +1114,12 @@ impl Network {
                         // Never jump a cancellation poll point.
                         target = target.min((now / CANCEL_BATCH + 1) * CANCEL_BATCH);
                     }
+                    if let Some(t) = committer.meas.telemetry.as_deref() {
+                        // Epoch boundaries are wake-up points: land on
+                        // them exactly so every engine snapshots at the
+                        // same cycles.
+                        target = target.min(t.next);
+                    }
                     if target > now {
                         // Fast-forward round: cycles [now, target) are
                         // provably no-ops for every shard. The only
@@ -1027,6 +1133,10 @@ impl Network {
                         lockstep.gate.release();
                         ctx0.fast_forward(now, target);
                         now = target;
+                        // A clamped jump can land exactly on the epoch
+                        // boundary; the skipped cycles changed no
+                        // counter, mirroring the serial fast-forward.
+                        committer.telemetry_boundary(now, fault, phases);
                         continue;
                     }
                     lockstep.skip_to.store(now, Ordering::Release);
@@ -1041,6 +1151,19 @@ impl Network {
                     ctx0.phase_sources(&env, now);
                     let t4 = timing.then(Instant::now);
                     ctx0.phase_tick(&env, now);
+                    if tracing {
+                        // Shard 0's phase spans, stamped from the same
+                        // instants the phase attribution uses (worker
+                        // shards stamp inside `run_cycle`).
+                        if let (Some(t2), Some(t3), Some(t4)) = (t2, t3, t4) {
+                            let deltas = [t3 - t2, t4 - t3, Instant::now() - t4]
+                                .map(|d| d.as_nanos() as u64);
+                            let mut o = env.outs[0].lock().expect("shard out poisoned");
+                            for (slot, d) in o.span_nanos.iter_mut().zip(deltas) {
+                                *slot += d;
+                            }
+                        }
+                    }
                     ctx0.finish_cycle(&env, &lockstep);
                     ctx0.vote(&lockstep, now);
                     if let (Some(t0), Some(t1), Some(t2), Some(t3), Some(t4)) = (t0, t1, t2, t3, t4)
@@ -1127,6 +1250,11 @@ impl Network {
             // Never jump a cancellation poll point.
             target = target.min((now / CANCEL_BATCH + 1) * CANCEL_BATCH);
         }
+        if let Some(t) = self.meas.telemetry.as_deref() {
+            // Epoch boundaries are wake-up points: land on them exactly
+            // so every engine snapshots at the same cycles.
+            target = target.min(t.next);
+        }
         if target <= now {
             return;
         }
@@ -1138,6 +1266,10 @@ impl Network {
         self.meas.channel_load.tick_n(skipped);
         self.phases.fast_forwarded += skipped;
         self.now = target;
+        // A clamped jump can land exactly on the epoch boundary; the
+        // skipped cycles changed no counter, so snapshotting here is
+        // bit-identical to having stepped through them.
+        self.telemetry_boundary();
     }
 
     /// Whether the tagged sample has been fully created and received.
@@ -1284,6 +1416,14 @@ impl Network {
         } else {
             self.meas.flits_ejected as f64 / injected as f64
         };
+        let node_drops = std::mem::take(&mut self.drops);
+        let (metrics, flow_stats, trace) = match self.meas.telemetry.take() {
+            Some(t) => {
+                let (metrics, flows, trace) = t.into_parts();
+                (Some(metrics), Some(flows), trace)
+            }
+            None => (None, None, None),
+        };
         RunResult {
             offered: self.cfg.injection_fraction,
             avg_latency: self.meas.latency.mean(),
@@ -1309,7 +1449,28 @@ impl Network {
                 .as_ref()
                 .map_or(0, |f| f.unreachable_pairs(self.now)),
             delivered_ratio,
+            node_drops,
+            flow_stats,
+            metrics,
+            trace,
         }
+    }
+
+    /// Attaches a streaming metrics tap: every epoch snapshot is
+    /// forwarded to `tap` as it is taken, from the thread that owns the
+    /// serial section (the retained [`RunResult::metrics`] log is
+    /// collected either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no telemetry — set
+    /// [`NetworkConfig::with_telemetry`] first.
+    pub fn set_metrics_tap(&mut self, tap: Box<dyn MetricsTap + Send>) {
+        self.meas
+            .telemetry
+            .as_deref_mut()
+            .expect("set_metrics_tap requires with_telemetry(epoch)")
+            .set_stream(tap);
     }
 }
 
@@ -1431,7 +1592,7 @@ impl Committer<'_> {
             }
         }
         // Then the ejection-side accumulators, in shard (= node) order.
-        for out in outs {
+        for (lane, out) in outs.iter().enumerate() {
             let mut o = out.lock().expect("shard out poisoned");
             self.meas.flits_ejected += o.ejected;
             if self.meas.measure_start.is_some() {
@@ -1441,8 +1602,8 @@ impl Committer<'_> {
             for (node, port) in o.loads.drain(..) {
                 self.meas.channel_load.record(node as usize, port as usize);
             }
-            for (packet, created) in o.tails.drain(..) {
-                self.meas.record_tail(packet, created, now);
+            for (packet, created, dest) in o.tails.drain(..) {
+                self.meas.record_tail(packet, created, now, dest as usize);
             }
             // Dropped tagged packets resolve here, after tagging above
             // (a packet clipped at injection the cycle it was created
@@ -1451,8 +1612,48 @@ impl Committer<'_> {
             for packet in o.drops.drain(..) {
                 self.meas.record_dropped(packet);
             }
+            // Telemetry deltas fold in fixed shard order (or just
+            // reset, so a later telemetry run never inherits garbage).
+            if let Some(t) = self.meas.telemetry.as_deref_mut() {
+                t.absorb_shard(lane, &mut o);
+            } else {
+                o.injected = 0;
+                o.ticks = 0;
+                o.mail_flits = 0;
+                o.mail_credits = 0;
+                o.drop_stats = DropStats::default();
+                o.span_nanos = [0; 3];
+            }
         }
         self.meas.channel_load.tick();
+    }
+
+    /// Emits the epoch snapshot if `cycle` — the first *uncommitted*
+    /// cycle — is the telemetry boundary. Runs only in the serial
+    /// section (every worker parked) or after a fast-forward grant
+    /// (workers touch only their own shard state), so the measurement
+    /// and mailbox state it reads are stable.
+    fn telemetry_boundary(&mut self, cycle: u64, fault: Option<&FaultModel>, phases: &PhaseNanos) {
+        let Some(t) = self.meas.telemetry.as_deref() else {
+            return;
+        };
+        if cycle != t.next {
+            return;
+        }
+        let unreachable = fault.map_or(0, |f| f.unreachable_pairs(cycle));
+        let meas = &mut *self.meas;
+        let counts = BoundaryCounts {
+            flits_ejected: meas.flits_ejected,
+            tagged_created: meas.tagged_created,
+            tagged_done: meas.tagged_done,
+            unreachable_pairs: unreachable,
+        };
+        meas.telemetry.as_deref_mut().expect("checked above").emit(
+            cycle,
+            counts,
+            phases,
+            EngineView::Sharded,
+        );
     }
 }
 

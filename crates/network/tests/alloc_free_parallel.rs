@@ -200,6 +200,42 @@ fn sharded_rebalance_migration_is_allocation_free() {
     );
 }
 
+/// Telemetry must not break the steady-state guarantee: counter updates
+/// are integer adds into slots preallocated at construction, flow
+/// recording is three array stores into a fixed-size accumulator, and
+/// each epoch emission appends fixed-width rows to the in-memory log —
+/// whose *amortized* (geometric) growth the min-over-windows discipline
+/// absorbs. An allocating per-cycle, per-flit, or per-snapshot path
+/// would show up in every window.
+#[test]
+fn telemetry_instrumented_steady_state_is_allocation_free() {
+    let cfg = NetworkConfig::mesh(
+        4,
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_injection(0.25)
+    .with_warmup(100)
+    .with_sample(u64::MAX)
+    .with_max_cycles(u64::MAX)
+    .with_telemetry(256)
+    .with_engine(EngineKind::ParallelShards { shards: 3 });
+    let mut net = Network::new(cfg);
+    let _ = alloc_window(&mut net, 1_500);
+    let mut min_window = u64::MAX;
+    for _ in 0..5 {
+        min_window = min_window.min(alloc_window(&mut net, 1_000));
+    }
+    assert_eq!(
+        min_window, 0,
+        "telemetry-on steady-state window allocated \
+         (min {min_window} per 1000 cycles)"
+    );
+    net.assert_flit_conservation();
+}
+
 fn run_alloc_free_check(base: NetworkConfig, shards: usize) {
     let cfg = base
         .with_injection(0.25)

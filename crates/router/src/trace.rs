@@ -12,6 +12,14 @@
 //! [`TraceEntry`] it would throw away. The [`TraceSink`] trait names the
 //! capture contract; [`Trace`] is its canonical bounded-buffer
 //! implementation.
+//!
+//! This is the *microarchitectural* trace — one entry per pipeline
+//! event inside one router. Run-level observability (named counter
+//! snapshots at epoch boundaries, per-flow latency percentiles, and
+//! wall-clock phase spans exportable to Perfetto) lives in the
+//! `telemetry` crate and is wired through the network simulator's
+//! `with_telemetry` knob; the two layers share the same
+//! off-by-default, zero-cost-when-off discipline.
 
 use crate::flit::PacketId;
 use std::fmt;

@@ -156,6 +156,21 @@ impl PointKey {
     }
 }
 
+/// Per-node drop counters carried by a [`PointRecord`], reason-indexed.
+///
+/// The reason axis is workload-defined (the network runner indexes it in
+/// its `DropReason` declaration order); `runqueue` only round-trips the
+/// arrays verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeDrops {
+    /// Node id the counts belong to.
+    pub node: u32,
+    /// Flits dropped at this node, by reason index.
+    pub flits: Vec<u64>,
+    /// Head-flit (= whole packet) drops at this node, by reason index.
+    pub packets: Vec<u64>,
+}
+
 /// One completed point, as emitted to a [`ResultSink`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointRecord {
@@ -181,6 +196,22 @@ pub struct PointRecord {
     pub p95: Option<u64>,
     /// 99th-percentile latency (upper bucket bound), if measured.
     pub p99: Option<u64>,
+    /// Source→destination pairs the fault plan left unroutable at the
+    /// end of the run (0 for a healthy network).
+    pub unreachable_pairs: u64,
+    /// Per-node drop counters — one entry per node that dropped
+    /// anything, in ascending node order (empty for a clean run).
+    pub node_drops: Vec<NodeDrops>,
+    /// Distinct source→destination flows that delivered at least one
+    /// tagged packet.
+    pub flows: u64,
+    /// Worst flow's median latency (upper bucket bound), if measured.
+    pub flow_p50: Option<u64>,
+    /// Worst flow's 95th-percentile latency, if measured.
+    pub flow_p95: Option<u64>,
+    /// Worst flow's 99th-percentile latency, if measured. "Worst" ranks
+    /// flows by (p99, p95, p50), ties to the lowest (src, dst).
+    pub flow_p99: Option<u64>,
 }
 
 /// Runs one point of a job. Returning `None` means the run was cancelled
@@ -330,6 +361,12 @@ mod tests {
                 p50: Some(10),
                 p95: Some(20),
                 p99: Some(30),
+                unreachable_pairs: 0,
+                node_drops: Vec::new(),
+                flows: 4,
+                flow_p50: Some(12),
+                flow_p95: Some(24),
+                flow_p99: Some(36),
             })
         }
     }

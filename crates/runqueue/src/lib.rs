@@ -37,7 +37,8 @@ pub mod spec;
 
 pub use cancel::CancelToken;
 pub use job::{
-    derive_seed, run_batch, BatchOutcome, JobConfig, JobSpec, PointKey, PointRecord, PointRunner,
+    derive_seed, run_batch, BatchOutcome, JobConfig, JobSpec, NodeDrops, PointKey, PointRecord,
+    PointRunner,
 };
 pub use queue::{run_tasks, worker_budget, Task};
 pub use sink::{JsonlSink, MemorySink, ResultSink};

@@ -2,7 +2,7 @@
 //! finishes, so an interrupted batch loses nothing but the points still
 //! in flight.
 
-use crate::job::{PointKey, PointRecord};
+use crate::job::{NodeDrops, PointKey, PointRecord};
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
@@ -150,13 +150,33 @@ impl PointRecord {
             ", \"accepted\": {:?}, \"saturated\": {}, \"cycles\": {}",
             self.accepted, self.saturated, self.cycles
         ));
-        for (name, v) in [("p50", self.p50), ("p95", self.p95), ("p99", self.p99)] {
+        for (name, v) in [
+            ("p50", self.p50),
+            ("p95", self.p95),
+            ("p99", self.p99),
+            ("flow_p50", self.flow_p50),
+            ("flow_p95", self.flow_p95),
+            ("flow_p99", self.flow_p99),
+        ] {
             match v {
                 Some(v) => s.push_str(&format!(", \"{name}\": {v}")),
                 None => s.push_str(&format!(", \"{name}\": null")),
             }
         }
-        s.push('}');
+        s.push_str(&format!(
+            ", \"unreachable_pairs\": {}, \"flows\": {}, \"node_drops\": [",
+            self.unreachable_pairs, self.flows
+        ));
+        for (i, d) in self.node_drops.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"node\": {}, \"flits\": {:?}, \"packets\": {:?}}}",
+                d.node, d.flits, d.packets
+            ));
+        }
+        s.push_str("]}");
         s
     }
 
@@ -193,6 +213,14 @@ impl PointRecord {
             p50: field_u64(line, "\"p50\":"),
             p95: field_u64(line, "\"p95\":"),
             p99: field_u64(line, "\"p99\":"),
+            // Absent in records written before these fields existed;
+            // defaults keep every old sink file resumable.
+            unreachable_pairs: field_u64(line, "\"unreachable_pairs\":").unwrap_or(0),
+            node_drops: parse_node_drops(line),
+            flows: field_u64(line, "\"flows\":").unwrap_or(0),
+            flow_p50: field_u64(line, "\"flow_p50\":"),
+            flow_p95: field_u64(line, "\"flow_p95\":"),
+            flow_p99: field_u64(line, "\"flow_p99\":"),
         })
     }
 }
@@ -224,6 +252,60 @@ fn field_bool(line: &str, key: &str) -> Option<bool> {
     }
 }
 
+/// The payload of an array-valued field, with bracket nesting honored —
+/// the flat [`field_raw`] scanner stops at the first comma, which an
+/// array's own elements would trip over.
+fn field_array<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start().strip_prefix('[')?;
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' if depth == 0 => return Some(&rest[..i]),
+            ']' | '}' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_node_drops(line: &str) -> Vec<NodeDrops> {
+    let Some(body) = field_array(line, "\"node_drops\":") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = body;
+    // Entries hold nested arrays but never nested objects, so the next
+    // '}' always closes the entry opened by the next '{'.
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        if let Some(d) = parse_drop_entry(&rest[open..=open + close]) {
+            out.push(d);
+        }
+        rest = &rest[open + close + 1..];
+    }
+    out
+}
+
+fn parse_drop_entry(entry: &str) -> Option<NodeDrops> {
+    Some(NodeDrops {
+        node: u32::try_from(field_u64(entry, "\"node\":")?).ok()?,
+        flits: parse_u64_array(field_array(entry, "\"flits\":")?)?,
+        packets: parse_u64_array(field_array(entry, "\"packets\":")?)?,
+    })
+}
+
+fn parse_u64_array(body: &str) -> Option<Vec<u64>> {
+    let body = body.trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|t| t.trim().parse().ok()).collect()
+}
+
 fn field_str(line: &str, key: &str) -> Option<String> {
     let raw = {
         let start = line.find(key)? + key.len();
@@ -251,6 +333,12 @@ mod tests {
             p50: Some(40),
             p95: Some(90),
             p99: None,
+            unreachable_pairs: 0,
+            node_drops: Vec::new(),
+            flows: 3,
+            flow_p50: Some(48),
+            flow_p95: Some(96),
+            flow_p99: None,
         }
     }
 
@@ -274,6 +362,45 @@ mod tests {
             ..sample(8, 0.9)
         };
         assert_eq!(PointRecord::from_jsonl(&sat.to_jsonl()), Some(sat));
+    }
+
+    #[test]
+    fn node_drops_and_flow_fields_round_trip() {
+        let mut rec = sample(5, 0.55);
+        rec.unreachable_pairs = 30;
+        rec.flow_p99 = Some(200);
+        rec.node_drops = vec![
+            NodeDrops {
+                node: 4,
+                flits: vec![0, 7, 0, 2, 0],
+                packets: vec![0, 3, 0, 1, 0],
+            },
+            NodeDrops {
+                node: 11,
+                flits: vec![5, 0, 0, 0, 0],
+                packets: vec![2, 0, 0, 0, 0],
+            },
+        ];
+        let line = rec.to_jsonl();
+        assert_eq!(line.lines().count(), 1, "nested arrays stay one line");
+        assert_eq!(PointRecord::from_jsonl(&line), Some(rec));
+    }
+
+    #[test]
+    fn records_without_the_telemetry_fields_still_parse() {
+        // A line written before unreachable_pairs/node_drops/flow_*
+        // existed must parse with defaults, or old sink files would stop
+        // resuming.
+        let old = "{\"config\": 43981, \"seed\": 7, \"load_bits\": 4599075939470750515, \
+                   \"load\": 0.3, \"job\": \"smoke\", \"latency\": 42.03125, \
+                   \"accepted\": 0.297, \"saturated\": false, \"cycles\": 12345, \
+                   \"p50\": 40, \"p95\": 90, \"p99\": null}";
+        let rec = PointRecord::from_jsonl(old).expect("parses");
+        assert_eq!(rec.key, PointKey::new(0xABCD, 7, 0.3));
+        assert_eq!(rec.unreachable_pairs, 0);
+        assert!(rec.node_drops.is_empty());
+        assert_eq!(rec.flows, 0);
+        assert_eq!(rec.flow_p99, None);
     }
 
     #[test]

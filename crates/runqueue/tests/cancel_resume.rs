@@ -44,6 +44,12 @@ impl PointRunner<Cfg> for FakeRunner {
             p50: Some(10),
             p95: Some(20),
             p99: Some(30),
+            unreachable_pairs: 0,
+            node_drops: Vec::new(),
+            flows: 2,
+            flow_p50: Some(16),
+            flow_p95: Some(32),
+            flow_p99: Some(32),
         })
     }
 }

@@ -1,0 +1,197 @@
+//! The telemetry layer rides the same bit-identity contract as the
+//! engines themselves: the epoch-streamed metrics snapshots (counter
+//! section), the per-flow latency accumulators, and the per-node drop
+//! attribution must be **bit-identical** across every engine kind, shard
+//! count, thread schedule, and barrier implementation — with faults and
+//! live rebalancing in play.
+//!
+//! The serial engines emit each snapshot inside the step that reaches
+//! the epoch boundary; the sharded engine's gate leader assembles the
+//! same snapshot after the serial commit of that cycle, absorbing shard
+//! counters in fixed shard order. These tests are the proof that those
+//! two emission disciplines produce one stream.
+
+use peh_dally::noc_network::config::EngineKind;
+use peh_dally::noc_network::{
+    parse_faults, BarrierKind, Network, NetworkConfig, RouterKind, RunResult,
+};
+
+/// The grid's telemetry epoch: short enough that even the quick sample
+/// run streams dozens of snapshots, so the identity assertion exercises
+/// many boundaries (including ones the quiescence fast-forward must
+/// stop at).
+const EPOCH: u64 = 16;
+
+/// A faulted, skew-loaded base configuration with rebalancing armed:
+/// every accounting path (drops by reason, unreachable pairs, flow
+/// tails, migrations) is live.
+fn grid_cfg() -> NetworkConfig {
+    NetworkConfig::mesh(
+        4,
+        RouterKind::SpeculativeVc {
+            vcs: 2,
+            buffers_per_vc: 4,
+        },
+    )
+    .with_warmup(120)
+    .with_sample(100)
+    .with_max_cycles(40_000)
+    .with_injection(0.3)
+    .with_faults(
+        parse_faults("link:5:0:flaky@40/10; router:10:dead@180; link:9:2:loss@0.1")
+            .expect("grid fault spec"),
+    )
+    .with_rebalance(50, 1.1)
+    .with_telemetry(EPOCH)
+}
+
+fn run(cfg: NetworkConfig, engine: EngineKind, barrier: BarrierKind) -> RunResult {
+    Network::new(cfg.with_engine(engine).with_barrier(barrier)).run()
+}
+
+/// Asserts the full observability surface of `r` matches the reference.
+fn assert_same_telemetry(label: &str, reference: &RunResult, r: &RunResult) {
+    let a = reference.metrics.as_ref().expect("telemetry on");
+    let b = r.metrics.as_ref().expect("telemetry on");
+    assert_eq!(
+        a.counter_names(),
+        b.counter_names(),
+        "{label}: counter schema"
+    );
+    assert_eq!(
+        a.identity(),
+        b.identity(),
+        "{label}: snapshot stream (cycles × counters) diverged"
+    );
+    assert_eq!(reference.flow_stats, r.flow_stats, "{label}: flow stats");
+    assert_eq!(reference.node_drops, r.node_drops, "{label}: node drops");
+    // The telemetry must also never perturb the run it observes.
+    assert_eq!(reference.cycles, r.cycles, "{label}: cycles");
+    assert_eq!(
+        reference.avg_latency.map(f64::to_bits),
+        r.avg_latency.map(f64::to_bits),
+        "{label}: avg latency"
+    );
+    assert_eq!(reference.drops, r.drops, "{label}: aggregate drops");
+}
+
+/// The headline grid: cycle-driven reference vs event-driven and the
+/// sharded engine at shard counts {1, 2, 4, 7} (including one that does
+/// not divide the node count) under both barrier kinds, faults and
+/// rebalancing live throughout.
+#[test]
+fn metrics_stream_is_bit_identical_across_engines_shards_and_barriers() {
+    let reference = run(grid_cfg(), EngineKind::CycleDriven, BarrierKind::Spin);
+    let metrics = reference.metrics.as_ref().expect("telemetry on");
+    assert!(
+        metrics.len() > 10,
+        "the grid run must stream many epochs (got {})",
+        metrics.len()
+    );
+    let flows = reference.flow_stats.as_ref().expect("telemetry on");
+    assert!(flows.flows() > 0, "tagged flows must be attributed");
+    assert!(
+        reference.dropped_flits > 0,
+        "a faulted grid run must drop something"
+    );
+
+    for barrier in [BarrierKind::Spin, BarrierKind::Tree] {
+        let mut engines = vec![EngineKind::EventDriven];
+        engines.extend([1usize, 2, 4, 7].map(EngineKind::parallel));
+        for engine in engines {
+            let label = format!("{engine:?} barrier={barrier}");
+            let r = run(grid_cfg(), engine, barrier);
+            assert_same_telemetry(&label, &reference, &r);
+        }
+    }
+}
+
+/// The stream's shape: snapshots land exactly on epoch boundaries, in
+/// order, and every counter is cumulative (monotone along the stream).
+#[test]
+fn snapshots_land_on_epoch_boundaries_and_counters_are_cumulative() {
+    let r = run(grid_cfg(), EngineKind::EventDriven, BarrierKind::Spin);
+    let m = r.metrics.as_ref().expect("telemetry on");
+    let (cycles, _) = m.identity();
+    for (i, &cycle) in cycles.iter().enumerate() {
+        assert_eq!(
+            cycle,
+            (i as u64 + 1) * EPOCH,
+            "snapshot {i} off its epoch boundary"
+        );
+    }
+    for name in m.counter_names() {
+        let mut prev = 0;
+        for i in 0..m.len() {
+            let v = m.value(i, name).expect("named counter");
+            assert!(v >= prev, "{name} regressed at snapshot {i}");
+            prev = v;
+        }
+    }
+    // The boundary counters reconcile with the run's own books. The run
+    // ends the instant the sample completes — mid-epoch — so the last
+    // snapshot sits strictly before that: it can only have seen at most
+    // the full sample.
+    let last = m.len() - 1;
+    let done = m.value(last, "tagged_done").expect("counter");
+    assert!(
+        done > 0 && done <= 100,
+        "the last snapshot's tagged_done ({done}) must sit within the sample"
+    );
+    assert!(
+        m.value(last, "flits_ejected").expect("counter") > 0,
+        "boundary counters must carry real traffic"
+    );
+}
+
+/// Per-node drop attribution reconciles with the aggregate drop books,
+/// and only nodes that dropped something carry nonzero rows.
+#[test]
+fn node_drops_reconcile_with_the_aggregate() {
+    let r = run(grid_cfg(), EngineKind::CycleDriven, BarrierKind::Spin);
+    let total_flits: u64 = r.node_drops.iter().map(|d| d.total_flits()).sum();
+    let total_packets: u64 = r.node_drops.iter().map(|d| d.total_packets()).sum();
+    assert_eq!(total_flits, r.dropped_flits, "per-node flit drops");
+    assert_eq!(total_packets, r.dropped_packets, "per-node packet drops");
+    assert!(
+        r.node_drops.iter().any(|d| d.total_flits() > 0),
+        "the faulted run must attribute drops to nodes"
+    );
+    for (reason, (&f, &p)) in r.drops.flits.iter().zip(r.drops.packets.iter()).enumerate() {
+        let nf: u64 = r.node_drops.iter().map(|d| d.flits[reason]).sum();
+        let np: u64 = r.node_drops.iter().map(|d| d.packets[reason]).sum();
+        assert_eq!(nf, f, "reason {reason} flits");
+        assert_eq!(np, p, "reason {reason} packets");
+    }
+}
+
+/// Flow percentiles obey their definitions: every flow's p50 ≤ p95 ≤
+/// p99, the worst flow dominates by the (p99, p95, p50) order, and the
+/// sample count reconciles with the tagged sample size.
+#[test]
+fn flow_percentiles_are_ordered_and_reconcile() {
+    let r = run(grid_cfg(), EngineKind::EventDriven, BarrierKind::Spin);
+    let flows = r.flow_stats.as_ref().expect("telemetry on");
+    // One flow sample per *ejected* tagged packet: the fault plan drops
+    // some tagged heads, and a dropped packet has no ejection tail.
+    assert!(
+        flows.samples() > 0 && flows.samples() <= 100,
+        "flow samples ({}) must sit within the tagged sample",
+        flows.samples()
+    );
+    let (ws, wd, worst) = flows.worst().expect("flows measured");
+    assert!(worst.p50 <= worst.p95 && worst.p95 <= worst.p99);
+    let nodes = flows.nodes();
+    for src in 0..nodes {
+        for dst in 0..nodes {
+            let Some(p) = flows.percentiles(src, dst) else {
+                continue;
+            };
+            assert!(p.p50 <= p.p95 && p.p95 <= p.p99, "flow {src}->{dst}");
+            assert!(
+                (worst.p99, worst.p95, worst.p50) >= (p.p99, p.p95, p.p50),
+                "flow {src}->{dst} beats the reported worst ({ws}->{wd})"
+            );
+        }
+    }
+}
